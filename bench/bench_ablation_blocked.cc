@@ -1,0 +1,100 @@
+// Ablation of the cache-blocked Approximate Bitmap against the paper's
+// standard AB at equal size and k:
+//   * probe throughput — the standard AB touches up to k cache lines per
+//     test, the blocked AB exactly one;
+//   * measured false positive rate — blocking costs a little precision
+//     (block-occupancy variance).
+// This is the modern incarnation of the paper's closing remark that the
+// scheme's speed can be improved further with cheaper hashing.
+
+#include <cstdio>
+
+#include "benchmark/benchmark.h"
+
+#include "core/ab_theory.h"
+#include "core/approximate_bitmap.h"
+#include "core/blocked_bitmap.h"
+#include "hash/hash_family.h"
+
+namespace abitmap {
+namespace bench {
+namespace {
+
+constexpr uint64_t kBits = uint64_t{1} << 26;  // 8 MiB filter: DRAM-resident
+constexpr uint64_t kInserts = kBits / 8;       // alpha = 8
+constexpr int kK = 6;
+
+ab::AbParams Params() {
+  ab::AbParams p;
+  p.n_bits = kBits;
+  p.k = kK;
+  p.alpha = 8;
+  return p;
+}
+
+void BM_StandardAbTest(benchmark::State& state) {
+  ab::ApproximateBitmap filter(Params(), hash::MakeDoubleHashFamily());
+  for (uint64_t key = 0; key < kInserts; ++key) {
+    filter.Insert(key, hash::CellRef{});
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Test(key, hash::CellRef{}));
+    key += 7919;  // stride through inserted and absent keys
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StandardAbTest);
+
+void BM_BlockedAbTest(benchmark::State& state) {
+  ab::BlockedApproximateBitmap filter(Params());
+  for (uint64_t key = 0; key < kInserts; ++key) {
+    filter.Insert(key);
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Test(key));
+    key += 7919;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockedAbTest);
+
+void PrecisionComparison() {
+  std::printf("\n==== Blocked vs standard AB: measured false positive rate "
+              "====\n");
+  std::printf("(n = 2^26 bits, s = n/8, k = %d; theory for the standard AB: "
+              "%.6f)\n",
+              kK, ab::FalsePositiveRate(8.0, kK));
+  ab::ApproximateBitmap standard(Params(), hash::MakeDoubleHashFamily());
+  ab::BlockedApproximateBitmap blocked(Params());
+  for (uint64_t key = 0; key < kInserts; ++key) {
+    standard.Insert(key, hash::CellRef{});
+    blocked.Insert(key);
+  }
+  uint64_t fp_standard = 0, fp_blocked = 0;
+  constexpr uint64_t kTrials = 2000000;
+  for (uint64_t i = 0; i < kTrials; ++i) {
+    uint64_t probe = (uint64_t{1} << 40) + i;
+    fp_standard += standard.Test(probe, hash::CellRef{});
+    fp_blocked += blocked.Test(probe);
+  }
+  std::printf("standard: %.6f    blocked: %.6f (x%.2f)\n",
+              static_cast<double>(fp_standard) / kTrials,
+              static_cast<double>(fp_blocked) / kTrials,
+              static_cast<double>(fp_blocked) /
+                  std::max<uint64_t>(fp_standard, 1));
+  std::printf("Shape: blocked trades a small constant-factor FP increase for\n"
+              "one cache-line access per probe set.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace abitmap
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  abitmap::bench::PrecisionComparison();
+  return 0;
+}

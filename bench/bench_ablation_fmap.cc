@@ -1,0 +1,52 @@
+// Ablation of the hash string mapping function F (Section 3.2.1 / 3.2.2):
+// the proper mapping F(i,j) = (i << w) | j versus the degenerate
+// F(i,j) = i at the per-data-set level. With the degenerate mapping every
+// row's insertion marks the same k bits for all of its attributes, so any
+// cell of an inserted row tests positive — "the answer would have a false
+// positive rate of 1, i.e., every cell considered in the query would be
+// reported as an answer".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace abitmap {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: cell mapping function F at the per-dataset level");
+  EvalDataset eval = MakeUniform();
+  bitmap::BitmapTable table = bitmap::BitmapTable::Build(eval.data);
+  std::vector<bitmap::BitmapQuery> queries = PaperWorkload(
+      eval.data, std::min<uint64_t>(1000, eval.data.num_rows()));
+
+  std::printf("%-26s %10s %14s %14s\n", "mapping", "precision", "AB tuples",
+              "exact tuples");
+  for (bool degenerate : {false, true}) {
+    ab::AbConfig cfg;
+    cfg.level = ab::Level::kPerDataset;
+    cfg.alpha = 16;
+    cfg.degenerate_row_only_mapping = degenerate;
+    ab::AbIndex index = ab::AbIndex::Build(eval.data, cfg);
+    data::BatchAccuracy acc = MeasureAccuracy(table, index, queries);
+    std::printf("%-26s %10.4f %14llu %14llu\n",
+                degenerate ? "degenerate F(i,j)=i" : "F(i,j)=(i<<w)|j",
+                acc.precision(),
+                static_cast<unsigned long long>(acc.approx_ones),
+                static_cast<unsigned long long>(acc.exact_ones));
+  }
+  std::printf(
+      "\nShape (paper Section 3.2.2): the degenerate mapping reports every\n"
+      "probed row as a match (false positive rate 1); the proper mapping\n"
+      "retains high precision at the same size.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace abitmap
+
+int main() {
+  abitmap::bench::Run();
+  return 0;
+}

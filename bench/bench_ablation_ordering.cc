@@ -1,0 +1,65 @@
+// Ablation of attribute evaluation order in the Figure 7 algorithm:
+// most-selective-first (the default, using the index's bin histograms)
+// versus the query's literal order. With a conjunction, failing rows early
+// on the rarest attribute avoids probing the remaining attributes at all;
+// the win grows with the selectivity skew between attributes.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace abitmap {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: selectivity-ordered attribute evaluation");
+  // A skewed dataset where ordering matters: attribute 0 wide/unselective,
+  // attribute 1 zipf (first bins dominate, tail bins rare).
+  bitmap::BinnedDataset d = data::MakeSynthetic(
+      "mixed", 200000, 1, 20, data::Distribution::kUniform, 31);
+  bitmap::BinnedDataset z = data::MakeSynthetic(
+      "z", 200000, 1, 20, data::Distribution::kZipf, 32, 1.3);
+  d.attributes.push_back(z.attributes[0]);
+  d.values.push_back(z.values[0]);
+
+  ab::AbConfig ordered_cfg;
+  ordered_cfg.alpha = 16;
+  ab::AbConfig literal_cfg = ordered_cfg;
+  literal_cfg.preserve_query_order = true;
+  ab::AbIndex ordered = ab::AbIndex::Build(d, ordered_cfg);
+  ab::AbIndex literal = ab::AbIndex::Build(d, literal_cfg);
+
+  // Queries listing the unselective attribute FIRST — the worst case for
+  // literal order: range on attr 0 covers half the domain, range on attr 1
+  // covers only rare tail bins.
+  std::vector<bitmap::BitmapQuery> queries;
+  for (int i = 0; i < 100; ++i) {
+    bitmap::BitmapQuery q;
+    q.ranges.push_back(bitmap::AttributeRange{0, 0, 9});    // ~50% of rows
+    q.ranges.push_back(bitmap::AttributeRange{1, 16, 19});  // rare tail
+    uint64_t lo = (i * 1931) % 190000;
+    q.rows = bitmap::RowRange(lo, lo + 4999);
+    queries.push_back(std::move(q));
+  }
+
+  double literal_ms = TimeAbEvaluate(literal, queries);
+  double ordered_ms = TimeAbEvaluate(ordered, queries);
+  std::printf("%-24s %12s\n", "plan", "msec/query");
+  std::printf("%-24s %12.4f\n", "query-literal order", literal_ms);
+  std::printf("%-24s %12.4f\n", "most-selective-first", ordered_ms);
+  std::printf("speedup: %.2fx\n", literal_ms / ordered_ms);
+  std::printf(
+      "\nShape: evaluating the rare attribute first disqualifies most rows\n"
+      "after one attribute's probes; the literal order probes the wide\n"
+      "attribute (usually passing) and then the rare one anyway.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace abitmap
+
+int main() {
+  abitmap::bench::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation of the reordering preprocessing the paper's Section 2.2.1
+// surveys (Pinar, Tao & Ferhatosmanoglu [31]): Gray-code / lexicographic
+// tuple reordering shrinks the run-length-compressed baselines, while the
+// Approximate Bitmap — which hashes set bits independent of row order —
+// is completely unaffected. This quantifies how much of the AB's size
+// advantage survives a reorder-tuned WAH.
+
+#include <cstdio>
+
+#include "bbc/bbc_vector.h"
+#include "bench/bench_util.h"
+#include "bitmap/reorder.h"
+
+namespace abitmap {
+namespace bench {
+namespace {
+
+struct Sizes {
+  uint64_t wah = 0;
+  uint64_t bbc = 0;
+};
+
+Sizes Measure(const bitmap::BinnedDataset& d) {
+  bitmap::BitmapTable table = bitmap::BitmapTable::Build(d);
+  Sizes s;
+  for (uint32_t j = 0; j < table.num_columns(); ++j) {
+    s.wah += wah::WahVector::Compress(table.column(j)).SizeInBytes();
+    s.bbc += bbc::BbcVector::Compress(table.column(j)).SizeInBytes();
+  }
+  return s;
+}
+
+void Run() {
+  PrintHeader("Ablation: tuple reordering vs compressed sizes (bytes)");
+  std::printf("%-10s %-14s %14s %14s %16s\n", "Dataset", "order", "WAH",
+              "BBC", "AB (unchanged)");
+  for (EvalDataset& e : AllDatasets()) {
+    uint64_t ab_bytes =
+        ab::ComputeLevelSize(e.data, ab::Level::kPerAttribute, e.paper_alpha)
+            .total_bytes;
+    Sizes original = Measure(e.data);
+    std::printf("%-10s %-14s %14s %14s %16s\n", e.data.name.c_str(),
+                "as-generated", FormatBytes(original.wah).c_str(),
+                FormatBytes(original.bbc).c_str(),
+                FormatBytes(ab_bytes).c_str());
+    bitmap::BinnedDataset lex =
+        bitmap::ReorderRows(e.data, bitmap::LexicographicOrder(e.data));
+    Sizes lex_sizes = Measure(lex);
+    std::printf("%-10s %-14s %14s %14s %16s\n", "", "lexicographic",
+                FormatBytes(lex_sizes.wah).c_str(),
+                FormatBytes(lex_sizes.bbc).c_str(), "same");
+    bitmap::BinnedDataset gray =
+        bitmap::ReorderRows(e.data, bitmap::GrayCodeOrder(e.data));
+    Sizes gray_sizes = Measure(gray);
+    std::printf("%-10s %-14s %14s %14s %16s\n", "", "gray-code",
+                FormatBytes(gray_sizes.wah).c_str(),
+                FormatBytes(gray_sizes.bbc).c_str(), "same");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nShape: reordering shrinks WAH/BBC substantially on low-dimensional\n"
+      "data (uniform, hep) and less on high-dimensional data (landsat, 60\n"
+      "attributes — later attributes stay unsorted); AB sizes depend only\n"
+      "on set-bit counts and do not move.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace abitmap
+
+int main() {
+  abitmap::bench::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Figures 8 and 9: the theoretical false positive rate
+// (1 - e^{-k/alpha})^k, first as a function of alpha (one curve per k),
+// then as a function of k (one curve per alpha).
+//
+// Shapes to check against the paper:
+//  * Figure 8 — FP falls monotonically with alpha for every k.
+//  * Figure 9 — for fixed alpha, FP is minimized near k = alpha*ln2 and
+//    rises on both sides; curves for larger alpha sit strictly lower.
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "core/ab_theory.h"
+#include "util/math.h"
+
+namespace abitmap {
+namespace ab {
+namespace {
+
+void Run() {
+  std::printf("\n==== Figure 8: false positive rate as a function of alpha ====\n");
+  std::printf("%8s", "alpha");
+  for (int k : {1, 2, 4, 6, 8, 10}) std::printf("      k=%-4d", k);
+  std::printf("\n");
+  for (double alpha : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0}) {
+    std::printf("%8.1f", alpha);
+    for (int k : {1, 2, 4, 6, 8, 10}) {
+      std::printf("  %10.6f", FalsePositiveRate(alpha, k));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n==== Figure 9: false positive rate as a function of k ====\n");
+  std::printf("%4s", "k");
+  for (double alpha : {2.0, 4.0, 8.0, 16.0}) {
+    std::printf("   alpha=%-4.0f", alpha);
+  }
+  std::printf("\n");
+  for (int k = 1; k <= 16; ++k) {
+    std::printf("%4d", k);
+    for (double alpha : {2.0, 4.0, 8.0, 16.0}) {
+      std::printf("  %10.6f", FalsePositiveRate(alpha, k));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nOptimal k per alpha (alpha * ln2 rounded to the better "
+              "neighbour):\n");
+  for (double alpha : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    int k = OptimalK(alpha);
+    std::printf("  alpha=%5.1f  k*=%2d  FP=%.6f  precision=%.6f\n", alpha, k,
+                FalsePositiveRate(alpha, k), Precision(alpha, k));
+  }
+
+  std::printf("\nPrecision-constrained sizing (Section 4.2):\n");
+  for (double p : {0.90, 0.95, 0.99, 0.999}) {
+    AbParams params = AbParams::ForMinPrecision(p, 1000000);
+    std::printf(
+        "  P_min=%.3f  ->  n=2^%d bits for s=1e6 (alpha=%.2f, k=%d, "
+        "P=%.6f)\n",
+        p, static_cast<int>(util::Log2Floor(params.n_bits)), params.alpha,
+        params.k, params.ExpectedPrecision());
+  }
+}
+
+}  // namespace
+}  // namespace ab
+}  // namespace abitmap
+
+int main() {
+  abitmap::ab::Run();
+  return 0;
+}

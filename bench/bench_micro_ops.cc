@@ -1,0 +1,160 @@
+// google-benchmark microbenchmarks of the primitive operations every
+// experiment is built from: verbatim bit-vector algebra, WAH compressed
+// algebra (32- and 64-bit words — the word-size ablation), BBC algebra,
+// AB insert/test, and WAH random access (the direct-access cost the paper
+// charges WAH for row-subset queries).
+
+#include <random>
+
+#include "benchmark/benchmark.h"
+
+#include "bbc/bbc_vector.h"
+#include "core/approximate_bitmap.h"
+#include "util/bitvector.h"
+#include "wah/wah_vector.h"
+
+namespace abitmap {
+namespace {
+
+constexpr size_t kBits = 1 << 20;
+
+util::BitVector MakeColumnLike(double density, uint64_t seed) {
+  // Index-column-like bitmap: clustered set bits.
+  std::mt19937_64 rng(seed);
+  util::BitVector out(kBits);
+  size_t set_target = static_cast<size_t>(kBits * density);
+  size_t placed = 0;
+  while (placed < set_target) {
+    size_t start = rng() % kBits;
+    size_t run = 1 + rng() % 64;
+    for (size_t i = start; i < std::min(start + run, kBits); ++i) {
+      out.Set(i);
+      ++placed;
+    }
+  }
+  return out;
+}
+
+void BM_BitVectorAnd(benchmark::State& state) {
+  util::BitVector a = MakeColumnLike(0.05, 1);
+  util::BitVector b = MakeColumnLike(0.05, 2);
+  for (auto _ : state) {
+    util::BitVector c = util::And(a, b);
+    benchmark::DoNotOptimize(c.words().data());
+  }
+  state.SetBytesProcessed(state.iterations() * (kBits / 8));
+}
+BENCHMARK(BM_BitVectorAnd);
+
+template <typename WordT>
+void BM_WahAnd(benchmark::State& state) {
+  double density = static_cast<double>(state.range(0)) / 1000.0;
+  auto a = wah::WahVectorT<WordT>::Compress(MakeColumnLike(density, 3));
+  auto b = wah::WahVectorT<WordT>::Compress(MakeColumnLike(density, 4));
+  for (auto _ : state) {
+    auto c = wah::And(a, b);
+    benchmark::DoNotOptimize(c.NumWords());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          (a.SizeInBytes() + b.SizeInBytes()));
+}
+BENCHMARK_TEMPLATE(BM_WahAnd, uint32_t)->Arg(10)->Arg(100);
+BENCHMARK_TEMPLATE(BM_WahAnd, uint64_t)->Arg(10)->Arg(100);
+
+void BM_BbcAnd(benchmark::State& state) {
+  double density = static_cast<double>(state.range(0)) / 1000.0;
+  bbc::BbcVector a = bbc::BbcVector::Compress(MakeColumnLike(density, 5));
+  bbc::BbcVector b = bbc::BbcVector::Compress(MakeColumnLike(density, 6));
+  for (auto _ : state) {
+    bbc::BbcVector c = bbc::And(a, b);
+    benchmark::DoNotOptimize(c.SizeInBytes());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          (a.SizeInBytes() + b.SizeInBytes()));
+}
+BENCHMARK(BM_BbcAnd)->Arg(10)->Arg(100);
+
+void BM_WahRandomAccess(benchmark::State& state) {
+  wah::WahVector v = wah::WahVector::Compress(MakeColumnLike(0.05, 7));
+  std::mt19937_64 rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Get(rng() % kBits));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WahRandomAccess);
+
+void BM_WahSortedExtract(benchmark::State& state) {
+  wah::WahVector v = wah::WahVector::Compress(MakeColumnLike(0.05, 9));
+  size_t rows = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> positions;
+  for (size_t i = 0; i < rows; ++i) positions.push_back(i * (kBits / rows));
+  for (auto _ : state) {
+    std::vector<bool> out = v.GetSorted(positions);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_WahSortedExtract)->Arg(100)->Arg(10000);
+
+void BM_AbInsert(benchmark::State& state) {
+  ab::AbParams params;
+  params.n_bits = 1 << 22;
+  params.k = static_cast<int>(state.range(0));
+  ab::ApproximateBitmap filter(params, hash::MakeIndependentFamily());
+  uint64_t key = 0;
+  for (auto _ : state) {
+    filter.Insert(key++, hash::CellRef{key, 1});
+    benchmark::DoNotOptimize(filter.insertions());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AbInsert)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_AbTest(benchmark::State& state) {
+  ab::AbParams params;
+  params.n_bits = 1 << 22;
+  params.k = static_cast<int>(state.range(0));
+  ab::ApproximateBitmap filter(params, hash::MakeIndependentFamily());
+  for (uint64_t key = 0; key < 100000; ++key) {
+    filter.Insert(key, hash::CellRef{key, 1});
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Test(key++, hash::CellRef{key, 1}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AbTest)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_AbTestDoubleHash(benchmark::State& state) {
+  // The extension family: two mixes total regardless of k.
+  ab::AbParams params;
+  params.n_bits = 1 << 22;
+  params.k = static_cast<int>(state.range(0));
+  ab::ApproximateBitmap filter(params, hash::MakeDoubleHashFamily());
+  for (uint64_t key = 0; key < 100000; ++key) {
+    filter.Insert(key, hash::CellRef{key, 1});
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Test(key++, hash::CellRef{key, 1}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AbTestDoubleHash)->Arg(2)->Arg(6)->Arg(10);
+
+void BM_WahCompress(benchmark::State& state) {
+  util::BitVector bits = MakeColumnLike(0.05, 10);
+  for (auto _ : state) {
+    wah::WahVector v = wah::WahVector::Compress(bits);
+    benchmark::DoNotOptimize(v.NumWords());
+  }
+  state.SetBytesProcessed(state.iterations() * (kBits / 8));
+}
+BENCHMARK(BM_WahCompress);
+
+}  // namespace
+}  // namespace abitmap
+
+BENCHMARK_MAIN();

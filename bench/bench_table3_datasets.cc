@@ -1,0 +1,54 @@
+// Reproduces Table 3: data set descriptions — rows, attributes, bitmaps,
+// set bits, uncompressed bitmap size, WAH size and compression ratio.
+//
+// Paper reference values (full scale):
+//   Uniform  100,000 rows   2 attrs  100 bitmaps    200,000 setbits
+//            1,290,000 B uncompressed -> 1,026,952 B WAH (ratio 0.80)
+//   Landsat  275,465 rows  60 attrs  900 bitmaps 16,527,900 setbits
+//            31,993,200 B -> 30,103,296 B WAH (ratio 0.94)
+//   HEP    2,173,762 rows   6 attrs   66 bitmaps 13,042,572 setbits
+//            18,512,472 B -> 12,021,xxx B WAH (ratio 0.65)
+// Our substitutes match rows/attrs/bitmaps/setbits exactly; WAH size
+// depends on the synthetic value order and lands in the same regime
+// (unsorted data, ratio near or above the paper's).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace abitmap {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 3: Data Set Descriptions");
+  std::printf("%-10s %12s %6s %8s %12s %16s %14s %8s\n", "Dataset", "Rows",
+              "Attrs", "Bitmaps", "Setbits", "Uncompressed(B)", "WAH(B)",
+              "Ratio");
+  for (const EvalDataset& eval : AllDatasets()) {
+    const bitmap::BinnedDataset& d = eval.data;
+    bitmap::BitmapTable table = bitmap::BitmapTable::Build(d);
+    wah::WahIndex wah_index = wah::WahIndex::Build(table);
+    double ratio = static_cast<double>(wah_index.SizeInBytes()) /
+                   static_cast<double>(table.UncompressedBytes());
+    std::printf("%-10s %12s %6u %8u %12s %16s %14s %8.2f\n", d.name.c_str(),
+                FormatBytes(d.num_rows()).c_str(), d.num_attributes(),
+                d.num_bitmap_columns(),
+                FormatBytes(table.TotalSetBits()).c_str(),
+                FormatBytes(table.UncompressedBytes()).c_str(),
+                FormatBytes(wah_index.SizeInBytes()).c_str(), ratio);
+  }
+  std::printf(
+      "\nPaper (full scale): uniform ratio 0.80, landsat 0.94, hep 0.65.\n"
+      "Shape to check: unsorted bitmap data compresses poorly under WAH\n"
+      "(ratio near 1), skewed data (hep) compresses best.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace abitmap
+
+int main() {
+  abitmap::bench::Run();
+  return 0;
+}

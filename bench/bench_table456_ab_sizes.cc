@@ -1,0 +1,125 @@
+// Reproduces Tables 4, 5 and 6: Approximate Bitmap sizes as a function of
+// alpha in {2, 4, 8, 16} at each encoding level.
+//
+// Table 4 (one AB per data set) paper values in bytes:
+//   Uniform:    65,536 /   131,072 /   262,144 /   524,288
+//   Landsat: 4,194,304 / 8,388,608 / 16,777,216 / 33,554,432
+//   HEP:     4,194,304 / 8,388,608 / 16,777,216 / 33,554,432
+// Table 5 (one AB per attribute), single AB:
+//   Uniform:    32,768;  Landsat: 131,072;  HEP: 1,048,576   (alpha = 2)
+// Table 6 (one AB per column): sizes depend on per-bin occupancy.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace abitmap {
+namespace bench {
+namespace {
+
+const double kAlphas[] = {2, 4, 8, 16};
+
+void PrintPerDataset(const std::vector<EvalDataset>& datasets) {
+  PrintHeader("Table 4: AB size (bytes) as a function of alpha — one AB per data set");
+  std::printf("%-10s %10s", "Dataset", "#ABs");
+  for (double a : kAlphas) std::printf(" %14s", ("alpha=" + std::to_string(static_cast<int>(a))).c_str());
+  std::printf("\n");
+  for (const EvalDataset& eval : datasets) {
+    std::printf("%-10s %10d", eval.data.name.c_str(), 1);
+    for (double a : kAlphas) {
+      ab::LevelSizeReport r =
+          ab::ComputeLevelSize(eval.data, ab::Level::kPerDataset, a);
+      std::printf(" %14s", FormatBytes(r.total_bytes).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintPerAttribute(const std::vector<EvalDataset>& datasets) {
+  PrintHeader("Table 5: AB size (bytes) — one AB per attribute");
+  std::printf("%-10s %6s", "Dataset", "#ABs");
+  for (double a : kAlphas) {
+    std::printf(" %14s %14s",
+                ("single a=" + std::to_string(static_cast<int>(a))).c_str(),
+                "all ABs");
+  }
+  std::printf("\n");
+  for (const EvalDataset& eval : datasets) {
+    ab::LevelSizeReport first =
+        ab::ComputeLevelSize(eval.data, ab::Level::kPerAttribute, kAlphas[0]);
+    std::printf("%-10s %6llu", eval.data.name.c_str(),
+                static_cast<unsigned long long>(first.num_filters));
+    for (double a : kAlphas) {
+      ab::LevelSizeReport r =
+          ab::ComputeLevelSize(eval.data, ab::Level::kPerAttribute, a);
+      std::printf(" %14s %14s", FormatBytes(r.single_bytes).c_str(),
+                  FormatBytes(r.total_bytes).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintPerColumn(const std::vector<EvalDataset>& datasets) {
+  PrintHeader("Table 6: AB size (bytes) — one AB per column");
+  std::printf("%-10s %6s", "Dataset", "#ABs");
+  for (double a : kAlphas) {
+    std::printf(" %12s %14s",
+                ("avg a=" + std::to_string(static_cast<int>(a))).c_str(),
+                "all ABs");
+  }
+  std::printf("\n");
+  for (const EvalDataset& eval : datasets) {
+    ab::LevelSizeReport first =
+        ab::ComputeLevelSize(eval.data, ab::Level::kPerColumn, kAlphas[0]);
+    std::printf("%-10s %6llu", eval.data.name.c_str(),
+                static_cast<unsigned long long>(first.num_filters));
+    for (double a : kAlphas) {
+      ab::LevelSizeReport r =
+          ab::ComputeLevelSize(eval.data, ab::Level::kPerColumn, a);
+      std::printf(" %12s %14s", FormatBytes(r.avg_bytes).c_str(),
+                  FormatBytes(r.total_bytes).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintComparisonToWah(const std::vector<EvalDataset>& datasets) {
+  PrintHeader("Section 6.1 check: best AB level vs WAH size at the paper's alpha");
+  std::printf("%-10s %8s %16s %16s %16s %10s\n", "Dataset", "alpha",
+              "AB per-dataset", "AB best-level", "WAH", "AB/WAH");
+  for (const EvalDataset& eval : datasets) {
+    bitmap::BitmapTable table = bitmap::BitmapTable::Build(eval.data);
+    wah::WahIndex wah_index = wah::WahIndex::Build(table);
+    uint64_t per_dataset =
+        ab::ComputeLevelSize(eval.data, ab::Level::kPerDataset,
+                             eval.paper_alpha)
+            .total_bytes;
+    ab::Level best = ab::ChooseLevel(eval.data, eval.paper_alpha);
+    uint64_t best_bytes =
+        ab::ComputeLevelSize(eval.data, best, eval.paper_alpha).total_bytes;
+    std::printf("%-10s %8.0f %16s %16s %16s %10.2f  (best: %s)\n",
+                eval.data.name.c_str(), eval.paper_alpha,
+                FormatBytes(per_dataset).c_str(),
+                FormatBytes(best_bytes).c_str(),
+                FormatBytes(wah_index.SizeInBytes()).c_str(),
+                static_cast<double>(best_bytes) / wah_index.SizeInBytes(),
+                ab::LevelName(best));
+  }
+}
+
+void Run() {
+  std::vector<EvalDataset> datasets = AllDatasets();
+  PrintPerDataset(datasets);
+  PrintPerAttribute(datasets);
+  PrintPerColumn(datasets);
+  PrintComparisonToWah(datasets);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace abitmap
+
+int main() {
+  abitmap::bench::Run();
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace abitmap {
+namespace bench {
+
+uint64_t DatasetScale() {
+  const char* env = std::getenv("ABITMAP_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  long long v = std::atoll(env);
+  return v >= 1 ? static_cast<uint64_t>(v) : 1;
+}
+
+EvalDataset MakeUniform() {
+  return EvalDataset{data::MakeUniformDataset(42, DatasetScale()),
+                     /*paper_alpha=*/16};
+}
+
+EvalDataset MakeLandsat() {
+  return EvalDataset{data::MakeLandsatDataset(43, DatasetScale()),
+                     /*paper_alpha=*/8};
+}
+
+EvalDataset MakeHep() {
+  return EvalDataset{data::MakeHepDataset(44, DatasetScale()),
+                     /*paper_alpha=*/8};
+}
+
+std::vector<EvalDataset> AllDatasets() {
+  std::vector<EvalDataset> out;
+  out.push_back(MakeUniform());
+  out.push_back(MakeLandsat());
+  out.push_back(MakeHep());
+  return out;
+}
+
+std::vector<bitmap::BitmapQuery> PaperWorkload(
+    const bitmap::BinnedDataset& dataset, uint64_t rows, uint64_t seed) {
+  data::QueryGenParams params;
+  params.num_queries = 100;
+  params.qdim = 2;
+  params.bins_per_attr = 4;
+  params.rows_queried = rows;
+  params.seed = seed;
+  return data::GenerateQueries(dataset, params);
+}
+
+std::vector<uint64_t> RowSweep(uint64_t num_rows) {
+  std::vector<uint64_t> sweep;
+  for (uint64_t rows : {100ull, 500ull, 1000ull, 5000ull, 10000ull}) {
+    if (rows <= num_rows) sweep.push_back(rows);
+  }
+  if (sweep.empty()) sweep.push_back(num_rows);
+  return sweep;
+}
+
+data::BatchAccuracy MeasureAccuracy(
+    const bitmap::BitmapTable& table, const ab::AbIndex& index,
+    const std::vector<bitmap::BitmapQuery>& queries) {
+  data::BatchAccuracy batch;
+  for (const bitmap::BitmapQuery& q : queries) {
+    data::QueryAccuracy acc =
+        data::CompareResults(table.Evaluate(q), index.Evaluate(q));
+    AB_CHECK_EQ(acc.false_negatives, 0u);  // the AB's core guarantee
+    batch.Add(acc);
+  }
+  return batch;
+}
+
+double TimeAbEvaluate(const ab::AbIndex& index,
+                      const std::vector<bitmap::BitmapQuery>& queries) {
+  // Warm-up pass keeps first-touch page faults out of the measurement.
+  uint64_t sink = 0;
+  for (const bitmap::BitmapQuery& q : queries) {
+    sink += index.Evaluate(q).size();
+  }
+  util::Stopwatch timer;
+  for (const bitmap::BitmapQuery& q : queries) {
+    sink += index.Evaluate(q)[0];
+  }
+  double total = timer.ElapsedMillis();
+  if (sink == 0xFFFFFFFF) std::printf(" ");  // defeat dead-code elimination
+  return total / queries.size();
+}
+
+WahTimes TimeWah(const wah::WahIndex& index,
+                 const std::vector<bitmap::BitmapQuery>& queries) {
+  WahTimes times;
+  uint64_t sink = 0;
+  for (const bitmap::BitmapQuery& q : queries) {
+    sink += index.ExecuteBitwise(q).NumWords();
+  }
+  util::Stopwatch bitwise;
+  for (const bitmap::BitmapQuery& q : queries) {
+    sink += index.ExecuteBitwise(q).NumWords();
+  }
+  times.bitwise_ms = bitwise.ElapsedMillis() / queries.size();
+
+  util::Stopwatch full;
+  for (const bitmap::BitmapQuery& q : queries) {
+    sink += index.Evaluate(q).size();
+  }
+  times.full_ms = full.ElapsedMillis() / queries.size();
+  if (sink == 0xFFFFFFFF) std::printf(" ");
+  return times;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  std::string digits = std::to_string(bytes);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace abitmap

@@ -1,0 +1,75 @@
+#ifndef ABITMAP_BENCH_BENCH_UTIL_H_
+#define ABITMAP_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitmap/bitmap_table.h"
+#include "bitmap/schema.h"
+#include "core/ab_index.h"
+#include "data/generators.h"
+#include "data/metrics.h"
+#include "data/query_gen.h"
+#include "wah/wah_query.h"
+
+namespace abitmap {
+namespace bench {
+
+/// Scale divisor for the evaluation datasets. 1 reproduces the paper's
+/// sizes exactly; the ABITMAP_BENCH_SCALE environment variable can raise it
+/// for quick smoke runs (e.g. 10 or 100).
+uint64_t DatasetScale();
+
+/// One evaluation dataset plus its paper parameters (Section 6.1 chose the
+/// largest alpha whose AB stays below/comparable to the WAH size).
+struct EvalDataset {
+  bitmap::BinnedDataset data;
+  /// The alpha Section 6 uses for this dataset's timing/precision plots.
+  double paper_alpha = 8;
+};
+
+/// The three Table 3 datasets at the current scale.
+EvalDataset MakeUniform();
+EvalDataset MakeLandsat();
+EvalDataset MakeHep();
+std::vector<EvalDataset> AllDatasets();
+
+/// The paper's query workload for one dataset: 100 queries, qdim = 2,
+/// 4 bins per attribute, `rows` rows each (Section 5.4).
+std::vector<bitmap::BitmapQuery> PaperWorkload(
+    const bitmap::BinnedDataset& dataset, uint64_t rows, uint64_t seed = 7);
+
+/// The row-count sweep of Figures 11(c) and 14 (clamped to the dataset).
+std::vector<uint64_t> RowSweep(uint64_t num_rows);
+
+/// Runs the workload against ground truth + AB, returning aggregate
+/// accuracy. The exact side is computed with the uncompressed table.
+data::BatchAccuracy MeasureAccuracy(
+    const bitmap::BitmapTable& table, const ab::AbIndex& index,
+    const std::vector<bitmap::BitmapQuery>& queries);
+
+/// Average per-query wall time (milliseconds) of AB evaluation.
+double TimeAbEvaluate(const ab::AbIndex& index,
+                      const std::vector<bitmap::BitmapQuery>& queries);
+
+/// Average per-query wall time (milliseconds) of the WAH bit-wise phase
+/// (what the paper times for WAH) and of the full row-filtered answer.
+struct WahTimes {
+  double bitwise_ms = 0;
+  double full_ms = 0;
+};
+WahTimes TimeWah(const wah::WahIndex& index,
+                 const std::vector<bitmap::BitmapQuery>& queries);
+
+/// Formats a byte count with thousands separators, as the paper's tables
+/// print sizes.
+std::string FormatBytes(uint64_t bytes);
+
+/// Prints a horizontal rule + centered title for table output.
+void PrintHeader(const std::string& title);
+
+}  // namespace bench
+}  // namespace abitmap
+
+#endif  // ABITMAP_BENCH_BENCH_UTIL_H_

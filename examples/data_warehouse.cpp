@@ -1,0 +1,96 @@
+// Data-warehouse scenario from the paper's introduction: a fact table
+// physically ordered by date. "The total sales of every Monday for the
+// last 3 months" touches exactly ~13 specific days — with day-level row
+// ranges, the Approximate Bitmap evaluates the product/region constraints
+// over only those rows, in time proportional to the rows asked for.
+//
+//   ./data_warehouse
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bitmap/bitmap_table.h"
+#include "core/ab_index.h"
+#include "util/stopwatch.h"
+#include "wah/wah_query.h"
+
+using namespace abitmap;
+
+int main() {
+  // Five years of sales, 2,000 transactions per day, ordered by date.
+  constexpr int kDays = 1825;
+  constexpr int kPerDay = 2000;
+  constexpr uint64_t kRows = uint64_t{kDays} * kPerDay;
+  constexpr uint32_t kProducts = 50;
+  constexpr uint32_t kRegions = 12;
+
+  std::mt19937_64 rng(3);
+  bitmap::BinnedDataset sales;
+  sales.name = "sales";
+  sales.attributes = {{"product", kProducts}, {"region", kRegions}};
+  std::vector<uint32_t> product(kRows), region(kRows);
+  for (uint64_t i = 0; i < kRows; ++i) {
+    product[i] = rng() % kProducts;
+    region[i] = rng() % kRegions;
+  }
+  sales.values = {product, region};
+
+  bitmap::BitmapTable table = bitmap::BitmapTable::Build(sales);
+  wah::WahIndex wah_index = wah::WahIndex::Build(table);
+  ab::AbConfig config;
+  config.level = ab::Level::kPerAttribute;
+  config.alpha = 16;
+  ab::AbIndex ab_index = ab::AbIndex::Build(sales, config);
+
+  // Query: transactions of products 5-8 in regions 3-6, during the closing
+  // hour (the last 1/24th of the day's transactions) of every Monday of
+  // the last 13 weeks. Day d's rows are [d*kPerDay, (d+1)*kPerDay); the
+  // physical date order makes each day slice a contiguous row range.
+  bitmap::BitmapQuery query;
+  query.ranges = {{/*attr=*/0, 5, 8}, {/*attr=*/1, 3, 6}};
+  constexpr int kClosingHour = kPerDay / 24;
+  int last_day = kDays - 1;
+  for (int week = 12; week >= 0; --week) {
+    int monday = last_day - week * 7;  // day index of that Monday
+    uint64_t day_end = static_cast<uint64_t>(monday + 1) * kPerDay;
+    for (int r = kClosingHour; r > 0; --r) query.rows.push_back(day_end - r);
+  }
+  std::printf("query: product in [5,8] AND region in [3,6], closing hour of "
+              "13 Mondays\n       (%zu rows of %llu total)\n",
+              query.rows.size(), static_cast<unsigned long long>(kRows));
+
+  util::Stopwatch ab_timer;
+  std::vector<bool> approx = ab_index.Evaluate(query);
+  double ab_ms = ab_timer.ElapsedMillis();
+
+  util::Stopwatch wah_timer;
+  std::vector<bool> exact = wah_index.Evaluate(query);
+  double wah_ms = wah_timer.ElapsedMillis();
+
+  uint64_t exact_count = 0, approx_count = 0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    exact_count += exact[i];
+    approx_count += approx[i];
+  }
+  std::printf("matching transactions: exact %llu, AB candidates %llu\n",
+              static_cast<unsigned long long>(exact_count),
+              static_cast<unsigned long long>(approx_count));
+  std::printf("time: AB %.3f ms, WAH %.3f ms\n", ab_ms, wah_ms);
+
+  // Aggregate with exact semantics: the candidate rows are few, so the
+  // second-step pruning against the fact table is cheap.
+  uint64_t sum = 0;
+  for (size_t i = 0; i < approx.size(); ++i) {
+    if (!approx[i]) continue;
+    uint64_t row = query.rows[i];
+    if (product[row] >= 5 && product[row] <= 8 && region[row] >= 3 &&
+        region[row] <= 6) {
+      sum += 1;  // stand-in for summing a measure column
+    }
+  }
+  std::printf("aggregated (pruned) count: %llu == exact %llu\n",
+              static_cast<unsigned long long>(sum),
+              static_cast<unsigned long long>(exact_count));
+  return 0;
+}

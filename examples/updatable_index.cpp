@@ -1,0 +1,98 @@
+// Updatable-index scenario: the paper assumes read-only scientific data
+// ("since most of the large scientific data sets are read-only..."); this
+// example shows the counting-filter extension handling a mutable relation
+// — an online order book where rows are revised in place — with deletions
+// that a plain Approximate Bitmap cannot express.
+//
+//   ./updatable_index
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "core/ab_theory.h"
+#include "core/counting_bitmap.h"
+#include "hash/hash_family.h"
+
+using namespace abitmap;
+
+namespace {
+
+// Cell key for (row, status-bin), mirroring CellMapper::RowAndColumn.
+uint64_t Key(uint64_t row, uint32_t bin) { return (row << 4) | bin; }
+
+}  // namespace
+
+int main() {
+  constexpr uint64_t kOrders = 100000;
+  constexpr uint32_t kStatuses = 6;  // placed, paid, packed, shipped, ...
+
+  std::mt19937_64 rng(21);
+  std::vector<uint32_t> status(kOrders);
+
+  // Size the counting filter like a plain AB (n counters play the role of
+  // n bits), 4 bits per counter.
+  ab::AbParams params = ab::AbParams::ForAlpha(8.0, 0, kOrders);
+  params.k = ab::OptimalK(params.alpha);
+  ab::CountingApproximateBitmap filter(params,
+                                       hash::MakeIndependentFamily());
+  std::printf("counting filter: %llu counters (k=%d), %llu bytes\n",
+              static_cast<unsigned long long>(filter.num_counters()),
+              filter.k(),
+              static_cast<unsigned long long>(filter.SizeInBytes()));
+
+  // Initial load: every order starts in status 0.
+  for (uint64_t order = 0; order < kOrders; ++order) {
+    status[order] = 0;
+    filter.Insert(Key(order, 0), hash::CellRef{order, 0});
+  }
+
+  // Orders progress through statuses: each transition removes the old
+  // (order, status) cell and inserts the new one — the operation the
+  // plain AB cannot perform without a rebuild.
+  uint64_t transitions = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t order = 0; order < kOrders; ++order) {
+      if (rng() % 2 == 0 && status[order] + 1 < kStatuses) {
+        uint32_t old_bin = status[order];
+        uint32_t new_bin = old_bin + 1;
+        filter.Remove(Key(order, old_bin), hash::CellRef{order, old_bin});
+        filter.Insert(Key(order, new_bin), hash::CellRef{order, new_bin});
+        status[order] = new_bin;
+        ++transitions;
+      }
+    }
+  }
+  std::printf("applied %llu status transitions (live cells: %llu)\n",
+              static_cast<unsigned long long>(transitions),
+              static_cast<unsigned long long>(filter.live()));
+
+  // Query: "might order X currently be in status S?" — checked against
+  // the ground truth for recall (must be perfect) and precision.
+  uint64_t true_hits = 0, true_queries = 0, false_hits = 0, false_queries = 0;
+  for (int trial = 0; trial < 200000; ++trial) {
+    uint64_t order = rng() % kOrders;
+    uint32_t bin = rng() % kStatuses;
+    bool actual = status[order] == bin;
+    bool reported = filter.Test(Key(order, bin), hash::CellRef{order, bin});
+    if (actual) {
+      ++true_queries;
+      true_hits += reported;
+    } else {
+      ++false_queries;
+      false_hits += reported;
+    }
+  }
+  std::printf("recall: %llu/%llu = %.4f (deletions preserved the no-false-"
+              "negative guarantee)\n",
+              static_cast<unsigned long long>(true_hits),
+              static_cast<unsigned long long>(true_queries),
+              static_cast<double>(true_hits) / true_queries);
+  std::printf("false positive rate on stale/absent cells: %.4f (theory for "
+              "this load: %.4f)\n",
+              static_cast<double>(false_hits) / false_queries,
+              ab::FalsePositiveRate(params.alpha, params.k));
+  std::printf("\nCost of updatability: 4 bits per counter vs 1 bit per AB\n"
+              "position — the classic counting-filter trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,329 @@
+#include "bbc/bbc_vector.h"
+
+#include <bit>
+
+#include "util/math.h"
+
+namespace abitmap {
+namespace bbc {
+
+namespace {
+
+constexpr uint8_t kFillFlag = 0x80;
+constexpr uint8_t kFillValueFlag = 0x40;
+constexpr uint8_t kFillCountMask = 0x3F;
+constexpr uint8_t kExtendedCount = 0x3F;  // count follows in 4 bytes
+constexpr uint64_t kMaxShortFill = 0x3E;  // 62
+constexpr size_t kMaxLiteralRun = 0x7F;   // 127
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Builder
+
+void BbcBuilder::AddByte(uint8_t byte) {
+  if (byte == 0x00 || byte == 0xFF) {
+    AddFill(byte == 0xFF, 1);
+    return;
+  }
+  FlushFill();
+  literal_buf_.push_back(byte);
+}
+
+void BbcBuilder::AddFill(bool value, uint64_t count) {
+  if (count == 0) return;
+  if (fill_count_ > 0 && fill_value_ == value) {
+    fill_count_ += count;
+    return;
+  }
+  FlushFill();
+  FlushLiterals();
+  fill_value_ = value;
+  fill_count_ = count;
+}
+
+void BbcBuilder::FlushFill() {
+  if (fill_count_ == 0) return;
+  FlushLiterals();
+  EmitFillAtom(fill_value_, fill_count_);
+  fill_count_ = 0;
+}
+
+void BbcBuilder::EmitFillAtom(bool value, uint64_t count) {
+  uint8_t value_bit = value ? kFillValueFlag : 0;
+  while (count > 0) {
+    if (count <= kMaxShortFill) {
+      v_.bytes_.push_back(kFillFlag | value_bit | static_cast<uint8_t>(count));
+      count = 0;
+    } else {
+      uint64_t take = std::min<uint64_t>(count, 0xFFFFFFFFull);
+      v_.bytes_.push_back(kFillFlag | value_bit | kExtendedCount);
+      for (int i = 0; i < 4; ++i) {
+        v_.bytes_.push_back(static_cast<uint8_t>(take >> (8 * i)));
+      }
+      count -= take;
+    }
+  }
+}
+
+void BbcBuilder::FlushLiterals() {
+  size_t pos = 0;
+  while (pos < literal_buf_.size()) {
+    size_t take = std::min(kMaxLiteralRun, literal_buf_.size() - pos);
+    v_.bytes_.push_back(static_cast<uint8_t>(take));
+    v_.bytes_.insert(v_.bytes_.end(), literal_buf_.begin() + pos,
+                     literal_buf_.begin() + pos + take);
+    pos += take;
+  }
+  literal_buf_.clear();
+}
+
+BbcVector BbcBuilder::Finish(uint64_t num_bits) {
+  FlushFill();
+  FlushLiterals();
+  v_.num_bits_ = num_bits;
+  return std::move(v_);
+}
+
+// ----------------------------------------------------------------------
+// BbcVector
+
+BbcVector BbcVector::Compress(const util::BitVector& bits) {
+  BbcBuilder builder;
+  uint64_t n = bits.size();
+  uint64_t pos = 0;
+  while (pos + 8 <= n) {
+    builder.AddByte(static_cast<uint8_t>(bits.GetBits(pos, 8)));
+    pos += 8;
+  }
+  if (pos < n) {
+    // Final partial byte, zero-padded high bits.
+    builder.AddByte(static_cast<uint8_t>(bits.GetBits(pos, static_cast<int>(n - pos))));
+  }
+  return builder.Finish(n);
+}
+
+util::BitVector BbcVector::Decompress() const {
+  util::BitVector out;
+  BbcDecoder dec(*this);
+  while (dec.Valid()) {
+    if (dec.IsFill()) {
+      uint64_t bits = dec.Remaining() * 8;
+      // Do not run past the exact bit length on the final atom.
+      uint64_t take = std::min(bits, num_bits_ - out.size());
+      out.Append(dec.FillValue(), take);
+      dec.Consume(dec.Remaining());
+    } else {
+      uint64_t take = std::min<uint64_t>(8, num_bits_ - out.size());
+      out.AppendBits(dec.CurrentByte(), static_cast<int>(take));
+      dec.Consume(1);
+    }
+  }
+  AB_CHECK_EQ(out.size(), num_bits_);
+  return out;
+}
+
+uint64_t BbcVector::CountOnes() const {
+  uint64_t total = 0;
+  BbcDecoder dec(*this);
+  while (dec.Valid()) {
+    if (dec.IsFill()) {
+      if (dec.FillValue()) total += dec.Remaining() * 8;
+      dec.Consume(dec.Remaining());
+    } else {
+      total += std::popcount(dec.CurrentByte());
+      dec.Consume(1);
+    }
+  }
+  // A trailing one-fill cannot overlap padding: Compress only emits fill
+  // bytes for complete bytes and the partial byte is zero-padded, so no
+  // correction is needed — verified by tests.
+  return total;
+}
+
+bool BbcVector::Get(uint64_t pos) const {
+  AB_DCHECK(pos < num_bits_);
+  uint64_t offset = 0;
+  BbcDecoder dec(*this);
+  while (dec.Valid()) {
+    uint64_t run_bits = dec.IsFill() ? dec.Remaining() * 8 : 8;
+    if (pos < offset + run_bits) {
+      if (dec.IsFill()) return dec.FillValue();
+      return (dec.CurrentByte() >> (pos - offset)) & 1u;
+    }
+    offset += run_bits;
+    dec.Consume(dec.IsFill() ? dec.Remaining() : 1);
+  }
+  AB_CHECK(false);  // pos < num_bits_ guarantees we find the byte
+  return false;
+}
+
+void BbcVector::Serialize(util::ByteWriter* out) const {
+  out->WriteVarint(num_bits_);
+  out->WriteVarint(bytes_.size());
+  out->WriteBytes(bytes_.data(), bytes_.size());
+}
+
+util::Status BbcVector::Deserialize(util::ByteReader* in, BbcVector* out) {
+  BbcVector v;
+  uint64_t num_bits, num_bytes;
+  if (!in->ReadVarint(&num_bits) || !in->ReadVarint(&num_bytes)) {
+    return util::Status::Corruption("BbcVector: truncated header");
+  }
+  v.num_bits_ = num_bits;
+  v.bytes_.resize(static_cast<size_t>(num_bytes));
+  if (num_bytes > 0 && !in->ReadBytes(v.bytes_.data(), v.bytes_.size())) {
+    return util::Status::Corruption("BbcVector: truncated stream");
+  }
+  // Walk the atoms: headers must be well-formed and the payload bytes must
+  // cover at least num_bits (the final byte may be partial).
+  uint64_t payload_bytes = 0;
+  size_t pos = 0;
+  while (pos < v.bytes_.size()) {
+    uint8_t header = v.bytes_[pos++];
+    if ((header & kFillFlag) != 0) {
+      uint8_t short_count = header & kFillCountMask;
+      if (short_count == kExtendedCount) {
+        if (pos + 4 > v.bytes_.size()) {
+          return util::Status::Corruption("BbcVector: truncated fill count");
+        }
+        uint64_t count = 0;
+        for (int i = 0; i < 4; ++i) {
+          count |= static_cast<uint64_t>(v.bytes_[pos++]) << (8 * i);
+        }
+        if (count == 0) {
+          return util::Status::Corruption("BbcVector: empty extended fill");
+        }
+        payload_bytes += count;
+      } else {
+        if (short_count == 0) {
+          return util::Status::Corruption("BbcVector: empty fill atom");
+        }
+        payload_bytes += short_count;
+      }
+    } else {
+      if (header == 0) {
+        return util::Status::Corruption("BbcVector: empty literal atom");
+      }
+      if (pos + header > v.bytes_.size()) {
+        return util::Status::Corruption("BbcVector: truncated literal run");
+      }
+      pos += header;
+      payload_bytes += header;
+    }
+  }
+  bool consistent = payload_bytes == 0
+                        ? num_bits == 0
+                        : payload_bytes * 8 >= num_bits &&
+                              (payload_bytes - 1) * 8 < num_bits;
+  if (!consistent) {
+    return util::Status::Corruption("BbcVector: byte accounting mismatch");
+  }
+  *out = std::move(v);
+  return util::Status::Ok();
+}
+
+// ----------------------------------------------------------------------
+// Decoder
+
+void BbcDecoder::LoadNextAtom() {
+  if (pos_ >= v_.bytes_.size()) {
+    remaining_ = 0;
+    return;
+  }
+  uint8_t header = v_.bytes_[pos_++];
+  if ((header & kFillFlag) != 0) {
+    is_fill_ = true;
+    fill_value_ = (header & kFillValueFlag) != 0;
+    uint8_t short_count = header & kFillCountMask;
+    if (short_count == kExtendedCount) {
+      AB_CHECK_LE(pos_ + 4, v_.bytes_.size());
+      uint64_t count = 0;
+      for (int i = 0; i < 4; ++i) {
+        count |= static_cast<uint64_t>(v_.bytes_[pos_++]) << (8 * i);
+      }
+      remaining_ = count;
+    } else {
+      remaining_ = short_count;
+    }
+    AB_DCHECK(remaining_ > 0);
+  } else {
+    is_fill_ = false;
+    remaining_ = header;  // literal byte count, payload follows at pos_
+    AB_DCHECK(remaining_ > 0);
+  }
+}
+
+uint8_t BbcDecoder::CurrentByte() const {
+  if (is_fill_) return fill_value_ ? 0xFF : 0x00;
+  return v_.bytes_[pos_];
+}
+
+void BbcDecoder::Consume(uint64_t n) {
+  AB_DCHECK(n <= remaining_);
+  if (is_fill_) {
+    remaining_ -= n;
+  } else {
+    AB_DCHECK(n == 1);
+    remaining_ -= 1;
+    ++pos_;
+  }
+  if (remaining_ == 0) LoadNextAtom();
+}
+
+// ----------------------------------------------------------------------
+// Logical operations
+
+namespace {
+
+template <typename ByteOp, typename BoolOp>
+BbcVector BinaryOp(const BbcVector& a, const BbcVector& b, ByteOp byte_op,
+                   BoolOp bool_op) {
+  AB_CHECK_EQ(a.size(), b.size());
+  BbcBuilder out;
+  BbcDecoder da(a);
+  BbcDecoder db(b);
+  while (da.Valid()) {
+    AB_DCHECK(db.Valid());
+    if (da.IsFill() && db.IsFill()) {
+      uint64_t n = std::min(da.Remaining(), db.Remaining());
+      out.AddFill(bool_op(da.FillValue(), db.FillValue()), n);
+      da.Consume(n);
+      db.Consume(n);
+    } else {
+      out.AddByte(byte_op(da.CurrentByte(), db.CurrentByte()));
+      da.Consume(da.IsFill() ? std::min<uint64_t>(1, da.Remaining()) : 1);
+      db.Consume(db.IsFill() ? std::min<uint64_t>(1, db.Remaining()) : 1);
+    }
+  }
+  AB_DCHECK(!db.Valid());
+  return out.Finish(a.size());
+}
+
+}  // namespace
+
+BbcVector And(const BbcVector& a, const BbcVector& b) {
+  return BinaryOp(
+      a, b,
+      [](uint8_t x, uint8_t y) { return static_cast<uint8_t>(x & y); },
+      [](bool x, bool y) { return x && y; });
+}
+
+BbcVector Or(const BbcVector& a, const BbcVector& b) {
+  return BinaryOp(
+      a, b,
+      [](uint8_t x, uint8_t y) { return static_cast<uint8_t>(x | y); },
+      [](bool x, bool y) { return x || y; });
+}
+
+BbcVector AndNot(const BbcVector& a, const BbcVector& b) {
+  // a & ~b: safe with a partial final byte because a's padding bits are
+  // zero, so the complemented b padding cannot leak ones into the result.
+  return BinaryOp(
+      a, b,
+      [](uint8_t x, uint8_t y) { return static_cast<uint8_t>(x & ~y); },
+      [](bool x, bool y) { return x && !y; });
+}
+
+}  // namespace bbc
+}  // namespace abitmap

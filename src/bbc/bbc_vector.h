@@ -1,0 +1,141 @@
+#ifndef ABITMAP_BBC_BBC_VECTOR_H_
+#define ABITMAP_BBC_BBC_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvector.h"
+#include "util/byte_io.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace abitmap {
+namespace bbc {
+
+/// Byte-aligned Bitmap Code (Antoshenkov, cited by the paper as [2, 3]).
+///
+/// BBC compresses at byte granularity: runs of identical bytes become fill
+/// atoms, everything else is stored as literal bytes behind a small header.
+/// The byte alignment is why BBC compresses better than WAH (fills need
+/// only 8-bit alignment rather than 31-bit) while logical operations run
+/// 2–20x slower (Section 2.2.1) — more, shorter runs must be stitched
+/// together. The `bench_ablation_wah_vs_bbc` benchmark reproduces exactly
+/// this trade-off.
+///
+/// Atom layout used here (a streamlined version of Antoshenkov's four-case
+/// header; see DESIGN.md for the simplification note):
+///  * fill atom    — header 1vccccc: fill value v repeated over a byte
+///    count encoded in cccccc (1..62), or, when cccccc == 63, in the four
+///    following little-endian bytes.
+///  * literal atom — header 0ccccccc: count c in 1..127 literal bytes
+///    follow verbatim.
+class BbcVector {
+ public:
+  BbcVector() = default;
+
+  /// Compresses an uncompressed bit vector.
+  static BbcVector Compress(const util::BitVector& bits);
+
+  /// Number of bitmap bits represented.
+  uint64_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  /// Compressed size in bytes.
+  uint64_t SizeInBytes() const { return bytes_.size(); }
+
+  /// Decompresses to a verbatim bit vector.
+  util::BitVector Decompress() const;
+
+  /// Number of set bits, computed on the compressed form.
+  uint64_t CountOnes() const;
+
+  /// Random access to bit `pos` (forward scan, like WAH's Get).
+  bool Get(uint64_t pos) const;
+
+  bool operator==(const BbcVector& other) const {
+    return num_bits_ == other.num_bits_ && bytes_ == other.bytes_;
+  }
+
+  /// Raw compressed stream (tests / size accounting).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  /// Appends the compressed form to `out`.
+  void Serialize(util::ByteWriter* out) const;
+
+  /// Reads a vector written by Serialize; validates the atom structure.
+  static util::Status Deserialize(util::ByteReader* in, BbcVector* out);
+
+  friend BbcVector And(const BbcVector& a, const BbcVector& b);
+  friend BbcVector Or(const BbcVector& a, const BbcVector& b);
+
+ private:
+  friend class BbcDecoder;
+  friend class BbcBuilder;
+
+  std::vector<uint8_t> bytes_;
+  uint64_t num_bits_ = 0;
+};
+
+/// Accumulates payload bytes / fill runs and emits canonical BBC atoms.
+/// Used by Compress and by the logical operations.
+class BbcBuilder {
+ public:
+  /// Adds one payload byte; 0x00 and 0xFF fold into fill runs.
+  void AddByte(uint8_t byte);
+  /// Adds `count` fill bytes of value 0x00 or 0xFF.
+  void AddFill(bool value, uint64_t count);
+  /// Finalizes; `num_bits` is the exact bit length (the final payload byte
+  /// may be partial, its padding bits must be zero).
+  BbcVector Finish(uint64_t num_bits);
+
+ private:
+  void FlushFill();
+  void FlushLiterals();
+  void EmitFillAtom(bool value, uint64_t count);
+
+  BbcVector v_;
+  std::vector<uint8_t> literal_buf_;
+  bool fill_value_ = false;
+  uint64_t fill_count_ = 0;
+};
+
+/// Streaming byte-run decoder over a BBC vector; mirrors WahDecoder.
+class BbcDecoder {
+ public:
+  explicit BbcDecoder(const BbcVector& v) : v_(v) { LoadNextAtom(); }
+
+  /// True while at least one payload byte remains.
+  bool Valid() const { return remaining_ > 0; }
+  bool IsFill() const { return is_fill_; }
+  bool FillValue() const { return fill_value_; }
+  /// Payload bytes remaining in the current atom.
+  uint64_t Remaining() const { return remaining_; }
+  /// Current payload byte (fills expand to 0x00/0xFF).
+  uint8_t CurrentByte() const;
+
+  /// Consumes `n` payload bytes (n <= Remaining() for fills; literals are
+  /// consumed one byte at a time with n == 1).
+  void Consume(uint64_t n);
+
+ private:
+  void LoadNextAtom();
+
+  const BbcVector& v_;
+  size_t pos_ = 0;
+  bool is_fill_ = false;
+  bool fill_value_ = false;
+  uint64_t remaining_ = 0;
+};
+
+/// Logical operations on the compressed form; operands must have equal
+/// bit length. (No Not/Xor at the vector level: with a partial final byte
+/// they would set padding bits; use AndNot against an explicit universe
+/// mask instead, as the query engines do.)
+BbcVector And(const BbcVector& a, const BbcVector& b);
+BbcVector Or(const BbcVector& a, const BbcVector& b);
+BbcVector AndNot(const BbcVector& a, const BbcVector& b);
+
+}  // namespace bbc
+}  // namespace abitmap
+
+#endif  // ABITMAP_BBC_BBC_VECTOR_H_

@@ -1,0 +1,69 @@
+#include "bitmap/binning.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace bitmap {
+
+Binner::Binner(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)) {
+  AB_CHECK(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+}
+
+Binner Binner::EquiWidth(const std::vector<double>& values, uint32_t bins) {
+  AB_CHECK_GE(bins, 1u);
+  AB_CHECK(!values.empty());
+  auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  double lo = *min_it, hi = *max_it;
+  std::vector<double> boundaries;
+  boundaries.reserve(bins - 1);
+  if (hi > lo) {
+    double width = (hi - lo) / bins;
+    for (uint32_t b = 1; b < bins; ++b) boundaries.push_back(lo + width * b);
+  } else {
+    // Degenerate constant column: everything lands in bin 0; still emit
+    // distinct boundaries above the value so cardinality is honoured.
+    for (uint32_t b = 1; b < bins; ++b) boundaries.push_back(lo + b);
+  }
+  return Binner(std::move(boundaries));
+}
+
+Binner Binner::EquiDepth(const std::vector<double>& values, uint32_t bins) {
+  AB_CHECK_GE(bins, 1u);
+  AB_CHECK(!values.empty());
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> boundaries;
+  boundaries.reserve(bins - 1);
+  for (uint32_t b = 1; b < bins; ++b) {
+    size_t idx = (static_cast<size_t>(b) * sorted.size()) / bins;
+    double boundary = sorted[idx];
+    // Boundaries must be strictly increasing; duplicates collapse bins for
+    // heavily repeated values, which BinOf tolerates (empty bins).
+    if (!boundaries.empty() && boundary <= boundaries.back()) {
+      boundary = boundaries.back();
+    }
+    boundaries.push_back(boundary);
+  }
+  return Binner(std::move(boundaries));
+}
+
+uint32_t Binner::BinOf(double value) const {
+  // First boundary strictly greater than value gives the bin index; values
+  // equal to a boundary fall in the bin above it (half-open bins).
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+  return static_cast<uint32_t>(it - boundaries_.begin());
+}
+
+std::vector<uint32_t> Binner::Apply(const std::vector<double>& values) const {
+  std::vector<uint32_t> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(BinOf(v));
+  return out;
+}
+
+}  // namespace bitmap
+}  // namespace abitmap

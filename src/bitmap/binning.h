@@ -1,0 +1,49 @@
+#ifndef ABITMAP_BITMAP_BINNING_H_
+#define ABITMAP_BITMAP_BINNING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace abitmap {
+namespace bitmap {
+
+/// Discretizes continuous attribute values into bins, the step that precedes
+/// bitmap construction. The paper notes that equi-depth bins ("bins with the
+/// same number of points") are preferred because they make the resulting
+/// bitmaps uniform regardless of the attribute's distribution; equi-width is
+/// provided for the skew experiments.
+class Binner {
+ public:
+  /// Equal-interval bins over [min, max] of the data.
+  static Binner EquiWidth(const std::vector<double>& values, uint32_t bins);
+
+  /// Quantile bins: each bin receives (approximately) the same number of
+  /// points. Bin boundaries fall on value quantiles.
+  static Binner EquiDepth(const std::vector<double>& values, uint32_t bins);
+
+  /// Number of bins.
+  uint32_t cardinality() const {
+    return static_cast<uint32_t>(boundaries_.size()) + 1;
+  }
+
+  /// Bin id of a value: number of boundaries strictly below... precisely,
+  /// the index i such that boundaries_[i-1] <= v < boundaries_[i], clamped
+  /// to [0, cardinality).
+  uint32_t BinOf(double value) const;
+
+  /// Applies BinOf to a whole column.
+  std::vector<uint32_t> Apply(const std::vector<double>& values) const;
+
+  /// Upper boundaries between bins (cardinality - 1 entries, ascending).
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+ private:
+  explicit Binner(std::vector<double> boundaries);
+
+  std::vector<double> boundaries_;
+};
+
+}  // namespace bitmap
+}  // namespace abitmap
+
+#endif  // ABITMAP_BITMAP_BINNING_H_

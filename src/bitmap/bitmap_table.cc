@@ -1,0 +1,101 @@
+#include "bitmap/bitmap_table.h"
+
+#include <utility>
+
+namespace abitmap {
+namespace bitmap {
+
+std::vector<uint64_t> RowRange(uint64_t lo, uint64_t hi) {
+  AB_CHECK_LE(lo, hi);
+  std::vector<uint64_t> rows;
+  rows.reserve(hi - lo + 1);
+  for (uint64_t r = lo; r <= hi; ++r) rows.push_back(r);
+  return rows;
+}
+
+BitmapTable::BitmapTable(ColumnMapping mapping, uint64_t num_rows)
+    : mapping_(std::move(mapping)), num_rows_(num_rows) {
+  columns_.assign(mapping_.num_columns(), util::BitVector(num_rows));
+  column_set_bits_.assign(mapping_.num_columns(), 0);
+}
+
+BitmapTable BitmapTable::Build(const BinnedDataset& dataset) {
+  dataset.CheckValid();
+  BitmapTable table(ColumnMapping(dataset.attributes), dataset.num_rows());
+  for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
+    const std::vector<uint32_t>& column_values = dataset.values[a];
+    for (uint64_t i = 0; i < column_values.size(); ++i) {
+      uint32_t gcol = table.mapping_.GlobalColumn(a, column_values[i]);
+      table.columns_[gcol].Set(i);
+    }
+  }
+  for (uint32_t j = 0; j < table.columns_.size(); ++j) {
+    table.column_set_bits_[j] = table.columns_[j].Count();
+    table.total_set_bits_ += table.column_set_bits_[j];
+  }
+  return table;
+}
+
+std::vector<bool> BitmapTable::Evaluate(const BitmapQuery& query) const {
+  std::vector<uint64_t> all_rows;
+  const std::vector<uint64_t>* rows = &query.rows;
+  if (query.rows.empty()) {
+    all_rows = RowRange(0, num_rows_ - 1);
+    rows = &all_rows;
+  }
+  std::vector<bool> out;
+  out.reserve(rows->size());
+  for (uint64_t r : *rows) {
+    AB_DCHECK(r < num_rows_);
+    bool and_part = true;
+    for (const AttributeRange& range : query.ranges) {
+      bool or_part = false;
+      for (uint32_t b = range.lo_bin; b <= range.hi_bin; ++b) {
+        if (Get(r, mapping_.GlobalColumn(range.attr, b))) {
+          or_part = true;
+          break;
+        }
+      }
+      if (!or_part) {
+        and_part = false;
+        break;
+      }
+    }
+    out.push_back(and_part);
+  }
+  return out;
+}
+
+std::vector<bool> BitmapTable::EvaluateViaAlgebra(
+    const BitmapQuery& query) const {
+  util::BitVector result(num_rows_);
+  bool first = true;
+  for (const AttributeRange& range : query.ranges) {
+    util::BitVector attr_result(num_rows_);
+    for (uint32_t b = range.lo_bin; b <= range.hi_bin; ++b) {
+      attr_result.OrWith(column(range.attr, b));
+    }
+    if (first) {
+      result = std::move(attr_result);
+      first = false;
+    } else {
+      result.AndWith(attr_result);
+    }
+  }
+  if (first) {
+    // No attribute constraints: every row qualifies.
+    result.Flip();
+  }
+  std::vector<bool> out;
+  if (query.rows.empty()) {
+    out.reserve(num_rows_);
+    for (uint64_t r = 0; r < num_rows_; ++r) out.push_back(result.Get(r));
+  } else {
+    out.reserve(query.rows.size());
+    for (uint64_t r : query.rows) out.push_back(result.Get(r));
+  }
+  return out;
+}
+
+}  // namespace bitmap
+}  // namespace abitmap

@@ -1,0 +1,84 @@
+#ifndef ABITMAP_BITMAP_BITMAP_TABLE_H_
+#define ABITMAP_BITMAP_BITMAP_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/query.h"
+#include "bitmap/schema.h"
+#include "util/bitvector.h"
+
+namespace abitmap {
+namespace bitmap {
+
+/// The uncompressed, equality-encoded bitmap index (the bitmap table of
+/// Figure 6): one verbatim bit column per (attribute, bin) pair, bit i of
+/// column (a, b) set iff row i of attribute a falls in bin b. Exactly one
+/// bit is set per attribute per row, so the total set-bit count is N·d.
+///
+/// This structure is the ground truth for every other representation in the
+/// library: WAH/BBC compress its columns and the Approximate Bitmap hashes
+/// its set bits.
+class BitmapTable {
+ public:
+  /// Builds the index from a binned dataset.
+  static BitmapTable Build(const BinnedDataset& dataset);
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t num_columns() const { return mapping_.num_columns(); }
+  uint32_t num_attributes() const { return mapping_.num_attributes(); }
+  const ColumnMapping& mapping() const { return mapping_; }
+
+  /// Verbatim bit column for a global column id.
+  const util::BitVector& column(uint32_t global_col) const {
+    AB_DCHECK(global_col < columns_.size());
+    return columns_[global_col];
+  }
+  const util::BitVector& column(uint32_t attr, uint32_t bin) const {
+    return columns_[mapping_.GlobalColumn(attr, bin)];
+  }
+
+  /// Cell accessor on the bitmap matrix.
+  bool Get(uint64_t row, uint32_t global_col) const {
+    return columns_[global_col].Get(row);
+  }
+
+  /// Set bits in one column (rows falling in that bin).
+  uint64_t ColumnSetBits(uint32_t global_col) const {
+    return column_set_bits_[global_col];
+  }
+  /// Total set bits across the table (s = N·d for equality encoding).
+  uint64_t TotalSetBits() const { return total_set_bits_; }
+
+  /// Size of the uncompressed index in bytes: one bit per cell, as the
+  /// paper's Table 3 accounts it (rows × columns / 8).
+  uint64_t UncompressedBytes() const {
+    return num_rows_ * num_columns() / 8;
+  }
+
+  /// Exact evaluation of a bitmap query by direct (uncompressed) access —
+  /// the ground truth the Approximate Bitmap's recall/precision is measured
+  /// against. Returns one bool per requested row (all rows if
+  /// query.rows is empty).
+  std::vector<bool> Evaluate(const BitmapQuery& query) const;
+
+  /// Exact evaluation via full bit-vector algebra: OR the bin columns per
+  /// attribute, AND across attributes, then read out the requested rows.
+  /// Semantically identical to Evaluate(); exercised by tests and used as
+  /// the uncompressed-baseline timing reference.
+  std::vector<bool> EvaluateViaAlgebra(const BitmapQuery& query) const;
+
+ private:
+  BitmapTable(ColumnMapping mapping, uint64_t num_rows);
+
+  ColumnMapping mapping_;
+  uint64_t num_rows_;
+  std::vector<util::BitVector> columns_;
+  std::vector<uint64_t> column_set_bits_;
+  uint64_t total_set_bits_ = 0;
+};
+
+}  // namespace bitmap
+}  // namespace abitmap
+
+#endif  // ABITMAP_BITMAP_BITMAP_TABLE_H_

@@ -1,0 +1,62 @@
+#include "bitmap/boolean_matrix.h"
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace bitmap {
+
+BooleanMatrix BooleanMatrix::FromStrings(const std::vector<std::string>& rows) {
+  AB_CHECK(!rows.empty());
+  uint32_t cols = static_cast<uint32_t>(rows[0].size());
+  BooleanMatrix m(rows.size(), cols);
+  for (uint64_t i = 0; i < rows.size(); ++i) {
+    AB_CHECK_EQ(rows[i].size(), cols);
+    for (uint32_t j = 0; j < cols; ++j) {
+      AB_CHECK(rows[i][j] == '0' || rows[i][j] == '1');
+      if (rows[i][j] == '1') m.Set(i, j);
+    }
+  }
+  return m;
+}
+
+std::vector<Cell> BooleanMatrix::SetCells() const {
+  std::vector<Cell> out;
+  for (uint64_t i = 0; i < rows_; ++i) {
+    for (uint32_t j = 0; j < cols_; ++j) {
+      if (Get(i, j)) out.push_back(Cell{i, j});
+    }
+  }
+  return out;
+}
+
+std::vector<bool> BooleanMatrix::Evaluate(const CellQuery& query) const {
+  std::vector<bool> out;
+  out.reserve(query.size());
+  for (const Cell& c : query) out.push_back(Get(c.row, c.col));
+  return out;
+}
+
+CellQuery BooleanMatrix::RowQuery(uint64_t row, uint32_t cols) {
+  CellQuery q;
+  q.reserve(cols);
+  for (uint32_t j = 0; j < cols; ++j) q.push_back(Cell{row, j});
+  return q;
+}
+
+CellQuery BooleanMatrix::ColumnQuery(uint32_t col, uint64_t rows) {
+  CellQuery q;
+  q.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) q.push_back(Cell{i, col});
+  return q;
+}
+
+CellQuery BooleanMatrix::DiagonalQuery(uint64_t rows, uint32_t cols) {
+  uint64_t len = rows < cols ? rows : cols;
+  CellQuery q;
+  q.reserve(len);
+  for (uint64_t i = 0; i < len; ++i) q.push_back(Cell{i, static_cast<uint32_t>(i)});
+  return q;
+}
+
+}  // namespace bitmap
+}  // namespace abitmap

@@ -1,0 +1,82 @@
+#ifndef ABITMAP_BITMAP_BOOLEAN_MATRIX_H_
+#define ABITMAP_BITMAP_BOOLEAN_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace abitmap {
+namespace bitmap {
+
+/// A cell coordinate inside a boolean matrix: row r, column c.
+struct Cell {
+  uint64_t row = 0;
+  uint32_t col = 0;
+
+  friend bool operator==(const Cell& a, const Cell& b) {
+    return a.row == b.row && a.col == b.col;
+  }
+};
+
+/// A subset query over a boolean matrix (Section 3.1 of the paper):
+/// Q = {(r_1, c_1), ..., (r_l, c_l)}. The result T = {b_1, ..., b_l} has
+/// b_i = M(r_i, c_i). Any subset — a row, a column, a rectangle, even a
+/// diagonal — is just a list of cells, which is what gives the Approximate
+/// Bitmap its O(|Q|) retrieval cost.
+using CellQuery = std::vector<Cell>;
+
+/// Dense boolean matrix, row-major. This is the paper's general model
+/// (Section 3.1): bitmaps are the special case with one set bit per
+/// attribute per row. Used as ground truth by tests and as the insertion
+/// source for Approximate Bitmaps over arbitrary matrices.
+class BooleanMatrix {
+ public:
+  BooleanMatrix(uint64_t rows, uint32_t cols)
+      : rows_(rows), cols_(cols), bits_(rows * cols) {}
+
+  /// Parses a matrix from '0'/'1' rows, e.g. {"010", "001"}.
+  static BooleanMatrix FromStrings(const std::vector<std::string>& rows);
+
+  uint64_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+
+  bool Get(uint64_t row, uint32_t col) const {
+    AB_DCHECK(row < rows_);
+    AB_DCHECK(col < cols_);
+    return bits_.Get(row * cols_ + col);
+  }
+
+  void Set(uint64_t row, uint32_t col, bool value = true) {
+    AB_DCHECK(row < rows_);
+    AB_DCHECK(col < cols_);
+    bits_.Set(row * cols_ + col, value);
+  }
+
+  /// Total number of set bits (the parameter s of the paper's analysis).
+  uint64_t CountSetBits() const { return bits_.Count(); }
+
+  /// All set cells in row-major order.
+  std::vector<Cell> SetCells() const;
+
+  /// Evaluates a cell-subset query exactly.
+  std::vector<bool> Evaluate(const CellQuery& query) const;
+
+  /// Convenience query builders.
+  static CellQuery RowQuery(uint64_t row, uint32_t cols);
+  static CellQuery ColumnQuery(uint32_t col, uint64_t rows);
+  /// Main-diagonal query of length min(rows, cols) — the example the paper
+  /// uses for a subset no row- or column-ordered store retrieves cheaply.
+  static CellQuery DiagonalQuery(uint64_t rows, uint32_t cols);
+
+ private:
+  uint64_t rows_;
+  uint32_t cols_;
+  util::BitVector bits_;
+};
+
+}  // namespace bitmap
+}  // namespace abitmap
+
+#endif  // ABITMAP_BITMAP_BOOLEAN_MATRIX_H_

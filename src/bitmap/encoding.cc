@@ -1,0 +1,111 @@
+#include "bitmap/encoding.h"
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace abitmap {
+namespace bitmap {
+
+RangeEncodedAttribute RangeEncodedAttribute::Build(
+    const std::vector<uint32_t>& values, uint32_t cardinality) {
+  AB_CHECK_GE(cardinality, 1u);
+  RangeEncodedAttribute enc(values.size(), cardinality);
+  if (cardinality >= 2) {
+    enc.columns_.assign(cardinality - 1, util::BitVector(values.size()));
+    for (uint64_t i = 0; i < values.size(); ++i) {
+      uint32_t v = values[i];
+      AB_CHECK_LT(v, cardinality);
+      // R_j is set for all j >= v.
+      for (uint32_t j = v; j + 1 < cardinality; ++j) {
+        enc.columns_[j].Set(i);
+      }
+    }
+  }
+  return enc;
+}
+
+util::BitVector RangeEncodedAttribute::EvalLessEqual(uint32_t u) const {
+  AB_CHECK_LT(u, cardinality_);
+  if (u + 1 == cardinality_) {
+    util::BitVector all(num_rows_);
+    all.Flip();
+    return all;
+  }
+  return columns_[u];
+}
+
+util::BitVector RangeEncodedAttribute::EvalRange(uint32_t lo,
+                                                 uint32_t hi) const {
+  AB_CHECK_LE(lo, hi);
+  AB_CHECK_LT(hi, cardinality_);
+  util::BitVector result = EvalLessEqual(hi);
+  if (lo > 0) {
+    result.AndNotWith(EvalLessEqual(lo - 1));
+  }
+  return result;
+}
+
+IntervalEncodedAttribute IntervalEncodedAttribute::Build(
+    const std::vector<uint32_t>& values, uint32_t cardinality) {
+  AB_CHECK_GE(cardinality, 1u);
+  uint32_t m = (cardinality + 1) / 2;
+  IntervalEncodedAttribute enc(values.size(), cardinality, m);
+  uint32_t num_cols = cardinality - m + 1;
+  enc.columns_.assign(num_cols, util::BitVector(values.size()));
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    uint32_t v = values[i];
+    AB_CHECK_LT(v, cardinality);
+    // value v belongs to I_j iff j <= v <= j+m-1, i.e.
+    // j in [max(0, v-m+1), min(v, num_cols-1)].
+    uint32_t j_lo = (v + 1 >= m) ? v + 1 - m : 0;
+    uint32_t j_hi = v < num_cols - 1 ? v : num_cols - 1;
+    for (uint32_t j = j_lo; j <= j_hi; ++j) {
+      enc.columns_[j].Set(i);
+    }
+  }
+  return enc;
+}
+
+util::BitVector IntervalEncodedAttribute::EvalRange(uint32_t lo,
+                                                    uint32_t hi) const {
+  AB_CHECK_LE(lo, hi);
+  AB_CHECK_LT(hi, cardinality_);
+  if (lo == 0 && hi + 1 == cardinality_) {
+    util::BitVector all(num_rows_);
+    all.Flip();
+    return all;
+  }
+  uint32_t len = hi - lo + 1;
+  uint32_t top = cardinality_ - m_;  // largest interval index
+  if (len >= m_) {
+    // Wide range: two overlapping intervals cover it exactly.
+    // [lo, hi] = I_lo | I_{hi-m+1}.
+    AB_CHECK_LE(lo, top);
+    util::BitVector result = columns_[lo];
+    result.OrWith(columns_[hi - m_ + 1]);
+    return result;
+  }
+  // Narrow range (len < m): one of three two-column forms always applies
+  // (see encoding tests for the exhaustive sweep proving coverage).
+  if (lo <= top && hi + 1 >= m_) {
+    // F1: intersection of two intervals: I_lo & I_{hi-m+1} = [lo, hi].
+    util::BitVector result = columns_[lo];
+    result.AndWith(columns_[hi - m_ + 1]);
+    return result;
+  }
+  if (lo >= m_) {
+    // F2: I_{hi+1-m} \ I_{lo-m} = [lo, hi] (upper-tail form).
+    util::BitVector result = columns_[hi + 1 - m_];
+    result.AndNotWith(columns_[lo - m_]);
+    return result;
+  }
+  // F3: I_lo \ I_{hi+1} = [lo, hi] (lower-tail form).
+  AB_CHECK_LE(lo, top);
+  AB_CHECK_LE(hi + 1, top);
+  util::BitVector result = columns_[lo];
+  result.AndNotWith(columns_[hi + 1]);
+  return result;
+}
+
+}  // namespace bitmap
+}  // namespace abitmap

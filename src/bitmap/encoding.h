@@ -1,0 +1,89 @@
+#ifndef ABITMAP_BITMAP_ENCODING_H_
+#define ABITMAP_BITMAP_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace abitmap {
+namespace bitmap {
+
+/// Range-encoded bitmaps for one attribute (Chan & Ioannidis, SIGMOD'98,
+/// cited as [8]): column R_j has bit i set iff value(i) <= j, for
+/// j = 0..C-2 (R_{C-1} would be all ones and is omitted). Any one-sided or
+/// two-sided range predicate is answered with at most two bitmap accesses.
+class RangeEncodedAttribute {
+ public:
+  /// Builds from per-row bin ids with the given cardinality.
+  static RangeEncodedAttribute Build(const std::vector<uint32_t>& values,
+                                     uint32_t cardinality);
+
+  uint32_t cardinality() const { return cardinality_; }
+  uint64_t num_rows() const { return num_rows_; }
+  /// Number of stored bitmap columns (C - 1).
+  uint32_t num_columns() const {
+    return static_cast<uint32_t>(columns_.size());
+  }
+  const util::BitVector& column(uint32_t j) const {
+    AB_DCHECK(j < columns_.size());
+    return columns_[j];
+  }
+
+  /// Rows with value <= u.
+  util::BitVector EvalLessEqual(uint32_t u) const;
+  /// Rows with value in [lo, hi] (inclusive). Uses at most two columns.
+  util::BitVector EvalRange(uint32_t lo, uint32_t hi) const;
+
+ private:
+  RangeEncodedAttribute(uint64_t num_rows, uint32_t cardinality)
+      : num_rows_(num_rows), cardinality_(cardinality) {}
+
+  uint64_t num_rows_;
+  uint32_t cardinality_;
+  std::vector<util::BitVector> columns_;
+};
+
+/// Interval-encoded bitmaps (Chan & Ioannidis, SIGMOD'99, cited as [9]):
+/// with m = ceil(C/2), column I_j has bit i set iff value(i) lies in
+/// [j, j+m-1], for j = 0..C-m. Roughly half the columns of equality
+/// encoding; any range predicate is answered with at most two columns
+/// combined by AND/OR/AND-NOT.
+class IntervalEncodedAttribute {
+ public:
+  static IntervalEncodedAttribute Build(const std::vector<uint32_t>& values,
+                                        uint32_t cardinality);
+
+  uint32_t cardinality() const { return cardinality_; }
+  uint64_t num_rows() const { return num_rows_; }
+  /// Interval width m = ceil(C/2).
+  uint32_t interval_width() const { return m_; }
+  /// Number of stored columns (C - m + 1).
+  uint32_t num_columns() const {
+    return static_cast<uint32_t>(columns_.size());
+  }
+  const util::BitVector& column(uint32_t j) const {
+    AB_DCHECK(j < columns_.size());
+    return columns_[j];
+  }
+
+  /// Rows with value in [lo, hi] (inclusive).
+  util::BitVector EvalRange(uint32_t lo, uint32_t hi) const;
+  /// Rows with value == v (two-column reconstruction).
+  util::BitVector EvalEquals(uint32_t v) const { return EvalRange(v, v); }
+
+ private:
+  IntervalEncodedAttribute(uint64_t num_rows, uint32_t cardinality,
+                           uint32_t m)
+      : num_rows_(num_rows), cardinality_(cardinality), m_(m) {}
+
+  uint64_t num_rows_;
+  uint32_t cardinality_;
+  uint32_t m_;
+  std::vector<util::BitVector> columns_;
+};
+
+}  // namespace bitmap
+}  // namespace abitmap
+
+#endif  // ABITMAP_BITMAP_ENCODING_H_

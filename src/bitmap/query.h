@@ -1,0 +1,36 @@
+#ifndef ABITMAP_BITMAP_QUERY_H_
+#define ABITMAP_BITMAP_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace abitmap {
+namespace bitmap {
+
+/// One conjunct of a bitmap query: attribute `attr` must fall in a bin
+/// inside [lo_bin, hi_bin] (inclusive). A point query has lo_bin == hi_bin.
+struct AttributeRange {
+  uint32_t attr = 0;
+  uint32_t lo_bin = 0;
+  uint32_t hi_bin = 0;
+};
+
+/// The paper's query form (Section 3.3):
+///   Q = {(A_1, l_1, u_1), ..., (A_qdim, l_qdim, u_qdim), (R, r_1, ..., r_x)}
+/// Row r satisfies Q iff for every attribute range, at least one bin bitmap
+/// in [l, u] has bit r set. The result is one bit per row in `rows`, in
+/// order. An empty `rows` means "all rows" (the classical full-scan query).
+struct BitmapQuery {
+  std::vector<AttributeRange> ranges;
+  std::vector<uint64_t> rows;
+};
+
+/// Builds the contiguous row list [lo, hi] (inclusive). The experiment
+/// queries select contiguous row ranges ("the range for the rows is
+/// produced using the row number, i.e., the physical order").
+std::vector<uint64_t> RowRange(uint64_t lo, uint64_t hi);
+
+}  // namespace bitmap
+}  // namespace abitmap
+
+#endif  // ABITMAP_BITMAP_QUERY_H_

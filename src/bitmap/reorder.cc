@@ -1,0 +1,78 @@
+#include "bitmap/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace bitmap {
+
+namespace {
+
+std::vector<uint64_t> IdentityPermutation(uint64_t n) {
+  std::vector<uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), uint64_t{0});
+  return perm;
+}
+
+}  // namespace
+
+std::vector<uint64_t> LexicographicOrder(const BinnedDataset& dataset) {
+  dataset.CheckValid();
+  std::vector<uint64_t> perm = IdentityPermutation(dataset.num_rows());
+  std::stable_sort(perm.begin(), perm.end(), [&](uint64_t a, uint64_t b) {
+    for (uint32_t attr = 0; attr < dataset.num_attributes(); ++attr) {
+      uint32_t va = dataset.values[attr][a];
+      uint32_t vb = dataset.values[attr][b];
+      if (va != vb) return va < vb;
+    }
+    return false;
+  });
+  return perm;
+}
+
+std::vector<uint64_t> GrayCodeOrder(const BinnedDataset& dataset) {
+  dataset.CheckValid();
+  std::vector<uint64_t> perm = IdentityPermutation(dataset.num_rows());
+  // Gray-code comparator specialized for equality encoding. Viewing a
+  // row's bitmap (columns of attribute 0 first) as a bit string, the first
+  // differing column between two rows falls in the first attribute whose
+  // values differ, and the Gray-prefix parity there equals the attribute
+  // index (one set bit per preceding attribute). Even parity sorts that
+  // attribute descending, odd parity ascending.
+  std::stable_sort(perm.begin(), perm.end(), [&](uint64_t a, uint64_t b) {
+    for (uint32_t attr = 0; attr < dataset.num_attributes(); ++attr) {
+      uint32_t va = dataset.values[attr][a];
+      uint32_t vb = dataset.values[attr][b];
+      if (va != vb) {
+        return (attr % 2 == 0) ? va > vb : va < vb;
+      }
+    }
+    return false;
+  });
+  return perm;
+}
+
+BinnedDataset ReorderRows(const BinnedDataset& dataset,
+                          const std::vector<uint64_t>& perm) {
+  dataset.CheckValid();
+  AB_CHECK_EQ(perm.size(), dataset.num_rows());
+  BinnedDataset out;
+  out.name = dataset.name + "-reordered";
+  out.attributes = dataset.attributes;
+  out.values.reserve(dataset.values.size());
+  for (const std::vector<uint32_t>& column : dataset.values) {
+    std::vector<uint32_t> reordered;
+    reordered.reserve(column.size());
+    for (uint64_t old_index : perm) {
+      AB_DCHECK(old_index < column.size());
+      reordered.push_back(column[old_index]);
+    }
+    out.values.push_back(std::move(reordered));
+  }
+  return out;
+}
+
+}  // namespace bitmap
+}  // namespace abitmap

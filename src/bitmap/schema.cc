@@ -1,0 +1,41 @@
+#include "bitmap/schema.h"
+
+namespace abitmap {
+namespace bitmap {
+
+void BinnedDataset::CheckValid() const {
+  AB_CHECK_EQ(values.size(), attributes.size());
+  uint64_t rows = num_rows();
+  for (uint32_t a = 0; a < attributes.size(); ++a) {
+    AB_CHECK_EQ(values[a].size(), rows);
+    AB_CHECK_GE(attributes[a].cardinality, 1u);
+    for (uint32_t v : values[a]) {
+      AB_CHECK_LT(v, attributes[a].cardinality);
+    }
+  }
+}
+
+ColumnMapping::ColumnMapping(const std::vector<AttributeInfo>& attributes) {
+  offsets_.reserve(attributes.size());
+  cardinalities_.reserve(attributes.size());
+  for (const AttributeInfo& a : attributes) {
+    AB_CHECK_GE(a.cardinality, 1u);
+    offsets_.push_back(total_);
+    cardinalities_.push_back(a.cardinality);
+    total_ += a.cardinality;
+  }
+}
+
+void ColumnMapping::AttrBin(uint32_t global_col, uint32_t* attr,
+                            uint32_t* bin) const {
+  AB_CHECK_LT(global_col, total_);
+  // offsets_ is sorted ascending; linear scan is fine for the attribute
+  // counts in play (<= a few hundred); callers on hot paths cache results.
+  uint32_t a = 0;
+  while (a + 1 < offsets_.size() && offsets_[a + 1] <= global_col) ++a;
+  *attr = a;
+  *bin = global_col - offsets_[a];
+}
+
+}  // namespace bitmap
+}  // namespace abitmap

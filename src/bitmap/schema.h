@@ -1,0 +1,84 @@
+#ifndef ABITMAP_BITMAP_SCHEMA_H_
+#define ABITMAP_BITMAP_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace bitmap {
+
+/// One attribute of a relation after discretization: `cardinality` bins,
+/// hence `cardinality` bitmap columns under equality encoding.
+struct AttributeInfo {
+  std::string name;
+  uint32_t cardinality = 0;
+};
+
+/// The discretized relation the index is built over. Values are bin
+/// identifiers in [0, cardinality) — binning (see binning.h) happens before
+/// the data reaches the index, which matches the paper's setup ("data need
+/// to be discretized into bins before constructing the bitmaps").
+///
+/// Storage is column-major: values[a][i] is the bin of attribute a in row i.
+struct BinnedDataset {
+  std::string name;
+  std::vector<AttributeInfo> attributes;
+  std::vector<std::vector<uint32_t>> values;
+
+  uint64_t num_rows() const {
+    return values.empty() ? 0 : values[0].size();
+  }
+  uint32_t num_attributes() const {
+    return static_cast<uint32_t>(attributes.size());
+  }
+  /// Total bitmap columns under equality encoding (sum of cardinalities).
+  uint32_t num_bitmap_columns() const {
+    uint32_t total = 0;
+    for (const AttributeInfo& a : attributes) total += a.cardinality;
+    return total;
+  }
+
+  /// Aborts if the shape is inconsistent (column counts, bin ranges).
+  void CheckValid() const;
+};
+
+/// Maps (attribute, bin) pairs to the global bitmap-column identifiers the
+/// paper assigns ("first, we assign a global column identifier to each
+/// column in the bitmap table"): attribute 0's bins come first, then
+/// attribute 1's, and so on.
+class ColumnMapping {
+ public:
+  explicit ColumnMapping(const std::vector<AttributeInfo>& attributes);
+
+  uint32_t num_attributes() const {
+    return static_cast<uint32_t>(cardinalities_.size());
+  }
+  uint32_t num_columns() const { return total_; }
+  uint32_t cardinality(uint32_t attr) const {
+    AB_DCHECK(attr < cardinalities_.size());
+    return cardinalities_[attr];
+  }
+
+  /// Global column id of (attr, bin).
+  uint32_t GlobalColumn(uint32_t attr, uint32_t bin) const {
+    AB_DCHECK(attr < offsets_.size());
+    AB_DCHECK(bin < cardinalities_[attr]);
+    return offsets_[attr] + bin;
+  }
+
+  /// Inverse of GlobalColumn.
+  void AttrBin(uint32_t global_col, uint32_t* attr, uint32_t* bin) const;
+
+ private:
+  std::vector<uint32_t> offsets_;
+  std::vector<uint32_t> cardinalities_;
+  uint32_t total_ = 0;
+};
+
+}  // namespace bitmap
+}  // namespace abitmap
+
+#endif  // ABITMAP_BITMAP_SCHEMA_H_

@@ -1,0 +1,580 @@
+#include "core/ab_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "core/ab_theory.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace abitmap {
+namespace ab {
+
+namespace {
+
+/// Per-column set-bit histogram: entry [global column] = number of rows in
+/// that bin.
+std::vector<uint64_t> ComputeColumnHistogram(const bitmap::BinnedDataset& dataset,
+                                    const bitmap::ColumnMapping& mapping) {
+  std::vector<uint64_t> counts(mapping.num_columns(), 0);
+  for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
+    for (uint32_t v : dataset.values[a]) {
+      ++counts[mapping.GlobalColumn(a, v)];
+    }
+  }
+  return counts;
+}
+
+std::shared_ptr<const hash::HashFamily> MakeFamily(HashScheme scheme,
+                                                   uint32_t num_groups) {
+  switch (scheme) {
+    case HashScheme::kIndependent:
+      return hash::MakeIndependentFamily();
+    case HashScheme::kSha1:
+      return hash::MakeSha1Family();
+    case HashScheme::kDoubleHash:
+      return hash::MakeDoubleHashFamily();
+    case HashScheme::kCircular:
+      return hash::MakeCircularFamily();
+    case HashScheme::kColumnGroup:
+      return hash::MakeColumnGroupFamily(num_groups);
+  }
+  AB_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kPerDataset:
+      return "per-dataset";
+    case Level::kPerAttribute:
+      return "per-attribute";
+    case Level::kPerColumn:
+      return "per-column";
+  }
+  return "?";
+}
+
+const char* HashSchemeName(HashScheme scheme) {
+  switch (scheme) {
+    case HashScheme::kIndependent:
+      return "independent";
+    case HashScheme::kSha1:
+      return "sha1";
+    case HashScheme::kDoubleHash:
+      return "double";
+    case HashScheme::kCircular:
+      return "circular";
+    case HashScheme::kColumnGroup:
+      return "column-group";
+  }
+  return "?";
+}
+
+LevelSizeReport ComputeLevelSize(const bitmap::BinnedDataset& dataset,
+                                 Level level, double alpha) {
+  bitmap::ColumnMapping mapping(dataset.attributes);
+  uint64_t n_rows = dataset.num_rows();
+  uint32_t d = dataset.num_attributes();
+  LevelSizeReport report;
+  switch (level) {
+    case Level::kPerDataset: {
+      uint64_t s = n_rows * d;
+      report.num_filters = 1;
+      report.single_bytes = AbSizeBits(s, alpha) / 8;
+      report.avg_bytes = report.single_bytes;
+      report.total_bytes = report.single_bytes;
+      break;
+    }
+    case Level::kPerAttribute: {
+      uint64_t per = AbSizeBits(n_rows, alpha) / 8;
+      report.num_filters = d;
+      report.single_bytes = per;
+      report.avg_bytes = per;
+      report.total_bytes = per * d;
+      break;
+    }
+    case Level::kPerColumn: {
+      std::vector<uint64_t> counts = ComputeColumnHistogram(dataset, mapping);
+      report.num_filters = counts.size();
+      uint64_t total = 0;
+      uint64_t largest = 0;
+      for (uint64_t s : counts) {
+        // Empty bins still cost one minimal filter; use one byte floor.
+        uint64_t bytes = s == 0 ? 1 : AbSizeBits(s, alpha) / 8;
+        if (bytes == 0) bytes = 1;
+        total += bytes;
+        largest = std::max(largest, bytes);
+      }
+      report.single_bytes = largest;
+      report.avg_bytes = counts.empty() ? 0 : total / counts.size();
+      report.total_bytes = total;
+      break;
+    }
+  }
+  return report;
+}
+
+Level ChooseLevel(const bitmap::BinnedDataset& dataset, double alpha) {
+  Level best = Level::kPerDataset;
+  uint64_t best_bytes =
+      ComputeLevelSize(dataset, Level::kPerDataset, alpha).total_bytes;
+  for (Level level : {Level::kPerAttribute, Level::kPerColumn}) {
+    uint64_t bytes = ComputeLevelSize(dataset, level, alpha).total_bytes;
+    if (bytes < best_bytes) {
+      best_bytes = bytes;
+      best = level;
+    }
+  }
+  return best;
+}
+
+AbIndex::AbIndex(const AbConfig& config, bitmap::ColumnMapping mapping,
+                 uint64_t num_rows)
+    : config_(config),
+      mapping_(std::move(mapping)),
+      num_rows_(num_rows),
+      mapper_(config.level == Level::kPerColumn ||
+                      config.degenerate_row_only_mapping
+                  ? CellMapper::RowOnly()
+                  : CellMapper::RowAndColumn(mapping_.num_columns())) {}
+
+AbIndex AbIndex::Build(const bitmap::BinnedDataset& dataset,
+                       const AbConfig& config) {
+  HashScheme scheme = config.scheme;
+  if (config.level == Level::kPerColumn) {
+    AB_CHECK(scheme != HashScheme::kColumnGroup);
+  }
+  return Build(dataset, config, [scheme](uint32_t num_groups) {
+    return MakeFamily(scheme, num_groups);
+  });
+}
+
+AbIndex AbIndex::Build(const bitmap::BinnedDataset& dataset,
+                       const AbConfig& config, const FamilyFactory& factory) {
+  AbIndex index = MakeSkeleton(dataset, config, factory);
+  // Figure 3: insert every set bit of the bitmap table. Iterating the
+  // dataset column-by-column visits exactly the set cells (one per
+  // attribute per row) without materializing the table.
+  index.InsertRowRange(dataset, 0, dataset.num_rows());
+  index.built_fp_ = index.WorstExpectedFp();
+  return index;
+}
+
+AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
+                               const AbConfig& config, int num_threads) {
+  AB_CHECK_GE(num_threads, 1);
+  uint64_t n_rows = dataset.num_rows();
+  uint64_t threads = std::min<uint64_t>(num_threads, n_rows);
+  HashScheme scheme = config.scheme;
+  FamilyFactory factory = [scheme](uint32_t num_groups) {
+    return MakeFamily(scheme, num_groups);
+  };
+  if (threads <= 1) return Build(dataset, config, factory);
+
+  // One private skeleton per shard; merging their bit unions afterwards
+  // is exact (see ApproximateBitmap::MergeFrom).
+  std::vector<AbIndex> shards;
+  shards.reserve(threads);
+  for (uint64_t t = 0; t < threads; ++t) {
+    shards.push_back(MakeSkeleton(dataset, config, factory));
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  uint64_t chunk = (n_rows + threads - 1) / threads;
+  for (uint64_t t = 0; t < threads; ++t) {
+    uint64_t begin = t * chunk;
+    uint64_t end = std::min(n_rows, begin + chunk);
+    workers.emplace_back([&dataset, &shards, t, begin, end]() {
+      shards[t].InsertRowRange(dataset, begin, end);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  AbIndex result = std::move(shards[0]);
+  for (uint64_t t = 1; t < threads; ++t) {
+    for (size_t f = 0; f < result.filters_.size(); ++f) {
+      result.filters_[f].MergeFrom(shards[t].filters_[f]);
+    }
+  }
+  result.built_fp_ = result.WorstExpectedFp();
+  return result;
+}
+
+double AbIndex::WorstExpectedFp() const {
+  double worst = 0;
+  for (const ApproximateBitmap& f : filters_) {
+    worst = std::max(worst, f.ExpectedFalsePositiveRate());
+  }
+  return worst;
+}
+
+AbIndex AbIndex::MakeSkeleton(const bitmap::BinnedDataset& dataset,
+                              const AbConfig& config,
+                              const FamilyFactory& factory) {
+  dataset.CheckValid();
+  AB_CHECK_GE(config.alpha, 1.0);
+  AbIndex index(config, bitmap::ColumnMapping(dataset.attributes),
+                dataset.num_rows());
+  const bitmap::ColumnMapping& mapping = index.mapping_;
+  uint64_t n_rows = dataset.num_rows();
+  uint32_t d = dataset.num_attributes();
+  index.column_set_bits_ = ComputeColumnHistogram(dataset, mapping);
+
+  auto pick_k = [&config](double alpha) {
+    return config.k > 0 ? config.k : OptimalK(alpha);
+  };
+  auto make_params = [&](uint64_t set_bits) {
+    AbParams params = AbParams::ForAlpha(config.alpha, 1, set_bits);
+    if (config.n_bits_override != 0) {
+      params.n_bits = config.n_bits_override;
+      params.alpha = static_cast<double>(params.n_bits) /
+                     static_cast<double>(set_bits);
+    }
+    // The filter caps k at 64; the optimum exceeds that only for alpha
+    // beyond any practical size budget.
+    params.k = std::min(pick_k(params.alpha), 64);
+    // Tiny filters still get a word-sized bit array.
+    params.n_bits = std::max<uint64_t>(params.n_bits, 8);
+    return params;
+  };
+
+  switch (config.level) {
+    case Level::kPerDataset: {
+      index.filters_.emplace_back(make_params(n_rows * d),
+                                  factory(mapping.num_columns()));
+      break;
+    }
+    case Level::kPerAttribute: {
+      index.filters_.reserve(d);
+      for (uint32_t a = 0; a < d; ++a) {
+        index.filters_.emplace_back(make_params(n_rows),
+                                    factory(mapping.cardinality(a)));
+      }
+      break;
+    }
+    case Level::kPerColumn: {
+      std::shared_ptr<const hash::HashFamily> family = factory(1);
+      index.filters_.reserve(index.column_set_bits_.size());
+      for (uint64_t s : index.column_set_bits_) {
+        index.filters_.emplace_back(make_params(std::max<uint64_t>(s, 1)),
+                                    family);
+      }
+      break;
+    }
+  }
+
+  (void)n_rows;
+  return index;
+}
+
+void AbIndex::InsertRowRange(const bitmap::BinnedDataset& dataset,
+                             uint64_t row_begin, uint64_t row_end) {
+  AB_CHECK_LE(row_begin, row_end);
+  AB_CHECK_LE(row_end, num_rows_);
+  for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
+    const std::vector<uint32_t>& column_values = dataset.values[a];
+    for (uint64_t i = row_begin; i < row_end; ++i) {
+      uint32_t gcol = mapping_.GlobalColumn(a, column_values[i]);
+      filters_[Route(a, gcol)].Insert(mapper_.Key(i, gcol),
+                                      hash::CellRef{i, gcol});
+    }
+  }
+}
+
+size_t AbIndex::Route(uint32_t attr, uint32_t global_col) const {
+  switch (config_.level) {
+    case Level::kPerDataset:
+      return 0;
+    case Level::kPerAttribute:
+      return attr;
+    case Level::kPerColumn:
+      return global_col;
+  }
+  AB_CHECK(false);
+  return 0;
+}
+
+uint64_t AbIndex::SizeInBytes() const {
+  uint64_t total = 0;
+  for (const ApproximateBitmap& f : filters_) total += f.SizeInBytes();
+  return total;
+}
+
+bool AbIndex::TestCell(uint64_t row, uint32_t attr, uint32_t bin) const {
+  uint32_t gcol = mapping_.GlobalColumn(attr, bin);
+  return filters_[Route(attr, gcol)].Test(mapper_.Key(row, gcol),
+                                          hash::CellRef{row, gcol});
+}
+
+bool AbIndex::TestCellGlobal(uint64_t row, uint32_t global_col) const {
+  uint32_t attr, bin;
+  mapping_.AttrBin(global_col, &attr, &bin);
+  return TestCell(row, attr, bin);
+}
+
+uint64_t AbIndex::RangeSelectivityRows(
+    const bitmap::AttributeRange& range) const {
+  uint64_t rows = 0;
+  for (uint32_t b = range.lo_bin; b <= range.hi_bin; ++b) {
+    rows += column_set_bits_[mapping_.GlobalColumn(range.attr, b)];
+  }
+  return rows;
+}
+
+std::vector<bool> AbIndex::Evaluate(const bitmap::BitmapQuery& query) const {
+  std::vector<uint64_t> all_rows;
+  const std::vector<uint64_t>* rows = &query.rows;
+  if (query.rows.empty()) {
+    all_rows = bitmap::RowRange(0, num_rows_ - 1);
+    rows = &all_rows;
+  }
+  // Probe the most selective attribute first so the AND short-circuits as
+  // early as possible (like any conjunctive query plan).
+  std::vector<const bitmap::AttributeRange*> plan;
+  plan.reserve(query.ranges.size());
+  for (const bitmap::AttributeRange& range : query.ranges) {
+    AB_DCHECK(range.lo_bin <= range.hi_bin);
+    plan.push_back(&range);
+  }
+  if (!config_.preserve_query_order && plan.size() > 1) {
+    std::sort(plan.begin(), plan.end(),
+              [this](const bitmap::AttributeRange* a,
+                     const bitmap::AttributeRange* b) {
+                return RangeSelectivityRows(*a) < RangeSelectivityRows(*b);
+              });
+  }
+  std::vector<bool> out;
+  out.reserve(rows->size());
+  for (uint64_t i : *rows) {
+    AB_DCHECK(i < num_rows_);
+    bool and_part = true;
+    for (const bitmap::AttributeRange* range : plan) {
+      bool or_part = false;
+      for (uint32_t b = range->lo_bin; b <= range->hi_bin; ++b) {
+        if (TestCell(i, range->attr, b)) {
+          // Short-circuit: one bin hit satisfies the attribute.
+          or_part = true;
+          break;
+        }
+      }
+      if (!or_part) {
+        // Short-circuit: one failed attribute disqualifies the row.
+        and_part = false;
+        break;
+      }
+    }
+    out.push_back(and_part);
+  }
+  return out;
+}
+
+double AbIndex::EstimateQueryPrecision(
+    const bitmap::BitmapQuery& query) const {
+  if (query.ranges.empty() || num_rows_ == 0) return 1.0;
+  double p_true = 1.0;
+  double p_reported = 1.0;
+  for (const bitmap::AttributeRange& range : query.ranges) {
+    double sel = static_cast<double>(RangeSelectivityRows(range)) /
+                 static_cast<double>(num_rows_);
+    // Worst filter FP among the bins probed (bins of one attribute can
+    // live in different filters only at the per-column level).
+    double fp = 0;
+    for (uint32_t b = range.lo_bin; b <= range.hi_bin; ++b) {
+      uint32_t gcol = mapping_.GlobalColumn(range.attr, b);
+      fp = std::max(
+          fp, filters_[Route(range.attr, gcol)].ExpectedFalsePositiveRate());
+    }
+    double width = static_cast<double>(range.hi_bin - range.lo_bin + 1);
+    double p_false_pass = 1.0 - std::pow(1.0 - fp, width);
+    p_true *= sel;
+    p_reported *= sel + (1.0 - sel) * p_false_pass;
+  }
+  if (p_reported <= 0) return 1.0;
+  return std::min(1.0, p_true / p_reported);
+}
+
+void AbIndex::AppendRows(const bitmap::BinnedDataset& delta) {
+  delta.CheckValid();
+  AB_CHECK_EQ(delta.num_attributes(), mapping_.num_attributes());
+  for (uint32_t a = 0; a < delta.num_attributes(); ++a) {
+    AB_CHECK_EQ(delta.attributes[a].cardinality, mapping_.cardinality(a));
+  }
+  uint64_t base = num_rows_;
+  uint64_t added = delta.num_rows();
+  num_rows_ = base + added;
+  for (uint32_t a = 0; a < delta.num_attributes(); ++a) {
+    const std::vector<uint32_t>& column_values = delta.values[a];
+    for (uint64_t i = 0; i < added; ++i) {
+      uint32_t gcol = mapping_.GlobalColumn(a, column_values[i]);
+      uint64_t row = base + i;
+      filters_[Route(a, gcol)].Insert(mapper_.Key(row, gcol),
+                                      hash::CellRef{row, gcol});
+      ++column_set_bits_[gcol];
+    }
+  }
+}
+
+bool AbIndex::NeedsRebuild(double fp_budget_factor) const {
+  AB_CHECK_GT(fp_budget_factor, 0.0);
+  if (built_fp_ <= 0) return false;
+  return WorstExpectedFp() > built_fp_ * fp_budget_factor;
+}
+
+void AbIndex::Serialize(util::ByteWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(config_.level));
+  out->WriteDouble(config_.alpha);
+  out->WriteVarint(static_cast<uint64_t>(config_.k));
+  out->WriteU8(static_cast<uint8_t>(config_.scheme));
+  out->WriteVarint(config_.n_bits_override);
+  out->WriteU8(config_.degenerate_row_only_mapping ? 1 : 0);
+  out->WriteVarint(mapping_.num_attributes());
+  for (uint32_t a = 0; a < mapping_.num_attributes(); ++a) {
+    out->WriteVarint(mapping_.cardinality(a));
+  }
+  out->WriteVarint(num_rows_);
+  out->WriteVarint(filters_.size());
+  for (const ApproximateBitmap& f : filters_) {
+    f.Serialize(out);
+  }
+  for (uint64_t c : column_set_bits_) {
+    out->WriteVarint(c);
+  }
+  out->WriteDouble(built_fp_);
+}
+
+util::StatusOr<AbIndex> AbIndex::Deserialize(util::ByteReader* in) {
+  // Peek the scheme from the fixed-layout prefix to build the default
+  // factory, then parse normally.
+  AbConfig probe;
+  {
+    util::ByteReader peek = *in;
+    uint8_t level, scheme;
+    double alpha;
+    uint64_t k;
+    if (!peek.ReadU8(&level) || !peek.ReadDouble(&alpha) ||
+        !peek.ReadVarint(&k) || !peek.ReadU8(&scheme)) {
+      return util::Status::Corruption("AbIndex: truncated config");
+    }
+    if (scheme > static_cast<uint8_t>(HashScheme::kColumnGroup)) {
+      return util::Status::Corruption("AbIndex: invalid hash scheme");
+    }
+    probe.scheme = static_cast<HashScheme>(scheme);
+  }
+  HashScheme scheme = probe.scheme;
+  return Deserialize(in, [scheme](uint32_t num_groups) {
+    return MakeFamily(scheme, num_groups);
+  });
+}
+
+util::StatusOr<AbIndex> AbIndex::Deserialize(util::ByteReader* in,
+                                             const FamilyFactory& factory) {
+  AbConfig config;
+  uint8_t level, scheme, degenerate;
+  uint64_t k, override_bits, num_attrs, num_rows, num_filters;
+  if (!in->ReadU8(&level) || !in->ReadDouble(&config.alpha) ||
+      !in->ReadVarint(&k) || !in->ReadU8(&scheme) ||
+      !in->ReadVarint(&override_bits) || !in->ReadU8(&degenerate) ||
+      !in->ReadVarint(&num_attrs)) {
+    return util::Status::Corruption("AbIndex: truncated config");
+  }
+  if (level > static_cast<uint8_t>(Level::kPerColumn) ||
+      scheme > static_cast<uint8_t>(HashScheme::kColumnGroup)) {
+    return util::Status::Corruption("AbIndex: invalid enum value");
+  }
+  config.level = static_cast<Level>(level);
+  config.k = static_cast<int>(k);
+  config.scheme = static_cast<HashScheme>(scheme);
+  config.n_bits_override = override_bits;
+  config.degenerate_row_only_mapping = degenerate != 0;
+
+  std::vector<bitmap::AttributeInfo> attributes;
+  attributes.reserve(num_attrs);
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    uint64_t cardinality;
+    if (!in->ReadVarint(&cardinality) || cardinality == 0 ||
+        cardinality > (uint64_t{1} << 31)) {
+      return util::Status::Corruption("AbIndex: invalid cardinality");
+    }
+    attributes.push_back(bitmap::AttributeInfo{
+        "A" + std::to_string(a), static_cast<uint32_t>(cardinality)});
+  }
+  if (!in->ReadVarint(&num_rows) || !in->ReadVarint(&num_filters)) {
+    return util::Status::Corruption("AbIndex: truncated counts");
+  }
+
+  AbIndex index(config, bitmap::ColumnMapping(attributes), num_rows);
+  // The filter count must match what the level implies.
+  uint64_t expected_filters = 0;
+  switch (config.level) {
+    case Level::kPerDataset:
+      expected_filters = 1;
+      break;
+    case Level::kPerAttribute:
+      expected_filters = num_attrs;
+      break;
+    case Level::kPerColumn:
+      expected_filters = index.mapping_.num_columns();
+      break;
+  }
+  if (num_filters != expected_filters) {
+    return util::Status::Corruption("AbIndex: filter count mismatch");
+  }
+  index.filters_.reserve(num_filters);
+  for (uint64_t f = 0; f < num_filters; ++f) {
+    uint32_t num_groups = 1;
+    if (config.level == Level::kPerDataset) {
+      num_groups = index.mapping_.num_columns();
+    } else if (config.level == Level::kPerAttribute) {
+      num_groups = index.mapping_.cardinality(static_cast<uint32_t>(f));
+    }
+    util::StatusOr<ApproximateBitmap> filter =
+        ApproximateBitmap::Deserialize(in, factory(num_groups));
+    if (!filter.ok()) return filter.status();
+    index.filters_.push_back(std::move(filter).value());
+  }
+  index.column_set_bits_.resize(index.mapping_.num_columns());
+  for (uint64_t c = 0; c < index.column_set_bits_.size(); ++c) {
+    if (!in->ReadVarint(&index.column_set_bits_[c])) {
+      return util::Status::Corruption("AbIndex: truncated histograms");
+    }
+  }
+  if (!in->ReadDouble(&index.built_fp_)) {
+    return util::Status::Corruption("AbIndex: truncated statistics");
+  }
+  return index;
+}
+
+util::Status AbIndex::SaveToFile(const std::string& path) const {
+  util::ByteWriter payload;
+  Serialize(&payload);
+  return util::WriteFileAtomic(
+      path, util::WrapEnvelope(util::PayloadType::kAbIndex, payload.bytes()));
+}
+
+util::StatusOr<AbIndex> AbIndex::LoadFromFile(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  util::Status status = util::ReadFile(path, &bytes);
+  if (!status.ok()) return status;
+  std::vector<uint8_t> payload;
+  status = util::UnwrapEnvelope(bytes, util::PayloadType::kAbIndex, &payload);
+  if (!status.ok()) return status;
+  util::ByteReader reader(payload);
+  return Deserialize(&reader);
+}
+
+std::vector<bool> AbIndex::EvaluateCells(
+    const bitmap::CellQuery& query) const {
+  std::vector<bool> out;
+  out.reserve(query.size());
+  for (const bitmap::Cell& c : query) {
+    out.push_back(TestCellGlobal(c.row, c.col));
+  }
+  return out;
+}
+
+}  // namespace ab
+}  // namespace abitmap

@@ -1,0 +1,104 @@
+#include "core/ab_theory.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace abitmap {
+namespace ab {
+
+double ProbBitZero(uint64_t n, uint64_t s, int k) {
+  AB_CHECK_GE(n, 1u);
+  return std::pow(1.0 - 1.0 / static_cast<double>(n),
+                  static_cast<double>(k) * static_cast<double>(s));
+}
+
+double FalsePositiveRate(double alpha, int k) {
+  AB_CHECK_GT(alpha, 0.0);
+  AB_CHECK_GE(k, 1);
+  return std::pow(1.0 - std::exp(-static_cast<double>(k) / alpha), k);
+}
+
+double FalsePositiveRateExact(uint64_t n, uint64_t s, int k) {
+  return std::pow(1.0 - ProbBitZero(n, s, k), k);
+}
+
+double Precision(double alpha, int k) { return 1.0 - FalsePositiveRate(alpha, k); }
+
+int OptimalK(double alpha) {
+  AB_CHECK_GT(alpha, 0.0);
+  double real_k = alpha * std::log(2.0);
+  int lo = static_cast<int>(std::floor(real_k));
+  int hi = lo + 1;
+  if (lo < 1) return 1;
+  return FalsePositiveRate(alpha, lo) <= FalsePositiveRate(alpha, hi) ? lo
+                                                                      : hi;
+}
+
+uint64_t AbSizeBits(uint64_t s, double alpha) {
+  AB_CHECK_GE(s, 1u);
+  AB_CHECK_GE(alpha, 1.0);
+  double target = static_cast<double>(s) * alpha;
+  uint64_t bits = static_cast<uint64_t>(std::ceil(target));
+  return util::NextPowerOfTwo(bits);
+}
+
+double AlphaForPrecision(double p_min, int k) {
+  AB_CHECK(p_min > 0.0 && p_min < 1.0);
+  AB_CHECK_GE(k, 1);
+  // FP target = 1 - p_min; invert (1 - e^{-k/alpha})^k = FP.
+  double fp_root = std::exp(std::log(1.0 - p_min) / k);  // (1-P)^{1/k}
+  double inner = 1.0 - fp_root;                          // e^{-k/alpha}
+  AB_CHECK(inner > 0.0 && inner < 1.0);
+  return -static_cast<double>(k) / std::log(inner);
+}
+
+AbParams AbParams::ForMaxSizeBits(uint64_t max_bits, uint64_t set_bits) {
+  AB_CHECK_GE(set_bits, 1u);
+  AB_CHECK_GE(max_bits, 64u);
+  // "Largest possible AB size is chosen since large ABs are preferable for
+  // their low false positive rate."
+  uint64_t n = util::IsPowerOfTwo(max_bits)
+                   ? max_bits
+                   : util::NextPowerOfTwo(max_bits) / 2;
+  AbParams p;
+  p.n_bits = n;
+  p.alpha = static_cast<double>(n) / static_cast<double>(set_bits);
+  p.k = OptimalK(p.alpha);
+  return p;
+}
+
+AbParams AbParams::ForMinPrecision(double p_min, uint64_t set_bits) {
+  AB_CHECK_GE(set_bits, 1u);
+  AB_CHECK(p_min > 0.0 && p_min < 1.0);
+  AbParams best;
+  bool found = false;
+  for (int k = 1; k <= 32; ++k) {
+    double alpha = AlphaForPrecision(p_min, k);
+    uint64_t n = AbSizeBits(set_bits, alpha);
+    if (!found || n < best.n_bits) {
+      best.n_bits = n;
+      best.alpha = static_cast<double>(n) / static_cast<double>(set_bits);
+      best.k = k;
+      found = true;
+    }
+  }
+  // The rounded-up power-of-two size may admit a better k than the one the
+  // search used; re-optimize (precision can only improve).
+  best.k = OptimalK(best.alpha);
+  // Guard: rounding must not drop below the requested precision.
+  AB_CHECK_GE(best.ExpectedPrecision(), p_min);
+  return best;
+}
+
+AbParams AbParams::ForAlpha(double alpha, int k, uint64_t set_bits) {
+  AbParams p;
+  p.n_bits = AbSizeBits(set_bits, alpha);
+  p.alpha = static_cast<double>(p.n_bits) / static_cast<double>(set_bits);
+  p.k = k;
+  return p;
+}
+
+}  // namespace ab
+}  // namespace abitmap

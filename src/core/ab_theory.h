@@ -1,0 +1,83 @@
+#ifndef ABITMAP_CORE_AB_THEORY_H_
+#define ABITMAP_CORE_AB_THEORY_H_
+
+#include <cstdint>
+
+namespace abitmap {
+namespace ab {
+
+/// Closed-form analysis of the Approximate Bitmap (Section 4 of the paper).
+/// Notation follows the paper's Table 2:
+///   s      — number of set bits inserted
+///   n      — AB size in bits
+///   m      — hash function size, log2(n)
+///   k      — number of hash functions
+///   alpha  — AB size parameter, n / s
+
+/// Probability that a specific AB bit is still zero after inserting s
+/// elements with k hashes into n bits: (1 - 1/n)^{ks} ~ e^{-ks/n}.
+double ProbBitZero(uint64_t n, uint64_t s, int k);
+
+/// Theoretical false positive rate (1 - e^{-k/alpha})^k.
+double FalsePositiveRate(double alpha, int k);
+
+/// Exact (non-asymptotic) false positive rate (1 - (1-1/n)^{ks})^k; used by
+/// tests to bound the asymptotic formula's error.
+double FalsePositiveRateExact(uint64_t n, uint64_t s, int k);
+
+/// Precision P = 1 - FP (Section 4.2).
+double Precision(double alpha, int k);
+
+/// The k minimizing the false positive rate for a given alpha. The real
+/// minimizer is alpha * ln 2; this returns the better of its two integer
+/// neighbours (always >= 1).
+int OptimalK(double alpha);
+
+/// Smallest power-of-two AB size (in bits) holding s set bits at size
+/// parameter alpha: 2^ceil(log2(s * alpha)) (Equation 1, applied the way
+/// Section 6.1 computes Tables 4-6). s >= 1, alpha >= 1.
+uint64_t AbSizeBits(uint64_t s, double alpha);
+
+/// The alpha required to reach precision p_min with k hash functions:
+///   alpha = -k / ln(1 - (1 - p_min)^{1/k})  (Section 4.2).
+double AlphaForPrecision(double p_min, int k);
+
+/// Parameter pair chosen by the two sizing policies of the paper
+/// (contribution 3).
+struct AbParams {
+  uint64_t n_bits = 0;  ///< AB size in bits (power of two).
+  int k = 1;            ///< number of hash functions.
+  double alpha = 0;     ///< resulting n / s.
+
+  /// Expected precision at these parameters.
+  double ExpectedPrecision() const { return Precision(alpha, k); }
+
+  /// Policy 1 — "setting a maximum size, in which case the AB is built to
+  /// achieve the best precision for the available memory": picks the
+  /// largest power of two <= max_bits (but at least one word) and the k
+  /// minimizing the false positive rate.
+  static AbParams ForMaxSizeBits(uint64_t max_bits, uint64_t set_bits);
+
+  /// Policy 2 — "setting a minimum precision, where the least amount of
+  /// space is used to ensure the minimum precision": searches k = 1..32
+  /// for the smallest power-of-two size whose optimal-k precision reaches
+  /// p_min. p_min must be in (0, 1).
+  static AbParams ForMinPrecision(double p_min, uint64_t set_bits);
+
+  /// Direct construction from the paper's experimental convention:
+  /// integer alpha, explicit k, size = 2^ceil(log2(s * alpha)).
+  static AbParams ForAlpha(double alpha, int k, uint64_t set_bits);
+};
+
+/// Section 4.2's level-selection arithmetic: total size in bits of an
+/// encoding built at each level. Used by the level advisor and benches.
+struct LevelSizes {
+  uint64_t per_dataset = 0;    ///< one AB, s = d*N
+  uint64_t per_attribute = 0;  ///< d ABs, s = N each
+  uint64_t per_column = 0;     ///< sum over columns of per-column ABs
+};
+
+}  // namespace ab
+}  // namespace abitmap
+
+#endif  // ABITMAP_CORE_AB_THEORY_H_

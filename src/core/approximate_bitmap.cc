@@ -1,0 +1,149 @@
+#include "core/approximate_bitmap.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace ab {
+
+namespace {
+
+/// Upper bound on k; keeps probe buffers on the stack. The theoretical
+/// optimum k = alpha * ln 2 stays far below this for any practical alpha.
+constexpr int kMaxHashFunctions = 64;
+
+}  // namespace
+
+ApproximateBitmap::ApproximateBitmap(
+    const AbParams& params, std::shared_ptr<const hash::HashFamily> family)
+    : bits_(params.n_bits), k_(params.k), family_(std::move(family)) {
+  AB_CHECK_GE(params.n_bits, 8u);
+  AB_CHECK_GE(params.k, 1);
+  AB_CHECK_LE(params.k, kMaxHashFunctions);
+  AB_CHECK(family_ != nullptr);
+}
+
+void ApproximateBitmap::Insert(uint64_t key, const hash::CellRef& cell) {
+  uint64_t probes[kMaxHashFunctions];
+  family_->Probes(key, cell, k_, bits_.size(), probes);
+  for (int t = 0; t < k_; ++t) {
+    bits_.Set(probes[t]);
+  }
+  ++insertions_;
+}
+
+void ApproximateBitmap::MergeFrom(const ApproximateBitmap& other) {
+  AB_CHECK_EQ(bits_.size(), other.bits_.size());
+  AB_CHECK_EQ(k_, other.k_);
+  AB_CHECK(family_->name() == other.family_->name());
+  bits_.OrWith(other.bits_);
+  insertions_ += other.insertions_;
+}
+
+bool ApproximateBitmap::Test(uint64_t key, const hash::CellRef& cell) const {
+  if (family_->PrefersLazyProbes()) {
+    // Figure 5 with early exit on the first zero probe: a negative cell
+    // costs ~1/(zero-bit fraction) hash evaluations, not k.
+    for (int t = 0; t < k_; ++t) {
+      if (!bits_.Get(family_->ProbeAt(key, cell, t, bits_.size()))) {
+        return false;
+      }
+    }
+    return true;
+  }
+  uint64_t probes[kMaxHashFunctions];
+  family_->Probes(key, cell, k_, bits_.size(), probes);
+  for (int t = 0; t < k_; ++t) {
+    if (!bits_.Get(probes[t])) return false;
+  }
+  return true;
+}
+
+double ApproximateBitmap::FillRatio() const {
+  return static_cast<double>(bits_.Count()) /
+         static_cast<double>(bits_.size());
+}
+
+double ApproximateBitmap::ExpectedFalsePositiveRate() const {
+  return FalsePositiveRateExact(bits_.size(), insertions_, k_);
+}
+
+void ApproximateBitmap::Serialize(util::ByteWriter* out) const {
+  out->WriteVarint(static_cast<uint64_t>(k_));
+  out->WriteVarint(insertions_);
+  out->WriteString(family_->name());
+  bits_.Serialize(out);
+}
+
+util::StatusOr<ApproximateBitmap> ApproximateBitmap::Deserialize(
+    util::ByteReader* in, std::shared_ptr<const hash::HashFamily> family) {
+  AB_CHECK(family != nullptr);
+  uint64_t k, insertions;
+  std::string family_name;
+  if (!in->ReadVarint(&k) || !in->ReadVarint(&insertions) ||
+      !in->ReadString(&family_name)) {
+    return util::Status::Corruption("ApproximateBitmap: truncated header");
+  }
+  if (k < 1 || k > 64) {
+    return util::Status::Corruption("ApproximateBitmap: invalid k");
+  }
+  if (family_name != family->name()) {
+    return util::Status::FailedPrecondition(
+        "ApproximateBitmap: filter was built with hash family '" +
+        family_name + "', not '" + family->name() + "'");
+  }
+  util::BitVector bits;
+  util::Status status = util::BitVector::Deserialize(in, &bits);
+  if (!status.ok()) return status;
+  if (bits.size() < 8) {
+    return util::Status::Corruption("ApproximateBitmap: filter too small");
+  }
+  return ApproximateBitmap(std::move(bits), static_cast<int>(k),
+                           std::move(family), insertions);
+}
+
+MatrixFilter::MatrixFilter(const bitmap::BooleanMatrix& matrix,
+                           const AbParams& params,
+                           std::shared_ptr<const hash::HashFamily> family)
+    : mapper_(CellMapper::RowAndColumn(matrix.cols())),
+      filter_(params, std::move(family)) {
+  // Figure 3: insert every set cell.
+  for (uint64_t i = 0; i < matrix.rows(); ++i) {
+    for (uint32_t j = 0; j < matrix.cols(); ++j) {
+      if (matrix.Get(i, j)) {
+        filter_.Insert(mapper_.Key(i, j), hash::CellRef{i, j});
+      }
+    }
+  }
+}
+
+MatrixFilter::MatrixFilter(const std::vector<bitmap::Cell>& set_cells,
+                           uint64_t rows, uint32_t cols,
+                           const AbParams& params,
+                           std::shared_ptr<const hash::HashFamily> family)
+    : mapper_(CellMapper::RowAndColumn(cols)),
+      filter_(params, std::move(family)) {
+  for (const bitmap::Cell& c : set_cells) {
+    AB_CHECK_LT(c.row, rows);
+    AB_CHECK_LT(c.col, cols);
+    filter_.Insert(mapper_.Key(c.row, c.col), hash::CellRef{c.row, c.col});
+  }
+}
+
+bool MatrixFilter::Test(uint64_t row, uint32_t col) const {
+  return filter_.Test(mapper_.Key(row, col), hash::CellRef{row, col});
+}
+
+std::vector<bool> MatrixFilter::Evaluate(
+    const bitmap::CellQuery& query) const {
+  std::vector<bool> out;
+  out.reserve(query.size());
+  for (const bitmap::Cell& c : query) {
+    out.push_back(Test(c.row, c.col));
+  }
+  return out;
+}
+
+}  // namespace ab
+}  // namespace abitmap

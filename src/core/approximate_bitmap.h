@@ -1,0 +1,141 @@
+#ifndef ABITMAP_CORE_APPROXIMATE_BITMAP_H_
+#define ABITMAP_CORE_APPROXIMATE_BITMAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bitmap/boolean_matrix.h"
+#include "core/ab_theory.h"
+#include "core/cell_mapper.h"
+#include "hash/hash_family.h"
+#include "util/bitvector.h"
+#include "util/statusor.h"
+
+namespace abitmap {
+namespace ab {
+
+/// The Approximate Bitmap (AB) — the paper's core structure.
+///
+/// An AB is a Bloom-filter-like bit array of n bits (n a power of two in
+/// the paper's experiments) into which every set bit of a boolean matrix is
+/// inserted via k hash functions over the cell's hash string x = F(i, j).
+/// Testing a cell probes the same k positions:
+///  * any probe zero  -> the cell is definitely 0 (no false negatives);
+///  * all probes one  -> the cell is reported 1, wrongly so with
+///    probability (1 - e^{-k/alpha})^k (a false positive).
+///
+/// Retrieval of any subset of cells — rows, columns, rectangles, diagonals
+/// — costs O(k) per cell, i.e. O(c) for a subset of cardinality c,
+/// independent of the matrix dimensions. That direct access in compressed
+/// form is what run-length-compressed bitmaps (WAH/BBC) give up.
+///
+/// The class is move-only: an AB over a large dataset is tens of megabytes
+/// and accidental copies would dominate query benchmarks.
+class ApproximateBitmap {
+ public:
+  /// Creates an empty AB of `params.n_bits` bits probing with `params.k`
+  /// functions from `family`. The family is shared so one family instance
+  /// can serve the many per-column ABs of a column-level index.
+  ApproximateBitmap(const AbParams& params,
+                    std::shared_ptr<const hash::HashFamily> family);
+
+  ApproximateBitmap(ApproximateBitmap&&) = default;
+  ApproximateBitmap& operator=(ApproximateBitmap&&) = default;
+  ApproximateBitmap(const ApproximateBitmap&) = delete;
+  ApproximateBitmap& operator=(const ApproximateBitmap&) = delete;
+
+  /// Inserts the cell with hash string `key` (Figure 3, inner loop).
+  void Insert(uint64_t key, const hash::CellRef& cell);
+
+  /// ORs another filter's bits into this one. Because the AB is a pure
+  /// union of per-cell bit sets, the merge of two filters built over
+  /// disjoint row shards equals the filter built over their union — the
+  /// basis of the parallel build. Both filters must share size, k, and
+  /// hash family.
+  void MergeFrom(const ApproximateBitmap& other);
+
+  /// Tests the cell with hash string `key` (Figure 5, inner loop). True
+  /// means "present with high probability"; false is exact.
+  bool Test(uint64_t key, const hash::CellRef& cell) const;
+
+  uint64_t size_bits() const { return bits_.size(); }
+  uint64_t SizeInBytes() const { return bits_.size() / 8; }
+  int k() const { return k_; }
+  uint64_t insertions() const { return insertions_; }
+
+  /// Fraction of AB bits set — the load factor that drives the false
+  /// positive rate (a fully saturated AB answers 1 everywhere).
+  double FillRatio() const;
+
+  /// Expected false positive rate from the *measured* state (uses the
+  /// exact formula with the actual insertion count).
+  double ExpectedFalsePositiveRate() const;
+
+  const hash::HashFamily& family() const { return *family_; }
+
+  /// The underlying bit array (serialization, diagnostics).
+  const util::BitVector& bits() const { return bits_; }
+
+  /// Appends the filter state to `out`. The hash family itself is not
+  /// serialized — only its name, which Deserialize verifies against the
+  /// family supplied at load time (probing with a different family than
+  /// the one that inserted would silently produce false negatives).
+  void Serialize(util::ByteWriter* out) const;
+
+  /// Restores a filter written by Serialize, probing with `family`.
+  static util::StatusOr<ApproximateBitmap> Deserialize(
+      util::ByteReader* in, std::shared_ptr<const hash::HashFamily> family);
+
+ private:
+  ApproximateBitmap(util::BitVector bits, int k,
+                    std::shared_ptr<const hash::HashFamily> family,
+                    uint64_t insertions)
+      : bits_(std::move(bits)),
+        k_(k),
+        family_(std::move(family)),
+        insertions_(insertions) {}
+
+  util::BitVector bits_;
+  int k_;
+  std::shared_ptr<const hash::HashFamily> family_;
+  uint64_t insertions_ = 0;
+};
+
+/// Convenience wrapper implementing Section 3.1 end to end for a general
+/// boolean matrix: encodes all set bits of `matrix` with F = CellMapper
+/// over the matrix's columns, and answers cell-subset queries.
+class MatrixFilter {
+ public:
+  /// Encodes `matrix` with the given parameters and hash family.
+  MatrixFilter(const bitmap::BooleanMatrix& matrix, const AbParams& params,
+               std::shared_ptr<const hash::HashFamily> family);
+
+  /// Sparse construction: encodes an explicit set-cell list (COO form)
+  /// for a rows x cols matrix — the natural input at the scales Section
+  /// 3.1 targets, where materializing the dense matrix (rows*cols bits)
+  /// would dwarf the filter itself. Duplicate cells are permitted (they
+  /// set the same positions).
+  MatrixFilter(const std::vector<bitmap::Cell>& set_cells, uint64_t rows,
+               uint32_t cols, const AbParams& params,
+               std::shared_ptr<const hash::HashFamily> family);
+
+  /// Approximate value of one cell.
+  bool Test(uint64_t row, uint32_t col) const;
+
+  /// Approximate answer to a cell-subset query (Figure 5): one bit per
+  /// queried cell, in order. Guaranteed superset of the exact answer.
+  std::vector<bool> Evaluate(const bitmap::CellQuery& query) const;
+
+  const ApproximateBitmap& filter() const { return filter_; }
+
+ private:
+  CellMapper mapper_;
+  ApproximateBitmap filter_;
+};
+
+}  // namespace ab
+}  // namespace abitmap
+
+#endif  // ABITMAP_CORE_APPROXIMATE_BITMAP_H_

@@ -1,0 +1,66 @@
+#include "core/blocked_bitmap.h"
+
+#include "hash/general_hashes.h"
+#include "util/math.h"
+
+namespace abitmap {
+namespace ab {
+
+namespace {
+
+constexpr uint64_t kBlockSalt = 0x243F6A8885A308D3ull;   // pi
+constexpr uint64_t kProbeSalt1 = 0x13198A2E03707344ull;  // pi, continued
+constexpr uint64_t kProbeSalt2 = 0xA4093822299F31D0ull;
+constexpr int kMaxK = 32;
+
+}  // namespace
+
+BlockedApproximateBitmap::BlockedApproximateBitmap(const AbParams& params)
+    : num_blocks_(util::CeilDiv(params.n_bits, kBlockBits)), k_(params.k) {
+  AB_CHECK_GE(num_blocks_, 1u);
+  AB_CHECK_GE(k_, 1);
+  AB_CHECK_LE(k_, kMaxK);
+  words_.assign(num_blocks_ * kWordsPerBlock, 0);
+}
+
+uint64_t BlockedApproximateBitmap::BlockOf(uint64_t key) const {
+  return hash::Mix64(key ^ kBlockSalt) % num_blocks_;
+}
+
+uint32_t BlockedApproximateBitmap::ProbeBit(uint64_t key, int t) {
+  // Double hashing within the block: h1 + t*h2 over 512 positions, h2 odd
+  // so the probes cycle through all in-block offsets.
+  uint64_t h1 = hash::Mix64(key ^ kProbeSalt1);
+  uint64_t h2 = hash::Mix64(key ^ kProbeSalt2) | 1u;
+  return static_cast<uint32_t>((h1 + static_cast<uint64_t>(t) * h2) %
+                               kBlockBits);
+}
+
+void BlockedApproximateBitmap::Insert(uint64_t key) {
+  uint64_t base = BlockOf(key) * kWordsPerBlock;
+  for (int t = 0; t < k_; ++t) {
+    uint32_t bit = ProbeBit(key, t);
+    words_[base + (bit >> 6)] |= uint64_t{1} << (bit & 63);
+  }
+  ++insertions_;
+}
+
+bool BlockedApproximateBitmap::Test(uint64_t key) const {
+  uint64_t base = BlockOf(key) * kWordsPerBlock;
+  for (int t = 0; t < k_; ++t) {
+    uint32_t bit = ProbeBit(key, t);
+    if ((words_[base + (bit >> 6)] & (uint64_t{1} << (bit & 63))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double BlockedApproximateBitmap::FillRatio() const {
+  uint64_t set = 0;
+  for (uint64_t w : words_) set += util::PopCount(w);
+  return static_cast<double>(set) / static_cast<double>(size_bits());
+}
+
+}  // namespace ab
+}  // namespace abitmap

@@ -1,0 +1,19 @@
+#include "core/cell_mapper.h"
+
+#include "util/math.h"
+
+namespace abitmap {
+namespace ab {
+
+CellMapper CellMapper::RowAndColumn(uint32_t num_columns) {
+  AB_CHECK_GE(num_columns, 1u);
+  int w = num_columns == 1 ? 1 : util::Log2Ceil(num_columns);
+  return CellMapper(w, /*use_column=*/true);
+}
+
+CellMapper CellMapper::RowOnly() {
+  return CellMapper(/*offset_bits=*/0, /*use_column=*/false);
+}
+
+}  // namespace ab
+}  // namespace abitmap

@@ -1,0 +1,59 @@
+#ifndef ABITMAP_CORE_CELL_MAPPER_H_
+#define ABITMAP_CORE_CELL_MAPPER_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace ab {
+
+/// The hash string mapping function F of Section 3.2.1. Its job is to give
+/// every bitmap cell a distinct hash string: cells sharing a string would
+/// collide in the AB under *every* hash function, inflating false
+/// positives.
+///
+/// Three variants:
+///  * kRowAndColumn — F(i, j) = (i << w) | j, where w is an offset wide
+///    enough to accommodate every global column id ("this string is in
+///    fact unique when w is large enough"). Used for the per-data-set and
+///    per-attribute levels.
+///  * kRowOnly — F(i, j) = i. Used for the per-column level, "since the
+///    column number is already encoded in the AB itself".
+///  * kRowOnly at a multi-column level is the degenerate mapping the paper
+///    warns about (every row has a set bit in each attribute, so the AB
+///    saturates and the false positive rate goes to 1); it is constructible
+///    here on purpose for the `bench_ablation_fmap` experiment.
+class CellMapper {
+ public:
+  /// Mapper for an AB covering `num_columns` bitmap columns:
+  /// F(i, j) = (i << w) | j with w = ceil(log2(num_columns)).
+  static CellMapper RowAndColumn(uint32_t num_columns);
+
+  /// Mapper that ignores the column: F(i, j) = i.
+  static CellMapper RowOnly();
+
+  /// Hash string for cell (row, col). `col` is relative to the columns the
+  /// target AB covers (global id for a per-data-set AB, id within the
+  /// attribute for a per-attribute AB).
+  uint64_t Key(uint64_t row, uint32_t col) const {
+    if (!use_column_) return row;
+    AB_DCHECK(col < (uint64_t{1} << offset_bits_));
+    return (row << offset_bits_) | col;
+  }
+
+  /// The offset w (0 for the row-only mapper).
+  int offset_bits() const { return offset_bits_; }
+
+ private:
+  CellMapper(int offset_bits, bool use_column)
+      : offset_bits_(offset_bits), use_column_(use_column) {}
+
+  int offset_bits_;
+  bool use_column_;
+};
+
+}  // namespace ab
+}  // namespace abitmap
+
+#endif  // ABITMAP_CORE_CELL_MAPPER_H_

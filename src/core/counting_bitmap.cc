@@ -1,0 +1,79 @@
+#include "core/counting_bitmap.h"
+
+#include <utility>
+
+namespace abitmap {
+namespace ab {
+
+namespace {
+constexpr int kMaxHashFunctions = 64;
+constexpr uint8_t kSaturated = 15;
+}  // namespace
+
+CountingApproximateBitmap::CountingApproximateBitmap(
+    const AbParams& params, std::shared_ptr<const hash::HashFamily> family)
+    : num_counters_(params.n_bits),
+      k_(params.k),
+      family_(std::move(family)),
+      counters_((params.n_bits + 1) / 2, 0) {
+  AB_CHECK_GE(num_counters_, 8u);
+  AB_CHECK_GE(k_, 1);
+  AB_CHECK_LE(k_, kMaxHashFunctions);
+  AB_CHECK(family_ != nullptr);
+}
+
+void CountingApproximateBitmap::Insert(uint64_t key,
+                                       const hash::CellRef& cell) {
+  uint64_t probes[kMaxHashFunctions];
+  family_->Probes(key, cell, k_, num_counters_, probes);
+  for (int t = 0; t < k_; ++t) {
+    uint8_t c = Counter(probes[t]);
+    if (c < kSaturated) SetCounter(probes[t], c + 1);
+  }
+  ++live_;
+}
+
+void CountingApproximateBitmap::Remove(uint64_t key,
+                                       const hash::CellRef& cell) {
+  uint64_t probes[kMaxHashFunctions];
+  family_->Probes(key, cell, k_, num_counters_, probes);
+  for (int t = 0; t < k_; ++t) {
+    uint8_t c = Counter(probes[t]);
+    // Underflow means the caller removed something never inserted; that
+    // would silently poison the filter with false negatives, so abort.
+    AB_CHECK_GE(c, 1);
+    // Saturated counters are sticky: the true count may exceed 15.
+    if (c < kSaturated) SetCounter(probes[t], c - 1);
+  }
+  AB_CHECK_GE(live_, 1u);
+  --live_;
+}
+
+bool CountingApproximateBitmap::Test(uint64_t key,
+                                     const hash::CellRef& cell) const {
+  if (family_->PrefersLazyProbes()) {
+    for (int t = 0; t < k_; ++t) {
+      if (Counter(family_->ProbeAt(key, cell, t, num_counters_)) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  uint64_t probes[kMaxHashFunctions];
+  family_->Probes(key, cell, k_, num_counters_, probes);
+  for (int t = 0; t < k_; ++t) {
+    if (Counter(probes[t]) == 0) return false;
+  }
+  return true;
+}
+
+double CountingApproximateBitmap::FillRatio() const {
+  uint64_t nonzero = 0;
+  for (uint64_t i = 0; i < num_counters_; ++i) {
+    if (Counter(i) != 0) ++nonzero;
+  }
+  return static_cast<double>(nonzero) / static_cast<double>(num_counters_);
+}
+
+}  // namespace ab
+}  // namespace abitmap

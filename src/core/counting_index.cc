@@ -1,0 +1,197 @@
+#include "core/counting_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/ab_theory.h"
+#include "util/logging.h"
+
+namespace abitmap {
+namespace ab {
+
+namespace {
+
+std::shared_ptr<const hash::HashFamily> MakeSchemeFamily(HashScheme scheme,
+                                                         uint32_t groups) {
+  switch (scheme) {
+    case HashScheme::kIndependent:
+      return hash::MakeIndependentFamily();
+    case HashScheme::kSha1:
+      return hash::MakeSha1Family();
+    case HashScheme::kDoubleHash:
+      return hash::MakeDoubleHashFamily();
+    case HashScheme::kCircular:
+      return hash::MakeCircularFamily();
+    case HashScheme::kColumnGroup:
+      return hash::MakeColumnGroupFamily(groups);
+  }
+  AB_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+CountingAbIndex::CountingAbIndex(const AbConfig& config,
+                                 bitmap::ColumnMapping mapping,
+                                 uint64_t num_rows)
+    : config_(config),
+      mapping_(std::move(mapping)),
+      num_rows_(num_rows),
+      mapper_(config.level == Level::kPerColumn ||
+                      config.degenerate_row_only_mapping
+                  ? CellMapper::RowOnly()
+                  : CellMapper::RowAndColumn(mapping_.num_columns())) {}
+
+CountingAbIndex CountingAbIndex::Build(const bitmap::BinnedDataset& dataset,
+                                       const AbConfig& config) {
+  dataset.CheckValid();
+  AB_CHECK_GE(config.alpha, 1.0);
+  CountingAbIndex index(config, bitmap::ColumnMapping(dataset.attributes),
+                        dataset.num_rows());
+  uint64_t n_rows = dataset.num_rows();
+  uint32_t d = dataset.num_attributes();
+
+  auto make_params = [&config](uint64_t set_bits) {
+    AbParams params = AbParams::ForAlpha(config.alpha, 1, set_bits);
+    params.k = std::min(config.k > 0 ? config.k : OptimalK(params.alpha), 64);
+    params.n_bits = std::max<uint64_t>(params.n_bits, 8);
+    return params;
+  };
+
+  switch (config.level) {
+    case Level::kPerDataset:
+      index.filters_.emplace_back(
+          make_params(n_rows * d),
+          MakeSchemeFamily(config.scheme, index.mapping_.num_columns()));
+      break;
+    case Level::kPerAttribute:
+      for (uint32_t a = 0; a < d; ++a) {
+        index.filters_.emplace_back(
+            make_params(n_rows),
+            MakeSchemeFamily(config.scheme, index.mapping_.cardinality(a)));
+      }
+      break;
+    case Level::kPerColumn: {
+      AB_CHECK(config.scheme != HashScheme::kColumnGroup);
+      std::vector<uint64_t> counts(index.mapping_.num_columns(), 0);
+      for (uint32_t a = 0; a < d; ++a) {
+        for (uint32_t v : dataset.values[a]) {
+          ++counts[index.mapping_.GlobalColumn(a, v)];
+        }
+      }
+      std::shared_ptr<const hash::HashFamily> family =
+          MakeSchemeFamily(config.scheme, 1);
+      for (uint64_t s : counts) {
+        index.filters_.emplace_back(make_params(std::max<uint64_t>(s, 1)),
+                                    family);
+      }
+      break;
+    }
+  }
+
+  for (uint32_t a = 0; a < d; ++a) {
+    for (uint64_t i = 0; i < n_rows; ++i) {
+      index.InsertCell(i, a, dataset.values[a][i]);
+    }
+  }
+  return index;
+}
+
+size_t CountingAbIndex::Route(uint32_t attr, uint32_t global_col) const {
+  switch (config_.level) {
+    case Level::kPerDataset:
+      return 0;
+    case Level::kPerAttribute:
+      return attr;
+    case Level::kPerColumn:
+      return global_col;
+  }
+  AB_CHECK(false);
+  return 0;
+}
+
+uint64_t CountingAbIndex::SizeInBytes() const {
+  uint64_t total = 0;
+  for (const CountingApproximateBitmap& f : filters_) {
+    total += f.SizeInBytes();
+  }
+  return total;
+}
+
+void CountingAbIndex::InsertCell(uint64_t row, uint32_t attr, uint32_t bin) {
+  uint32_t gcol = mapping_.GlobalColumn(attr, bin);
+  filters_[Route(attr, gcol)].Insert(mapper_.Key(row, gcol),
+                                     hash::CellRef{row, gcol});
+}
+
+void CountingAbIndex::RemoveCell(uint64_t row, uint32_t attr, uint32_t bin) {
+  uint32_t gcol = mapping_.GlobalColumn(attr, bin);
+  filters_[Route(attr, gcol)].Remove(mapper_.Key(row, gcol),
+                                     hash::CellRef{row, gcol});
+}
+
+void CountingAbIndex::UpdateCell(uint64_t row, uint32_t attr,
+                                 uint32_t old_bin, uint32_t new_bin) {
+  AB_CHECK_LT(row, num_rows_);
+  if (old_bin == new_bin) return;
+  RemoveCell(row, attr, old_bin);
+  InsertCell(row, attr, new_bin);
+}
+
+void CountingAbIndex::DeleteRow(uint64_t row,
+                                const std::vector<uint32_t>& bins) {
+  AB_CHECK_LT(row, num_rows_);
+  AB_CHECK_EQ(bins.size(), mapping_.num_attributes());
+  for (uint32_t a = 0; a < bins.size(); ++a) {
+    RemoveCell(row, a, bins[a]);
+  }
+}
+
+uint64_t CountingAbIndex::InsertRow(const std::vector<uint32_t>& bins) {
+  AB_CHECK_EQ(bins.size(), mapping_.num_attributes());
+  uint64_t row = num_rows_++;
+  for (uint32_t a = 0; a < bins.size(); ++a) {
+    InsertCell(row, a, bins[a]);
+  }
+  return row;
+}
+
+bool CountingAbIndex::TestCell(uint64_t row, uint32_t attr,
+                               uint32_t bin) const {
+  uint32_t gcol = mapping_.GlobalColumn(attr, bin);
+  return filters_[Route(attr, gcol)].Test(mapper_.Key(row, gcol),
+                                          hash::CellRef{row, gcol});
+}
+
+std::vector<bool> CountingAbIndex::Evaluate(
+    const bitmap::BitmapQuery& query) const {
+  std::vector<uint64_t> all_rows;
+  const std::vector<uint64_t>* rows = &query.rows;
+  if (query.rows.empty()) {
+    all_rows = bitmap::RowRange(0, num_rows_ - 1);
+    rows = &all_rows;
+  }
+  std::vector<bool> out;
+  out.reserve(rows->size());
+  for (uint64_t i : *rows) {
+    bool and_part = true;
+    for (const bitmap::AttributeRange& range : query.ranges) {
+      bool or_part = false;
+      for (uint32_t b = range.lo_bin; b <= range.hi_bin; ++b) {
+        if (TestCell(i, range.attr, b)) {
+          or_part = true;
+          break;
+        }
+      }
+      if (!or_part) {
+        and_part = false;
+        break;
+      }
+    }
+    out.push_back(and_part);
+  }
+  return out;
+}
+
+}  // namespace ab
+}  // namespace abitmap

@@ -1,0 +1,82 @@
+#ifndef ABITMAP_CORE_COUNTING_INDEX_H_
+#define ABITMAP_CORE_COUNTING_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/query.h"
+#include "bitmap/schema.h"
+#include "core/ab_index.h"
+#include "core/counting_bitmap.h"
+
+namespace abitmap {
+namespace ab {
+
+/// Updatable Approximate Bitmap index: the AbIndex structure over counting
+/// filters. Supports the operations a mutable relation needs —
+/// UpdateCell (a row's attribute changes bin) and DeleteRow — which the
+/// plain AB cannot express without a rebuild. Costs 4x the memory of an
+/// AbIndex at equal parameters (4-bit counters vs bits).
+///
+/// Row identity: rows keep their ids for life; DeleteRow removes a row's
+/// cells from the filters but does not renumber the remaining rows (a
+/// deleted row simply stops matching everything, mirroring tombstones in
+/// a real store).
+class CountingAbIndex {
+ public:
+  /// Builds from a binned dataset; config.level/alpha/k/scheme behave as
+  /// in AbIndex::Build (n_bits is interpreted as the counter count).
+  static CountingAbIndex Build(const bitmap::BinnedDataset& dataset,
+                               const AbConfig& config);
+
+  Level level() const { return config_.level; }
+  uint64_t num_rows() const { return num_rows_; }
+  const bitmap::ColumnMapping& mapping() const { return mapping_; }
+  size_t num_filters() const { return filters_.size(); }
+  const CountingApproximateBitmap& filter(size_t i) const {
+    return filters_[i];
+  }
+
+  /// Total memory of all filters in bytes.
+  uint64_t SizeInBytes() const;
+
+  /// Changes row's attribute from `old_bin` to `new_bin`. The caller is
+  /// responsible for `old_bin` being the row's current bin (as with any
+  /// counting filter, removing a never-inserted cell is an error and is
+  /// caught by the underlying counter check).
+  void UpdateCell(uint64_t row, uint32_t attr, uint32_t old_bin,
+                  uint32_t new_bin);
+
+  /// Removes all of a row's cells. `bins[a]` must be the row's current bin
+  /// of attribute a.
+  void DeleteRow(uint64_t row, const std::vector<uint32_t>& bins);
+
+  /// Appends one row with the given bins; returns its row id.
+  uint64_t InsertRow(const std::vector<uint32_t>& bins);
+
+  /// Approximate value of bitmap cell (row, attribute, bin); same
+  /// guarantee as AbIndex::TestCell.
+  bool TestCell(uint64_t row, uint32_t attr, uint32_t bin) const;
+
+  /// Figure 7 evaluation, identical semantics to AbIndex::Evaluate.
+  std::vector<bool> Evaluate(const bitmap::BitmapQuery& query) const;
+
+ private:
+  CountingAbIndex(const AbConfig& config, bitmap::ColumnMapping mapping,
+                  uint64_t num_rows);
+
+  size_t Route(uint32_t attr, uint32_t global_col) const;
+  void InsertCell(uint64_t row, uint32_t attr, uint32_t bin);
+  void RemoveCell(uint64_t row, uint32_t attr, uint32_t bin);
+
+  AbConfig config_;
+  bitmap::ColumnMapping mapping_;
+  uint64_t num_rows_;
+  CellMapper mapper_;
+  std::vector<CountingApproximateBitmap> filters_;
+};
+
+}  // namespace ab
+}  // namespace abitmap
+
+#endif  // ABITMAP_CORE_COUNTING_INDEX_H_

@@ -1,0 +1,62 @@
+#ifndef ABITMAP_DATA_GENERATORS_H_
+#define ABITMAP_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bitmap/schema.h"
+
+namespace abitmap {
+namespace data {
+
+/// Value distributions for synthetic attributes.
+enum class Distribution {
+  kUniform,   ///< every bin equally likely
+  kZipf,      ///< bin b with probability proportional to 1/(b+1)^theta
+  kGaussian,  ///< normal values, equi-depth binned (near-uniform bins)
+};
+
+/// Generates a synthetic binned dataset: `attrs` attributes of the given
+/// cardinality, `rows` rows, all attributes drawn from `dist`.
+/// `clustering` in [0, 1) is the probability that a row repeats the
+/// previous row's bin (physical runs, as real instrument data exhibits);
+/// it changes the row order statistics WAH compresses, not the marginal
+/// distribution the AB depends on. Applies to kUniform and kZipf.
+bitmap::BinnedDataset MakeSynthetic(std::string name, uint64_t rows,
+                                    uint32_t attrs, uint32_t cardinality,
+                                    Distribution dist, uint64_t seed,
+                                    double zipf_theta = 1.0,
+                                    double clustering = 0.0);
+
+/// The three evaluation datasets of the paper's Table 3, reproduced in
+/// shape. The real HEP and Landsat files are not available offline; the
+/// substitutes preserve every quantity the AB analysis depends on — N, d,
+/// per-attribute cardinalities (hence bitmap counts and total set bits) —
+/// as documented in DESIGN.md.
+
+/// Uniform: 100,000 rows, 2 attributes, 50 bins each (100 bitmaps,
+/// 200,000 set bits).
+bitmap::BinnedDataset MakeUniformDataset(uint64_t seed = 42);
+
+/// Landsat-like: 275,465 rows, 60 attributes, 15 bins each (900 bitmaps,
+/// 16,527,900 set bits). The original is an SVD transform of satellite
+/// imagery, equi-depth binned; Gaussian values through equi-depth binning
+/// reproduce the near-uniform bin occupancy.
+bitmap::BinnedDataset MakeLandsatDataset(uint64_t seed = 43);
+
+/// HEP-like: 2,173,762 rows, 6 attributes, 11 bins each (66 bitmaps,
+/// 13,042,572 set bits). High-energy-physics attributes are skewed; a
+/// Zipf(1.0) bin distribution reproduces the skew the paper discusses
+/// (per-column AB sizes varying widely).
+bitmap::BinnedDataset MakeHepDataset(uint64_t seed = 44);
+
+/// Scaled-down variants (same shape, fewer rows) used by unit tests and
+/// quick benchmark runs. `scale` divides the row count.
+bitmap::BinnedDataset MakeUniformDataset(uint64_t seed, uint64_t scale);
+bitmap::BinnedDataset MakeLandsatDataset(uint64_t seed, uint64_t scale);
+bitmap::BinnedDataset MakeHepDataset(uint64_t seed, uint64_t scale);
+
+}  // namespace data
+}  // namespace abitmap
+
+#endif  // ABITMAP_DATA_GENERATORS_H_

@@ -1,0 +1,30 @@
+#include "data/metrics.h"
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace data {
+
+QueryAccuracy CompareResults(const std::vector<bool>& exact,
+                             const std::vector<bool>& approx) {
+  AB_CHECK_EQ(exact.size(), approx.size());
+  QueryAccuracy acc;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i]) ++acc.exact_ones;
+    if (approx[i]) ++acc.approx_ones;
+    if (approx[i] && !exact[i]) ++acc.false_positives;
+    if (!approx[i] && exact[i]) ++acc.false_negatives;
+  }
+  return acc;
+}
+
+void BatchAccuracy::Add(const QueryAccuracy& a) {
+  ++queries;
+  exact_ones += a.exact_ones;
+  approx_ones += a.approx_ones;
+  false_positives += a.false_positives;
+  false_negatives += a.false_negatives;
+}
+
+}  // namespace data
+}  // namespace abitmap

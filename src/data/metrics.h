@@ -1,0 +1,60 @@
+#ifndef ABITMAP_DATA_METRICS_H_
+#define ABITMAP_DATA_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace abitmap {
+namespace data {
+
+/// Accuracy of one approximate query answer against the exact answer.
+struct QueryAccuracy {
+  uint64_t exact_ones = 0;       ///< tuples that truly match
+  uint64_t approx_ones = 0;      ///< tuples the AB reported
+  uint64_t false_positives = 0;  ///< reported but not matching
+  uint64_t false_negatives = 0;  ///< matching but not reported (must be 0)
+
+  /// Precision as the paper uses it: exact matches over reported matches
+  /// (1.0 when nothing was reported, which implies nothing matched).
+  double precision() const {
+    if (approx_ones == 0) return 1.0;
+    return static_cast<double>(approx_ones - false_positives) /
+           static_cast<double>(approx_ones);
+  }
+
+  /// Recall; the AB guarantees 1.0.
+  double recall() const {
+    if (exact_ones == 0) return 1.0;
+    return static_cast<double>(exact_ones - false_negatives) /
+           static_cast<double>(exact_ones);
+  }
+};
+
+/// Compares an approximate result vector against the exact one
+/// (element-wise, equal lengths).
+QueryAccuracy CompareResults(const std::vector<bool>& exact,
+                             const std::vector<bool>& approx);
+
+/// Aggregates accuracies the way the paper reports them: totals across a
+/// batch of queries (Section 6.2 reports total tuples returned by WAH vs
+/// AB over 100 queries).
+struct BatchAccuracy {
+  uint64_t queries = 0;
+  uint64_t exact_ones = 0;
+  uint64_t approx_ones = 0;
+  uint64_t false_positives = 0;
+  uint64_t false_negatives = 0;
+
+  void Add(const QueryAccuracy& a);
+
+  double precision() const {
+    if (approx_ones == 0) return 1.0;
+    return static_cast<double>(approx_ones - false_positives) /
+           static_cast<double>(approx_ones);
+  }
+};
+
+}  // namespace data
+}  // namespace abitmap
+
+#endif  // ABITMAP_DATA_METRICS_H_

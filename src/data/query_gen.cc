@@ -1,0 +1,73 @@
+#include "data/query_gen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace data {
+
+std::vector<bitmap::BitmapQuery> GenerateQueries(
+    const bitmap::BinnedDataset& dataset, const QueryGenParams& params) {
+  AB_CHECK_GE(params.num_queries, 1);
+  AB_CHECK_GE(params.qdim, 1u);
+  AB_CHECK_LE(params.qdim, dataset.num_attributes());
+  AB_CHECK_GE(params.bins_per_attr, 1u);
+  uint64_t n = dataset.num_rows();
+  AB_CHECK_GE(n, params.rows_queried);
+  AB_CHECK_GE(params.rows_queried, 1u);
+
+  std::mt19937_64 rng(params.seed);
+  std::uniform_int_distribution<uint64_t> row_dist(0, n - 1);
+
+  std::vector<uint32_t> attr_ids(dataset.num_attributes());
+  std::iota(attr_ids.begin(), attr_ids.end(), 0);
+
+  std::vector<bitmap::BitmapQuery> queries;
+  queries.reserve(params.num_queries);
+  for (int q = 0; q < params.num_queries; ++q) {
+    uint64_t anchor_row = row_dist(rng);
+    // qdim distinct attributes, chosen uniformly.
+    std::shuffle(attr_ids.begin(), attr_ids.end(), rng);
+
+    bitmap::BitmapQuery query;
+    query.ranges.reserve(params.qdim);
+    for (uint32_t d = 0; d < params.qdim; ++d) {
+      uint32_t attr = attr_ids[d];
+      uint32_t cardinality = dataset.attributes[attr].cardinality;
+      uint32_t width = params.bins_per_attr;
+      if (params.sel_fraction > 0) {
+        // The paper's rule: u_i = l_i + sel * C_i (clamped below).
+        width = std::max<uint32_t>(
+            1, static_cast<uint32_t>(params.sel_fraction * cardinality));
+      }
+      uint32_t lo = dataset.values[attr][anchor_row];
+      uint32_t hi = std::min(lo + width - 1, cardinality - 1);
+      query.ranges.push_back(bitmap::AttributeRange{attr, lo, hi});
+    }
+
+    // Contiguous row range of the requested size.
+    uint64_t span = params.rows_queried;
+    uint64_t lo_row;
+    if (params.anchor_in_row_range) {
+      // Place the range so it contains the anchor row: lo uniform in
+      // [anchor-span+1, anchor], clamped to [0, n-span].
+      uint64_t min_lo = anchor_row + 1 >= span ? anchor_row + 1 - span : 0;
+      uint64_t max_lo = std::min(anchor_row, n - span);
+      min_lo = std::min(min_lo, max_lo);
+      lo_row = std::uniform_int_distribution<uint64_t>(min_lo, max_lo)(rng);
+    } else {
+      // The paper's literal rule: l uniform in [0, n), u clamped to n-1.
+      lo_row = row_dist(rng);
+      if (lo_row + span > n) lo_row = n - span;
+    }
+    query.rows = bitmap::RowRange(lo_row, lo_row + span - 1);
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace data
+}  // namespace abitmap

@@ -1,0 +1,111 @@
+#include "engine/csv.h"
+
+#include <utility>
+
+#include "util/file_io.h"
+
+namespace abitmap {
+namespace engine {
+
+namespace {
+
+/// Incremental RFC-4180-subset state machine.
+class CsvParser {
+ public:
+  explicit CsvParser(const std::string& text) : text_(text) {}
+
+  util::Status Parse(CsvDocument* out) {
+    std::vector<std::string> record;
+    std::string field;
+    bool in_quotes = false;
+    bool field_started = false;
+
+    auto end_field = [&]() {
+      record.push_back(std::move(field));
+      field.clear();
+      field_started = false;
+    };
+    auto end_record = [&]() -> util::Status {
+      end_field();
+      if (out->header.empty() && records_ == 0) {
+        out->header = std::move(record);
+      } else {
+        if (record.size() != out->header.size()) {
+          return util::Status::InvalidArgument(
+              "CSV: row " + std::to_string(records_) + " has " +
+              std::to_string(record.size()) + " fields, header has " +
+              std::to_string(out->header.size()));
+        }
+        out->rows.push_back(std::move(record));
+      }
+      record.clear();
+      ++records_;
+      return util::Status::Ok();
+    };
+
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < text_.size() && text_[i + 1] == '"') {
+            field.push_back('"');
+            ++i;
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          field.push_back(c);
+        }
+      } else if (c == '"' && field.empty() && !field_started) {
+        in_quotes = true;
+        field_started = true;
+      } else if (c == ',') {
+        end_field();
+      } else if (c == '\r') {
+        // Consume; the following \n (if any) ends the record.
+      } else if (c == '\n') {
+        util::Status s = end_record();
+        if (!s.ok()) return s;
+      } else {
+        field.push_back(c);
+        field_started = true;
+      }
+      ++i;
+    }
+    if (in_quotes) {
+      return util::Status::InvalidArgument("CSV: unterminated quote");
+    }
+    // Final record without trailing newline.
+    if (field_started || !field.empty() || !record.empty()) {
+      util::Status s = end_record();
+      if (!s.ok()) return s;
+    }
+    if (out->header.empty()) {
+      return util::Status::InvalidArgument("CSV: empty input");
+    }
+    return util::Status::Ok();
+  }
+
+ private:
+  const std::string& text_;
+  size_t records_ = 0;
+};
+
+}  // namespace
+
+util::Status ParseCsv(const std::string& text, CsvDocument* out) {
+  *out = CsvDocument();
+  return CsvParser(text).Parse(out);
+}
+
+util::Status ReadCsvFile(const std::string& path, CsvDocument* out) {
+  std::vector<uint8_t> bytes;
+  util::Status status = util::ReadFile(path, &bytes);
+  if (!status.ok()) return status;
+  std::string text(bytes.begin(), bytes.end());
+  return ParseCsv(text, out);
+}
+
+}  // namespace engine
+}  // namespace abitmap

@@ -1,0 +1,33 @@
+#ifndef ABITMAP_ENGINE_CSV_H_
+#define ABITMAP_ENGINE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace abitmap {
+namespace engine {
+
+/// A parsed CSV document: a header row plus string cells, all rows equally
+/// wide. Minimal but correct RFC-4180 subset: commas, CRLF/LF line ends,
+/// double-quoted fields with "" escapes.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  size_t num_columns() const { return header.size(); }
+  size_t num_rows() const { return rows.size(); }
+};
+
+/// Parses CSV text. The first record is the header. Returns
+/// InvalidArgument on ragged rows or unterminated quotes.
+util::Status ParseCsv(const std::string& text, CsvDocument* out);
+
+/// Reads and parses a CSV file.
+util::Status ReadCsvFile(const std::string& path, CsvDocument* out);
+
+}  // namespace engine
+}  // namespace abitmap
+
+#endif  // ABITMAP_ENGINE_CSV_H_

@@ -1,0 +1,146 @@
+#include "engine/hybrid_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "bitmap/bitmap_table.h"
+#include "util/stopwatch.h"
+
+namespace abitmap {
+namespace engine {
+
+HybridEngine::HybridEngine(Table table, const Options& options)
+    : table_(std::move(table)),
+      options_(options),
+      discretized_(table_.Discretize(options.binning)) {}
+
+HybridEngine HybridEngine::Build(Table table, const Options& options) {
+  HybridEngine engine(std::move(table), options);
+  bitmap::BitmapTable bitmap_table =
+      bitmap::BitmapTable::Build(engine.discretized_.dataset);
+  engine.wah_ =
+      std::make_unique<wah::WahIndex>(wah::WahIndex::Build(bitmap_table));
+  engine.ab_ = std::make_unique<ab::AbIndex>(
+      ab::AbIndex::Build(engine.discretized_.dataset, options.ab));
+  return engine;
+}
+
+bool HybridEngine::ToBinQuery(const EngineQuery& query,
+                              bitmap::BitmapQuery* out) const {
+  out->ranges.clear();
+  out->rows = query.rows;
+  for (const ValuePredicate& p : query.predicates) {
+    AB_CHECK_LT(p.attr, table_.num_columns());
+    AB_CHECK_LE(p.lo, p.hi);
+    const bitmap::Binner& binner = discretized_.binners[p.attr];
+    uint32_t lo_bin = binner.BinOf(p.lo);
+    uint32_t hi_bin = binner.BinOf(p.hi);
+    out->ranges.push_back(bitmap::AttributeRange{p.attr, lo_bin, hi_bin});
+  }
+  return true;
+}
+
+bool HybridEngine::RowMatches(uint64_t row, const EngineQuery& query) const {
+  for (const ValuePredicate& p : query.predicates) {
+    double v = table_.value(row, p.attr);
+    if (v < p.lo || v > p.hi) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Maps evaluation bits back to row ids, optionally pruning.
+EngineResult CollectResult(const HybridEngine& engine,
+                           const EngineQuery& query,
+                           const bitmap::BitmapQuery& bin_query,
+                           const std::vector<bool>& bits, std::string path) {
+  EngineResult result;
+  result.path = std::move(path);
+  result.approximate = !query.exact;
+  auto consider = [&](uint64_t row, bool bit) {
+    if (!bit) return;
+    if (query.exact) {
+      // Prune both AB false positives and bin-boundary overshoot.
+      for (const ValuePredicate& p : query.predicates) {
+        double v = engine.table().value(row, p.attr);
+        if (v < p.lo || v > p.hi) return;
+      }
+    }
+    result.row_ids.push_back(row);
+  };
+  if (bin_query.rows.empty()) {
+    for (uint64_t row = 0; row < bits.size(); ++row) consider(row, bits[row]);
+  } else {
+    for (size_t i = 0; i < bin_query.rows.size(); ++i) {
+      consider(bin_query.rows[i], bits[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
+  bitmap::BitmapQuery bin_query;
+  ToBinQuery(query, &bin_query);
+  std::vector<bool> bits = ab_->Evaluate(bin_query);
+  return CollectResult(*this, query, bin_query, bits, "ab");
+}
+
+EngineResult HybridEngine::ExecuteWithWah(const EngineQuery& query) const {
+  bitmap::BitmapQuery bin_query;
+  ToBinQuery(query, &bin_query);
+  std::vector<bool> bits = wah_->Evaluate(bin_query);
+  return CollectResult(*this, query, bin_query, bits, "wah");
+}
+
+EngineResult HybridEngine::Execute(const EngineQuery& query) const {
+  if (query.rows.empty()) {
+    return ExecuteWithWah(query);
+  }
+  double fraction = static_cast<double>(query.rows.size()) /
+                    static_cast<double>(table_.num_rows());
+  if (fraction <= options_.crossover_fraction) {
+    return ExecuteWithAb(query);
+  }
+  return ExecuteWithWah(query);
+}
+
+double HybridEngine::MeasureCrossover() {
+  // Time both paths on a mid-selectivity predicate over growing row
+  // subsets; the threshold is the first fraction where WAH's (constant)
+  // cost drops below the AB's (linear) cost.
+  uint64_t n = table_.num_rows();
+  EngineQuery query;
+  uint32_t cardinality = discretized_.binners[0].cardinality();
+  // A predicate covering roughly a quarter of attribute 0's domain.
+  const std::vector<double>& col = table_.column(0);
+  auto [mn, mx] = std::minmax_element(col.begin(), col.end());
+  query.predicates.push_back(
+      ValuePredicate{0, *mn, *mn + (*mx - *mn) / 4});
+  query.exact = false;
+  (void)cardinality;
+
+  double crossover = 1.0;
+  for (double fraction : {0.002, 0.005, 0.01, 0.02, 0.05, 0.10, 0.20}) {
+    uint64_t rows = std::max<uint64_t>(1, static_cast<uint64_t>(fraction * n));
+    if (rows > n) break;
+    query.rows = bitmap::RowRange(0, rows - 1);
+    util::Stopwatch ab_timer;
+    (void)ExecuteWithAb(query);
+    double ab_ms = ab_timer.ElapsedMillis();
+    util::Stopwatch wah_timer;
+    (void)ExecuteWithWah(query);
+    double wah_ms = wah_timer.ElapsedMillis();
+    if (ab_ms >= wah_ms) {
+      crossover = fraction;
+      break;
+    }
+  }
+  options_.crossover_fraction = crossover == 1.0 ? 0.20 : crossover;
+  return options_.crossover_fraction;
+}
+
+}  // namespace engine
+}  // namespace abitmap

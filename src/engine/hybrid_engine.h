@@ -1,0 +1,109 @@
+#ifndef ABITMAP_ENGINE_HYBRID_ENGINE_H_
+#define ABITMAP_ENGINE_HYBRID_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ab_index.h"
+#include "engine/table.h"
+#include "wah/wah_query.h"
+
+namespace abitmap {
+namespace engine {
+
+/// A conjunct over raw attribute values: attr's value in [lo, hi]
+/// (inclusive). Translated to bin ranges internally; bins straddling the
+/// bounds make the bin-level answer a superset, which the exact path
+/// prunes against the raw values.
+struct ValuePredicate {
+  uint32_t attr = 0;
+  double lo = 0;
+  double hi = 0;
+};
+
+/// A query against the engine: a conjunction of value predicates evaluated
+/// over a row subset (all rows when `rows` is empty).
+struct EngineQuery {
+  std::vector<ValuePredicate> predicates;
+  std::vector<uint64_t> rows;
+  /// When true (default) candidates are verified against the raw values,
+  /// so the result is exact. When false the bin-granular candidate set is
+  /// returned as-is (the paper's approximate-answer mode).
+  bool exact = true;
+};
+
+/// Result of a query: matching row ids, plus which index answered it.
+struct EngineResult {
+  std::vector<uint64_t> row_ids;
+  bool approximate = false;  ///< true if candidates were not pruned
+  std::string path;          ///< "ab" or "wah"
+};
+
+/// The query router the paper's introduction implies: WAH-compressed
+/// bitmaps win on whole-relation queries, the Approximate Bitmap wins when
+/// the query names a small row subset ("executing a query that selects up
+/// to around 15% of the rows by using AB is still faster"). HybridEngine
+/// maintains both indexes over one table and routes each query by the
+/// fraction of rows it touches.
+class HybridEngine {
+ public:
+  struct Options {
+    /// Discretization applied to every column.
+    BinningSpec binning;
+    /// AB configuration (level, alpha, k, scheme).
+    ab::AbConfig ab;
+    /// Row-subset fraction below which the AB path is used. The paper's
+    /// hardware put the crossover near 0.15; on this implementation the
+    /// measured value is lower (see bench_fig14_wah_vs_ab) — calibrate
+    /// with MeasureCrossover() or set explicitly.
+    double crossover_fraction = 0.02;
+  };
+
+  /// Builds both indexes. The table is retained for exact-answer pruning.
+  static HybridEngine Build(Table table, const Options& options);
+
+  /// Routes and executes a query.
+  EngineResult Execute(const EngineQuery& query) const;
+
+  /// Forces a specific path (benchmarking / tests).
+  EngineResult ExecuteWithAb(const EngineQuery& query) const;
+  EngineResult ExecuteWithWah(const EngineQuery& query) const;
+
+  /// Times both paths on a synthetic row-subset sweep and returns the
+  /// fraction at which WAH overtakes the AB; also updates the routing
+  /// threshold.
+  double MeasureCrossover();
+
+  const Table& table() const { return table_; }
+  const bitmap::BinnedDataset& dataset() const { return discretized_.dataset; }
+  uint64_t WahSizeBytes() const { return wah_->SizeInBytes(); }
+  uint64_t AbSizeBytes() const { return ab_->SizeInBytes(); }
+  double crossover_fraction() const { return options_.crossover_fraction; }
+
+  const ab::AbIndex& ab_index() const { return *ab_; }
+  const wah::WahIndex& wah_index() const { return *wah_; }
+
+ private:
+  HybridEngine(Table table, const Options& options);
+
+  /// Translates value predicates to bin ranges; returns false when a
+  /// predicate selects no bins (empty result).
+  bool ToBinQuery(const EngineQuery& query, bitmap::BitmapQuery* out) const;
+
+  /// Verifies a candidate row against the raw values.
+  bool RowMatches(uint64_t row, const EngineQuery& query) const;
+
+  Table table_;
+  Options options_;
+  Table::Discretized discretized_;
+  std::unique_ptr<wah::WahIndex> wah_;
+  std::unique_ptr<ab::AbIndex> ab_;
+};
+
+}  // namespace engine
+}  // namespace abitmap
+
+#endif  // ABITMAP_ENGINE_HYBRID_ENGINE_H_

@@ -1,0 +1,404 @@
+#include "hash/general_hashes.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace hash {
+
+namespace {
+
+// The classic byte-string hash functions from Arash Partow's General
+// Purpose Hash Function Algorithms Library, widened to 64-bit accumulators
+// (the "small variations to account for the size of the AB" the paper
+// mentions: a 32-bit accumulator would limit the addressable AB to 2^32
+// bits and correlate the high probe bits).
+
+uint64_t RsHash(const uint8_t* p, size_t len) {
+  uint64_t b = 378551, a = 63689, h = 0;
+  for (size_t i = 0; i < len; ++i) {
+    h = h * a + p[i];
+    a *= b;
+  }
+  return h;
+}
+
+uint64_t JsHash(const uint8_t* p, size_t len) {
+  uint64_t h = 1315423911u;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= ((h << 5) + p[i] + (h >> 2));
+  }
+  return h;
+}
+
+uint64_t PjwHash(const uint8_t* p, size_t len) {
+  constexpr uint64_t kBits = 64;
+  constexpr uint64_t kThreeQuarters = (kBits * 3) / 4;
+  constexpr uint64_t kOneEighth = kBits / 8;
+  constexpr uint64_t kHighBits = ~uint64_t{0} << (kBits - kOneEighth);
+  uint64_t h = 0;
+  for (size_t i = 0; i < len; ++i) {
+    h = (h << kOneEighth) + p[i];
+    uint64_t test = h & kHighBits;
+    if (test != 0) {
+      h = (h ^ (test >> kThreeQuarters)) & ~kHighBits;
+    }
+  }
+  return h;
+}
+
+uint64_t ElfHash(const uint8_t* p, size_t len) {
+  uint64_t h = 0;
+  for (size_t i = 0; i < len; ++i) {
+    h = (h << 4) + p[i];
+    uint64_t x = h & 0xF000000000000000ull;
+    if (x != 0) h ^= x >> 56;
+    h &= ~x;
+  }
+  return h;
+}
+
+uint64_t BkdrHash(const uint8_t* p, size_t len) {
+  constexpr uint64_t kSeed = 131;  // 31 131 1313 13131 ...
+  uint64_t h = 0;
+  for (size_t i = 0; i < len; ++i) h = h * kSeed + p[i];
+  return h;
+}
+
+uint64_t SdbmHash(const uint8_t* p, size_t len) {
+  uint64_t h = 0;
+  for (size_t i = 0; i < len; ++i) h = p[i] + (h << 6) + (h << 16) - h;
+  return h;
+}
+
+uint64_t DjbHash(const uint8_t* p, size_t len) {
+  uint64_t h = 5381;
+  for (size_t i = 0; i < len; ++i) h = ((h << 5) + h) + p[i];
+  return h;
+}
+
+uint64_t DekHash(const uint8_t* p, size_t len) {
+  uint64_t h = len;
+  for (size_t i = 0; i < len; ++i) {
+    h = ((h << 5) ^ (h >> 59)) ^ p[i];
+  }
+  return h;
+}
+
+uint64_t ApHash(const uint8_t* p, size_t len) {
+  uint64_t h = 0xAAAAAAAAAAAAAAAAull;
+  for (size_t i = 0; i < len; ++i) {
+    if ((i & 1) == 0) {
+      h ^= (h << 7) ^ (p[i] * (h >> 3));
+    } else {
+      h ^= ~((h << 11) + (p[i] ^ (h >> 5)));
+    }
+  }
+  return h;
+}
+
+uint64_t FnvHash(const uint8_t* p, size_t len) {
+  constexpr uint64_t kOffset = 14695981039346656037ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t h = kOffset;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+inline uint64_t RotL64(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t LoadLE64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian host assumed (x86-64 / aarch64 Linux)
+}
+
+inline uint32_t LoadLE32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+// MurmurHash3 x64_128 (Austin Appleby, public domain), low 64 bits of the
+// 128-bit result, seed 0.
+uint64_t Murmur3Hash(const uint8_t* data, size_t len) {
+  constexpr uint64_t c1 = 0x87C37B91114253D5ull;
+  constexpr uint64_t c2 = 0x4CF5AD432745937Full;
+  uint64_t h1 = 0, h2 = 0;
+  const size_t nblocks = len / 16;
+  for (size_t i = 0; i < nblocks; ++i) {
+    uint64_t k1 = LoadLE64(data + i * 16);
+    uint64_t k2 = LoadLE64(data + i * 16 + 8);
+    k1 *= c1;
+    k1 = RotL64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = RotL64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52DCE729;
+    k2 *= c2;
+    k2 = RotL64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = RotL64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495AB5;
+  }
+  const uint8_t* tail = data + nblocks * 16;
+  uint64_t k1 = 0, k2 = 0;
+  switch (len & 15) {
+    case 15: k2 ^= uint64_t{tail[14]} << 48; [[fallthrough]];
+    case 14: k2 ^= uint64_t{tail[13]} << 40; [[fallthrough]];
+    case 13: k2 ^= uint64_t{tail[12]} << 32; [[fallthrough]];
+    case 12: k2 ^= uint64_t{tail[11]} << 24; [[fallthrough]];
+    case 11: k2 ^= uint64_t{tail[10]} << 16; [[fallthrough]];
+    case 10: k2 ^= uint64_t{tail[9]} << 8; [[fallthrough]];
+    case 9:
+      k2 ^= uint64_t{tail[8]};
+      k2 *= c2;
+      k2 = RotL64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= uint64_t{tail[7]} << 56; [[fallthrough]];
+    case 7: k1 ^= uint64_t{tail[6]} << 48; [[fallthrough]];
+    case 6: k1 ^= uint64_t{tail[5]} << 40; [[fallthrough]];
+    case 5: k1 ^= uint64_t{tail[4]} << 32; [[fallthrough]];
+    case 4: k1 ^= uint64_t{tail[3]} << 24; [[fallthrough]];
+    case 3: k1 ^= uint64_t{tail[2]} << 16; [[fallthrough]];
+    case 2: k1 ^= uint64_t{tail[1]} << 8; [[fallthrough]];
+    case 1:
+      k1 ^= uint64_t{tail[0]};
+      k1 *= c1;
+      k1 = RotL64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+  h1 ^= len;
+  h2 ^= len;
+  h1 += h2;
+  h2 += h1;
+  auto fmix = [](uint64_t k) {
+    k ^= k >> 33;
+    k *= 0xFF51AFD7ED558CCDull;
+    k ^= k >> 33;
+    k *= 0xC4CEB9FE1A85EC53ull;
+    k ^= k >> 33;
+    return k;
+  };
+  h1 = fmix(h1);
+  h2 = fmix(h2);
+  h1 += h2;
+  return h1;
+}
+
+// xxHash64 (Yann Collet, BSD), seed 0.
+uint64_t Xx64Hash(const uint8_t* data, size_t len) {
+  constexpr uint64_t kP1 = 11400714785074694791ull;
+  constexpr uint64_t kP2 = 14029467366897019727ull;
+  constexpr uint64_t kP3 = 1609587929392839161ull;
+  constexpr uint64_t kP4 = 9650029242287828579ull;
+  constexpr uint64_t kP5 = 2870177450012600261ull;
+  const uint8_t* p = data;
+  const uint8_t* end = data + len;
+  uint64_t h;
+  if (len >= 32) {
+    uint64_t v1 = kP1 + kP2, v2 = kP2, v3 = 0, v4 = 0 - kP1;
+    const uint8_t* limit = end - 32;
+    do {
+      v1 = RotL64(v1 + LoadLE64(p) * kP2, 31) * kP1;
+      v2 = RotL64(v2 + LoadLE64(p + 8) * kP2, 31) * kP1;
+      v3 = RotL64(v3 + LoadLE64(p + 16) * kP2, 31) * kP1;
+      v4 = RotL64(v4 + LoadLE64(p + 24) * kP2, 31) * kP1;
+      p += 32;
+    } while (p <= limit);
+    h = RotL64(v1, 1) + RotL64(v2, 7) + RotL64(v3, 12) + RotL64(v4, 18);
+    auto merge = [&h, kP1, kP2, kP4](uint64_t v) {
+      h ^= RotL64(v * kP2, 31) * kP1;
+      h = h * kP1 + kP4;
+    };
+    merge(v1);
+    merge(v2);
+    merge(v3);
+    merge(v4);
+  } else {
+    h = kP5;
+  }
+  h += len;
+  while (p + 8 <= end) {
+    h ^= RotL64(LoadLE64(p) * kP2, 31) * kP1;
+    h = RotL64(h, 27) * kP1 + kP4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(LoadLE32(p)) * kP1;
+    h = RotL64(h, 23) * kP2 + kP3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= *p * kP5;
+    h = RotL64(h, 11) * kP1;
+    ++p;
+  }
+  h ^= h >> 33;
+  h *= kP2;
+  h ^= h >> 29;
+  h *= kP3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace
+
+const std::vector<HashKind>& AllHashKinds() {
+  static const std::vector<HashKind>* kinds = new std::vector<HashKind>{
+      HashKind::kRS,   HashKind::kJS,   HashKind::kPJW,     HashKind::kELF,
+      HashKind::kBKDR, HashKind::kSDBM, HashKind::kDJB,     HashKind::kDEK,
+      HashKind::kAP,   HashKind::kFNV,  HashKind::kMurmur3, HashKind::kXX64,
+  };
+  return *kinds;
+}
+
+const char* HashKindName(HashKind kind) {
+  switch (kind) {
+    case HashKind::kRS:
+      return "RS";
+    case HashKind::kJS:
+      return "JS";
+    case HashKind::kPJW:
+      return "PJW";
+    case HashKind::kELF:
+      return "ELF";
+    case HashKind::kBKDR:
+      return "BKDR";
+    case HashKind::kSDBM:
+      return "SDBM";
+    case HashKind::kDJB:
+      return "DJB";
+    case HashKind::kDEK:
+      return "DEK";
+    case HashKind::kAP:
+      return "AP";
+    case HashKind::kFNV:
+      return "FNV";
+    case HashKind::kMurmur3:
+      return "Murmur3";
+    case HashKind::kXX64:
+      return "XX64";
+  }
+  return "?";
+}
+
+uint64_t HashBytes(HashKind kind, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  switch (kind) {
+    case HashKind::kRS:
+      return RsHash(p, len);
+    case HashKind::kJS:
+      return JsHash(p, len);
+    case HashKind::kPJW:
+      return PjwHash(p, len);
+    case HashKind::kELF:
+      return ElfHash(p, len);
+    case HashKind::kBKDR:
+      return BkdrHash(p, len);
+    case HashKind::kSDBM:
+      return SdbmHash(p, len);
+    case HashKind::kDJB:
+      return DjbHash(p, len);
+    case HashKind::kDEK:
+      return DekHash(p, len);
+    case HashKind::kAP:
+      return ApHash(p, len);
+    case HashKind::kFNV:
+      return FnvHash(p, len);
+    case HashKind::kMurmur3:
+      return Murmur3Hash(p, len);
+    case HashKind::kXX64:
+      return Xx64Hash(p, len);
+  }
+  AB_CHECK(false);
+  return 0;
+}
+
+namespace {
+
+// Keys are hashed as decimal ASCII strings, the way the paper feeds its
+// hash strings ("we construct a hashing string x") to the general-purpose
+// library. The classic functions were designed for text: short binary
+// encodings starve them — e.g. DJB over a 3-byte binary key only reaches
+// values of the form b0*33^2 + b1*33 + b2, a ~286k-value window that
+// cripples a multi-megabit AB. A ~20-digit decimal rendering gives every
+// function enough positions to cover the full range while leaving each
+// function's mixing behaviour (the subject of the Figure 10 study) intact.
+// Returns the number of characters written.
+size_t RenderDecimal(uint64_t value, char* out) {
+  char tmp[20];
+  size_t len = 0;
+  do {
+    tmp[len++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  for (size_t i = 0; i < len; ++i) out[i] = tmp[len - 1 - i];
+  return len;
+}
+
+/// Memoizes the last rendered key: a membership test probes the same key
+/// with k different functions back to back, and re-rendering (a chain of
+/// 64-bit divisions) would dominate the probe cost.
+struct RenderCache {
+  uint64_t key = ~uint64_t{0};
+  bool valid = false;
+  size_t len = 0;
+  char buf[20];
+};
+
+const char* RenderDecimalCached(uint64_t key, size_t* len) {
+  thread_local RenderCache cache;
+  if (!cache.valid || cache.key != key) {
+    cache.len = RenderDecimal(key, cache.buf);
+    cache.key = key;
+    cache.valid = true;
+  }
+  *len = cache.len;
+  return cache.buf;
+}
+
+}  // namespace
+
+uint64_t HashKey(HashKind kind, uint64_t key) {
+  size_t len;
+  const char* buf = RenderDecimalCached(key, &len);
+  return HashBytes(kind, buf, len);
+}
+
+uint64_t HashKeySalted(HashKind kind, uint64_t key, uint64_t salt) {
+  // "key:salt" — the separator keeps (key, salt) pairs unambiguous. The
+  // key rendering comes from the same per-key cache as HashKey; only the
+  // (small) salt is rendered fresh.
+  size_t key_len;
+  const char* key_buf = RenderDecimalCached(key, &key_len);
+  char buf[41];
+  std::memcpy(buf, key_buf, key_len);
+  size_t len = key_len;
+  buf[len++] = ':';
+  len += RenderDecimal(salt, buf + len);
+  return HashBytes(kind, buf, len);
+}
+
+uint64_t Mix64(uint64_t x) {
+  // splitmix64 finalizer (public domain, Sebastiano Vigna).
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace hash
+}  // namespace abitmap

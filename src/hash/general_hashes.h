@@ -1,0 +1,58 @@
+#ifndef ABITMAP_HASH_GENERAL_HASHES_H_
+#define ABITMAP_HASH_GENERAL_HASHES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace abitmap {
+namespace hash {
+
+/// The General Purpose Hash Function Algorithms Library (Arash Partow),
+/// cited by the paper as [30] and used — "with small variations to account
+/// for the size of the AB" — as its pool of independent hash functions.
+/// Each function maps a byte string to a 64-bit value; the Approximate
+/// Bitmap reduces it modulo the AB size.
+enum class HashKind {
+  kRS,    // Robert Sedgewick
+  kJS,    // Justin Sobel
+  kPJW,   // Peter J. Weinberger (AT&T)
+  kELF,   // Unix ELF object-file hash (PJW variant)
+  kBKDR,  // Brian Kernighan & Dennis Ritchie
+  kSDBM,  // sdbm database library
+  kDJB,   // Daniel J. Bernstein
+  kDEK,   // Donald E. Knuth
+  kAP,    // Arash Partow
+  kFNV,   // Fowler–Noll–Vo 1a (64-bit)
+  // Modern functions (post-paper), for the hash-impact comparison:
+  kMurmur3,  // MurmurHash3 x64_128, low word (Austin Appleby)
+  kXX64,     // xxHash64 (Yann Collet)
+};
+
+/// All kinds, in a stable order (used to assemble k-function families).
+const std::vector<HashKind>& AllHashKinds();
+
+/// Short printable name ("RS", "BKDR", ...).
+const char* HashKindName(HashKind kind);
+
+/// Hashes `len` bytes with the chosen algorithm.
+uint64_t HashBytes(HashKind kind, const void* data, size_t len);
+
+/// Convenience overloads for the 64-bit hash strings produced by the
+/// AB's cell-mapping function F(i, j); the key is hashed as 8 bytes,
+/// little-endian.
+uint64_t HashKey(HashKind kind, uint64_t key);
+
+/// Hashes a key with a 64-bit salt mixed in (used to derive more than
+/// |AllHashKinds()| independent functions).
+uint64_t HashKeySalted(HashKind kind, uint64_t key, uint64_t salt);
+
+/// Strong 64-bit mixer (splitmix64 finalizer). Used by the double-hashing
+/// probe family and by tests as an independence baseline.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace hash
+}  // namespace abitmap
+
+#endif  // ABITMAP_HASH_GENERAL_HASHES_H_

@@ -1,0 +1,232 @@
+#include "hash/hash_family.h"
+
+#include <cstring>
+#include <utility>
+
+#include "hash/sha1.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace abitmap {
+namespace hash {
+
+uint64_t HashFamily::ProbeAt(uint64_t key, const CellRef& cell, size_t t,
+                             uint64_t n) const {
+  // Conservative default: recompute the prefix up to t. Families whose
+  // functions are independent per index override this with O(1) work.
+  uint64_t buffer[64];
+  AB_CHECK_LT(t, 64u);
+  Probes(key, cell, t + 1, n, buffer);
+  return buffer[t];
+}
+
+namespace {
+
+class IndependentFamily : public HashFamily {
+ public:
+  explicit IndependentFamily(std::vector<HashKind> pool)
+      : pool_(std::move(pool)) {
+    AB_CHECK(!pool_.empty());
+  }
+
+  void Probes(uint64_t key, const CellRef& cell, size_t k, uint64_t n,
+              uint64_t* out) const override {
+    AB_CHECK_GE(n, 1u);
+    for (size_t t = 0; t < k; ++t) {
+      out[t] = ProbeAt(key, cell, t, n);
+    }
+  }
+
+  uint64_t ProbeAt(uint64_t key, const CellRef& /*cell*/, size_t t,
+                   uint64_t n) const override {
+    HashKind kind = pool_[t % pool_.size()];
+    uint64_t h =
+        (t < pool_.size()) ? HashKey(kind, key) : HashKeySalted(kind, key, t);
+    return h % n;
+  }
+
+  std::string name() const override { return "independent"; }
+
+ private:
+  std::vector<HashKind> pool_;
+};
+
+class Sha1Family : public HashFamily {
+ public:
+  void Probes(uint64_t key, const CellRef& /*cell*/, size_t k, uint64_t n,
+              uint64_t* out) const override {
+    AB_CHECK(util::IsPowerOfTwo(n));
+    size_t m = static_cast<size_t>(util::Log2Floor(n));
+    if (m == 0) {
+      for (size_t t = 0; t < k; ++t) out[t] = 0;
+      return;
+    }
+    // One digest yields floor(160/m) partial values; extend with
+    // (key, block) digests as needed (Table 1 uses k=10, m=16: one digest).
+    Sha1::Digest digest = Sha1::Hash(&key, sizeof(key));
+    size_t per_digest = Sha1::kDigestBytes * 8 / m;
+    AB_CHECK_GE(per_digest, 1u);
+    uint64_t block = 0;
+    size_t within = 0;
+    for (size_t t = 0; t < k; ++t) {
+      if (within == per_digest) {
+        ++block;
+        within = 0;
+        uint8_t buf[16];
+        std::memcpy(buf, &key, 8);
+        std::memcpy(buf + 8, &block, 8);
+        digest = Sha1::Hash(buf, sizeof(buf));
+      }
+      out[t] = DigestBits(digest, within * m, m);
+      ++within;
+    }
+  }
+
+  // One digest covers all probe indices; computing per-index would redo
+  // the digest each time.
+  bool PrefersLazyProbes() const override { return false; }
+
+  std::string name() const override { return "sha1"; }
+};
+
+class DoubleHashFamily : public HashFamily {
+ public:
+  void Probes(uint64_t key, const CellRef& /*cell*/, size_t k, uint64_t n,
+              uint64_t* out) const override {
+    AB_CHECK_GE(n, 1u);
+    uint64_t h1 = Mix64(key);
+    uint64_t h2 = SecondHash(key);
+    for (size_t t = 0; t < k; ++t) {
+      out[t] = (h1 + t * h2) % n;
+    }
+  }
+
+  uint64_t ProbeAt(uint64_t key, const CellRef& /*cell*/, size_t t,
+                   uint64_t n) const override {
+    return (Mix64(key) + t * SecondHash(key)) % n;
+  }
+
+  std::string name() const override { return "double"; }
+
+ private:
+  // Forced odd so probes cycle through all residues when n is a power of
+  // two.
+  static uint64_t SecondHash(uint64_t key) {
+    return Mix64(key ^ 0x6A09E667F3BCC909ull) | 1u;
+  }
+};
+
+class CircularFamily : public HashFamily {
+ public:
+  void Probes(uint64_t key, const CellRef& cell, size_t k, uint64_t n,
+              uint64_t* out) const override {
+    AB_CHECK_GE(n, 1u);
+    for (size_t t = 0; t < k; ++t) {
+      out[t] = ProbeAt(key, cell, t, n);
+    }
+  }
+
+  uint64_t ProbeAt(uint64_t key, const CellRef& /*cell*/, size_t t,
+                   uint64_t n) const override {
+    return (key * (2 * t + 1) + t) % n;
+  }
+
+  std::string name() const override { return "circular"; }
+};
+
+class ColumnGroupFamily : public HashFamily {
+ public:
+  explicit ColumnGroupFamily(uint32_t num_groups) : num_groups_(num_groups) {
+    AB_CHECK_GE(num_groups_, 1u);
+  }
+
+  void Probes(uint64_t key, const CellRef& cell, size_t k, uint64_t n,
+              uint64_t* out) const override {
+    for (size_t t = 0; t < k; ++t) {
+      out[t] = ProbeAt(key, cell, t, n);
+    }
+  }
+
+  uint64_t ProbeAt(uint64_t /*key*/, const CellRef& cell, size_t t,
+                   uint64_t n) const override {
+    AB_CHECK_GE(n, num_groups_);
+    uint64_t group_size = n / num_groups_;
+    uint64_t base = (cell.col % num_groups_) * group_size;
+    uint64_t offset =
+        (t == 0) ? cell.row % group_size : Mix64(cell.row + t) % group_size;
+    return base + offset;
+  }
+
+  std::string name() const override { return "column_group"; }
+
+ private:
+  uint32_t num_groups_;
+};
+
+class SingleKindFamily : public HashFamily {
+ public:
+  explicit SingleKindFamily(HashKind kind) : kind_(kind) {}
+
+  void Probes(uint64_t key, const CellRef& cell, size_t k, uint64_t n,
+              uint64_t* out) const override {
+    AB_CHECK_GE(n, 1u);
+    for (size_t t = 0; t < k; ++t) {
+      out[t] = ProbeAt(key, cell, t, n);
+    }
+  }
+
+  uint64_t ProbeAt(uint64_t key, const CellRef& /*cell*/, size_t t,
+                   uint64_t n) const override {
+    uint64_t h = (t == 0) ? HashKey(kind_, key) : HashKeySalted(kind_, key, t);
+    return h % n;
+  }
+
+  std::string name() const override {
+    return std::string("single_") + HashKindName(kind_);
+  }
+
+ private:
+  HashKind kind_;
+};
+
+}  // namespace
+
+std::unique_ptr<HashFamily> MakeIndependentFamily() {
+  // The default pool is the subset of the general-purpose library whose
+  // output is near-Poisson under a power-of-two modulo on the AB's
+  // decimal-string keys (measured in tests/hash/general_hashes_test.cc).
+  // PJW/ELF pack entropy into high bits, DEK's rotate-xor and SDBM's
+  // small effective multiplier leave heavy structure on digit strings;
+  // all four remain available via MakeSingleKindFamily for the Figure 10
+  // hash-impact study.
+  return std::make_unique<IndependentFamily>(std::vector<HashKind>{
+      HashKind::kRS, HashKind::kJS, HashKind::kBKDR, HashKind::kDJB,
+      HashKind::kFNV, HashKind::kAP});
+}
+
+std::unique_ptr<HashFamily> MakeIndependentFamily(std::vector<HashKind> pool) {
+  return std::make_unique<IndependentFamily>(std::move(pool));
+}
+
+std::unique_ptr<HashFamily> MakeSha1Family() {
+  return std::make_unique<Sha1Family>();
+}
+
+std::unique_ptr<HashFamily> MakeDoubleHashFamily() {
+  return std::make_unique<DoubleHashFamily>();
+}
+
+std::unique_ptr<HashFamily> MakeCircularFamily() {
+  return std::make_unique<CircularFamily>();
+}
+
+std::unique_ptr<HashFamily> MakeColumnGroupFamily(uint32_t num_groups) {
+  return std::make_unique<ColumnGroupFamily>(num_groups);
+}
+
+std::unique_ptr<HashFamily> MakeSingleKindFamily(HashKind kind) {
+  return std::make_unique<SingleKindFamily>(kind);
+}
+
+}  // namespace hash
+}  // namespace abitmap

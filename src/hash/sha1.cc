@@ -1,0 +1,147 @@
+#include "hash/sha1.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace hash {
+
+namespace {
+
+inline uint32_t RotL(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+}  // namespace
+
+Sha1::Sha1() { Reset(); }
+
+void Sha1::Reset() {
+  state_[0] = 0x67452301u;
+  state_[1] = 0xEFCDAB89u;
+  state_[2] = 0x98BADCFEu;
+  state_[3] = 0x10325476u;
+  state_[4] = 0xC3D2E1F0u;
+  length_bits_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  length_bits_ += static_cast<uint64_t>(len) * 8;
+  while (len > 0) {
+    size_t take = 64 - buffered_;
+    if (take > len) take = len;
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    len -= take;
+    if (buffered_ == 64) {
+      ProcessBlock(buffer_);
+      buffered_ = 0;
+    }
+  }
+}
+
+Sha1::Digest Sha1::Finish() {
+  // Append the 0x80 terminator, pad with zeros to 56 mod 64, then the
+  // big-endian 64-bit message length.
+  uint64_t total_bits = length_bits_;
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  uint8_t zero = 0;
+  while (buffered_ != 56) Update(&zero, 1);
+  uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<uint8_t>(total_bits >> (56 - 8 * i));
+  }
+  // Update() would double-count length; process the final block directly.
+  std::memcpy(buffer_ + 56, len_be, 8);
+  ProcessBlock(buffer_);
+  buffered_ = 0;
+
+  Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i + 0] = static_cast<uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = RotL(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+           e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    uint32_t temp = RotL(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = RotL(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+Sha1::Digest Sha1::Hash(const void* data, size_t len) {
+  Sha1 h;
+  h.Update(data, len);
+  return h.Finish();
+}
+
+std::string Sha1::ToHex(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * kDigestBytes);
+  for (uint8_t byte : d) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xF]);
+  }
+  return out;
+}
+
+uint64_t DigestBits(const Sha1::Digest& d, size_t bit_offset, size_t bits) {
+  AB_CHECK_GE(bits, 1u);
+  AB_CHECK_LE(bits, 64u);
+  AB_CHECK_LE(bit_offset + bits, Sha1::kDigestBytes * 8);
+  uint64_t out = 0;
+  for (size_t i = 0; i < bits; ++i) {
+    size_t pos = bit_offset + i;
+    uint8_t byte = d[pos >> 3];
+    int bit = 7 - static_cast<int>(pos & 7);
+    out = (out << 1) | ((byte >> bit) & 1u);
+  }
+  return out;
+}
+
+}  // namespace hash
+}  // namespace abitmap

@@ -1,0 +1,61 @@
+#ifndef ABITMAP_HASH_SHA1_H_
+#define ABITMAP_HASH_SHA1_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace abitmap {
+namespace hash {
+
+/// SHA-1 message digest (FIPS 180-1), implemented from scratch.
+///
+/// The paper's "single hash function" mode (Section 3.2.2, Table 1) computes
+/// one SHA-1 digest per hash string and splits the 160-bit output into k
+/// pieces of m bits, each piece acting as one hash function into a 2^m-bit
+/// Approximate Bitmap. SHA-1 is used here exactly as the paper uses it — as
+/// a source of well-mixed bits — not for any security property.
+class Sha1 {
+ public:
+  static constexpr size_t kDigestBytes = 20;
+  using Digest = std::array<uint8_t, kDigestBytes>;
+
+  Sha1();
+
+  /// Absorbs `len` bytes. May be called repeatedly.
+  void Update(const void* data, size_t len);
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// afterwards without Reset().
+  Digest Finish();
+
+  /// Restores the initial state.
+  void Reset();
+
+  /// One-shot convenience.
+  static Digest Hash(const void* data, size_t len);
+  static Digest Hash(const std::string& s) { return Hash(s.data(), s.size()); }
+
+  /// Hex rendering of a digest (40 lowercase hex characters) for tests
+  /// against published vectors.
+  static std::string ToHex(const Digest& d);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[5];
+  uint64_t length_bits_;
+  uint8_t buffer_[64];
+  size_t buffered_;
+};
+
+/// Extracts `bits` (1..64) starting at bit offset `bit_offset` from the
+/// digest, reading bits most-significant-first within each byte. Used to
+/// split one digest into k partial hash values (paper Table 1).
+uint64_t DigestBits(const Sha1::Digest& d, size_t bit_offset, size_t bits);
+
+}  // namespace hash
+}  // namespace abitmap
+
+#endif  // ABITMAP_HASH_SHA1_H_

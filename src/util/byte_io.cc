@@ -1,0 +1,105 @@
+#include "util/byte_io.h"
+
+namespace abitmap {
+namespace util {
+
+void ByteWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::WriteVarint(uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::WriteDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ByteWriter::WriteBytes(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + len);
+}
+
+void ByteWriter::WriteString(const std::string& s) {
+  WriteVarint(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+bool ByteReader::ReadU8(uint8_t* out) {
+  if (remaining() < 1) return false;
+  *out = data_[pos_++];
+  return true;
+}
+
+bool ByteReader::ReadU32(uint32_t* out) {
+  if (remaining() < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  *out = v;
+  return true;
+}
+
+bool ByteReader::ReadU64(uint64_t* out) {
+  if (remaining() < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  *out = v;
+  return true;
+}
+
+bool ByteReader::ReadVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (remaining() < 1 || shift >= 64) return false;
+    uint8_t byte = data_[pos_++];
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return true;
+}
+
+bool ByteReader::ReadDouble(double* out) {
+  uint64_t bits;
+  if (!ReadU64(&bits)) return false;
+  std::memcpy(out, &bits, sizeof(bits));
+  return true;
+}
+
+bool ByteReader::ReadBytes(void* out, size_t len) {
+  if (remaining() < len) return false;
+  std::memcpy(out, data_ + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+bool ByteReader::ReadString(std::string* out) {
+  uint64_t len;
+  if (!ReadVarint(&len)) return false;
+  if (remaining() < len) return false;
+  out->assign(reinterpret_cast<const char*>(data_ + pos_),
+              static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return true;
+}
+
+bool ByteReader::Skip(size_t len) {
+  if (remaining() < len) return false;
+  pos_ += len;
+  return true;
+}
+
+}  // namespace util
+}  // namespace abitmap

@@ -1,0 +1,69 @@
+#ifndef ABITMAP_UTIL_BYTE_IO_H_
+#define ABITMAP_UTIL_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace abitmap {
+namespace util {
+
+/// Append-only little-endian byte sink for index serialization. All
+/// multi-byte integers are written little-endian; unbounded counts use
+/// LEB128 varints.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  /// LEB128 varint (1-10 bytes).
+  void WriteVarint(uint64_t v);
+  void WriteDouble(double v);
+  void WriteBytes(const void* data, size_t len);
+  /// Varint length prefix followed by the raw bytes.
+  void WriteString(const std::string& s);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a serialized buffer. Every accessor returns
+/// false (and leaves the output untouched) when the buffer is exhausted or
+/// malformed, so deserializers can surface Corruption instead of crashing.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t len)
+      : data_(static_cast<const uint8_t*>(data)), len_(len) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool ReadU8(uint8_t* out);
+  bool ReadU32(uint32_t* out);
+  bool ReadU64(uint64_t* out);
+  bool ReadVarint(uint64_t* out);
+  bool ReadDouble(double* out);
+  bool ReadBytes(void* out, size_t len);
+  bool ReadString(std::string* out);
+  /// Skips `len` bytes.
+  bool Skip(size_t len);
+
+  size_t remaining() const { return len_ - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace util
+}  // namespace abitmap
+
+#endif  // ABITMAP_UTIL_BYTE_IO_H_

@@ -1,0 +1,21 @@
+#ifndef ABITMAP_UTIL_CRC32_H_
+#define ABITMAP_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace abitmap {
+namespace util {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) used to checksum
+/// serialized index blocks. Implemented from scratch with a precomputed
+/// 256-entry table.
+uint32_t Crc32(const void* data, size_t len);
+
+/// Incremental form: feed `crc` the previous return value (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+}  // namespace util
+}  // namespace abitmap
+
+#endif  // ABITMAP_UTIL_CRC32_H_

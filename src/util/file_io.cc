@@ -1,0 +1,109 @@
+#include "util/file_io.h"
+
+#include <cstdio>
+
+#include "util/byte_io.h"
+#include "util/crc32.h"
+
+namespace abitmap {
+namespace util {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'B', 'I', 'T'};
+constexpr uint8_t kFormatVersion = 1;
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + tmp);
+  }
+  size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool flush_ok = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flush_ok) {
+    std::remove(tmp.c_str());
+    return Status::Corruption("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Corruption("rename failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for reading: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Corruption("cannot stat: " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  size_t read = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) {
+    return Status::Corruption("short read from " + path);
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> WrapEnvelope(PayloadType type,
+                                  const std::vector<uint8_t>& payload) {
+  ByteWriter w;
+  w.WriteBytes(kMagic, sizeof(kMagic));
+  w.WriteU8(kFormatVersion);
+  w.WriteU8(static_cast<uint8_t>(type));
+  w.WriteU64(payload.size());
+  w.WriteBytes(payload.data(), payload.size());
+  w.WriteU32(Crc32(payload.data(), payload.size()));
+  return w.bytes();
+}
+
+Status UnwrapEnvelope(const std::vector<uint8_t>& bytes, PayloadType expected,
+                      std::vector<uint8_t>* payload) {
+  ByteReader r(bytes);
+  char magic[4];
+  if (!r.ReadBytes(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic");
+  }
+  uint8_t version, type;
+  if (!r.ReadU8(&version) || !r.ReadU8(&type)) {
+    return Status::Corruption("truncated header");
+  }
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported format version " +
+                                   std::to_string(version));
+  }
+  if (type != static_cast<uint8_t>(expected)) {
+    return Status::InvalidArgument("payload type mismatch");
+  }
+  uint64_t len;
+  if (!r.ReadU64(&len) || r.remaining() < len + 4) {
+    return Status::Corruption("truncated payload");
+  }
+  payload->resize(static_cast<size_t>(len));
+  if (len > 0 && !r.ReadBytes(payload->data(), payload->size())) {
+    return Status::Corruption("truncated payload body");
+  }
+  uint32_t stored_crc;
+  if (!r.ReadU32(&stored_crc)) {
+    return Status::Corruption("missing checksum");
+  }
+  if (stored_crc != Crc32(payload->data(), payload->size())) {
+    return Status::Corruption("checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace util
+}  // namespace abitmap

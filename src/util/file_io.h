@@ -1,0 +1,44 @@
+#ifndef ABITMAP_UTIL_FILE_IO_H_
+#define ABITMAP_UTIL_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace abitmap {
+namespace util {
+
+/// Writes `bytes` to `path` atomically: the data lands in `path + ".tmp"`
+/// first and is renamed over the target, so a crash never leaves a
+/// half-written index behind.
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes);
+
+/// Reads the whole file into `out`.
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out);
+
+/// Serialization envelope shared by all on-disk structures:
+///   magic "ABIT" (4 bytes) | format version (u8) | payload type (u8) |
+///   payload length (u64 LE) | payload | CRC-32 of payload (u32 LE).
+enum class PayloadType : uint8_t {
+  kBitVector = 1,
+  kWahVector = 2,
+  kBbcVector = 3,
+  kApproximateBitmap = 4,
+  kAbIndex = 5,
+};
+
+/// Wraps a serialized payload in the envelope.
+std::vector<uint8_t> WrapEnvelope(PayloadType type,
+                                  const std::vector<uint8_t>& payload);
+
+/// Validates magic/version/type/CRC and extracts the payload.
+Status UnwrapEnvelope(const std::vector<uint8_t>& bytes, PayloadType expected,
+                      std::vector<uint8_t>* payload);
+
+}  // namespace util
+}  // namespace abitmap
+
+#endif  // ABITMAP_UTIL_FILE_IO_H_

@@ -1,0 +1,44 @@
+#ifndef ABITMAP_UTIL_LOGGING_H_
+#define ABITMAP_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Minimal CHECK-style assertion macros. The library does not use C++
+/// exceptions (see DESIGN.md); programming errors terminate the process with
+/// a message identifying the failed invariant, and fallible operations
+/// return util::Status or std::optional instead.
+
+/// Aborts the process when `condition` is false. Enabled in all build modes:
+/// the checks guard index invariants whose violation would silently corrupt
+/// query results.
+#define AB_CHECK(condition)                                                  \
+  do {                                                                       \
+    if (!(condition)) {                                                      \
+      std::fprintf(stderr, "AB_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #condition);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Binary comparison checks that print both operand expressions.
+#define AB_CHECK_OP(op, a, b) AB_CHECK((a)op(b))
+#define AB_CHECK_EQ(a, b) AB_CHECK_OP(==, a, b)
+#define AB_CHECK_NE(a, b) AB_CHECK_OP(!=, a, b)
+#define AB_CHECK_LT(a, b) AB_CHECK_OP(<, a, b)
+#define AB_CHECK_LE(a, b) AB_CHECK_OP(<=, a, b)
+#define AB_CHECK_GT(a, b) AB_CHECK_OP(>, a, b)
+#define AB_CHECK_GE(a, b) AB_CHECK_OP(>=, a, b)
+
+/// Debug-only variant; compiles away in NDEBUG builds. Use on hot paths
+/// (per-bit accessors) where the cost of the branch is measurable.
+#ifdef NDEBUG
+#define AB_DCHECK(condition) \
+  do {                       \
+  } while (0)
+#else
+#define AB_DCHECK(condition) AB_CHECK(condition)
+#endif
+
+#endif  // ABITMAP_UTIL_LOGGING_H_

@@ -1,0 +1,30 @@
+#include "util/math.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace util {
+
+uint64_t NextPowerOfTwo(uint64_t x) {
+  AB_CHECK_GE(x, 1u);
+  AB_CHECK_LE(x, uint64_t{1} << 63);
+  return std::bit_ceil(x);
+}
+
+int Log2Floor(uint64_t x) {
+  AB_CHECK_GE(x, 1u);
+  return 63 - std::countl_zero(x);
+}
+
+int Log2Ceil(uint64_t x) {
+  AB_CHECK_GE(x, 1u);
+  int floor = Log2Floor(x);
+  return IsPowerOfTwo(x) ? floor : floor + 1;
+}
+
+int PopCount(uint64_t x) { return std::popcount(x); }
+
+}  // namespace util
+}  // namespace abitmap

@@ -1,0 +1,30 @@
+#ifndef ABITMAP_UTIL_MATH_H_
+#define ABITMAP_UTIL_MATH_H_
+
+#include <cstdint>
+
+namespace abitmap {
+namespace util {
+
+/// Returns true when `x` is a power of two. Zero is not a power of two.
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x. Requires x >= 1 and x <= 2^63.
+uint64_t NextPowerOfTwo(uint64_t x);
+
+/// floor(log2(x)). Requires x >= 1.
+int Log2Floor(uint64_t x);
+
+/// ceil(log2(x)). Requires x >= 1. Log2Ceil(1) == 0.
+int Log2Ceil(uint64_t x);
+
+/// Number of set bits in x.
+int PopCount(uint64_t x);
+
+/// Integer division rounding up. Requires b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace util
+}  // namespace abitmap
+
+#endif  // ABITMAP_UTIL_MATH_H_

@@ -1,0 +1,64 @@
+#ifndef ABITMAP_UTIL_STATUS_H_
+#define ABITMAP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace abitmap {
+namespace util {
+
+/// Error categories used across the library. Kept deliberately small: the
+/// library is an index structure, not a storage engine, so most failures are
+/// invalid arguments or malformed serialized input.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,
+  kUnimplemented,
+};
+
+/// Result of a fallible operation. The library does not throw; functions
+/// that can fail on user input return Status (or a value wrapped in
+/// StatusOr-like std::optional where the error cause is unambiguous).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: alpha must be >= 1".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace util
+}  // namespace abitmap
+
+#endif  // ABITMAP_UTIL_STATUS_H_

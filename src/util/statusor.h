@@ -1,0 +1,51 @@
+#ifndef ABITMAP_UTIL_STATUSOR_H_
+#define ABITMAP_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace abitmap {
+namespace util {
+
+/// Either a value or the error explaining its absence. Used by fallible
+/// factories of non-default-constructible types (deserializers).
+template <typename T>
+class StatusOr {
+ public:
+  /// Error state. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(implicit)
+    AB_CHECK(!status_.ok());
+  }
+  /// Value state.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(implicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; the value must be present.
+  const T& value() const& {
+    AB_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    AB_CHECK(ok());
+    return *value_;
+  }
+  /// Moves the value out.
+  T&& value() && {
+    AB_CHECK(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace util
+}  // namespace abitmap
+
+#endif  // ABITMAP_UTIL_STATUSOR_H_

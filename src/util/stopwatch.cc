@@ -1,0 +1,4 @@
+#include "util/stopwatch.h"
+
+// Header-only; this translation unit exists so the target always has at
+// least one .cc and the header gets compiled standalone once.

@@ -1,0 +1,87 @@
+#include "wah/wah_encoded.h"
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace wah {
+
+WahRangeAttribute WahRangeAttribute::Build(
+    const std::vector<uint32_t>& values, uint32_t cardinality) {
+  bitmap::RangeEncodedAttribute verbatim =
+      bitmap::RangeEncodedAttribute::Build(values, cardinality);
+  WahRangeAttribute out(values.size(), cardinality);
+  out.columns_.reserve(verbatim.num_columns());
+  for (uint32_t j = 0; j < verbatim.num_columns(); ++j) {
+    out.columns_.push_back(WahVector::Compress(verbatim.column(j)));
+  }
+  return out;
+}
+
+uint64_t WahRangeAttribute::SizeInBytes() const {
+  uint64_t total = 0;
+  for (const WahVector& c : columns_) total += c.SizeInBytes();
+  return total;
+}
+
+WahVector WahRangeAttribute::EvalLessEqual(uint32_t u) const {
+  AB_CHECK_LT(u, cardinality_);
+  if (u + 1 == cardinality_) return WahVector::Fill(num_rows_, true);
+  return columns_[u];
+}
+
+WahVector WahRangeAttribute::EvalRange(uint32_t lo, uint32_t hi) const {
+  AB_CHECK_LE(lo, hi);
+  AB_CHECK_LT(hi, cardinality_);
+  WahVector result = EvalLessEqual(hi);
+  if (lo > 0) {
+    result = AndNot(result, EvalLessEqual(lo - 1));
+  }
+  return result;
+}
+
+WahIntervalAttribute WahIntervalAttribute::Build(
+    const std::vector<uint32_t>& values, uint32_t cardinality) {
+  bitmap::IntervalEncodedAttribute verbatim =
+      bitmap::IntervalEncodedAttribute::Build(values, cardinality);
+  WahIntervalAttribute out(values.size(), cardinality,
+                           verbatim.interval_width());
+  out.columns_.reserve(verbatim.num_columns());
+  for (uint32_t j = 0; j < verbatim.num_columns(); ++j) {
+    out.columns_.push_back(WahVector::Compress(verbatim.column(j)));
+  }
+  return out;
+}
+
+uint64_t WahIntervalAttribute::SizeInBytes() const {
+  uint64_t total = 0;
+  for (const WahVector& c : columns_) total += c.SizeInBytes();
+  return total;
+}
+
+WahVector WahIntervalAttribute::EvalRange(uint32_t lo, uint32_t hi) const {
+  // Mirrors IntervalEncodedAttribute::EvalRange's case analysis on the
+  // compressed form; see bitmap/encoding.cc for the derivation.
+  AB_CHECK_LE(lo, hi);
+  AB_CHECK_LT(hi, cardinality_);
+  if (lo == 0 && hi + 1 == cardinality_) {
+    return WahVector::Fill(num_rows_, true);
+  }
+  uint32_t len = hi - lo + 1;
+  uint32_t top = cardinality_ - m_;
+  if (len >= m_) {
+    AB_CHECK_LE(lo, top);
+    return Or(columns_[lo], columns_[hi - m_ + 1]);
+  }
+  if (lo <= top && hi + 1 >= m_) {
+    return And(columns_[lo], columns_[hi - m_ + 1]);
+  }
+  if (lo >= m_) {
+    return AndNot(columns_[hi + 1 - m_], columns_[lo - m_]);
+  }
+  AB_CHECK_LE(lo, top);
+  AB_CHECK_LE(hi + 1, top);
+  return AndNot(columns_[lo], columns_[hi + 1]);
+}
+
+}  // namespace wah
+}  // namespace abitmap

@@ -1,0 +1,135 @@
+#include "wah/wah_query.h"
+
+#include <utility>
+
+namespace abitmap {
+namespace wah {
+
+WahIndex WahIndex::Build(const bitmap::BitmapTable& table) {
+  WahIndex index(table.mapping(), table.num_rows());
+  index.columns_.reserve(table.num_columns());
+  for (uint32_t j = 0; j < table.num_columns(); ++j) {
+    index.columns_.push_back(WahVector::Compress(table.column(j)));
+  }
+  return index;
+}
+
+uint64_t WahIndex::SizeInBytes() const {
+  uint64_t total = 0;
+  for (const WahVector& c : columns_) total += c.SizeInBytes();
+  return total;
+}
+
+WahVector WahIndex::ExecuteBitwise(const bitmap::BitmapQuery& query) const {
+  WahVector result;
+  bool first = true;
+  for (const bitmap::AttributeRange& range : query.ranges) {
+    AB_CHECK_LE(range.lo_bin, range.hi_bin);
+    AB_CHECK_LT(range.hi_bin, mapping_.cardinality(range.attr));
+    // k-way merge over the bin bitmaps instead of pairwise folding.
+    std::vector<const WahVector*> bins;
+    bins.reserve(range.hi_bin - range.lo_bin + 1);
+    for (uint32_t b = range.lo_bin; b <= range.hi_bin; ++b) {
+      bins.push_back(&column(range.attr, b));
+    }
+    WahVector attr_result = MultiOr(bins);
+    if (first) {
+      result = std::move(attr_result);
+      first = false;
+    } else {
+      result = And(result, attr_result);
+    }
+  }
+  if (first) {
+    result = WahVector::Fill(num_rows_, true);
+  }
+  return result;
+}
+
+std::vector<bool> WahIndex::Evaluate(const bitmap::BitmapQuery& query) const {
+  WahVector result = ExecuteBitwise(query);
+  if (query.rows.empty()) {
+    std::vector<uint64_t> all = bitmap::RowRange(0, num_rows_ - 1);
+    return result.GetSorted(all);
+  }
+  return result.GetSorted(query.rows);
+}
+
+void WahIndex::Serialize(util::ByteWriter* out) const {
+  out->WriteVarint(mapping_.num_attributes());
+  for (uint32_t a = 0; a < mapping_.num_attributes(); ++a) {
+    out->WriteVarint(mapping_.cardinality(a));
+  }
+  out->WriteVarint(num_rows_);
+  out->WriteVarint(columns_.size());
+  for (const WahVector& c : columns_) {
+    c.Serialize(out);
+  }
+}
+
+util::StatusOr<WahIndex> WahIndex::Deserialize(util::ByteReader* in) {
+  uint64_t num_attrs;
+  if (!in->ReadVarint(&num_attrs) || num_attrs == 0) {
+    return util::Status::Corruption("WahIndex: bad attribute count");
+  }
+  std::vector<bitmap::AttributeInfo> attributes;
+  attributes.reserve(num_attrs);
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    uint64_t cardinality;
+    if (!in->ReadVarint(&cardinality) || cardinality == 0 ||
+        cardinality > (uint64_t{1} << 31)) {
+      return util::Status::Corruption("WahIndex: bad cardinality");
+    }
+    attributes.push_back(bitmap::AttributeInfo{
+        "A" + std::to_string(a), static_cast<uint32_t>(cardinality)});
+  }
+  uint64_t num_rows, num_columns;
+  if (!in->ReadVarint(&num_rows) || !in->ReadVarint(&num_columns)) {
+    return util::Status::Corruption("WahIndex: truncated counts");
+  }
+  WahIndex index(bitmap::ColumnMapping(attributes), num_rows);
+  if (num_columns != index.mapping_.num_columns()) {
+    return util::Status::Corruption("WahIndex: column count mismatch");
+  }
+  index.columns_.reserve(num_columns);
+  for (uint64_t j = 0; j < num_columns; ++j) {
+    WahVector column;
+    util::Status s = WahVector::Deserialize(in, &column);
+    if (!s.ok()) return s;
+    if (column.size() != num_rows) {
+      return util::Status::Corruption("WahIndex: column length mismatch");
+    }
+    index.columns_.push_back(std::move(column));
+  }
+  return index;
+}
+
+std::vector<bool> WahIndex::EvaluateWithMask(
+    const bitmap::BitmapQuery& query) const {
+  WahVector result = ExecuteBitwise(query);
+  // Build the auxiliary row mask (compressed directly from the sorted
+  // row list: runs of zeros between requested positions).
+  WahVector mask;
+  uint64_t next = 0;
+  if (query.rows.empty()) {
+    mask = WahVector::Fill(num_rows_, true);
+  } else {
+    for (uint64_t r : query.rows) {
+      AB_CHECK_GE(r, next);  // rows must be sorted, unique
+      mask.AppendRun(false, r - next);
+      mask.AppendBit(true);
+      next = r + 1;
+    }
+    mask.AppendRun(false, num_rows_ - next);
+  }
+  WahVector filtered = And(result, mask);
+  // Read the filtered bits back out in query order.
+  if (query.rows.empty()) {
+    std::vector<uint64_t> all = bitmap::RowRange(0, num_rows_ - 1);
+    return filtered.GetSorted(all);
+  }
+  return filtered.GetSorted(query.rows);
+}
+
+}  // namespace wah
+}  // namespace abitmap

@@ -1,0 +1,76 @@
+#ifndef ABITMAP_WAH_WAH_QUERY_H_
+#define ABITMAP_WAH_WAH_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitmap/bitmap_table.h"
+#include "bitmap/query.h"
+#include "util/statusor.h"
+#include "wah/wah_vector.h"
+
+namespace abitmap {
+namespace wah {
+
+/// A WAH-compressed bitmap index: every column of a BitmapTable compressed
+/// independently, plus the query-processing paths the paper compares the
+/// Approximate Bitmap against.
+class WahIndex {
+ public:
+  /// Compresses every column of the table.
+  static WahIndex Build(const bitmap::BitmapTable& table);
+
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t num_columns() const {
+    return static_cast<uint32_t>(columns_.size());
+  }
+  const bitmap::ColumnMapping& mapping() const { return mapping_; }
+
+  const WahVector& column(uint32_t global_col) const {
+    AB_DCHECK(global_col < columns_.size());
+    return columns_[global_col];
+  }
+  const WahVector& column(uint32_t attr, uint32_t bin) const {
+    return columns_[mapping_.GlobalColumn(attr, bin)];
+  }
+
+  /// Total compressed size in bytes (sum over columns), the quantity the
+  /// paper's Table 3 reports as "WAH Size".
+  uint64_t SizeInBytes() const;
+
+  /// Executes the bit-wise phase of a bitmap query: OR of the bin bitmaps
+  /// within each attribute range, AND across attributes — all on the
+  /// compressed form. This is what the paper times for WAH ("only the time
+  /// it takes to execute the query without any row filtering"); its cost
+  /// does not depend on how many rows the query asks for.
+  WahVector ExecuteBitwise(const bitmap::BitmapQuery& query) const;
+
+  /// Full answer for a row-subset query: ExecuteBitwise followed by
+  /// extraction of the requested rows from the compressed result (a forward
+  /// scan — the "extra bit operations" step). Rows must be sorted.
+  std::vector<bool> Evaluate(const bitmap::BitmapQuery& query) const;
+
+  /// Alternative row-filtering path the paper mentions: AND the bit-wise
+  /// result with an auxiliary bitmap that has exactly the requested
+  /// positions set, then read out the set positions.
+  std::vector<bool> EvaluateWithMask(const bitmap::BitmapQuery& query) const;
+
+  /// Appends the whole index (schema + compressed columns) to `out`.
+  void Serialize(util::ByteWriter* out) const;
+
+  /// Restores an index written by Serialize.
+  static util::StatusOr<WahIndex> Deserialize(util::ByteReader* in);
+
+ private:
+  WahIndex(bitmap::ColumnMapping mapping, uint64_t num_rows)
+      : mapping_(std::move(mapping)), num_rows_(num_rows) {}
+
+  bitmap::ColumnMapping mapping_;
+  uint64_t num_rows_;
+  std::vector<WahVector> columns_;
+};
+
+}  // namespace wah
+}  // namespace abitmap
+
+#endif  // ABITMAP_WAH_WAH_QUERY_H_

@@ -1,0 +1,607 @@
+#include "wah/wah_vector.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/math.h"
+
+namespace abitmap {
+namespace wah {
+
+template <typename WordT>
+WahVectorT<WordT> WahVectorT<WordT>::Compress(const util::BitVector& bits) {
+  WahVectorT out;
+  uint64_t n = bits.size();
+  uint64_t pos = 0;
+  while (pos + kGroupBits <= n) {
+    WordT group = static_cast<WordT>(bits.GetBits(pos, kGroupBits));
+    out.PushGroup(group);
+    out.num_bits_ += kGroupBits;
+    pos += kGroupBits;
+  }
+  if (pos < n) {
+    out.tail_ = static_cast<WordT>(bits.GetBits(pos, static_cast<int>(n - pos)));
+    out.tail_bits_ = static_cast<int>(n - pos);
+    out.num_bits_ += n - pos;
+  }
+  return out;
+}
+
+template <typename WordT>
+WahVectorT<WordT> WahVectorT<WordT>::Fill(uint64_t num_bits, bool value) {
+  WahVectorT out;
+  out.AppendRun(value, num_bits);
+  return out;
+}
+
+template <typename WordT>
+void WahVectorT<WordT>::AppendBit(bool value) {
+  if (value) tail_ |= WordT{1} << tail_bits_;
+  ++tail_bits_;
+  ++num_bits_;
+  if (tail_bits_ == kGroupBits) {
+    PushGroup(tail_);
+    tail_ = 0;
+    tail_bits_ = 0;
+  }
+}
+
+template <typename WordT>
+void WahVectorT<WordT>::AppendRun(bool value, uint64_t count) {
+  // Fill the pending partial group first.
+  while (count > 0 && tail_bits_ != 0) {
+    AppendBit(value);
+    --count;
+  }
+  // Whole groups go straight to the fill encoder.
+  uint64_t groups = count / kGroupBits;
+  if (groups > 0) {
+    PushFill(value, groups);
+    num_bits_ += groups * kGroupBits;
+    count -= groups * kGroupBits;
+  }
+  // Remainder starts a new partial group.
+  while (count > 0) {
+    AppendBit(value);
+    --count;
+  }
+}
+
+template <typename WordT>
+void WahVectorT<WordT>::PushGroup(WordT group) {
+  AB_DCHECK((group & kTypeBit) == 0);
+  if (group == 0) {
+    PushFill(false, 1);
+  } else if (group == kAllOnesGroup) {
+    PushFill(true, 1);
+  } else {
+    words_.push_back(group);
+  }
+}
+
+template <typename WordT>
+void WahVectorT<WordT>::PushFill(bool value, uint64_t count) {
+  WordT value_bit = value ? kFillValueBit : WordT{0};
+  // Merge into a trailing fill of the same value.
+  if (!words_.empty()) {
+    WordT last = words_.back();
+    if ((last & kTypeBit) != 0 && (last & kFillValueBit) == value_bit) {
+      uint64_t have = last & kMaxFillLength;
+      uint64_t room = kMaxFillLength - have;
+      uint64_t take = std::min(room, count);
+      if (take > 0) {
+        words_.back() = kTypeBit | value_bit |
+                        static_cast<WordT>(have + take);
+        count -= take;
+      }
+    }
+  }
+  while (count > 0) {
+    uint64_t take = std::min<uint64_t>(kMaxFillLength, count);
+    words_.push_back(kTypeBit | value_bit | static_cast<WordT>(take));
+    count -= take;
+  }
+}
+
+template <typename WordT>
+util::BitVector WahVectorT<WordT>::Decompress() const {
+  util::BitVector out;
+  WahDecoder<WordT> dec(*this);
+  while (dec.Valid()) {
+    if (dec.IsFill()) {
+      out.Append(dec.FillValue(), dec.Remaining() * kGroupBits);
+      dec.Consume(dec.Remaining());
+    } else {
+      out.AppendBits(dec.CurrentGroupWord(), kGroupBits);
+      dec.Consume(1);
+    }
+  }
+  if (tail_bits_ > 0) out.AppendBits(tail_, tail_bits_);
+  AB_CHECK_EQ(out.size(), num_bits_);
+  return out;
+}
+
+template <typename WordT>
+bool WahVectorT<WordT>::Get(uint64_t pos) const {
+  AB_DCHECK(pos < num_bits_);
+  uint64_t offset = 0;
+  WahDecoder<WordT> dec(*this);
+  while (dec.Valid()) {
+    uint64_t run_bits = dec.Remaining() * kGroupBits;
+    if (pos < offset + run_bits) {
+      if (dec.IsFill()) return dec.FillValue();
+      return (dec.CurrentGroupWord() >> (pos - offset)) & 1u;
+    }
+    offset += run_bits;
+    dec.Consume(dec.Remaining());
+  }
+  AB_DCHECK(pos - offset < static_cast<uint64_t>(tail_bits_));
+  return (tail_ >> (pos - offset)) & 1u;
+}
+
+template <typename WordT>
+std::vector<bool> WahVectorT<WordT>::GetSorted(
+    const std::vector<uint64_t>& rows) const {
+  std::vector<bool> out;
+  out.reserve(rows.size());
+  uint64_t offset = 0;  // first bit position of the current run
+  WahDecoder<WordT> dec(*this);
+  for (uint64_t pos : rows) {
+    AB_DCHECK(pos < num_bits_);
+    // Advance runs until the one containing pos.
+    while (dec.Valid()) {
+      uint64_t run_bits = dec.Remaining() * kGroupBits;
+      if (pos < offset + run_bits) break;
+      offset += run_bits;
+      dec.Consume(dec.Remaining());
+    }
+    if (dec.Valid()) {
+      if (dec.IsFill()) {
+        out.push_back(dec.FillValue());
+      } else {
+        out.push_back((dec.CurrentGroupWord() >> (pos - offset)) & 1u);
+      }
+    } else {
+      out.push_back((tail_ >> (pos - offset)) & 1u);
+    }
+  }
+  return out;
+}
+
+template <typename WordT>
+uint64_t WahVectorT<WordT>::CountOnes() const {
+  uint64_t total = 0;
+  WahDecoder<WordT> dec(*this);
+  while (dec.Valid()) {
+    if (dec.IsFill()) {
+      if (dec.FillValue()) total += dec.Remaining() * kGroupBits;
+      dec.Consume(dec.Remaining());
+    } else {
+      total += util::PopCount(dec.CurrentGroupWord());
+      dec.Consume(1);
+    }
+  }
+  total += util::PopCount(tail_);
+  return total;
+}
+
+template <typename WordT>
+std::vector<uint64_t> WahVectorT<WordT>::SetPositions() const {
+  std::vector<uint64_t> out;
+  uint64_t offset = 0;
+  WahDecoder<WordT> dec(*this);
+  while (dec.Valid()) {
+    if (dec.IsFill()) {
+      uint64_t run_bits = dec.Remaining() * kGroupBits;
+      if (dec.FillValue()) {
+        for (uint64_t i = 0; i < run_bits; ++i) out.push_back(offset + i);
+      }
+      offset += run_bits;
+      dec.Consume(dec.Remaining());
+    } else {
+      WordT g = dec.CurrentGroupWord();
+      while (g != 0) {
+        int bit = std::countr_zero(g);
+        out.push_back(offset + static_cast<uint64_t>(bit));
+        g &= g - 1;
+      }
+      offset += kGroupBits;
+      dec.Consume(1);
+    }
+  }
+  WordT t = tail_;
+  while (t != 0) {
+    int bit = std::countr_zero(t);
+    out.push_back(offset + static_cast<uint64_t>(bit));
+    t &= t - 1;
+  }
+  return out;
+}
+
+template <typename WordT>
+void WahVectorT<WordT>::Serialize(util::ByteWriter* out) const {
+  out->WriteVarint(num_bits_);
+  out->WriteU8(static_cast<uint8_t>(tail_bits_));
+  out->WriteU64(tail_);
+  out->WriteVarint(words_.size());
+  for (WordT w : words_) {
+    if constexpr (sizeof(WordT) == 4) {
+      out->WriteU32(w);
+    } else {
+      out->WriteU64(w);
+    }
+  }
+}
+
+template <typename WordT>
+util::Status WahVectorT<WordT>::Deserialize(util::ByteReader* in,
+                                            WahVectorT* out) {
+  WahVectorT v;
+  uint64_t num_bits, num_words, tail;
+  uint8_t tail_bits;
+  if (!in->ReadVarint(&num_bits) || !in->ReadU8(&tail_bits) ||
+      !in->ReadU64(&tail) || !in->ReadVarint(&num_words)) {
+    return util::Status::Corruption("WahVector: truncated header");
+  }
+  if (tail_bits >= kGroupBits) {
+    return util::Status::Corruption("WahVector: tail too wide");
+  }
+  if (tail_bits == 0 ? tail != 0
+                     : (tail & ~((WordT{1} << tail_bits) - 1)) != 0) {
+    return util::Status::Corruption("WahVector: nonzero tail padding");
+  }
+  v.num_bits_ = num_bits;
+  v.tail_bits_ = tail_bits;
+  v.tail_ = static_cast<WordT>(tail);
+  v.words_.resize(num_words);
+  for (uint64_t i = 0; i < num_words; ++i) {
+    if constexpr (sizeof(WordT) == 4) {
+      uint32_t w;
+      if (!in->ReadU32(&w)) {
+        return util::Status::Corruption("WahVector: truncated words");
+      }
+      v.words_[i] = w;
+    } else {
+      uint64_t w;
+      if (!in->ReadU64(&w)) {
+        return util::Status::Corruption("WahVector: truncated words");
+      }
+      v.words_[i] = w;
+    }
+  }
+  // Structural validation: every fill must be non-empty and the groups
+  // plus the tail must account for exactly num_bits.
+  uint64_t groups = 0;
+  for (WordT w : v.words_) {
+    if ((w & kTypeBit) != 0) {
+      uint64_t count = w & kMaxFillLength;
+      if (count == 0) {
+        return util::Status::Corruption("WahVector: empty fill word");
+      }
+      groups += count;
+    } else {
+      groups += 1;
+    }
+  }
+  if (groups * kGroupBits + tail_bits != num_bits) {
+    return util::Status::Corruption("WahVector: group accounting mismatch");
+  }
+  *out = std::move(v);
+  return util::Status::Ok();
+}
+
+// ----------------------------------------------------------------------
+// Decoder
+
+template <typename WordT>
+void WahDecoder<WordT>::LoadNextRun() {
+  if (word_index_ >= v_.words_.size()) {
+    remaining_ = 0;
+    return;
+  }
+  WordT w = v_.words_[word_index_++];
+  if ((w & WahVectorT<WordT>::kTypeBit) != 0) {
+    is_fill_ = true;
+    fill_value_ = (w & WahVectorT<WordT>::kFillValueBit) != 0;
+    remaining_ = w & WahVectorT<WordT>::kMaxFillLength;
+    AB_DCHECK(remaining_ > 0);
+  } else {
+    is_fill_ = false;
+    literal_ = w;
+    remaining_ = 1;
+  }
+}
+
+template <typename WordT>
+void WahDecoder<WordT>::Consume(uint64_t n) {
+  AB_DCHECK(n <= remaining_);
+  remaining_ -= n;
+  if (remaining_ == 0) LoadNextRun();
+}
+
+// ----------------------------------------------------------------------
+// Set-bit iterator
+
+template <typename WordT>
+WahSetBitIterator<WordT>::WahSetBitIterator(const WahVectorT<WordT>& v)
+    : v_(v), decoder_(v) {
+  FindNext();
+}
+
+template <typename WordT>
+void WahSetBitIterator<WordT>::Next() {
+  AB_DCHECK(!at_end_);
+  FindNext();
+}
+
+template <typename WordT>
+void WahSetBitIterator<WordT>::FindNext() {
+  while (true) {
+    if (ones_left_ > 0) {
+      position_ = next_pos_++;
+      --ones_left_;
+      return;
+    }
+    if (literal_left_ != 0) {
+      int bit = std::countr_zero(literal_left_);
+      literal_left_ &= literal_left_ - 1;
+      position_ = literal_base_ + static_cast<uint64_t>(bit);
+      return;
+    }
+    if (!decoder_.Valid()) {
+      if (!tail_consumed_) {
+        tail_consumed_ = true;
+        literal_left_ = v_.tail_;
+        literal_base_ = offset_;
+        continue;
+      }
+      at_end_ = true;
+      return;
+    }
+    if (decoder_.IsFill()) {
+      uint64_t run_bits =
+          decoder_.Remaining() * WahVectorT<WordT>::kGroupBits;
+      if (decoder_.FillValue()) {
+        ones_left_ = run_bits;
+        next_pos_ = offset_;
+      }
+      offset_ += run_bits;
+      decoder_.Consume(decoder_.Remaining());
+    } else {
+      literal_left_ = decoder_.CurrentGroupWord();
+      literal_base_ = offset_;
+      offset_ += WahVectorT<WordT>::kGroupBits;
+      decoder_.Consume(1);
+    }
+  }
+}
+
+template class WahSetBitIterator<uint32_t>;
+template class WahSetBitIterator<uint64_t>;
+
+// ----------------------------------------------------------------------
+// Logical operations
+
+template <typename WordT>
+void WahVectorT<WordT>::AppendBits(uint64_t bits, int n) {
+  for (int i = 0; i < n; ++i) {
+    AppendBit((bits >> i) & 1u);
+  }
+}
+
+template <typename WordT>
+template <typename GroupOp, typename BoolOp>
+WahVectorT<WordT> WahVectorT<WordT>::BinaryOp(const WahVectorT<WordT>& a,
+                                              const WahVectorT<WordT>& b,
+                                              GroupOp group_op,
+                                              BoolOp bool_op) {
+  AB_CHECK_EQ(a.size(), b.size());
+  WahVectorT<WordT> out;
+  WahDecoder<WordT> da(a);
+  WahDecoder<WordT> db(b);
+  while (da.Valid()) {
+    AB_DCHECK(db.Valid());
+    if (da.IsFill() && db.IsFill()) {
+      uint64_t n = std::min(da.Remaining(), db.Remaining());
+      out.PushFill(bool_op(da.FillValue(), db.FillValue()), n);
+      out.num_bits_ += n * kGroupBits;
+      da.Consume(n);
+      db.Consume(n);
+    } else {
+      WordT g = group_op(da.CurrentGroupWord(), db.CurrentGroupWord()) &
+                kAllOnesGroup;
+      out.PushGroup(g);
+      out.num_bits_ += kGroupBits;
+      da.Consume(1);
+      db.Consume(1);
+    }
+  }
+  AB_DCHECK(!db.Valid());
+  // Combine the partial tail groups with the same group operation.
+  if (a.tail_bits_ > 0) {
+    WordT mask = (WordT{1} << a.tail_bits_) - 1;
+    out.tail_ = group_op(a.tail_, b.tail_) & mask;
+    out.tail_bits_ = a.tail_bits_;
+    out.num_bits_ += a.tail_bits_;
+  }
+  return out;
+}
+
+template <typename WordT>
+WahVectorT<WordT> And(const WahVectorT<WordT>& a, const WahVectorT<WordT>& b) {
+  return WahVectorT<WordT>::BinaryOp(
+      a, b, [](WordT x, WordT y) { return static_cast<WordT>(x & y); },
+      [](bool x, bool y) { return x && y; });
+}
+
+template <typename WordT>
+WahVectorT<WordT> Or(const WahVectorT<WordT>& a, const WahVectorT<WordT>& b) {
+  return WahVectorT<WordT>::BinaryOp(
+      a, b, [](WordT x, WordT y) { return static_cast<WordT>(x | y); },
+      [](bool x, bool y) { return x || y; });
+}
+
+template <typename WordT>
+WahVectorT<WordT> Xor(const WahVectorT<WordT>& a, const WahVectorT<WordT>& b) {
+  return WahVectorT<WordT>::BinaryOp(
+      a, b, [](WordT x, WordT y) { return static_cast<WordT>(x ^ y); },
+      [](bool x, bool y) { return x != y; });
+}
+
+template <typename WordT>
+WahVectorT<WordT> AndNot(const WahVectorT<WordT>& a,
+                         const WahVectorT<WordT>& b) {
+  return WahVectorT<WordT>::BinaryOp(
+      a, b, [](WordT x, WordT y) { return static_cast<WordT>(x & ~y); },
+      [](bool x, bool y) { return x && !y; });
+}
+
+template <typename WordT>
+uint64_t AndCount(const WahVectorT<WordT>& a, const WahVectorT<WordT>& b) {
+  AB_CHECK_EQ(a.size(), b.size());
+  uint64_t total = 0;
+  WahDecoder<WordT> da(a);
+  WahDecoder<WordT> db(b);
+  while (da.Valid()) {
+    AB_DCHECK(db.Valid());
+    if (da.IsFill() && db.IsFill()) {
+      uint64_t n = std::min(da.Remaining(), db.Remaining());
+      if (da.FillValue() && db.FillValue()) {
+        total += n * WahVectorT<WordT>::kGroupBits;
+      }
+      da.Consume(n);
+      db.Consume(n);
+    } else {
+      total += util::PopCount(da.CurrentGroupWord() & db.CurrentGroupWord());
+      da.Consume(1);
+      db.Consume(1);
+    }
+  }
+  total += util::PopCount(a.tail_ & b.tail_);
+  return total;
+}
+
+template uint64_t AndCount(const WahVectorT<uint32_t>&,
+                           const WahVectorT<uint32_t>&);
+template uint64_t AndCount(const WahVectorT<uint64_t>&,
+                           const WahVectorT<uint64_t>&);
+
+template <typename WordT>
+WahVectorT<WordT> Not(const WahVectorT<WordT>& a) {
+  WahVectorT<WordT> out;
+  WahDecoder<WordT> dec(a);
+  while (dec.Valid()) {
+    if (dec.IsFill()) {
+      out.AppendRun(!dec.FillValue(),
+                    dec.Remaining() * WahVectorT<WordT>::kGroupBits);
+      dec.Consume(dec.Remaining());
+    } else {
+      out.AppendBits(~dec.CurrentGroupWord() & WahVectorT<WordT>::kAllOnesGroup,
+                     WahVectorT<WordT>::kGroupBits);
+      dec.Consume(1);
+    }
+  }
+  if (a.tail_bits_ > 0) {
+    WordT mask = (WordT{1} << a.tail_bits_) - 1;
+    out.AppendBits(~a.tail_ & mask, a.tail_bits_);
+  }
+  return out;
+}
+
+template <typename WordT>
+WahVectorT<WordT> MultiOr(
+    const std::vector<const WahVectorT<WordT>*>& inputs) {
+  AB_CHECK(!inputs.empty());
+  if (inputs.size() == 1) return *inputs[0];
+  const uint64_t num_bits = inputs[0]->size();
+  for (const WahVectorT<WordT>* v : inputs) {
+    AB_CHECK_EQ(v->size(), num_bits);
+  }
+  WahVectorT<WordT> out;
+  std::vector<WahDecoder<WordT>> decoders;
+  decoders.reserve(inputs.size());
+  for (const WahVectorT<WordT>* v : inputs) {
+    decoders.emplace_back(*v);
+  }
+  while (decoders[0].Valid()) {
+    // A one-fill in any operand lets the whole group run be skipped; the
+    // skippable length is the minimum remaining run across operands.
+    bool any_one_fill = false;
+    bool all_fills = true;
+    uint64_t min_run = ~uint64_t{0};
+    for (WahDecoder<WordT>& d : decoders) {
+      AB_DCHECK(d.Valid());
+      if (d.IsFill()) {
+        min_run = std::min(min_run, d.Remaining());
+        if (d.FillValue()) any_one_fill = true;
+      } else {
+        all_fills = false;
+        min_run = 1;
+      }
+    }
+    if (all_fills) {
+      out.PushFill(any_one_fill, min_run);
+      out.num_bits_ += min_run * WahVectorT<WordT>::kGroupBits;
+      for (WahDecoder<WordT>& d : decoders) d.Consume(min_run);
+    } else {
+      WordT g = 0;
+      for (WahDecoder<WordT>& d : decoders) {
+        g |= d.CurrentGroupWord();
+        d.Consume(1);
+      }
+      out.PushGroup(g);
+      out.num_bits_ += WahVectorT<WordT>::kGroupBits;
+    }
+  }
+  // Combine tails.
+  if (inputs[0]->tail_bits_ > 0) {
+    WordT tail = 0;
+    for (const WahVectorT<WordT>* v : inputs) tail |= v->tail_;
+    out.tail_ = tail;
+    out.tail_bits_ = inputs[0]->tail_bits_;
+    out.num_bits_ += out.tail_bits_;
+  }
+  return out;
+}
+
+template <typename WordT>
+WahVectorT<WordT> MultiOr(const std::vector<WahVectorT<WordT>>& inputs) {
+  std::vector<const WahVectorT<WordT>*> ptrs;
+  ptrs.reserve(inputs.size());
+  for (const WahVectorT<WordT>& v : inputs) ptrs.push_back(&v);
+  return MultiOr(ptrs);
+}
+
+template WahVectorT<uint32_t> MultiOr(
+    const std::vector<const WahVectorT<uint32_t>*>&);
+template WahVectorT<uint64_t> MultiOr(
+    const std::vector<const WahVectorT<uint64_t>*>&);
+template WahVectorT<uint32_t> MultiOr(const std::vector<WahVectorT<uint32_t>>&);
+template WahVectorT<uint64_t> MultiOr(const std::vector<WahVectorT<uint64_t>>&);
+
+template class WahVectorT<uint32_t>;
+template class WahVectorT<uint64_t>;
+template class WahDecoder<uint32_t>;
+template class WahDecoder<uint64_t>;
+
+template WahVectorT<uint32_t> And(const WahVectorT<uint32_t>&,
+                                  const WahVectorT<uint32_t>&);
+template WahVectorT<uint64_t> And(const WahVectorT<uint64_t>&,
+                                  const WahVectorT<uint64_t>&);
+template WahVectorT<uint32_t> Or(const WahVectorT<uint32_t>&,
+                                 const WahVectorT<uint32_t>&);
+template WahVectorT<uint64_t> Or(const WahVectorT<uint64_t>&,
+                                 const WahVectorT<uint64_t>&);
+template WahVectorT<uint32_t> Xor(const WahVectorT<uint32_t>&,
+                                  const WahVectorT<uint32_t>&);
+template WahVectorT<uint64_t> Xor(const WahVectorT<uint64_t>&,
+                                  const WahVectorT<uint64_t>&);
+template WahVectorT<uint32_t> AndNot(const WahVectorT<uint32_t>&,
+                                     const WahVectorT<uint32_t>&);
+template WahVectorT<uint64_t> AndNot(const WahVectorT<uint64_t>&,
+                                     const WahVectorT<uint64_t>&);
+template WahVectorT<uint32_t> Not(const WahVectorT<uint32_t>&);
+template WahVectorT<uint64_t> Not(const WahVectorT<uint64_t>&);
+
+}  // namespace wah
+}  // namespace abitmap

@@ -1,0 +1,281 @@
+#ifndef ABITMAP_WAH_WAH_VECTOR_H_
+#define ABITMAP_WAH_WAH_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvector.h"
+#include "util/byte_io.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace abitmap {
+namespace wah {
+
+/// Word-Aligned Hybrid (WAH) compressed bit vector (Wu, Otoo, Shoshani —
+/// the compression scheme the paper benchmarks against).
+///
+/// Following the paper's description (Section 2.2.1): with a word of w
+/// bits, the most significant bit distinguishes the two word types.
+///  * literal word — MSB 0; the lower (w-1) bits hold w-1 consecutive
+///    bitmap bits verbatim.
+///  * fill word — MSB 1; the second most significant bit is the fill value
+///    and the remaining (w-2) bits store the fill length, counted in
+///    (w-1)-bit groups.
+///
+/// Logical operations work directly on the compressed form, one word at a
+/// time, which is what makes WAH fast for whole-column operations — and
+/// what loses direct access: locating row i requires a scan over the
+/// preceding words, the overhead the Approximate Bitmap removes.
+///
+/// WordT is uint32_t for the classic layout (31-bit groups) or uint64_t
+/// (63-bit groups); the word-size ablation benchmark compares the two.
+template <typename WordT>
+class WahVectorT {
+ public:
+  static constexpr int kWordBits = sizeof(WordT) * 8;
+  /// Bits of bitmap payload per literal word / per fill-length unit.
+  static constexpr int kGroupBits = kWordBits - 1;
+  static constexpr WordT kTypeBit = WordT{1} << (kWordBits - 1);
+  static constexpr WordT kFillValueBit = WordT{1} << (kWordBits - 2);
+  static constexpr WordT kMaxFillLength = kFillValueBit - 1;
+
+  /// Empty vector of zero bits.
+  WahVectorT() = default;
+
+  /// Compresses an uncompressed bit vector.
+  static WahVectorT Compress(const util::BitVector& bits);
+
+  /// Builds a vector of `num_bits` bits, all equal to `value`.
+  static WahVectorT Fill(uint64_t num_bits, bool value);
+
+  /// --- Incremental construction (append-only) ---
+
+  /// Appends a single bit.
+  void AppendBit(bool value);
+  /// Appends `count` copies of `value` (run-length fast path).
+  void AppendRun(bool value, uint64_t count);
+  /// Appends the low `n` bits of `bits` (1 <= n <= 64), LSB first.
+  void AppendBits(uint64_t bits, int n);
+
+  /// Total bitmap bits represented.
+  uint64_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  /// Number of compressed words, including the pending partial group.
+  size_t NumWords() const { return words_.size() + (tail_bits_ > 0 ? 1 : 0); }
+
+  /// Compressed size in bytes (words plus the small fixed header a file
+  /// format would carry; we count the words only, as the paper does).
+  uint64_t SizeInBytes() const { return NumWords() * sizeof(WordT); }
+
+  /// Decompresses to a verbatim bit vector.
+  util::BitVector Decompress() const;
+
+  /// Random access to bit `pos`. Requires a forward scan over the
+  /// compressed words — O(NumWords()) worst case. This is precisely the
+  /// "extra bit operations or decompression" cost the paper charges WAH
+  /// for row-subset queries; it exists here so benchmarks can measure it.
+  bool Get(uint64_t pos) const;
+
+  /// Reads the bits at `rows` (must be sorted ascending) with a single
+  /// forward scan: O(NumWords() + rows.size()).
+  std::vector<bool> GetSorted(const std::vector<uint64_t>& rows) const;
+
+  /// Number of set bits, computed on the compressed form.
+  uint64_t CountOnes() const;
+
+  /// Positions of all set bits, ascending.
+  std::vector<uint64_t> SetPositions() const;
+
+  bool operator==(const WahVectorT& other) const {
+    return num_bits_ == other.num_bits_ && tail_bits_ == other.tail_bits_ &&
+           tail_ == other.tail_ && words_ == other.words_;
+  }
+  bool operator!=(const WahVectorT& other) const { return !(*this == other); }
+
+  /// Raw compressed words (testing / size accounting). The pending tail
+  /// group, if any, is not included.
+  const std::vector<WordT>& words() const { return words_; }
+
+  /// Appends the compressed form to `out` (varint bit count, tail state,
+  /// then the words little-endian).
+  void Serialize(util::ByteWriter* out) const;
+
+  /// Reads a vector written by Serialize, validating structural
+  /// invariants (group accounting, fill lengths, tail padding); returns
+  /// Corruption on malformed input.
+  static util::Status Deserialize(util::ByteReader* in, WahVectorT* out);
+
+ private:
+  template <typename W>
+  friend WahVectorT<W> And(const WahVectorT<W>&, const WahVectorT<W>&);
+  template <typename W>
+  friend WahVectorT<W> Or(const WahVectorT<W>&, const WahVectorT<W>&);
+  template <typename W>
+  friend WahVectorT<W> Xor(const WahVectorT<W>&, const WahVectorT<W>&);
+  template <typename W>
+  friend WahVectorT<W> AndNot(const WahVectorT<W>&, const WahVectorT<W>&);
+  template <typename W>
+  friend WahVectorT<W> Not(const WahVectorT<W>&);
+  template <typename W>
+  friend WahVectorT<W> MultiOr(const std::vector<const WahVectorT<W>*>&);
+  template <typename W>
+  friend uint64_t AndCount(const WahVectorT<W>&, const WahVectorT<W>&);
+  template <typename W>
+  friend class WahDecoder;
+  template <typename W>
+  friend class WahSetBitIterator;
+
+  /// Group-aligned binary operation over two compressed vectors of equal
+  /// length; shared implementation of And/Or/Xor/AndNot. GroupOp combines
+  /// group words, BoolOp combines fill values (they must agree on constant
+  /// groups).
+  template <typename GroupOp, typename BoolOp>
+  static WahVectorT BinaryOp(const WahVectorT& a, const WahVectorT& b,
+                             GroupOp group_op, BoolOp bool_op);
+
+  /// Appends one complete (w-1)-bit group to words_, canonicalizing
+  /// all-zero / all-one groups into fills. Does not update num_bits_.
+  void PushGroup(WordT group);
+  /// Appends `count` all-`value` groups to words_, merging with a trailing
+  /// fill of the same value. Does not update num_bits_.
+  void PushFill(bool value, uint64_t count);
+
+  static constexpr WordT kAllOnesGroup = (WordT{1} << kGroupBits) - 1;
+
+  std::vector<WordT> words_;
+  /// Pending bits not yet forming a full group (low tail_bits_ bits valid).
+  WordT tail_ = 0;
+  int tail_bits_ = 0;
+  uint64_t num_bits_ = 0;
+};
+
+/// Streaming run decoder over the complete groups of a WAH vector (the
+/// pending partial tail group, if any, is handled by the caller). Yields
+/// runs — a fill (value, group count) or a single literal group — and
+/// auto-advances as groups are consumed. Shared by the logical operations,
+/// decompression, random access and the query engine.
+template <typename WordT>
+class WahDecoder {
+ public:
+  explicit WahDecoder(const WahVectorT<WordT>& v) : v_(v) { LoadNextRun(); }
+
+  /// True while at least one group remains.
+  bool Valid() const { return remaining_ > 0; }
+
+  /// True if the current run is a fill (false: a single literal group).
+  bool IsFill() const { return is_fill_; }
+  bool FillValue() const { return fill_value_; }
+  /// Groups remaining in the current run (1 for a literal).
+  uint64_t Remaining() const { return remaining_; }
+
+  /// The current group expanded to a plain (w-1)-bit group word: the
+  /// literal itself, or all-zeros / all-ones for a fill.
+  WordT CurrentGroupWord() const {
+    if (is_fill_) {
+      return fill_value_ ? WahVectorT<WordT>::kAllOnesGroup : WordT{0};
+    }
+    return literal_;
+  }
+
+  /// Consumes `n` groups (n <= Remaining()) and advances to the next run
+  /// when the current one is exhausted.
+  void Consume(uint64_t n);
+
+ private:
+  void LoadNextRun();
+
+  const WahVectorT<WordT>& v_;
+  size_t word_index_ = 0;
+  bool is_fill_ = false;
+  bool fill_value_ = false;
+  uint64_t remaining_ = 0;
+  WordT literal_ = 0;
+};
+
+/// Logical operations over the compressed form. Operands must represent
+/// the same number of bits.
+template <typename WordT>
+WahVectorT<WordT> And(const WahVectorT<WordT>& a, const WahVectorT<WordT>& b);
+template <typename WordT>
+WahVectorT<WordT> Or(const WahVectorT<WordT>& a, const WahVectorT<WordT>& b);
+template <typename WordT>
+WahVectorT<WordT> Xor(const WahVectorT<WordT>& a, const WahVectorT<WordT>& b);
+template <typename WordT>
+WahVectorT<WordT> AndNot(const WahVectorT<WordT>& a,
+                         const WahVectorT<WordT>& b);
+template <typename WordT>
+WahVectorT<WordT> Not(const WahVectorT<WordT>& a);
+
+/// popcount(a AND b) computed streaming over the compressed forms without
+/// materializing the result — the count-only aggregate path (e.g. COUNT(*)
+/// range queries) real bitmap engines special-case.
+template <typename WordT>
+uint64_t AndCount(const WahVectorT<WordT>& a, const WahVectorT<WordT>& b);
+
+/// Streaming iterator over the set bit positions of a WAH vector, in
+/// ascending order, without materializing them (SetPositions() allocates
+/// the full list; a query result with millions of hits should not).
+///
+///   for (WahSetBitIterator<uint32_t> it(v); !it.AtEnd(); it.Next()) {
+///     Use(it.position());
+///   }
+template <typename WordT>
+class WahSetBitIterator {
+ public:
+  explicit WahSetBitIterator(const WahVectorT<WordT>& v);
+
+  bool AtEnd() const { return at_end_; }
+  /// Current set bit position; only valid while !AtEnd().
+  uint64_t position() const {
+    AB_DCHECK(!at_end_);
+    return position_;
+  }
+  /// Advances to the next set bit.
+  void Next();
+
+ private:
+  /// Positions on the first set bit at or after the cursor.
+  void FindNext();
+
+  const WahVectorT<WordT>& v_;
+  WahDecoder<WordT> decoder_;
+  uint64_t offset_ = 0;        ///< bit offset just past the consumed runs
+  uint64_t ones_left_ = 0;     ///< remaining positions of a one-fill run
+  uint64_t next_pos_ = 0;      ///< next position inside that run
+  WordT literal_left_ = 0;     ///< unconsumed bits of the current literal
+  uint64_t literal_base_ = 0;  ///< bit offset of that literal group
+  bool tail_consumed_ = false;
+  bool at_end_ = false;
+  uint64_t position_ = 0;
+};
+
+extern template class WahSetBitIterator<uint32_t>;
+extern template class WahSetBitIterator<uint64_t>;
+
+/// k-way OR over compressed vectors of equal length. Pairwise folding
+/// re-compresses intermediate results k-1 times; the k-way merge advances
+/// all operands in lockstep and emits each output group once. This is the
+/// operation a range query's bin OR (Section 3.3) actually needs.
+template <typename WordT>
+WahVectorT<WordT> MultiOr(const std::vector<const WahVectorT<WordT>*>& inputs);
+
+/// Convenience overload over a contiguous vector of operands.
+template <typename WordT>
+WahVectorT<WordT> MultiOr(const std::vector<WahVectorT<WordT>>& inputs);
+
+/// The classic 32-bit-word WAH the paper describes.
+using WahVector = WahVectorT<uint32_t>;
+/// 64-bit-word variant (word-size ablation).
+using WahVector64 = WahVectorT<uint64_t>;
+
+extern template class WahVectorT<uint32_t>;
+extern template class WahVectorT<uint64_t>;
+extern template class WahDecoder<uint32_t>;
+extern template class WahDecoder<uint64_t>;
+
+}  // namespace wah
+}  // namespace abitmap
+
+#endif  // ABITMAP_WAH_WAH_VECTOR_H_

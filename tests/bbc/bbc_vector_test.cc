@@ -1,0 +1,156 @@
+#include "bbc/bbc_vector.h"
+
+#include <random>
+
+#include "gtest/gtest.h"
+#include "util/bitvector.h"
+#include "wah/wah_vector.h"
+
+namespace abitmap {
+namespace bbc {
+namespace {
+
+using util::BitVector;
+
+BitVector RandomBits(size_t n, double density, double clustering,
+                     uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0, 1);
+  BitVector out(n);
+  bool prev = false;
+  for (size_t i = 0; i < n; ++i) {
+    bool bit = (u(rng) < clustering) ? prev : (u(rng) < density);
+    if (bit) out.Set(i);
+    prev = bit;
+  }
+  return out;
+}
+
+TEST(BbcVectorTest, EmptyVector) {
+  BbcVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.CountOnes(), 0u);
+}
+
+TEST(BbcVectorTest, RoundTripVariousSizes) {
+  for (size_t n : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 500u, 4096u, 10001u}) {
+    BitVector original = RandomBits(n, 0.3, 0.7, n);
+    BbcVector v = BbcVector::Compress(original);
+    EXPECT_EQ(v.size(), n);
+    EXPECT_EQ(v.Decompress(), original) << n;
+  }
+}
+
+TEST(BbcVectorTest, AllZeros) {
+  BitVector zeros(100000);
+  BbcVector v = BbcVector::Compress(zeros);
+  EXPECT_LE(v.SizeInBytes(), 5u);  // one extended fill atom
+  EXPECT_EQ(v.CountOnes(), 0u);
+  EXPECT_EQ(v.Decompress(), zeros);
+}
+
+TEST(BbcVectorTest, AllOnes) {
+  BitVector ones(80000);
+  ones.Flip();
+  BbcVector v = BbcVector::Compress(ones);
+  EXPECT_LE(v.SizeInBytes(), 8u);
+  EXPECT_EQ(v.CountOnes(), 80000u);
+  EXPECT_EQ(v.Decompress(), ones);
+}
+
+TEST(BbcVectorTest, CountOnesMatches) {
+  for (double density : {0.01, 0.2, 0.5, 0.95}) {
+    BitVector original = RandomBits(7777, density, 0.6, 55);
+    BbcVector v = BbcVector::Compress(original);
+    EXPECT_EQ(v.CountOnes(), original.Count());
+  }
+}
+
+TEST(BbcVectorTest, GetMatches) {
+  BitVector original = RandomBits(3000, 0.15, 0.85, 66);
+  BbcVector v = BbcVector::Compress(original);
+  for (size_t i = 0; i < 3000; i += 13) {
+    EXPECT_EQ(v.Get(i), original.Get(i)) << i;
+  }
+  EXPECT_EQ(v.Get(2999), original.Get(2999));
+}
+
+TEST(BbcVectorTest, LogicalOpsMatchUncompressed) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t n = 1 + rng() % 5000;
+    BitVector a = RandomBits(n, 0.25, 0.8, rng());
+    BitVector b = RandomBits(n, 0.25, 0.8, rng());
+    BbcVector ca = BbcVector::Compress(a);
+    BbcVector cb = BbcVector::Compress(b);
+    EXPECT_EQ(And(ca, cb).Decompress(), util::And(a, b)) << n;
+    EXPECT_EQ(Or(ca, cb).Decompress(), util::Or(a, b)) << n;
+    EXPECT_EQ(AndNot(ca, cb).Decompress(), util::AndNot(a, b)) << n;
+  }
+}
+
+TEST(BbcVectorTest, AndNotWithPartialFinalByte) {
+  // a & ~b must not leak ones into the padding of a partial final byte.
+  BitVector a = BitVector::FromString("1111111111111");  // 13 bits, all set
+  BitVector b = BitVector::FromString("0101010101010");
+  BbcVector result = AndNot(BbcVector::Compress(a), BbcVector::Compress(b));
+  EXPECT_EQ(result.Decompress(), util::AndNot(a, b));
+  EXPECT_EQ(result.CountOnes(), 7u);
+}
+
+TEST(BbcVectorTest, OpsProduceCanonicalStreams) {
+  BitVector a = RandomBits(2048, 0.1, 0.9, 3);
+  BitVector b = RandomBits(2048, 0.1, 0.9, 4);
+  BbcVector ca = BbcVector::Compress(a);
+  BbcVector cb = BbcVector::Compress(b);
+  EXPECT_EQ(And(ca, cb), BbcVector::Compress(util::And(a, b)));
+  EXPECT_EQ(Or(ca, cb), BbcVector::Compress(util::Or(a, b)));
+}
+
+TEST(BbcVectorTest, ByteAlignmentBeatsWahOnShortRuns) {
+  // The paper's Section 2.2.1 claim: BBC compresses better. Construct a
+  // bitmap with runs of ~10 bytes — too short for 31-bit WAH fills to pay
+  // off fully, ideal for byte-aligned fills.
+  BitVector bits(400000);
+  std::mt19937_64 rng(8);
+  size_t pos = 0;
+  while (pos < 400000) {
+    size_t run = 8 * (1 + rng() % 20);
+    bool value = rng() % 8 == 0;
+    for (size_t i = pos; i < std::min(pos + run, size_t{400000}); ++i) {
+      if (value) bits.Set(i);
+    }
+    pos += run;
+  }
+  BbcVector b = BbcVector::Compress(bits);
+  wah::WahVector w = wah::WahVector::Compress(bits);
+  EXPECT_LT(b.SizeInBytes(), w.SizeInBytes());
+  EXPECT_EQ(b.Decompress(), bits);
+}
+
+TEST(BbcVectorTest, SparseIndexColumn) {
+  BitVector bits(1000000);
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 5000; ++i) bits.Set(rng() % 1000000);
+  BbcVector v = BbcVector::Compress(bits);
+  EXPECT_LT(v.SizeInBytes(), bits.SizeInBytes() / 4);
+  EXPECT_EQ(v.Decompress(), bits);
+}
+
+TEST(BbcVectorTest, LongLiteralRunsSplitCorrectly) {
+  // > 127 consecutive literal bytes forces multiple literal atoms.
+  BitVector bits(8 * 300);
+  for (size_t byte = 0; byte < 300; ++byte) {
+    // 0x55 pattern: incompressible bytes.
+    for (int bit = 0; bit < 8; bit += 2) bits.Set(byte * 8 + bit);
+  }
+  BbcVector v = BbcVector::Compress(bits);
+  EXPECT_EQ(v.Decompress(), bits);
+  // 300 literals need 3 atom headers.
+  EXPECT_EQ(v.SizeInBytes(), 300u + 3u);
+}
+
+}  // namespace
+}  // namespace bbc
+}  // namespace abitmap

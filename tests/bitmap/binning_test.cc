@@ -1,0 +1,98 @@
+#include "bitmap/binning.h"
+
+#include <random>
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace bitmap {
+namespace {
+
+TEST(BinnerTest, EquiWidthBasics) {
+  std::vector<double> values = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Binner b = Binner::EquiWidth(values, 5);
+  EXPECT_EQ(b.cardinality(), 5u);
+  EXPECT_EQ(b.BinOf(0.0), 0u);
+  EXPECT_EQ(b.BinOf(1.9), 0u);
+  EXPECT_EQ(b.BinOf(2.1), 1u);
+  EXPECT_EQ(b.BinOf(9.9), 4u);
+  EXPECT_EQ(b.BinOf(10.0), 4u);
+}
+
+TEST(BinnerTest, EquiWidthOutOfRangeClamped) {
+  std::vector<double> values = {0, 10};
+  Binner b = Binner::EquiWidth(values, 4);
+  EXPECT_EQ(b.BinOf(-100.0), 0u);
+  EXPECT_EQ(b.BinOf(100.0), 3u);
+}
+
+TEST(BinnerTest, EquiWidthConstantColumn) {
+  std::vector<double> values(50, 3.14);
+  Binner b = Binner::EquiWidth(values, 4);
+  EXPECT_EQ(b.cardinality(), 4u);
+  for (double v : values) EXPECT_EQ(b.BinOf(v), 0u);
+}
+
+TEST(BinnerTest, SingleBin) {
+  std::vector<double> values = {1, 2, 3};
+  Binner b = Binner::EquiWidth(values, 1);
+  EXPECT_EQ(b.cardinality(), 1u);
+  EXPECT_EQ(b.BinOf(-5), 0u);
+  EXPECT_EQ(b.BinOf(5), 0u);
+}
+
+TEST(BinnerTest, EquiDepthBalancesCounts) {
+  // 10,000 exponentially distributed values: equi-width would crowd the
+  // low bins; equi-depth must keep them balanced.
+  std::mt19937_64 rng(5);
+  std::exponential_distribution<double> dist(1.0);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(dist(rng));
+
+  Binner b = Binner::EquiDepth(values, 10);
+  std::vector<int> counts(10, 0);
+  for (double v : values) ++counts[b.BinOf(v)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(BinnerTest, EquiDepthHandlesHeavyDuplicates) {
+  // 90% of values identical: duplicate boundaries must collapse without
+  // crashing, and every value must still map to a valid bin.
+  std::vector<double> values(900, 1.0);
+  for (int i = 0; i < 100; ++i) values.push_back(2.0 + i);
+  Binner b = Binner::EquiDepth(values, 8);
+  for (double v : values) EXPECT_LT(b.BinOf(v), b.cardinality());
+}
+
+TEST(BinnerTest, ApplyMatchesBinOf) {
+  std::vector<double> values = {5.5, 1.1, 9.9, 3.3};
+  Binner b = Binner::EquiWidth(values, 3);
+  std::vector<uint32_t> binned = b.Apply(values);
+  ASSERT_EQ(binned.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(binned[i], b.BinOf(values[i]));
+  }
+}
+
+TEST(BinnerTest, BoundariesAreSorted) {
+  std::mt19937_64 rng(17);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(std::uniform_real_distribution<double>(-50, 50)(rng));
+  }
+  for (uint32_t bins : {2u, 5u, 16u, 64u}) {
+    Binner w = Binner::EquiWidth(values, bins);
+    Binner d = Binner::EquiDepth(values, bins);
+    EXPECT_TRUE(std::is_sorted(w.boundaries().begin(), w.boundaries().end()));
+    EXPECT_TRUE(std::is_sorted(d.boundaries().begin(), d.boundaries().end()));
+    EXPECT_EQ(w.cardinality(), bins);
+    EXPECT_EQ(d.cardinality(), bins);
+  }
+}
+
+}  // namespace
+}  // namespace bitmap
+}  // namespace abitmap

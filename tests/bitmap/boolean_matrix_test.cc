@@ -1,0 +1,80 @@
+#include "bitmap/boolean_matrix.h"
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace bitmap {
+namespace {
+
+TEST(BooleanMatrixTest, FromStringsAndGet) {
+  BooleanMatrix m = BooleanMatrix::FromStrings({"010", "001", "100"});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_TRUE(m.Get(0, 1));
+  EXPECT_TRUE(m.Get(1, 2));
+  EXPECT_TRUE(m.Get(2, 0));
+  EXPECT_FALSE(m.Get(0, 0));
+  EXPECT_EQ(m.CountSetBits(), 3u);
+}
+
+TEST(BooleanMatrixTest, SetAndClear) {
+  BooleanMatrix m(4, 4);
+  m.Set(2, 3);
+  EXPECT_TRUE(m.Get(2, 3));
+  m.Set(2, 3, false);
+  EXPECT_FALSE(m.Get(2, 3));
+}
+
+TEST(BooleanMatrixTest, SetCellsRowMajor) {
+  BooleanMatrix m = BooleanMatrix::FromStrings({"01", "10"});
+  std::vector<Cell> cells = m.SetCells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], (Cell{0, 1}));
+  EXPECT_EQ(cells[1], (Cell{1, 0}));
+}
+
+TEST(BooleanMatrixTest, EvaluateCellQuery) {
+  BooleanMatrix m = BooleanMatrix::FromStrings({"011", "100"});
+  CellQuery q = {{0, 0}, {0, 2}, {1, 0}};
+  std::vector<bool> expected = {false, true, true};
+  EXPECT_EQ(m.Evaluate(q), expected);
+}
+
+TEST(BooleanMatrixTest, RowQueryBuilder) {
+  CellQuery q = BooleanMatrix::RowQuery(2, 6);
+  ASSERT_EQ(q.size(), 6u);
+  for (uint32_t j = 0; j < 6; ++j) {
+    EXPECT_EQ(q[j].row, 2u);
+    EXPECT_EQ(q[j].col, j);
+  }
+}
+
+TEST(BooleanMatrixTest, ColumnQueryBuilder) {
+  CellQuery q = BooleanMatrix::ColumnQuery(5, 8);
+  ASSERT_EQ(q.size(), 8u);
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(q[i].row, i);
+    EXPECT_EQ(q[i].col, 5u);
+  }
+}
+
+TEST(BooleanMatrixTest, DiagonalQueryBuilder) {
+  CellQuery q = BooleanMatrix::DiagonalQuery(5, 3);
+  ASSERT_EQ(q.size(), 3u);  // min(rows, cols)
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(q[i].row, i);
+    EXPECT_EQ(q[i].col, i);
+  }
+}
+
+TEST(BooleanMatrixTest, LargeSparseMatrix) {
+  BooleanMatrix m(1000, 100);
+  for (uint64_t i = 0; i < 1000; i += 37) m.Set(i, (i * 7) % 100);
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < 1000; i += 37) ++expected;
+  EXPECT_EQ(m.CountSetBits(), expected);
+}
+
+}  // namespace
+}  // namespace bitmap
+}  // namespace abitmap

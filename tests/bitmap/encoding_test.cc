@@ -1,0 +1,116 @@
+#include "bitmap/encoding.h"
+
+#include <random>
+#include <tuple>
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace bitmap {
+namespace {
+
+std::vector<uint32_t> RandomValues(uint64_t rows, uint32_t cardinality,
+                                   uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint32_t> v;
+  v.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) v.push_back(rng() % cardinality);
+  return v;
+}
+
+util::BitVector ExactRange(const std::vector<uint32_t>& values, uint32_t lo,
+                           uint32_t hi) {
+  util::BitVector out(values.size());
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= lo && values[i] <= hi) out.Set(i);
+  }
+  return out;
+}
+
+TEST(RangeEncodedTest, ColumnCountIsCardinalityMinusOne) {
+  std::vector<uint32_t> values = {0, 1, 2, 3, 2, 1};
+  RangeEncodedAttribute enc = RangeEncodedAttribute::Build(values, 4);
+  EXPECT_EQ(enc.num_columns(), 3u);
+  EXPECT_EQ(enc.cardinality(), 4u);
+}
+
+TEST(RangeEncodedTest, ColumnJIsLessEqualJ) {
+  std::vector<uint32_t> values = {0, 1, 2, 3, 2, 1};
+  RangeEncodedAttribute enc = RangeEncodedAttribute::Build(values, 4);
+  for (uint32_t j = 0; j < 3; ++j) {
+    for (uint64_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(enc.column(j).Get(i), values[i] <= j) << i << " " << j;
+    }
+  }
+}
+
+TEST(RangeEncodedTest, CardinalityOneHasNoColumns) {
+  std::vector<uint32_t> values = {0, 0, 0};
+  RangeEncodedAttribute enc = RangeEncodedAttribute::Build(values, 1);
+  EXPECT_EQ(enc.num_columns(), 0u);
+  EXPECT_EQ(enc.EvalRange(0, 0).Count(), 3u);
+}
+
+TEST(IntervalEncodedTest, ColumnCountRoughlyHalves) {
+  std::vector<uint32_t> values = RandomValues(100, 10, 1);
+  IntervalEncodedAttribute enc = IntervalEncodedAttribute::Build(values, 10);
+  EXPECT_EQ(enc.interval_width(), 5u);
+  EXPECT_EQ(enc.num_columns(), 6u);  // C - m + 1
+}
+
+// Exhaustive correctness sweep over every (cardinality, lo, hi): both
+// encodings must reproduce the exact range result. This is also the proof
+// that the narrow-range case analysis (F1/F2/F3) covers all cases.
+class EncodingSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(EncodingSweepTest, RangeEncodingExhaustive) {
+  uint32_t cardinality = GetParam();
+  std::vector<uint32_t> values = RandomValues(257, cardinality, cardinality);
+  RangeEncodedAttribute enc = RangeEncodedAttribute::Build(values, cardinality);
+  for (uint32_t lo = 0; lo < cardinality; ++lo) {
+    for (uint32_t hi = lo; hi < cardinality; ++hi) {
+      EXPECT_EQ(enc.EvalRange(lo, hi), ExactRange(values, lo, hi))
+          << "C=" << cardinality << " [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST_P(EncodingSweepTest, IntervalEncodingExhaustive) {
+  uint32_t cardinality = GetParam();
+  std::vector<uint32_t> values = RandomValues(257, cardinality, cardinality);
+  IntervalEncodedAttribute enc =
+      IntervalEncodedAttribute::Build(values, cardinality);
+  for (uint32_t lo = 0; lo < cardinality; ++lo) {
+    for (uint32_t hi = lo; hi < cardinality; ++hi) {
+      EXPECT_EQ(enc.EvalRange(lo, hi), ExactRange(values, lo, hi))
+          << "C=" << cardinality << " [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST_P(EncodingSweepTest, IntervalEqualityExhaustive) {
+  uint32_t cardinality = GetParam();
+  std::vector<uint32_t> values = RandomValues(100, cardinality, 99);
+  IntervalEncodedAttribute enc =
+      IntervalEncodedAttribute::Build(values, cardinality);
+  for (uint32_t v = 0; v < cardinality; ++v) {
+    EXPECT_EQ(enc.EvalEquals(v), ExactRange(values, v, v)) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, EncodingSweepTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 8u, 11u,
+                                           15u, 16u, 25u, 50u));
+
+TEST(EncodingComparisonTest, IntervalUsesFewerColumnsThanEquality) {
+  // The Chan-Ioannidis space claim: ~C/2 + 1 columns vs C.
+  for (uint32_t c : {4u, 10u, 50u, 101u}) {
+    std::vector<uint32_t> values = RandomValues(64, c, c);
+    IntervalEncodedAttribute enc = IntervalEncodedAttribute::Build(values, c);
+    EXPECT_LE(enc.num_columns(), c / 2 + 1);
+  }
+}
+
+}  // namespace
+}  // namespace bitmap
+}  // namespace abitmap

@@ -1,0 +1,128 @@
+#include "bitmap/reorder.h"
+
+#include <algorithm>
+#include <random>
+
+#include "gtest/gtest.h"
+
+#include "bitmap/bitmap_table.h"
+#include "util/bitvector.h"
+#include "wah/wah_vector.h"
+
+namespace abitmap {
+namespace bitmap {
+namespace {
+
+BinnedDataset SmallDataset(uint64_t rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  BinnedDataset d;
+  d.name = "reorder-test";
+  d.attributes = {{"A", 4}, {"B", 6}};
+  for (const AttributeInfo& a : d.attributes) {
+    std::vector<uint32_t> col;
+    for (uint64_t i = 0; i < rows; ++i) col.push_back(rng() % a.cardinality);
+    d.values.push_back(col);
+  }
+  return d;
+}
+
+TEST(ReorderTest, PermutationsAreValid) {
+  BinnedDataset d = SmallDataset(500, 1);
+  for (auto order : {LexicographicOrder(d), GrayCodeOrder(d)}) {
+    ASSERT_EQ(order.size(), 500u);
+    std::vector<uint64_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (uint64_t i = 0; i < 500; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(ReorderTest, LexicographicIsSorted) {
+  BinnedDataset d = SmallDataset(300, 2);
+  BinnedDataset r = ReorderRows(d, LexicographicOrder(d));
+  for (uint64_t i = 1; i < 300; ++i) {
+    bool le = std::make_pair(r.values[0][i - 1], r.values[1][i - 1]) <=
+              std::make_pair(r.values[0][i], r.values[1][i]);
+    EXPECT_TRUE(le) << i;
+  }
+}
+
+TEST(ReorderTest, GrayCodeMatchesBitstringGrayRank) {
+  // Cross-validate the closed-form comparator against a direct Gray-rank
+  // comparison of the equality-encoded bit strings.
+  BinnedDataset d = SmallDataset(200, 3);
+  ColumnMapping mapping(d.attributes);
+  auto bits_of = [&](uint64_t row) {
+    std::vector<int> bits(mapping.num_columns(), 0);
+    for (uint32_t a = 0; a < d.num_attributes(); ++a) {
+      bits[mapping.GlobalColumn(a, d.values[a][row])] = 1;
+    }
+    return bits;
+  };
+  auto gray_less = [&](uint64_t x, uint64_t y) {
+    std::vector<int> bx = bits_of(x), by = bits_of(y);
+    int ones = 0;
+    for (size_t i = 0; i < bx.size(); ++i) {
+      if (bx[i] != by[i]) {
+        return (ones % 2 == 0) ? bx[i] == 0 : bx[i] == 1;
+      }
+      ones += bx[i];
+    }
+    return false;
+  };
+  std::vector<uint64_t> order = GrayCodeOrder(d);
+  for (uint64_t i = 1; i < order.size(); ++i) {
+    EXPECT_FALSE(gray_less(order[i], order[i - 1]))
+        << "rows " << order[i - 1] << ", " << order[i];
+  }
+}
+
+TEST(ReorderTest, ReorderPreservesMultiset) {
+  BinnedDataset d = SmallDataset(400, 4);
+  BinnedDataset r = ReorderRows(d, GrayCodeOrder(d));
+  for (uint32_t a = 0; a < d.num_attributes(); ++a) {
+    std::vector<uint32_t> original = d.values[a];
+    std::vector<uint32_t> reordered = r.values[a];
+    std::sort(original.begin(), original.end());
+    std::sort(reordered.begin(), reordered.end());
+    EXPECT_EQ(original, reordered);
+  }
+}
+
+TEST(ReorderTest, ReorderKeepsRowsAligned) {
+  // A row's tuple must move as a unit across attributes.
+  BinnedDataset d = SmallDataset(100, 5);
+  std::vector<uint64_t> perm = GrayCodeOrder(d);
+  BinnedDataset r = ReorderRows(d, perm);
+  for (uint64_t i = 0; i < 100; ++i) {
+    for (uint32_t a = 0; a < d.num_attributes(); ++a) {
+      EXPECT_EQ(r.values[a][i], d.values[a][perm[i]]);
+    }
+  }
+}
+
+TEST(ReorderTest, SortingImprovesWahCompression) {
+  // The point of the preprocessing: on random data, sorted orders compress
+  // materially better under WAH.
+  BinnedDataset d = SmallDataset(20000, 6);
+  auto wah_size = [](const BinnedDataset& dataset) {
+    BitmapTable table = BitmapTable::Build(dataset);
+    uint64_t total = 0;
+    for (uint32_t j = 0; j < table.num_columns(); ++j) {
+      total += wah::WahVector::Compress(table.column(j)).SizeInBytes();
+    }
+    return total;
+  };
+  uint64_t baseline = wah_size(d);
+  uint64_t lex = wah_size(ReorderRows(d, LexicographicOrder(d)));
+  uint64_t gray = wah_size(ReorderRows(d, GrayCodeOrder(d)));
+  EXPECT_LT(lex, baseline / 2);
+  EXPECT_LT(gray, baseline / 2);
+  // Gray ordering must not lose to lexicographic by more than a whisker
+  // (they coincide on the first attribute's runs; Gray improves later
+  // columns' continuity).
+  EXPECT_LE(gray, lex + lex / 10);
+}
+
+}  // namespace
+}  // namespace bitmap
+}  // namespace abitmap

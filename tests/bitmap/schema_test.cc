@@ -1,0 +1,78 @@
+#include "bitmap/schema.h"
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace bitmap {
+namespace {
+
+std::vector<AttributeInfo> PaperFigure6Attrs() {
+  // Figure 6: attributes A, B, C, three bins each, nine bitmap columns.
+  return {{"A", 3}, {"B", 3}, {"C", 3}};
+}
+
+TEST(ColumnMappingTest, GlobalColumnAssignment) {
+  ColumnMapping m(PaperFigure6Attrs());
+  EXPECT_EQ(m.num_attributes(), 3u);
+  EXPECT_EQ(m.num_columns(), 9u);
+  EXPECT_EQ(m.GlobalColumn(0, 0), 0u);  // A1
+  EXPECT_EQ(m.GlobalColumn(0, 2), 2u);  // A3
+  EXPECT_EQ(m.GlobalColumn(1, 0), 3u);  // B1
+  EXPECT_EQ(m.GlobalColumn(2, 2), 8u);  // C3
+}
+
+TEST(ColumnMappingTest, AttrBinInverse) {
+  ColumnMapping m({{"X", 2}, {"Y", 5}, {"Z", 1}});
+  for (uint32_t g = 0; g < m.num_columns(); ++g) {
+    uint32_t attr, bin;
+    m.AttrBin(g, &attr, &bin);
+    EXPECT_EQ(m.GlobalColumn(attr, bin), g);
+  }
+}
+
+TEST(ColumnMappingTest, MixedCardinalities) {
+  ColumnMapping m({{"A", 10}, {"B", 1}, {"C", 7}});
+  EXPECT_EQ(m.num_columns(), 18u);
+  EXPECT_EQ(m.cardinality(0), 10u);
+  EXPECT_EQ(m.cardinality(1), 1u);
+  EXPECT_EQ(m.cardinality(2), 7u);
+  EXPECT_EQ(m.GlobalColumn(1, 0), 10u);
+  EXPECT_EQ(m.GlobalColumn(2, 0), 11u);
+  EXPECT_EQ(m.GlobalColumn(2, 6), 17u);
+}
+
+TEST(BinnedDatasetTest, ValidShapePasses) {
+  BinnedDataset d;
+  d.name = "t";
+  d.attributes = {{"A", 3}, {"B", 2}};
+  d.values = {{0, 1, 2}, {1, 0, 1}};
+  d.CheckValid();  // must not abort
+  EXPECT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(d.num_attributes(), 2u);
+  EXPECT_EQ(d.num_bitmap_columns(), 5u);
+}
+
+TEST(BinnedDatasetTest, EmptyDatasetCounts) {
+  BinnedDataset d;
+  EXPECT_EQ(d.num_rows(), 0u);
+  EXPECT_EQ(d.num_attributes(), 0u);
+  EXPECT_EQ(d.num_bitmap_columns(), 0u);
+}
+
+TEST(BinnedDatasetDeathTest, MismatchedColumnLengthAborts) {
+  BinnedDataset d;
+  d.attributes = {{"A", 3}, {"B", 2}};
+  d.values = {{0, 1, 2}, {1, 0}};  // B has only 2 rows
+  EXPECT_DEATH(d.CheckValid(), "AB_CHECK");
+}
+
+TEST(BinnedDatasetDeathTest, OutOfRangeBinAborts) {
+  BinnedDataset d;
+  d.attributes = {{"A", 3}};
+  d.values = {{0, 3}};  // bin 3 out of range for cardinality 3
+  EXPECT_DEATH(d.CheckValid(), "AB_CHECK");
+}
+
+}  // namespace
+}  // namespace bitmap
+}  // namespace abitmap

@@ -1,0 +1,161 @@
+#include "core/ab_theory.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/math.h"
+
+namespace abitmap {
+namespace ab {
+namespace {
+
+TEST(TheoryTest, FalsePositiveRateClosedForm) {
+  // Spot values of (1 - e^{-k/alpha})^k.
+  EXPECT_NEAR(FalsePositiveRate(1.0, 1), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(FalsePositiveRate(8.0, 1), 1.0 - std::exp(-0.125), 1e-12);
+  double fp = FalsePositiveRate(8.0, 6);
+  EXPECT_NEAR(fp, std::pow(1.0 - std::exp(-6.0 / 8.0), 6), 1e-12);
+}
+
+TEST(TheoryTest, FalsePositiveRateDecreasesWithAlpha) {
+  // Figure 8's shape: for fixed k, larger alpha means fewer collisions.
+  for (int k = 1; k <= 10; ++k) {
+    double prev = 1.0;
+    for (double alpha : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+      double fp = FalsePositiveRate(alpha, k);
+      EXPECT_LT(fp, prev) << "k=" << k << " alpha=" << alpha;
+      prev = fp;
+    }
+  }
+}
+
+TEST(TheoryTest, FalsePositiveRateUnimodalInK) {
+  // Figure 9's shape: FP falls to a minimum near alpha*ln2 then rises.
+  for (double alpha : {4.0, 8.0, 16.0}) {
+    int opt = OptimalK(alpha);
+    for (int k = 1; k < opt; ++k) {
+      EXPECT_GE(FalsePositiveRate(alpha, k),
+                FalsePositiveRate(alpha, k + 1) - 1e-15)
+          << "alpha=" << alpha << " k=" << k;
+    }
+    for (int k = opt; k <= opt + 5; ++k) {
+      EXPECT_LE(FalsePositiveRate(alpha, k),
+                FalsePositiveRate(alpha, k + 1) + 1e-15)
+          << "alpha=" << alpha << " k=" << k;
+    }
+  }
+}
+
+TEST(TheoryTest, OptimalKNearAlphaLn2) {
+  EXPECT_EQ(OptimalK(1.0), 1);
+  for (double alpha : {2.0, 4.0, 8.0, 16.0, 23.0}) {
+    int k = OptimalK(alpha);
+    double real = alpha * std::log(2.0);
+    EXPECT_GE(k, static_cast<int>(std::floor(real)));
+    EXPECT_LE(k, static_cast<int>(std::floor(real)) + 1);
+    // No integer k does better.
+    double best = FalsePositiveRate(alpha, k);
+    for (int other = 1; other <= 64; ++other) {
+      EXPECT_LE(best, FalsePositiveRate(alpha, other) + 1e-15)
+          << "alpha=" << alpha << " other=" << other;
+    }
+  }
+}
+
+TEST(TheoryTest, ExactApproachesAsymptotic) {
+  // (1 - (1-1/n)^{ks})^k -> (1 - e^{-ks/n})^k as n grows.
+  uint64_t s = 100000;
+  double alpha = 8.0;
+  uint64_t n = static_cast<uint64_t>(s * alpha);
+  for (int k = 1; k <= 8; ++k) {
+    EXPECT_NEAR(FalsePositiveRateExact(n, s, k), FalsePositiveRate(alpha, k),
+                1e-5)
+        << k;
+  }
+}
+
+TEST(TheoryTest, AbSizeBitsMatchesPaperTable4) {
+  // Table 4 (one AB per data set), sizes in bytes = AbSizeBits / 8.
+  // Uniform: s = 200,000.
+  EXPECT_EQ(AbSizeBits(200000, 2) / 8, 65536u);
+  EXPECT_EQ(AbSizeBits(200000, 4) / 8, 131072u);
+  EXPECT_EQ(AbSizeBits(200000, 8) / 8, 262144u);
+  EXPECT_EQ(AbSizeBits(200000, 16) / 8, 524288u);
+  // Landsat: s = 16,527,900.
+  EXPECT_EQ(AbSizeBits(16527900, 2) / 8, 4194304u);
+  EXPECT_EQ(AbSizeBits(16527900, 4) / 8, 8388608u);
+  EXPECT_EQ(AbSizeBits(16527900, 8) / 8, 16777216u);
+  EXPECT_EQ(AbSizeBits(16527900, 16) / 8, 33554432u);
+  // HEP: s = 13,042,572 — same powers of two as Landsat (Section 6.1).
+  EXPECT_EQ(AbSizeBits(13042572, 2) / 8, 4194304u);
+  EXPECT_EQ(AbSizeBits(13042572, 16) / 8, 33554432u);
+}
+
+TEST(TheoryTest, AbSizeBitsMatchesPaperTable5) {
+  // Table 5 (one AB per attribute): single-AB sizes.
+  EXPECT_EQ(AbSizeBits(100000, 2) / 8, 32768u);    // Uniform
+  EXPECT_EQ(AbSizeBits(275465, 2) / 8, 131072u);   // Landsat
+  EXPECT_EQ(AbSizeBits(275465, 4) / 8, 262144u);   // Landsat, alpha=4
+  EXPECT_EQ(AbSizeBits(2173762, 2) / 8, 1048576u); // HEP
+  EXPECT_EQ(AbSizeBits(2173762, 16) / 8, 8388608u);
+}
+
+TEST(TheoryTest, AlphaForPrecisionInvertsFalsePositiveRate) {
+  for (double p_min : {0.5, 0.9, 0.99, 0.999}) {
+    for (int k = 1; k <= 10; ++k) {
+      double alpha = AlphaForPrecision(p_min, k);
+      EXPECT_NEAR(Precision(alpha, k), p_min, 1e-9)
+          << "p=" << p_min << " k=" << k;
+    }
+  }
+}
+
+TEST(TheoryTest, ForAlphaRealizesRequestedOrBetter) {
+  AbParams p = AbParams::ForAlpha(8.0, 4, 100000);
+  EXPECT_EQ(p.n_bits, AbSizeBits(100000, 8.0));
+  EXPECT_GE(p.alpha, 8.0);
+  EXPECT_EQ(p.k, 4);
+}
+
+TEST(TheoryTest, ForMaxSizePolicy) {
+  uint64_t s = 1000000;
+  AbParams p = AbParams::ForMaxSizeBits(1 << 23, s);
+  EXPECT_EQ(p.n_bits, uint64_t{1} << 23);
+  EXPECT_NEAR(p.alpha, static_cast<double>(1 << 23) / s, 1e-12);
+  EXPECT_EQ(p.k, OptimalK(p.alpha));
+  // A non-power-of-two budget rounds down.
+  AbParams q = AbParams::ForMaxSizeBits((1 << 23) + 5000, s);
+  EXPECT_EQ(q.n_bits, uint64_t{1} << 23);
+}
+
+TEST(TheoryTest, ForMinPrecisionPolicy) {
+  uint64_t s = 500000;
+  for (double p_min : {0.9, 0.95, 0.99}) {
+    AbParams p = AbParams::ForMinPrecision(p_min, s);
+    EXPECT_GE(p.ExpectedPrecision(), p_min);
+    EXPECT_TRUE(util::IsPowerOfTwo(p.n_bits));
+    // Minimality: half the size must violate the precision bound at any k.
+    uint64_t half = p.n_bits / 2;
+    double best_half = 0;
+    for (int k = 1; k <= 32; ++k) {
+      double alpha = static_cast<double>(half) / s;
+      best_half = std::max(best_half, Precision(alpha, k));
+    }
+    EXPECT_LT(best_half, p_min) << p_min;
+  }
+}
+
+TEST(TheoryTest, PrecisionMonotoneInAlphaAtOptimalK) {
+  double prev = 0;
+  for (double alpha : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    double p = Precision(alpha, OptimalK(alpha));
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  // At alpha=16 with optimal k precision is essentially 1 (Figure 8).
+  EXPECT_GT(Precision(16.0, OptimalK(16.0)), 0.999);
+}
+
+}  // namespace
+}  // namespace ab
+}  // namespace abitmap

@@ -1,0 +1,57 @@
+#include "core/cell_mapper.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace ab {
+namespace {
+
+TEST(CellMapperTest, RowAndColumnKeysAreUnique) {
+  // "This string is in fact unique when w is large enough to accommodate
+  // all j" — verify exhaustively for a small matrix.
+  CellMapper mapper = CellMapper::RowAndColumn(9);
+  std::set<uint64_t> keys;
+  for (uint64_t row = 0; row < 300; ++row) {
+    for (uint32_t col = 0; col < 9; ++col) {
+      EXPECT_TRUE(keys.insert(mapper.Key(row, col)).second)
+          << row << "," << col;
+    }
+  }
+}
+
+TEST(CellMapperTest, OffsetCoversColumnCount) {
+  EXPECT_EQ(CellMapper::RowAndColumn(1).offset_bits(), 1);
+  EXPECT_EQ(CellMapper::RowAndColumn(2).offset_bits(), 1);
+  EXPECT_EQ(CellMapper::RowAndColumn(3).offset_bits(), 2);
+  EXPECT_EQ(CellMapper::RowAndColumn(900).offset_bits(), 10);
+  EXPECT_EQ(CellMapper::RowAndColumn(1024).offset_bits(), 10);
+  EXPECT_EQ(CellMapper::RowAndColumn(1025).offset_bits(), 11);
+}
+
+TEST(CellMapperTest, KeyLayoutIsShiftOr) {
+  CellMapper mapper = CellMapper::RowAndColumn(100);  // w = 7
+  EXPECT_EQ(mapper.offset_bits(), 7);
+  EXPECT_EQ(mapper.Key(5, 3), (uint64_t{5} << 7) | 3);
+  EXPECT_EQ(mapper.Key(0, 99), 99u);
+}
+
+TEST(CellMapperTest, RowOnlyIgnoresColumn) {
+  CellMapper mapper = CellMapper::RowOnly();
+  EXPECT_EQ(mapper.Key(42, 0), 42u);
+  EXPECT_EQ(mapper.Key(42, 7), 42u);
+  EXPECT_EQ(mapper.offset_bits(), 0);
+}
+
+TEST(CellMapperTest, LargeRowIdsDoNotCollide) {
+  // Rows up to the paper's HEP scale with 66 columns (w = 7).
+  CellMapper mapper = CellMapper::RowAndColumn(66);
+  uint64_t row = 2173761;  // last HEP row
+  EXPECT_NE(mapper.Key(row, 0), mapper.Key(row - 1, 65));
+  EXPECT_EQ(mapper.Key(row, 65) >> mapper.offset_bits(), row);
+}
+
+}  // namespace
+}  // namespace ab
+}  // namespace abitmap

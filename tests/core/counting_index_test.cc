@@ -1,0 +1,155 @@
+#include "core/counting_index.h"
+
+#include <random>
+
+#include "gtest/gtest.h"
+
+#include "bitmap/bitmap_table.h"
+#include "data/generators.h"
+#include "data/metrics.h"
+#include "data/query_gen.h"
+
+namespace abitmap {
+namespace ab {
+namespace {
+
+bitmap::BinnedDataset TestDataset(uint64_t rows, uint64_t seed) {
+  return data::MakeSynthetic("t", rows, 3, 8, data::Distribution::kUniform,
+                             seed);
+}
+
+class CountingIndexLevelTest : public ::testing::TestWithParam<Level> {};
+
+TEST_P(CountingIndexLevelTest, BuildAndProbe) {
+  bitmap::BinnedDataset d = TestDataset(600, 1);
+  AbConfig cfg;
+  cfg.level = GetParam();
+  cfg.alpha = 8;
+  CountingAbIndex index = CountingAbIndex::Build(d, cfg);
+  for (uint32_t a = 0; a < 3; ++a) {
+    for (uint64_t i = 0; i < 600; ++i) {
+      EXPECT_TRUE(index.TestCell(i, a, d.values[a][i]));
+    }
+  }
+  // 4 bits per counter: size matches 4x the equivalent bit filter.
+  EXPECT_GT(index.SizeInBytes(), 0u);
+}
+
+TEST_P(CountingIndexLevelTest, UpdateMovesTheCell) {
+  bitmap::BinnedDataset d = TestDataset(400, 2);
+  AbConfig cfg;
+  cfg.level = GetParam();
+  cfg.alpha = 16;
+  CountingAbIndex index = CountingAbIndex::Build(d, cfg);
+  // Move each of the first 100 rows' attribute 1 to a different bin; the
+  // new cell must hit, the old cell should (statistically) miss — false
+  // positives are possible but rare at alpha=16.
+  int stale_hits = 0;
+  for (uint64_t row = 0; row < 100; ++row) {
+    uint32_t ob = d.values[1][row];
+    uint32_t nb = (ob + 3) % 8;
+    index.UpdateCell(row, 1, ob, nb);
+    d.values[1][row] = nb;
+    EXPECT_TRUE(index.TestCell(row, 1, nb)) << row;
+    stale_hits += index.TestCell(row, 1, ob);
+  }
+  EXPECT_LE(stale_hits, 5);
+}
+
+TEST_P(CountingIndexLevelTest, DeleteRowStopsMatching) {
+  bitmap::BinnedDataset d = TestDataset(300, 3);
+  AbConfig cfg;
+  cfg.level = GetParam();
+  cfg.alpha = 16;
+  CountingAbIndex index = CountingAbIndex::Build(d, cfg);
+  std::vector<uint32_t> bins = {d.values[0][5], d.values[1][5],
+                                d.values[2][5]};
+  index.DeleteRow(5, bins);
+  int hits = 0;
+  for (uint32_t a = 0; a < 3; ++a) hits += index.TestCell(5, a, bins[a]);
+  EXPECT_LE(hits, 1);  // residual hits only via aliasing
+  // Other rows unaffected.
+  EXPECT_TRUE(index.TestCell(6, 0, d.values[0][6]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, CountingIndexLevelTest,
+                         ::testing::Values(Level::kPerDataset,
+                                           Level::kPerAttribute,
+                                           Level::kPerColumn),
+                         [](const ::testing::TestParamInfo<Level>& info) {
+                           switch (info.param) {
+                             case Level::kPerDataset:
+                               return "PerDataset";
+                             case Level::kPerAttribute:
+                               return "PerAttribute";
+                             default:
+                               return "PerColumn";
+                           }
+                         });
+
+TEST(CountingIndexTest, InsertRowExtends) {
+  bitmap::BinnedDataset d = TestDataset(100, 4);
+  AbConfig cfg;
+  cfg.alpha = 8;
+  CountingAbIndex index = CountingAbIndex::Build(d, cfg);
+  uint64_t row = index.InsertRow({1, 2, 3});
+  EXPECT_EQ(row, 100u);
+  EXPECT_EQ(index.num_rows(), 101u);
+  EXPECT_TRUE(index.TestCell(row, 0, 1));
+  EXPECT_TRUE(index.TestCell(row, 1, 2));
+  EXPECT_TRUE(index.TestCell(row, 2, 3));
+}
+
+TEST(CountingIndexTest, QueriesTrackMutableGroundTruth) {
+  // Churn a relation (updates + inserts) and verify queries stay a
+  // superset of the live ground truth with perfect recall.
+  std::mt19937_64 rng(5);
+  bitmap::BinnedDataset d = TestDataset(1000, 6);
+  AbConfig cfg;
+  cfg.alpha = 16;
+  CountingAbIndex index = CountingAbIndex::Build(d, cfg);
+
+  for (int op = 0; op < 2000; ++op) {
+    uint64_t row = rng() % d.num_rows();
+    uint32_t attr = rng() % 3;
+    uint32_t new_bin = rng() % 8;
+    index.UpdateCell(row, attr, d.values[attr][row], new_bin);
+    d.values[attr][row] = new_bin;
+  }
+
+  bitmap::BitmapTable truth = bitmap::BitmapTable::Build(d);
+  data::QueryGenParams qp;
+  qp.num_queries = 20;
+  qp.rows_queried = 300;
+  qp.seed = 7;
+  for (const bitmap::BitmapQuery& q : data::GenerateQueries(d, qp)) {
+    data::QueryAccuracy acc =
+        data::CompareResults(truth.Evaluate(q), index.Evaluate(q));
+    EXPECT_EQ(acc.false_negatives, 0u);
+    EXPECT_GT(acc.precision(), 0.9);
+  }
+}
+
+TEST(CountingIndexDeathTest, UpdateWithWrongOldBinAborts) {
+  bitmap::BinnedDataset d = TestDataset(50, 8);
+  AbConfig cfg;
+  cfg.alpha = 16;
+  cfg.level = Level::kPerColumn;  // per-column: wrong bin hits a filter
+                                  // that never saw the row's key
+  CountingAbIndex index = CountingAbIndex::Build(d, cfg);
+  uint32_t actual = d.values[0][0];
+  uint32_t wrong = (actual + 1) % 8;
+  // Removing a never-inserted cell underflows a counter (with high
+  // probability) and must abort rather than poison the filter.
+  EXPECT_DEATH(
+      {
+        for (int i = 0; i < 50; ++i) {
+          index.UpdateCell(0, 0, wrong, actual);
+        }
+      },
+      "AB_CHECK");
+}
+
+}  // namespace
+}  // namespace ab
+}  // namespace abitmap

@@ -1,0 +1,101 @@
+#include "data/generators.h"
+
+#include <numeric>
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace data {
+namespace {
+
+TEST(GeneratorsTest, UniformShapeMatchesTable3) {
+  bitmap::BinnedDataset d = MakeUniformDataset(1, /*scale=*/10);
+  d.CheckValid();
+  EXPECT_EQ(d.num_rows(), 10000u);
+  EXPECT_EQ(d.num_attributes(), 2u);
+  EXPECT_EQ(d.num_bitmap_columns(), 100u);  // 2 x 50 bins
+}
+
+TEST(GeneratorsTest, LandsatShapeMatchesTable3) {
+  bitmap::BinnedDataset d = MakeLandsatDataset(1, /*scale=*/100);
+  d.CheckValid();
+  EXPECT_EQ(d.num_rows(), 2754u);
+  EXPECT_EQ(d.num_attributes(), 60u);
+  EXPECT_EQ(d.num_bitmap_columns(), 900u);  // 60 x 15 bins
+}
+
+TEST(GeneratorsTest, HepShapeMatchesTable3) {
+  bitmap::BinnedDataset d = MakeHepDataset(1, /*scale=*/200);
+  d.CheckValid();
+  EXPECT_EQ(d.num_rows(), 10868u);
+  EXPECT_EQ(d.num_attributes(), 6u);
+  EXPECT_EQ(d.num_bitmap_columns(), 66u);  // 6 x 11 bins
+}
+
+TEST(GeneratorsTest, UniformBinsAreBalanced) {
+  bitmap::BinnedDataset d = MakeUniformDataset(2, /*scale=*/4);
+  for (uint32_t a = 0; a < d.num_attributes(); ++a) {
+    std::vector<int> counts(d.attributes[a].cardinality, 0);
+    for (uint32_t v : d.values[a]) ++counts[v];
+    double expected = static_cast<double>(d.num_rows()) / counts.size();
+    for (int c : counts) {
+      EXPECT_GT(c, expected * 0.6);
+      EXPECT_LT(c, expected * 1.5);
+    }
+  }
+}
+
+TEST(GeneratorsTest, GaussianEquiDepthBinsAreBalanced) {
+  bitmap::BinnedDataset d = MakeLandsatDataset(3, /*scale=*/50);
+  // Equi-depth binning of Gaussian values: every bin holds ~1/15 of rows.
+  std::vector<int> counts(15, 0);
+  for (uint32_t v : d.values[0]) ++counts[v];
+  double expected = static_cast<double>(d.num_rows()) / 15;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.8);
+    EXPECT_LT(c, expected * 1.2);
+  }
+}
+
+TEST(GeneratorsTest, ZipfIsSkewed) {
+  bitmap::BinnedDataset d = MakeHepDataset(4, /*scale=*/100);
+  // Zipf: bin 0 must dominate bin 10 heavily.
+  std::vector<int> counts(11, 0);
+  for (uint32_t v : d.values[0]) ++counts[v];
+  EXPECT_GT(counts[0], counts[10] * 4);
+  // And counts must be monotonically non-increasing in expectation; check
+  // the first few strictly.
+  EXPECT_GT(counts[0], counts[3]);
+  EXPECT_GT(counts[1], counts[5]);
+}
+
+TEST(GeneratorsTest, SeedsAreReproducible) {
+  bitmap::BinnedDataset a = MakeUniformDataset(9, 20);
+  bitmap::BinnedDataset b = MakeUniformDataset(9, 20);
+  EXPECT_EQ(a.values, b.values);
+  bitmap::BinnedDataset c = MakeUniformDataset(10, 20);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(GeneratorsTest, SyntheticCustomShape) {
+  bitmap::BinnedDataset d =
+      MakeSynthetic("custom", 123, 5, 7, Distribution::kUniform, 11);
+  d.CheckValid();
+  EXPECT_EQ(d.name, "custom");
+  EXPECT_EQ(d.num_rows(), 123u);
+  EXPECT_EQ(d.num_attributes(), 5u);
+  EXPECT_EQ(d.num_bitmap_columns(), 35u);
+}
+
+TEST(GeneratorsTest, SetBitsEqualRowsTimesAttrs) {
+  // Equality encoding invariant behind Table 3's "Setbits" column:
+  // s = N * d exactly.
+  bitmap::BinnedDataset d = MakeHepDataset(5, /*scale=*/500);
+  uint64_t total_values = 0;
+  for (const auto& col : d.values) total_values += col.size();
+  EXPECT_EQ(total_values, d.num_rows() * d.num_attributes());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace abitmap

@@ -1,0 +1,66 @@
+#include "data/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace data {
+namespace {
+
+TEST(MetricsTest, PerfectAnswer) {
+  std::vector<bool> exact = {true, false, true};
+  QueryAccuracy acc = CompareResults(exact, exact);
+  EXPECT_EQ(acc.exact_ones, 2u);
+  EXPECT_EQ(acc.approx_ones, 2u);
+  EXPECT_EQ(acc.false_positives, 0u);
+  EXPECT_EQ(acc.false_negatives, 0u);
+  EXPECT_EQ(acc.precision(), 1.0);
+  EXPECT_EQ(acc.recall(), 1.0);
+}
+
+TEST(MetricsTest, FalsePositivesLowerPrecision) {
+  std::vector<bool> exact = {true, false, false, false};
+  std::vector<bool> approx = {true, true, false, false};
+  QueryAccuracy acc = CompareResults(exact, approx);
+  EXPECT_EQ(acc.false_positives, 1u);
+  EXPECT_EQ(acc.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(acc.precision(), 0.5);
+  EXPECT_EQ(acc.recall(), 1.0);
+}
+
+TEST(MetricsTest, EmptyAnswerHasPrecisionOne) {
+  std::vector<bool> exact = {false, false};
+  std::vector<bool> approx = {false, false};
+  QueryAccuracy acc = CompareResults(exact, approx);
+  EXPECT_EQ(acc.precision(), 1.0);
+  EXPECT_EQ(acc.recall(), 1.0);
+}
+
+TEST(MetricsTest, FalseNegativeDetected) {
+  // The AB never produces these, but the metric must catch them if a bug
+  // ever did.
+  std::vector<bool> exact = {true, true};
+  std::vector<bool> approx = {true, false};
+  QueryAccuracy acc = CompareResults(exact, approx);
+  EXPECT_EQ(acc.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(acc.recall(), 0.5);
+}
+
+TEST(MetricsTest, BatchAggregation) {
+  BatchAccuracy batch;
+  batch.Add(CompareResults({true, false}, {true, true}));
+  batch.Add(CompareResults({true, true}, {true, true}));
+  EXPECT_EQ(batch.queries, 2u);
+  EXPECT_EQ(batch.exact_ones, 3u);
+  EXPECT_EQ(batch.approx_ones, 4u);
+  EXPECT_EQ(batch.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(batch.precision(), 0.75);
+}
+
+TEST(MetricsTest, BatchEmptyPrecisionOne) {
+  BatchAccuracy batch;
+  EXPECT_EQ(batch.precision(), 1.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace abitmap

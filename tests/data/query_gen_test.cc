@@ -1,0 +1,137 @@
+#include "data/query_gen.h"
+
+#include "gtest/gtest.h"
+
+#include "bitmap/bitmap_table.h"
+#include "data/generators.h"
+
+namespace abitmap {
+namespace data {
+namespace {
+
+bitmap::BinnedDataset Small() { return MakeUniformDataset(21, /*scale=*/20); }
+
+TEST(QueryGenTest, ProducesRequestedCount) {
+  QueryGenParams p;
+  p.num_queries = 37;
+  p.rows_queried = 100;
+  std::vector<bitmap::BitmapQuery> qs = GenerateQueries(Small(), p);
+  EXPECT_EQ(qs.size(), 37u);
+}
+
+TEST(QueryGenTest, DimensionalityAndWidth) {
+  bitmap::BinnedDataset d = Small();
+  QueryGenParams p;
+  p.qdim = 2;
+  p.bins_per_attr = 4;
+  p.rows_queried = 50;
+  for (const bitmap::BitmapQuery& q : GenerateQueries(d, p)) {
+    ASSERT_EQ(q.ranges.size(), 2u);
+    EXPECT_NE(q.ranges[0].attr, q.ranges[1].attr);
+    for (const bitmap::AttributeRange& r : q.ranges) {
+      EXPECT_LE(r.lo_bin, r.hi_bin);
+      EXPECT_LE(r.hi_bin - r.lo_bin + 1, 4u);  // clamped at cardinality
+      EXPECT_LT(r.hi_bin, d.attributes[r.attr].cardinality);
+    }
+  }
+}
+
+TEST(QueryGenTest, RowRangeSizeAndBounds) {
+  bitmap::BinnedDataset d = Small();
+  QueryGenParams p;
+  p.rows_queried = 123;
+  for (const bitmap::BitmapQuery& q : GenerateQueries(d, p)) {
+    ASSERT_EQ(q.rows.size(), 123u);
+    EXPECT_LT(q.rows.back(), d.num_rows());
+    // Contiguous ascending.
+    for (size_t i = 1; i < q.rows.size(); ++i) {
+      EXPECT_EQ(q.rows[i], q.rows[i - 1] + 1);
+    }
+  }
+}
+
+TEST(QueryGenTest, AnchoredQueriesHaveAtLeastOneMatch) {
+  // The sampling guarantee of Section 5.3, strengthened to hold within the
+  // queried row range.
+  bitmap::BinnedDataset d = Small();
+  bitmap::BitmapTable table = bitmap::BitmapTable::Build(d);
+  QueryGenParams p;
+  p.num_queries = 50;
+  p.rows_queried = 200;
+  p.anchor_in_row_range = true;
+  for (const bitmap::BitmapQuery& q : GenerateQueries(d, p)) {
+    std::vector<bool> exact = table.Evaluate(q);
+    int matches = 0;
+    for (bool b : exact) matches += b;
+    EXPECT_GE(matches, 1);
+  }
+}
+
+TEST(QueryGenTest, Deterministic) {
+  bitmap::BinnedDataset d = Small();
+  QueryGenParams p;
+  p.seed = 99;
+  p.rows_queried = 64;
+  std::vector<bitmap::BitmapQuery> a = GenerateQueries(d, p);
+  std::vector<bitmap::BitmapQuery> b = GenerateQueries(d, p);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].rows, b[i].rows);
+    ASSERT_EQ(a[i].ranges.size(), b[i].ranges.size());
+    for (size_t r = 0; r < a[i].ranges.size(); ++r) {
+      EXPECT_EQ(a[i].ranges[r].attr, b[i].ranges[r].attr);
+      EXPECT_EQ(a[i].ranges[r].lo_bin, b[i].ranges[r].lo_bin);
+      EXPECT_EQ(a[i].ranges[r].hi_bin, b[i].ranges[r].hi_bin);
+    }
+  }
+}
+
+TEST(QueryGenTest, UnanchoredModeStillInBounds) {
+  bitmap::BinnedDataset d = Small();
+  QueryGenParams p;
+  p.anchor_in_row_range = false;
+  p.rows_queried = 500;
+  for (const bitmap::BitmapQuery& q : GenerateQueries(d, p)) {
+    EXPECT_EQ(q.rows.size(), 500u);
+    EXPECT_LT(q.rows.back(), d.num_rows());
+  }
+}
+
+TEST(QueryGenTest, SelFractionOverridesBinWidth) {
+  bitmap::BinnedDataset d = Small();  // cardinality 50 per attribute
+  QueryGenParams p;
+  p.bins_per_attr = 99;  // must be ignored
+  p.sel_fraction = 0.10;  // 10% of 50 bins = 5 bins
+  p.rows_queried = 20;
+  for (const bitmap::BitmapQuery& q : GenerateQueries(d, p)) {
+    for (const bitmap::AttributeRange& r : q.ranges) {
+      EXPECT_LE(r.hi_bin - r.lo_bin + 1, 5u);
+    }
+  }
+}
+
+TEST(QueryGenTest, TinySelFractionStillOneBin) {
+  bitmap::BinnedDataset d = Small();
+  QueryGenParams p;
+  p.sel_fraction = 0.001;  // < one bin -> clamped to 1
+  p.rows_queried = 10;
+  for (const bitmap::BitmapQuery& q : GenerateQueries(d, p)) {
+    for (const bitmap::AttributeRange& r : q.ranges) {
+      EXPECT_EQ(r.hi_bin, r.lo_bin);
+    }
+  }
+}
+
+TEST(QueryGenTest, FullWidthQdim) {
+  bitmap::BinnedDataset d = Small();
+  QueryGenParams p;
+  p.qdim = d.num_attributes();
+  p.rows_queried = 10;
+  for (const bitmap::BitmapQuery& q : GenerateQueries(d, p)) {
+    EXPECT_EQ(q.ranges.size(), d.num_attributes());
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace abitmap

@@ -1,0 +1,80 @@
+#include "engine/csv.h"
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace engine {
+namespace {
+
+TEST(CsvTest, BasicDocument) {
+  CsvDocument doc;
+  ASSERT_TRUE(ParseCsv("a,b,c\n1,2,3\n4,5,6\n", &doc).ok());
+  EXPECT_EQ(doc.header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(doc.num_rows(), 2u);
+  EXPECT_EQ(doc.rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(doc.rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvTest, MissingTrailingNewline) {
+  CsvDocument doc;
+  ASSERT_TRUE(ParseCsv("x,y\n7,8", &doc).ok());
+  ASSERT_EQ(doc.num_rows(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "8");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  CsvDocument doc;
+  ASSERT_TRUE(ParseCsv("a,b\r\n1,2\r\n", &doc).ok());
+  ASSERT_EQ(doc.num_rows(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "1");
+}
+
+TEST(CsvTest, QuotedFields) {
+  CsvDocument doc;
+  ASSERT_TRUE(
+      ParseCsv("name,value\n\"hello, world\",1\n\"say \"\"hi\"\"\",2\n", &doc)
+          .ok());
+  ASSERT_EQ(doc.num_rows(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "hello, world");
+  EXPECT_EQ(doc.rows[1][0], "say \"hi\"");
+}
+
+TEST(CsvTest, QuotedNewline) {
+  CsvDocument doc;
+  ASSERT_TRUE(ParseCsv("a,b\n\"line1\nline2\",3\n", &doc).ok());
+  ASSERT_EQ(doc.num_rows(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, EmptyFields) {
+  CsvDocument doc;
+  ASSERT_TRUE(ParseCsv("a,b,c\n1,,3\n", &doc).ok());
+  EXPECT_EQ(doc.rows[0][1], "");
+}
+
+TEST(CsvTest, RaggedRowRejected) {
+  CsvDocument doc;
+  util::Status s = ParseCsv("a,b\n1,2,3\n", &doc);
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  CsvDocument doc;
+  util::Status s = ParseCsv("a\n\"oops\n", &doc);
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  CsvDocument doc;
+  EXPECT_FALSE(ParseCsv("", &doc).ok());
+}
+
+TEST(CsvTest, HeaderOnlyIsValid) {
+  CsvDocument doc;
+  ASSERT_TRUE(ParseCsv("a,b\n", &doc).ok());
+  EXPECT_EQ(doc.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace abitmap

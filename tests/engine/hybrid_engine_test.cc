@@ -1,0 +1,145 @@
+#include "engine/hybrid_engine.h"
+
+#include <algorithm>
+#include <random>
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace engine {
+namespace {
+
+Table MakeRandomTable(uint64_t rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> price, quantity, rating;
+  for (uint64_t i = 0; i < rows; ++i) {
+    price.push_back(std::uniform_real_distribution<double>(0, 100)(rng));
+    quantity.push_back(static_cast<double>(rng() % 50));
+    rating.push_back(std::normal_distribution<double>(3.0, 1.0)(rng));
+  }
+  util::StatusOr<Table> t = Table::FromColumns(
+      "orders", {"price", "quantity", "rating"}, {price, quantity, rating});
+  AB_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+HybridEngine MakeEngine(uint64_t rows, uint64_t seed) {
+  HybridEngine::Options options;
+  options.binning.bins = 16;
+  options.ab.alpha = 16;
+  options.ab.level = ab::Level::kPerAttribute;
+  return HybridEngine::Build(MakeRandomTable(rows, seed), options);
+}
+
+std::vector<uint64_t> BruteForce(const Table& t, const EngineQuery& q) {
+  std::vector<uint64_t> rows = q.rows;
+  if (rows.empty()) {
+    for (uint64_t r = 0; r < t.num_rows(); ++r) rows.push_back(r);
+  }
+  std::vector<uint64_t> out;
+  for (uint64_t r : rows) {
+    bool match = true;
+    for (const ValuePredicate& p : q.predicates) {
+      double v = t.value(r, p.attr);
+      if (v < p.lo || v > p.hi) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(r);
+  }
+  return out;
+}
+
+TEST(HybridEngineTest, ExactResultsMatchBruteForceBothPaths) {
+  HybridEngine engine = MakeEngine(3000, 1);
+  std::mt19937_64 rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    EngineQuery q;
+    q.predicates.push_back(ValuePredicate{0, 20.0, 60.0});
+    q.predicates.push_back(ValuePredicate{1, 5.0, 30.0});
+    if (trial % 2 == 0) {
+      uint64_t lo = rng() % 2000;
+      q.rows = bitmap::RowRange(lo, lo + 500);
+    }
+    std::vector<uint64_t> expected = BruteForce(engine.table(), q);
+    EXPECT_EQ(engine.ExecuteWithAb(q).row_ids, expected) << trial;
+    EXPECT_EQ(engine.ExecuteWithWah(q).row_ids, expected) << trial;
+    EXPECT_EQ(engine.Execute(q).row_ids, expected) << trial;
+  }
+}
+
+TEST(HybridEngineTest, RoutesByRowFraction) {
+  HybridEngine engine = MakeEngine(5000, 3);
+  EngineQuery q;
+  q.predicates.push_back(ValuePredicate{0, 0.0, 50.0});
+
+  // Whole relation -> WAH.
+  EXPECT_EQ(engine.Execute(q).path, "wah");
+
+  // Tiny subset (below the default 2% threshold) -> AB.
+  q.rows = bitmap::RowRange(100, 140);  // 41 rows of 5000 = 0.8%
+  EXPECT_EQ(engine.Execute(q).path, "ab");
+
+  // Large subset -> WAH.
+  q.rows = bitmap::RowRange(0, 2499);  // 50%
+  EXPECT_EQ(engine.Execute(q).path, "wah");
+}
+
+TEST(HybridEngineTest, ApproximateModeIsSupersetOfExact) {
+  HybridEngine engine = MakeEngine(2000, 4);
+  EngineQuery q;
+  q.predicates.push_back(ValuePredicate{2, 2.0, 3.5});
+  q.rows = bitmap::RowRange(0, 999);
+
+  q.exact = true;
+  std::vector<uint64_t> exact_rows = engine.ExecuteWithAb(q).row_ids;
+  q.exact = false;
+  EngineResult approx = engine.ExecuteWithAb(q);
+  EXPECT_TRUE(approx.approximate);
+  EXPECT_GE(approx.row_ids.size(), exact_rows.size());
+  // Every exact row must appear in the candidate set.
+  EXPECT_TRUE(std::includes(approx.row_ids.begin(), approx.row_ids.end(),
+                            exact_rows.begin(), exact_rows.end()));
+}
+
+TEST(HybridEngineTest, BinBoundaryOvershootIsPruned) {
+  // A predicate cutting through the middle of a bin: the bin-level answer
+  // overshoots, the exact path must not.
+  HybridEngine engine = MakeEngine(2000, 5);
+  EngineQuery q;
+  q.predicates.push_back(ValuePredicate{0, 33.3, 33.9});  // narrow slice
+  std::vector<uint64_t> expected = BruteForce(engine.table(), q);
+  EXPECT_EQ(engine.Execute(q).row_ids, expected);
+  for (uint64_t r : engine.Execute(q).row_ids) {
+    double v = engine.table().value(r, 0);
+    EXPECT_GE(v, 33.3);
+    EXPECT_LE(v, 33.9);
+  }
+}
+
+TEST(HybridEngineTest, EmptyPredicateListSelectsRequestedRows) {
+  HybridEngine engine = MakeEngine(500, 6);
+  EngineQuery q;
+  q.rows = bitmap::RowRange(10, 19);
+  EngineResult result = engine.Execute(q);
+  EXPECT_EQ(result.row_ids, bitmap::RowRange(10, 19));
+}
+
+TEST(HybridEngineTest, SizesReported) {
+  HybridEngine engine = MakeEngine(2000, 7);
+  EXPECT_GT(engine.WahSizeBytes(), 0u);
+  EXPECT_GT(engine.AbSizeBytes(), 0u);
+}
+
+TEST(HybridEngineTest, MeasureCrossoverReturnsSaneFraction) {
+  HybridEngine engine = MakeEngine(20000, 8);
+  double crossover = engine.MeasureCrossover();
+  EXPECT_GT(crossover, 0.0);
+  EXPECT_LE(crossover, 0.5);
+  EXPECT_EQ(engine.crossover_fraction(), crossover);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace abitmap

@@ -1,0 +1,94 @@
+#include "hash/sha1.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace hash {
+namespace {
+
+// FIPS 180-1 / RFC 3174 published test vectors.
+
+TEST(Sha1Test, EmptyMessage) {
+  EXPECT_EQ(Sha1::ToHex(Sha1::Hash("", 0)),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(Sha1::ToHex(Sha1::Hash(std::string("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha1::ToHex(Sha1::Hash(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk.data(), chunk.size());
+  EXPECT_EQ(Sha1::ToHex(h.Finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, QuickBrownFox) {
+  EXPECT_EQ(Sha1::ToHex(Sha1::Hash(
+                std::string("The quick brown fox jumps over the lazy dog"))),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  std::string msg = "hello approximate bitmap world";
+  Sha1 h;
+  for (char c : msg) h.Update(&c, 1);
+  EXPECT_EQ(Sha1::ToHex(h.Finish()), Sha1::ToHex(Sha1::Hash(msg)));
+}
+
+TEST(Sha1Test, ResetRestoresInitialState) {
+  Sha1 h;
+  h.Update("garbage", 7);
+  h.Reset();
+  h.Update("abc", 3);
+  EXPECT_EQ(Sha1::ToHex(h.Finish()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, ExactBlockBoundary) {
+  // 64-byte message exercises the padding path that adds a full new block.
+  std::string msg(64, 'x');
+  Sha1 a;
+  a.Update(msg.data(), msg.size());
+  Sha1 b;
+  b.Update(msg.data(), 32);
+  b.Update(msg.data() + 32, 32);
+  EXPECT_EQ(Sha1::ToHex(a.Finish()), Sha1::ToHex(b.Finish()));
+}
+
+TEST(DigestBitsTest, ExtractsMsbFirst) {
+  Sha1::Digest d{};
+  d[0] = 0b10110000;
+  d[1] = 0b01000000;
+  EXPECT_EQ(DigestBits(d, 0, 1), 1u);
+  EXPECT_EQ(DigestBits(d, 0, 4), 0b1011u);
+  EXPECT_EQ(DigestBits(d, 1, 4), 0b0110u);
+  EXPECT_EQ(DigestBits(d, 4, 8), 0b00000100u);
+}
+
+TEST(DigestBitsTest, SplitCoversWholeDigestDisjointly) {
+  // Table 1 configuration: 160-bit digest split into 10 pieces of 16 bits.
+  Sha1::Digest d = Sha1::Hash(std::string("cell(5,3)"));
+  uint64_t reassembled_first32 =
+      (DigestBits(d, 0, 16) << 16) | DigestBits(d, 16, 16);
+  uint64_t direct_first32 = DigestBits(d, 0, 32);
+  EXPECT_EQ(reassembled_first32, direct_first32);
+  for (int piece = 0; piece < 10; ++piece) {
+    EXPECT_LT(DigestBits(d, piece * 16, 16), 1u << 16);
+  }
+}
+
+}  // namespace
+}  // namespace hash
+}  // namespace abitmap

@@ -1,0 +1,162 @@
+#include <random>
+
+#include "gtest/gtest.h"
+
+#include "bbc/bbc_vector.h"
+#include "bitmap/bitmap_table.h"
+#include "core/ab_index.h"
+#include "data/generators.h"
+#include "data/metrics.h"
+#include "data/query_gen.h"
+#include "wah/wah_query.h"
+
+namespace abitmap {
+namespace {
+
+/// End-to-end pipeline over a scaled-down evaluation dataset: generate data,
+/// build uncompressed / WAH / AB indexes, run the paper's query workload,
+/// and check that every representation agrees (exactly for WAH, up to false
+/// positives for AB).
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new bitmap::BinnedDataset(
+        data::MakeUniformDataset(123, /*scale=*/10));  // 10,000 rows
+    table_ = new bitmap::BitmapTable(bitmap::BitmapTable::Build(*dataset_));
+    wah_ = new wah::WahIndex(wah::WahIndex::Build(*table_));
+  }
+  static void TearDownTestSuite() {
+    delete wah_;
+    delete table_;
+    delete dataset_;
+    wah_ = nullptr;
+    table_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static bitmap::BinnedDataset* dataset_;
+  static bitmap::BitmapTable* table_;
+  static wah::WahIndex* wah_;
+};
+
+bitmap::BinnedDataset* EndToEndTest::dataset_ = nullptr;
+bitmap::BitmapTable* EndToEndTest::table_ = nullptr;
+wah::WahIndex* EndToEndTest::wah_ = nullptr;
+
+TEST_F(EndToEndTest, WahAgreesWithUncompressedOnWorkload) {
+  data::QueryGenParams qp;
+  qp.num_queries = 50;
+  qp.rows_queried = 1000;
+  qp.seed = 1;
+  for (const bitmap::BitmapQuery& q : data::GenerateQueries(*dataset_, qp)) {
+    EXPECT_EQ(wah_->Evaluate(q), table_->Evaluate(q));
+  }
+}
+
+TEST_F(EndToEndTest, AbIsLosslessSupersetAcrossLevelsAndSchemes) {
+  data::QueryGenParams qp;
+  qp.num_queries = 20;
+  qp.rows_queried = 500;
+  qp.seed = 2;
+  std::vector<bitmap::BitmapQuery> queries =
+      data::GenerateQueries(*dataset_, qp);
+
+  for (ab::Level level : {ab::Level::kPerDataset, ab::Level::kPerAttribute,
+                          ab::Level::kPerColumn}) {
+    for (ab::HashScheme scheme :
+         {ab::HashScheme::kIndependent, ab::HashScheme::kSha1,
+          ab::HashScheme::kDoubleHash}) {
+      ab::AbConfig cfg;
+      cfg.level = level;
+      cfg.scheme = scheme;
+      // The paper's chosen alpha for the uniform dataset (Section 6.1).
+      cfg.alpha = 16;
+      ab::AbIndex index = ab::AbIndex::Build(*dataset_, cfg);
+      data::BatchAccuracy batch;
+      for (const bitmap::BitmapQuery& q : queries) {
+        batch.Add(data::CompareResults(table_->Evaluate(q), index.Evaluate(q)));
+      }
+      EXPECT_EQ(batch.false_negatives, 0u)
+          << ab::LevelName(level) << " " << ab::HashSchemeName(scheme);
+      EXPECT_GT(batch.precision(), 0.85)
+          << ab::LevelName(level) << " " << ab::HashSchemeName(scheme);
+    }
+  }
+}
+
+TEST_F(EndToEndTest, AbSmallerThanWahAtPaperSettings) {
+  // Section 6.1: for uniform data at alpha=16, per-column AB total is less
+  // than half the WAH size. At the 1/10 scale the proportions persist.
+  ab::AbConfig cfg;
+  cfg.level = ab::Level::kPerColumn;
+  cfg.alpha = 16;
+  ab::AbIndex index = ab::AbIndex::Build(*dataset_, cfg);
+  EXPECT_LT(index.SizeInBytes(), wah_->SizeInBytes());
+}
+
+TEST_F(EndToEndTest, CompressionSanityAcrossRepresentations) {
+  // WAH and BBC must both decompress every column back to the table.
+  for (uint32_t j = 0; j < table_->num_columns(); j += 17) {
+    bbc::BbcVector b = bbc::BbcVector::Compress(table_->column(j));
+    EXPECT_EQ(b.Decompress(), table_->column(j)) << j;
+    EXPECT_EQ(wah_->column(j).Decompress(), table_->column(j)) << j;
+  }
+}
+
+TEST_F(EndToEndTest, PrecisionScalesWithAlphaOnRealWorkload) {
+  data::QueryGenParams qp;
+  qp.num_queries = 30;
+  qp.rows_queried = 1000;
+  qp.seed = 3;
+  std::vector<bitmap::BitmapQuery> queries =
+      data::GenerateQueries(*dataset_, qp);
+  double prev = 0;
+  for (double alpha : {2.0, 8.0, 16.0}) {
+    ab::AbConfig cfg;
+    cfg.level = ab::Level::kPerAttribute;
+    cfg.alpha = alpha;
+    ab::AbIndex index = ab::AbIndex::Build(*dataset_, cfg);
+    data::BatchAccuracy batch;
+    for (const bitmap::BitmapQuery& q : queries) {
+      batch.Add(data::CompareResults(table_->Evaluate(q), index.Evaluate(q)));
+    }
+    EXPECT_GE(batch.precision(), prev - 0.03) << alpha;
+    prev = batch.precision();
+  }
+  EXPECT_GT(prev, 0.97);
+}
+
+TEST_F(EndToEndTest, SecondStepPruningYieldsExactAnswers) {
+  // The paper's exact-answer recipe: evaluate with the AB, then prune false
+  // positives against the base data — result must equal the exact answer.
+  ab::AbConfig cfg;
+  cfg.alpha = 4;  // deliberately noisy
+  ab::AbIndex index = ab::AbIndex::Build(*dataset_, cfg);
+
+  data::QueryGenParams qp;
+  qp.num_queries = 10;
+  qp.rows_queried = 800;
+  qp.seed = 4;
+  for (const bitmap::BitmapQuery& q : data::GenerateQueries(*dataset_, qp)) {
+    std::vector<bool> approx = index.Evaluate(q);
+    // Prune: re-check candidate rows against the raw values.
+    std::vector<bool> pruned(approx.size(), false);
+    for (size_t idx = 0; idx < approx.size(); ++idx) {
+      if (!approx[idx]) continue;  // AB guarantees these are true 0s
+      uint64_t row = q.rows[idx];
+      bool keep = true;
+      for (const bitmap::AttributeRange& r : q.ranges) {
+        uint32_t v = dataset_->values[r.attr][row];
+        if (v < r.lo_bin || v > r.hi_bin) {
+          keep = false;
+          break;
+        }
+      }
+      pruned[idx] = keep;
+    }
+    EXPECT_EQ(pruned, table_->Evaluate(q));
+  }
+}
+
+}  // namespace
+}  // namespace abitmap

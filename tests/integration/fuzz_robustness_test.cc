@@ -1,0 +1,142 @@
+// Randomized robustness tests: deserializers must reject or tolerate — but
+// never crash on — arbitrarily corrupted input. Each trial serializes a
+// valid structure, applies random byte mutations/truncations, and feeds
+// the result back. A mutation may survive validation (it can hit padding
+// or produce a different-but-valid structure); the contract under test is
+// memory safety plus structural invariants of whatever is accepted.
+
+#include <random>
+
+#include "gtest/gtest.h"
+
+#include "bbc/bbc_vector.h"
+#include "core/ab_index.h"
+#include "data/generators.h"
+#include "util/byte_io.h"
+#include "util/file_io.h"
+#include "wah/wah_vector.h"
+
+namespace abitmap {
+namespace {
+
+std::vector<uint8_t> Mutate(const std::vector<uint8_t>& bytes,
+                            std::mt19937_64& rng) {
+  std::vector<uint8_t> out = bytes;
+  switch (rng() % 3) {
+    case 0: {  // flip 1-4 random bits
+      int flips = 1 + rng() % 4;
+      for (int i = 0; i < flips && !out.empty(); ++i) {
+        out[rng() % out.size()] ^= uint8_t{1} << (rng() % 8);
+      }
+      break;
+    }
+    case 1: {  // truncate
+      if (!out.empty()) out.resize(rng() % out.size());
+      break;
+    }
+    default: {  // splice random garbage into the middle
+      size_t pos = out.empty() ? 0 : rng() % out.size();
+      int count = 1 + rng() % 16;
+      for (int i = 0; i < count; ++i) {
+        out.insert(out.begin() + pos, static_cast<uint8_t>(rng()));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(FuzzRobustnessTest, WahDeserializeNeverCrashes) {
+  std::mt19937_64 rng(1);
+  util::BitVector bits(5000);
+  for (int i = 0; i < 700; ++i) bits.Set(rng() % 5000);
+  wah::WahVector original = wah::WahVector::Compress(bits);
+  util::ByteWriter w;
+  original.Serialize(&w);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> mutated = Mutate(w.bytes(), rng);
+    util::ByteReader r(mutated);
+    wah::WahVector back;
+    if (wah::WahVector::Deserialize(&r, &back).ok()) {
+      // Whatever was accepted must be internally consistent.
+      EXPECT_EQ(back.Decompress().size(), back.size());
+      EXPECT_LE(back.CountOnes(), back.size());
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, BbcDeserializeNeverCrashes) {
+  std::mt19937_64 rng(2);
+  util::BitVector bits(4000);
+  for (int i = 0; i < 900; ++i) bits.Set(rng() % 4000);
+  bbc::BbcVector original = bbc::BbcVector::Compress(bits);
+  util::ByteWriter w;
+  original.Serialize(&w);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> mutated = Mutate(w.bytes(), rng);
+    util::ByteReader r(mutated);
+    bbc::BbcVector back;
+    if (bbc::BbcVector::Deserialize(&r, &back).ok()) {
+      EXPECT_EQ(back.Decompress().size(), back.size());
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, BitVectorDeserializeNeverCrashes) {
+  std::mt19937_64 rng(3);
+  util::BitVector original(777);
+  for (int i = 0; i < 100; ++i) original.Set(rng() % 777);
+  util::ByteWriter w;
+  original.Serialize(&w);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> mutated = Mutate(w.bytes(), rng);
+    util::ByteReader r(mutated);
+    util::BitVector back;
+    if (util::BitVector::Deserialize(&r, &back).ok()) {
+      EXPECT_LE(back.Count(), back.size());
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, AbIndexDeserializeNeverCrashes) {
+  std::mt19937_64 rng(4);
+  bitmap::BinnedDataset d =
+      data::MakeSynthetic("t", 300, 2, 5, data::Distribution::kUniform, 5);
+  ab::AbConfig cfg;
+  cfg.alpha = 8;
+  ab::AbIndex original = ab::AbIndex::Build(d, cfg);
+  util::ByteWriter w;
+  original.Serialize(&w);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint8_t> mutated = Mutate(w.bytes(), rng);
+    util::ByteReader r(mutated);
+    util::StatusOr<ab::AbIndex> back = ab::AbIndex::Deserialize(&r);
+    if (back.ok()) {
+      // An accepted index must at least answer probes without crashing.
+      (void)back.value().TestCell(0, 0, 0);
+    }
+  }
+}
+
+TEST(FuzzRobustnessTest, EnvelopeCatchesMostMutations) {
+  // The CRC-protected envelope should reject nearly all payload bit flips.
+  std::mt19937_64 rng(5);
+  std::vector<uint8_t> payload(256);
+  for (uint8_t& b : payload) b = static_cast<uint8_t>(rng());
+  std::vector<uint8_t> wrapped =
+      util::WrapEnvelope(util::PayloadType::kAbIndex, payload);
+  int accepted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint8_t> mutated = wrapped;
+    mutated[rng() % mutated.size()] ^= uint8_t{1} << (rng() % 8);
+    std::vector<uint8_t> out;
+    if (util::UnwrapEnvelope(mutated, util::PayloadType::kAbIndex, &out)
+            .ok()) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+}  // namespace
+}  // namespace abitmap

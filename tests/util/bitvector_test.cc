@@ -1,0 +1,247 @@
+#include "util/bitvector.h"
+
+#include <random>
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace util {
+namespace {
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.Count(), 0u);
+  EXPECT_TRUE(v.SetPositions().empty());
+}
+
+TEST(BitVectorTest, SetAndGet) {
+  BitVector v(100);
+  EXPECT_FALSE(v.Get(0));
+  v.Set(0);
+  v.Set(63);
+  v.Set(64);
+  v.Set(99);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(63));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(99));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_FALSE(v.Get(65));
+  EXPECT_EQ(v.Count(), 4u);
+}
+
+TEST(BitVectorTest, ClearBit) {
+  BitVector v(10);
+  v.Set(5);
+  EXPECT_TRUE(v.Get(5));
+  v.Set(5, false);
+  EXPECT_FALSE(v.Get(5));
+  EXPECT_EQ(v.Count(), 0u);
+}
+
+TEST(BitVectorTest, FromString) {
+  BitVector v = BitVector::FromString("0100110");
+  EXPECT_EQ(v.size(), 7u);
+  EXPECT_FALSE(v.Get(0));
+  EXPECT_TRUE(v.Get(1));
+  EXPECT_TRUE(v.Get(4));
+  EXPECT_TRUE(v.Get(5));
+  EXPECT_EQ(v.Count(), 3u);
+  EXPECT_EQ(v.ToString(), "0100110");
+}
+
+TEST(BitVectorTest, FromBools) {
+  BitVector v = BitVector::FromBools({true, false, true});
+  EXPECT_EQ(v.ToString(), "101");
+}
+
+TEST(BitVectorTest, PushBackGrows) {
+  BitVector v;
+  for (int i = 0; i < 200; ++i) v.PushBack(i % 3 == 0);
+  EXPECT_EQ(v.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(v.Get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVectorTest, AppendRunOnes) {
+  BitVector v;
+  v.Append(false, 10);
+  v.Append(true, 150);
+  v.Append(false, 5);
+  EXPECT_EQ(v.size(), 165u);
+  EXPECT_EQ(v.Count(), 150u);
+  EXPECT_FALSE(v.Get(9));
+  EXPECT_TRUE(v.Get(10));
+  EXPECT_TRUE(v.Get(159));
+  EXPECT_FALSE(v.Get(160));
+}
+
+TEST(BitVectorTest, AppendRunUnaligned) {
+  BitVector v;
+  v.PushBack(true);
+  v.Append(true, 63);  // crosses a word boundary mid-run
+  v.Append(true, 64);
+  EXPECT_EQ(v.size(), 128u);
+  EXPECT_EQ(v.Count(), 128u);
+}
+
+TEST(BitVectorTest, AppendBitsRoundTrip) {
+  BitVector v;
+  v.AppendBits(0b1011, 4);
+  v.AppendBits(0xFF, 8);
+  EXPECT_EQ(v.ToString(), "110111111111");
+}
+
+TEST(BitVectorTest, GetBitsWithinWord) {
+  BitVector v = BitVector::FromString("10110010");
+  // Bit 0 is '1', reading 4 bits from 0: 1,0,1,1 -> LSB-first 0b1101.
+  EXPECT_EQ(v.GetBits(0, 4), 0b1101u);
+  EXPECT_EQ(v.GetBits(4, 4), 0b0100u);
+}
+
+TEST(BitVectorTest, GetBitsAcrossWordBoundary) {
+  BitVector v(128);
+  v.Set(62);
+  v.Set(63);
+  v.Set(64);
+  v.Set(70);
+  uint64_t got = v.GetBits(62, 10);
+  // positions 62..71 -> bits 0,1,2,8 set.
+  EXPECT_EQ(got, (1u << 0) | (1u << 1) | (1u << 2) | (1u << 8));
+}
+
+TEST(BitVectorTest, GetBitsPastEndReadsZero) {
+  BitVector v(10);
+  v.Set(9);
+  EXPECT_EQ(v.GetBits(9, 8), 1u);
+  EXPECT_EQ(v.GetBits(10, 8), 0u);
+}
+
+TEST(BitVectorTest, CountRange) {
+  BitVector v = BitVector::FromString("1101001110");
+  EXPECT_EQ(v.CountRange(0, 10), 6u);
+  EXPECT_EQ(v.CountRange(0, 0), 0u);
+  EXPECT_EQ(v.CountRange(0, 3), 2u);
+  EXPECT_EQ(v.CountRange(3, 7), 2u);
+  EXPECT_EQ(v.CountRange(6, 10), 3u);
+}
+
+TEST(BitVectorTest, CountRangeLarge) {
+  BitVector v(1000);
+  for (size_t i = 0; i < 1000; i += 7) v.Set(i);
+  size_t expected = 0;
+  for (size_t i = 100; i < 900; ++i) expected += v.Get(i);
+  EXPECT_EQ(v.CountRange(100, 900), expected);
+}
+
+TEST(BitVectorTest, SetPositions) {
+  BitVector v(200);
+  v.Set(0);
+  v.Set(63);
+  v.Set(64);
+  v.Set(199);
+  std::vector<size_t> expected = {0, 63, 64, 199};
+  EXPECT_EQ(v.SetPositions(), expected);
+}
+
+TEST(BitVectorTest, FindNextSet) {
+  BitVector v(300);
+  v.Set(5);
+  v.Set(128);
+  v.Set(299);
+  EXPECT_EQ(v.FindNextSet(0), 5u);
+  EXPECT_EQ(v.FindNextSet(5), 5u);
+  EXPECT_EQ(v.FindNextSet(6), 128u);
+  EXPECT_EQ(v.FindNextSet(129), 299u);
+  EXPECT_EQ(v.FindNextSet(300), 300u);
+  BitVector empty(10);
+  EXPECT_EQ(empty.FindNextSet(0), 10u);
+}
+
+TEST(BitVectorTest, LogicalOps) {
+  BitVector a = BitVector::FromString("1100");
+  BitVector b = BitVector::FromString("1010");
+  EXPECT_EQ(And(a, b).ToString(), "1000");
+  EXPECT_EQ(Or(a, b).ToString(), "1110");
+  EXPECT_EQ(Xor(a, b).ToString(), "0110");
+  EXPECT_EQ(AndNot(a, b).ToString(), "0100");
+  EXPECT_EQ(Not(a).ToString(), "0011");
+}
+
+TEST(BitVectorTest, FlipMaintainsPadding) {
+  BitVector v(70);  // 70 bits: padding in last word must stay zero
+  v.Flip();
+  EXPECT_EQ(v.Count(), 70u);
+  v.Flip();
+  EXPECT_EQ(v.Count(), 0u);
+}
+
+TEST(BitVectorTest, ResizeShrinkClearsPadding) {
+  BitVector v(128);
+  v.Flip();
+  v.Resize(70);
+  EXPECT_EQ(v.size(), 70u);
+  EXPECT_EQ(v.Count(), 70u);
+  v.Resize(128);
+  EXPECT_EQ(v.Count(), 70u);  // new bits zero
+}
+
+TEST(BitVectorTest, Equality) {
+  BitVector a = BitVector::FromString("101");
+  BitVector b = BitVector::FromString("101");
+  BitVector c = BitVector::FromString("100");
+  BitVector d = BitVector::FromString("1010");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(BitVectorTest, SizeInBytes) {
+  EXPECT_EQ(BitVector(0).SizeInBytes(), 0u);
+  EXPECT_EQ(BitVector(1).SizeInBytes(), 8u);
+  EXPECT_EQ(BitVector(64).SizeInBytes(), 8u);
+  EXPECT_EQ(BitVector(65).SizeInBytes(), 16u);
+}
+
+// Property: random op sequences agree with a reference std::vector<bool>.
+TEST(BitVectorPropertyTest, RandomizedAgainstReference) {
+  std::mt19937_64 rng(1234);
+  for (int round = 0; round < 20; ++round) {
+    size_t n = 1 + rng() % 500;
+    std::vector<bool> ref(n, false);
+    BitVector v(n);
+    for (int op = 0; op < 200; ++op) {
+      size_t pos = rng() % n;
+      bool value = rng() % 2;
+      ref[pos] = value;
+      v.Set(pos, value);
+    }
+    size_t count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(v.Get(i), ref[i]) << "round " << round << " pos " << i;
+      count += ref[i];
+    }
+    EXPECT_EQ(v.Count(), count);
+  }
+}
+
+TEST(BitVectorPropertyTest, GetBitsMatchesBitwiseRead) {
+  std::mt19937_64 rng(99);
+  BitVector v(400);
+  for (int i = 0; i < 150; ++i) v.Set(rng() % 400);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t pos = rng() % 400;
+    int n = 1 + static_cast<int>(rng() % 64);
+    uint64_t expected = 0;
+    for (int i = 0; i < n; ++i) {
+      size_t p = pos + i;
+      if (p < v.size() && v.Get(p)) expected |= uint64_t{1} << i;
+    }
+    EXPECT_EQ(v.GetBits(pos, n), expected) << pos << " " << n;
+  }
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace abitmap

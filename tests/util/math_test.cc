@@ -1,0 +1,64 @@
+#include "util/math.h"
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace util {
+namespace {
+
+TEST(MathTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ull << 63));
+  EXPECT_FALSE(IsPowerOfTwo((1ull << 63) + 1));
+}
+
+TEST(MathTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(4), 4u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  // The paper's Table 4 example: s*alpha = 16,527,900 * 4 bits -> 2^26.
+  EXPECT_EQ(NextPowerOfTwo(66111600ull), 67108864ull);
+}
+
+TEST(MathTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(4), 2);
+  EXPECT_EQ(Log2Floor(1ull << 40), 40);
+  EXPECT_EQ(Log2Floor((1ull << 40) + 123), 40);
+}
+
+TEST(MathTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+  EXPECT_EQ(Log2Ceil(1ull << 40), 40);
+  EXPECT_EQ(Log2Ceil((1ull << 40) + 1), 41);
+}
+
+TEST(MathTest, PopCount) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(1), 1);
+  EXPECT_EQ(PopCount(0xFF), 8);
+  EXPECT_EQ(PopCount(~uint64_t{0}), 64);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 8), 0u);
+  EXPECT_EQ(CeilDiv(1, 8), 1u);
+  EXPECT_EQ(CeilDiv(8, 8), 1u);
+  EXPECT_EQ(CeilDiv(9, 8), 2u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace abitmap

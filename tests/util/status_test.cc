@@ -1,0 +1,34 @@
+#include "util/status.h"
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::InvalidArgument("alpha must be >= 1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "alpha must be >= 1");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: alpha must be >= 1");
+}
+
+TEST(StatusTest, AllConstructors) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace abitmap

@@ -1,0 +1,50 @@
+#include "util/statusor.h"
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace util {
+namespace {
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> s(42);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), 42);
+  EXPECT_TRUE(s.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> s(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.status().message(), "nope");
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> s(std::make_unique<int>(7));
+  ASSERT_TRUE(s.ok());
+  std::unique_ptr<int> taken = std::move(s).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOrTest, MutableAccess) {
+  StatusOr<std::string> s(std::string("abc"));
+  s.value() += "def";
+  EXPECT_EQ(s.value(), "abcdef");
+}
+
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  StatusOr<int> s(Status::Corruption("bad"));
+  EXPECT_DEATH(s.value(), "AB_CHECK");
+}
+
+TEST(StatusOrDeathTest, OkStatusRejected) {
+  EXPECT_DEATH(StatusOr<int>(Status::Ok()), "AB_CHECK");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace abitmap

@@ -1,0 +1,111 @@
+#include "wah/wah_encoded.h"
+
+#include <random>
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace wah {
+namespace {
+
+std::vector<uint32_t> RandomValues(uint64_t rows, uint32_t cardinality,
+                                   uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint32_t> v;
+  v.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) v.push_back(rng() % cardinality);
+  return v;
+}
+
+util::BitVector ExactRange(const std::vector<uint32_t>& values, uint32_t lo,
+                           uint32_t hi) {
+  util::BitVector out(values.size());
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= lo && values[i] <= hi) out.Set(i);
+  }
+  return out;
+}
+
+class WahEncodedSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WahEncodedSweepTest, RangeEncodedExhaustive) {
+  uint32_t c = GetParam();
+  std::vector<uint32_t> values = RandomValues(311, c, c);
+  WahRangeAttribute enc = WahRangeAttribute::Build(values, c);
+  for (uint32_t lo = 0; lo < c; ++lo) {
+    for (uint32_t hi = lo; hi < c; ++hi) {
+      EXPECT_EQ(enc.EvalRange(lo, hi).Decompress(),
+                ExactRange(values, lo, hi))
+          << "C=" << c << " [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+TEST_P(WahEncodedSweepTest, IntervalEncodedExhaustive) {
+  uint32_t c = GetParam();
+  std::vector<uint32_t> values = RandomValues(311, c, c + 1);
+  WahIntervalAttribute enc = WahIntervalAttribute::Build(values, c);
+  for (uint32_t lo = 0; lo < c; ++lo) {
+    for (uint32_t hi = lo; hi < c; ++hi) {
+      EXPECT_EQ(enc.EvalRange(lo, hi).Decompress(),
+                ExactRange(values, lo, hi))
+          << "C=" << c << " [" << lo << "," << hi << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, WahEncodedSweepTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 20u));
+
+TEST(WahEncodedTest, IntervalUsesFewerColumnsAndBytesThanRange) {
+  std::vector<uint32_t> values = RandomValues(20000, 16, 9);
+  WahRangeAttribute range = WahRangeAttribute::Build(values, 16);
+  WahIntervalAttribute interval = WahIntervalAttribute::Build(values, 16);
+  EXPECT_LT(interval.SizeInBytes(), range.SizeInBytes());
+}
+
+TEST(MultiOrTest, MatchesPairwiseFolding) {
+  std::mt19937_64 rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 500 + rng() % 3000;
+    std::vector<WahVector> inputs;
+    util::BitVector expected(n);
+    int count = 2 + rng() % 6;
+    for (int i = 0; i < count; ++i) {
+      util::BitVector bits(n);
+      for (size_t j = 0; j < n / 20; ++j) bits.Set(rng() % n);
+      expected.OrWith(bits);
+      inputs.push_back(WahVector::Compress(bits));
+    }
+    WahVector merged = MultiOr(inputs);
+    EXPECT_EQ(merged.Decompress(), expected) << trial;
+    // Canonical: identical to compressing the result directly.
+    EXPECT_EQ(merged, WahVector::Compress(expected)) << trial;
+  }
+}
+
+TEST(MultiOrTest, SingleInputPassesThrough) {
+  util::BitVector bits = util::BitVector::FromString("1010011");
+  std::vector<WahVector> inputs = {WahVector::Compress(bits)};
+  EXPECT_EQ(MultiOr(inputs), inputs[0]);
+}
+
+TEST(MultiOrTest, FillHeavyInputsStayCompressed) {
+  // ORing many sparse fill-dominated vectors must not blow up the output.
+  std::vector<WahVector> inputs;
+  for (int i = 0; i < 16; ++i) {
+    WahVector v;
+    v.AppendRun(false, 10000 * i);
+    v.AppendRun(true, 31);
+    v.AppendRun(false, 500000 - 10000 * static_cast<uint64_t>(i) - 31);
+    inputs.push_back(std::move(v));
+  }
+  WahVector merged = MultiOr(inputs);
+  EXPECT_EQ(merged.size(), 500000u);
+  EXPECT_EQ(merged.CountOnes(), 16u * 31u);
+  EXPECT_LT(merged.NumWords(), 64u);
+}
+
+}  // namespace
+}  // namespace wah
+}  // namespace abitmap

@@ -1,0 +1,316 @@
+#include "wah/wah_vector.h"
+
+#include <random>
+
+#include "gtest/gtest.h"
+#include "util/bitvector.h"
+
+namespace abitmap {
+namespace wah {
+namespace {
+
+using util::BitVector;
+
+/// Random bit vector whose run structure is controlled by `density` (bit
+/// probability) and `clustering` (probability of repeating the previous
+/// bit, producing WAH-friendly runs).
+BitVector RandomBits(size_t n, double density, double clustering,
+                     uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0, 1);
+  BitVector out(n);
+  bool prev = false;
+  for (size_t i = 0; i < n; ++i) {
+    bool bit = (u(rng) < clustering) ? prev : (u(rng) < density);
+    if (bit) out.Set(i);
+    prev = bit;
+  }
+  return out;
+}
+
+template <typename T>
+class WahVectorTypedTest : public ::testing::Test {};
+
+using WordTypes = ::testing::Types<uint32_t, uint64_t>;
+TYPED_TEST_SUITE(WahVectorTypedTest, WordTypes);
+
+TYPED_TEST(WahVectorTypedTest, EmptyVector) {
+  WahVectorT<TypeParam> v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.CountOnes(), 0u);
+  EXPECT_EQ(v.Decompress().size(), 0u);
+}
+
+TYPED_TEST(WahVectorTypedTest, CompressDecompressRoundTrip) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    for (size_t n : {1u, 30u, 31u, 32u, 62u, 63u, 100u, 1000u, 10000u}) {
+      BitVector original = RandomBits(n, 0.3, 0.8, seed * 100 + n);
+      auto compressed = WahVectorT<TypeParam>::Compress(original);
+      EXPECT_EQ(compressed.size(), n);
+      EXPECT_EQ(compressed.Decompress(), original) << "n=" << n;
+    }
+  }
+}
+
+TYPED_TEST(WahVectorTypedTest, AllZerosCompressesToOneWord) {
+  BitVector zeros(100000);
+  auto v = WahVectorT<TypeParam>::Compress(zeros);
+  // One fill word (plus possibly a tail); far below the verbatim size.
+  EXPECT_LE(v.words().size(), 2u);
+  EXPECT_EQ(v.CountOnes(), 0u);
+  EXPECT_EQ(v.Decompress(), zeros);
+}
+
+TYPED_TEST(WahVectorTypedTest, AllOnesCompressesToOneWord) {
+  BitVector ones(100000);
+  ones.Flip();
+  auto v = WahVectorT<TypeParam>::Compress(ones);
+  EXPECT_LE(v.words().size(), 2u);
+  EXPECT_EQ(v.CountOnes(), 100000u);
+  EXPECT_EQ(v.Decompress(), ones);
+}
+
+TYPED_TEST(WahVectorTypedTest, FillFactory) {
+  auto v = WahVectorT<TypeParam>::Fill(12345, true);
+  EXPECT_EQ(v.size(), 12345u);
+  EXPECT_EQ(v.CountOnes(), 12345u);
+  auto z = WahVectorT<TypeParam>::Fill(777, false);
+  EXPECT_EQ(z.CountOnes(), 0u);
+  EXPECT_EQ(z.size(), 777u);
+}
+
+TYPED_TEST(WahVectorTypedTest, AppendBitMatchesCompress) {
+  BitVector original = RandomBits(500, 0.4, 0.5, 9);
+  WahVectorT<TypeParam> incremental;
+  for (size_t i = 0; i < original.size(); ++i) {
+    incremental.AppendBit(original.Get(i));
+  }
+  EXPECT_EQ(incremental, WahVectorT<TypeParam>::Compress(original));
+}
+
+TYPED_TEST(WahVectorTypedTest, AppendRunMatchesCompress) {
+  // Alternating runs of varying lengths, including group-boundary sizes.
+  std::vector<std::pair<bool, uint64_t>> runs = {
+      {false, 5}, {true, 31}, {false, 62}, {true, 1},
+      {false, 200}, {true, 63}, {false, 31}, {true, 400}};
+  BitVector reference;
+  WahVectorT<TypeParam> v;
+  for (auto [value, count] : runs) {
+    reference.Append(value, count);
+    v.AppendRun(value, count);
+  }
+  EXPECT_EQ(v.size(), reference.size());
+  EXPECT_EQ(v.Decompress(), reference);
+  EXPECT_EQ(v, WahVectorT<TypeParam>::Compress(reference));
+}
+
+TYPED_TEST(WahVectorTypedTest, GetMatchesDecompressed) {
+  BitVector original = RandomBits(2000, 0.2, 0.9, 4);
+  auto v = WahVectorT<TypeParam>::Compress(original);
+  for (size_t i = 0; i < original.size(); i += 7) {
+    EXPECT_EQ(v.Get(i), original.Get(i)) << i;
+  }
+  EXPECT_EQ(v.Get(0), original.Get(0));
+  EXPECT_EQ(v.Get(1999), original.Get(1999));
+}
+
+TYPED_TEST(WahVectorTypedTest, GetSortedMatchesIndividualGets) {
+  BitVector original = RandomBits(5000, 0.1, 0.95, 5);
+  auto v = WahVectorT<TypeParam>::Compress(original);
+  std::vector<uint64_t> rows;
+  for (uint64_t r = 3; r < 5000; r += 11) rows.push_back(r);
+  std::vector<bool> got = v.GetSorted(rows);
+  ASSERT_EQ(got.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(got[i], original.Get(rows[i])) << rows[i];
+  }
+}
+
+TYPED_TEST(WahVectorTypedTest, GetSortedWithDuplicatesAndDenseRuns) {
+  BitVector original = RandomBits(1000, 0.5, 0.0, 6);
+  auto v = WahVectorT<TypeParam>::Compress(original);
+  std::vector<uint64_t> rows = {0, 0, 1, 1, 500, 500, 999, 999};
+  std::vector<bool> got = v.GetSorted(rows);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(got[i], original.Get(rows[i]));
+  }
+}
+
+TYPED_TEST(WahVectorTypedTest, CountOnesMatches) {
+  for (double density : {0.01, 0.3, 0.7, 0.99}) {
+    BitVector original = RandomBits(3131, density, 0.5, 77);
+    auto v = WahVectorT<TypeParam>::Compress(original);
+    EXPECT_EQ(v.CountOnes(), original.Count());
+  }
+}
+
+TYPED_TEST(WahVectorTypedTest, SetPositionsMatch) {
+  BitVector original = RandomBits(700, 0.05, 0.8, 8);
+  auto v = WahVectorT<TypeParam>::Compress(original);
+  std::vector<size_t> expected = original.SetPositions();
+  std::vector<uint64_t> got = v.SetPositions();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], expected[i]);
+}
+
+TYPED_TEST(WahVectorTypedTest, LogicalOpsMatchUncompressed) {
+  std::mt19937_64 rng(101);
+  for (int trial = 0; trial < 12; ++trial) {
+    size_t n = 1 + rng() % 4000;
+    BitVector a = RandomBits(n, 0.3, 0.7, rng());
+    BitVector b = RandomBits(n, 0.3, 0.7, rng());
+    auto ca = WahVectorT<TypeParam>::Compress(a);
+    auto cb = WahVectorT<TypeParam>::Compress(b);
+    EXPECT_EQ(And(ca, cb).Decompress(), util::And(a, b)) << n;
+    EXPECT_EQ(Or(ca, cb).Decompress(), util::Or(a, b)) << n;
+    EXPECT_EQ(Xor(ca, cb).Decompress(), util::Xor(a, b)) << n;
+    EXPECT_EQ(AndNot(ca, cb).Decompress(), util::AndNot(a, b)) << n;
+    EXPECT_EQ(Not(ca).Decompress(), util::Not(a)) << n;
+  }
+}
+
+TYPED_TEST(WahVectorTypedTest, AndCountMatchesMaterializedAnd) {
+  std::mt19937_64 rng(202);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t n = 1 + rng() % 5000;
+    BitVector a = RandomBits(n, 0.3, 0.8, rng());
+    BitVector b = RandomBits(n, 0.3, 0.8, rng());
+    auto ca = WahVectorT<TypeParam>::Compress(a);
+    auto cb = WahVectorT<TypeParam>::Compress(b);
+    EXPECT_EQ(AndCount(ca, cb), And(ca, cb).CountOnes()) << n;
+    EXPECT_EQ(AndCount(ca, cb), util::And(a, b).Count()) << n;
+  }
+}
+
+TYPED_TEST(WahVectorTypedTest, AndCountFillFastPath) {
+  // Two long one-fills: the count must come straight from run arithmetic.
+  auto a = WahVectorT<TypeParam>::Fill(1000000, true);
+  auto b = WahVectorT<TypeParam>::Fill(1000000, true);
+  EXPECT_EQ(AndCount(a, b), 1000000u);
+  auto z = WahVectorT<TypeParam>::Fill(1000000, false);
+  EXPECT_EQ(AndCount(a, z), 0u);
+}
+
+TYPED_TEST(WahVectorTypedTest, OpsPreserveCanonicalForm) {
+  // Results of ops must equal direct compression of the logical result —
+  // i.e. ops never emit non-canonical literal zero/one groups.
+  BitVector a = RandomBits(2500, 0.2, 0.9, 11);
+  BitVector b = RandomBits(2500, 0.2, 0.9, 12);
+  auto ca = WahVectorT<TypeParam>::Compress(a);
+  auto cb = WahVectorT<TypeParam>::Compress(b);
+  EXPECT_EQ(And(ca, cb), WahVectorT<TypeParam>::Compress(util::And(a, b)));
+  EXPECT_EQ(Or(ca, cb), WahVectorT<TypeParam>::Compress(util::Or(a, b)));
+  EXPECT_EQ(Not(ca), WahVectorT<TypeParam>::Compress(util::Not(a)));
+}
+
+TYPED_TEST(WahVectorTypedTest, SparseBitmapCompressesWell) {
+  // A bitmap-index column over clustered data: 1% density concentrated in
+  // runs (what physical ordering produces). WAH must be far smaller than
+  // verbatim.
+  BitVector original(1000000);
+  std::mt19937_64 rng(3);
+  for (int cluster = 0; cluster < 100; ++cluster) {
+    size_t start = rng() % (1000000 - 200);
+    for (size_t i = start; i < start + 100; ++i) original.Set(i);
+  }
+  auto v = WahVectorT<TypeParam>::Compress(original);
+  EXPECT_LT(v.SizeInBytes(), original.SizeInBytes() / 10);
+  EXPECT_EQ(v.Decompress(), original);
+}
+
+TYPED_TEST(WahVectorTypedTest, IncompressibleDataCostsAtMostOneWordPerGroup) {
+  // Dense random data: WAH overhead over verbatim is bounded by w/(w-1).
+  BitVector original = RandomBits(100000, 0.5, 0.0, 21);
+  auto v = WahVectorT<TypeParam>::Compress(original);
+  double overhead = static_cast<double>(v.SizeInBytes()) /
+                    static_cast<double>(original.SizeInBytes());
+  EXPECT_LT(overhead, 1.10);
+}
+
+TYPED_TEST(WahVectorTypedTest, SetBitIteratorMatchesSetPositions) {
+  for (double density : {0.0, 0.01, 0.3, 1.0}) {
+    BitVector original = RandomBits(4321, density, 0.7, 99);
+    if (density == 1.0) {
+      original = BitVector(4321);
+      original.Flip();
+    }
+    auto v = WahVectorT<TypeParam>::Compress(original);
+    std::vector<uint64_t> expected = v.SetPositions();
+    std::vector<uint64_t> got;
+    for (WahSetBitIterator<TypeParam> it(v); !it.AtEnd(); it.Next()) {
+      got.push_back(it.position());
+    }
+    EXPECT_EQ(got, expected) << density;
+  }
+}
+
+TYPED_TEST(WahVectorTypedTest, SetBitIteratorCoversTail) {
+  // A vector whose last set bit lives in the partial tail group.
+  WahVectorT<TypeParam> v;
+  v.AppendRun(false, 100);
+  v.AppendBit(true);
+  v.AppendRun(false, 3);
+  v.AppendBit(true);  // position 104, inside the tail
+  std::vector<uint64_t> got;
+  for (WahSetBitIterator<TypeParam> it(v); !it.AtEnd(); it.Next()) {
+    got.push_back(it.position());
+  }
+  std::vector<uint64_t> expected = {100, 104};
+  EXPECT_EQ(got, expected);
+}
+
+TYPED_TEST(WahVectorTypedTest, SetBitIteratorEmptyVector) {
+  WahVectorT<TypeParam> v;
+  WahSetBitIterator<TypeParam> it(v);
+  EXPECT_TRUE(it.AtEnd());
+  auto z = WahVectorT<TypeParam>::Fill(1000, false);
+  WahSetBitIterator<TypeParam> it2(z);
+  EXPECT_TRUE(it2.AtEnd());
+}
+
+TEST(WahVector32Test, FillWordLayoutMatchesPaperDescription) {
+  // Section 2.2.1: MSB = word type, second MSB = fill bit, rest = length.
+  BitVector bits(31 * 5);  // five all-zero groups
+  WahVector v = WahVector::Compress(bits);
+  ASSERT_EQ(v.words().size(), 1u);
+  uint32_t w = v.words()[0];
+  EXPECT_EQ(w >> 31, 1u);            // fill word
+  EXPECT_EQ((w >> 30) & 1u, 0u);     // zero fill
+  EXPECT_EQ(w & 0x3FFFFFFFu, 5u);    // five groups
+}
+
+TEST(WahVector32Test, LiteralWordLayout) {
+  BitVector bits(31);
+  bits.Set(0);
+  bits.Set(30);
+  WahVector v = WahVector::Compress(bits);
+  ASSERT_EQ(v.words().size(), 1u);
+  uint32_t w = v.words()[0];
+  EXPECT_EQ(w >> 31, 0u);  // literal
+  EXPECT_EQ(w & 1u, 1u);
+  EXPECT_EQ((w >> 30) & 1u, 1u);
+}
+
+TEST(WahVector32Test, LongFillSplitsAtMaxLength) {
+  // A fill longer than 2^30-1 groups must split into several fill words.
+  WahVector v;
+  uint64_t groups = (uint64_t{1} << 30) + 10;  // > max fill length
+  v.AppendRun(false, groups * 31);
+  EXPECT_EQ(v.size(), groups * 31);
+  EXPECT_EQ(v.words().size(), 2u);
+  EXPECT_EQ(v.CountOnes(), 0u);
+}
+
+TEST(WahVector32Test, NumWordsIncludesTail) {
+  WahVector v;
+  v.AppendRun(false, 31);
+  EXPECT_EQ(v.NumWords(), 1u);
+  v.AppendBit(true);  // opens a partial tail group
+  EXPECT_EQ(v.NumWords(), 2u);
+  EXPECT_EQ(v.SizeInBytes(), 8u);
+}
+
+}  // namespace
+}  // namespace wah
+}  // namespace abitmap

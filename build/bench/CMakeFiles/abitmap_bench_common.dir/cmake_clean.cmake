@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abitmap_bench_common.dir/bench_util.cc.o"
+  "CMakeFiles/abitmap_bench_common.dir/bench_util.cc.o.d"
+  "libabitmap_bench_common.a"
+  "libabitmap_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abitmap_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

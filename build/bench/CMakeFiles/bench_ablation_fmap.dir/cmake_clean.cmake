@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fmap.dir/bench_ablation_fmap.cc.o"
+  "CMakeFiles/bench_ablation_fmap.dir/bench_ablation_fmap.cc.o.d"
+  "bench_ablation_fmap"
+  "bench_ablation_fmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

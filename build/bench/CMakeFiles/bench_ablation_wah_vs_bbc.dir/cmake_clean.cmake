@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wah_vs_bbc.dir/bench_ablation_wah_vs_bbc.cc.o"
+  "CMakeFiles/bench_ablation_wah_vs_bbc.dir/bench_ablation_wah_vs_bbc.cc.o.d"
+  "bench_ablation_wah_vs_bbc"
+  "bench_ablation_wah_vs_bbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wah_vs_bbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

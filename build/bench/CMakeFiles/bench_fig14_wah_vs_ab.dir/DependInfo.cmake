@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_wah_vs_ab.cc" "bench/CMakeFiles/bench_fig14_wah_vs_ab.dir/bench_fig14_wah_vs_ab.cc.o" "gcc" "bench/CMakeFiles/bench_fig14_wah_vs_ab.dir/bench_fig14_wah_vs_ab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/abitmap_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/abitmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wah/CMakeFiles/abitmap_wah.dir/DependInfo.cmake"
+  "/root/repo/build/src/bbc/CMakeFiles/abitmap_bbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/abitmap_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/abitmap_bitmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/abitmap_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abitmap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

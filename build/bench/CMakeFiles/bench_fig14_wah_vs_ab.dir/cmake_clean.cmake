@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_wah_vs_ab.dir/bench_fig14_wah_vs_ab.cc.o"
+  "CMakeFiles/bench_fig14_wah_vs_ab.dir/bench_fig14_wah_vs_ab.cc.o.d"
+  "bench_fig14_wah_vs_ab"
+  "bench_fig14_wah_vs_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_wah_vs_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_9_theory.dir/bench_fig8_9_theory.cc.o"
+  "CMakeFiles/bench_fig8_9_theory.dir/bench_fig8_9_theory.cc.o.d"
+  "bench_fig8_9_theory"
+  "bench_fig8_9_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec64_sha_vs_fast.dir/bench_sec64_sha_vs_fast.cc.o"
+  "CMakeFiles/bench_sec64_sha_vs_fast.dir/bench_sec64_sha_vs_fast.cc.o.d"
+  "bench_sec64_sha_vs_fast"
+  "bench_sec64_sha_vs_fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec64_sha_vs_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abitmap_cli.dir/abitmap_cli.cpp.o"
+  "CMakeFiles/abitmap_cli.dir/abitmap_cli.cpp.o.d"
+  "abitmap_cli"
+  "abitmap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abitmap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

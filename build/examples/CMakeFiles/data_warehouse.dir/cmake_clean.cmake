@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_warehouse.dir/data_warehouse.cpp.o"
+  "CMakeFiles/data_warehouse.dir/data_warehouse.cpp.o.d"
+  "data_warehouse"
+  "data_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

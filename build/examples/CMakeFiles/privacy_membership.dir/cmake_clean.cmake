@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_membership.dir/privacy_membership.cpp.o"
+  "CMakeFiles/privacy_membership.dir/privacy_membership.cpp.o.d"
+  "privacy_membership"
+  "privacy_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

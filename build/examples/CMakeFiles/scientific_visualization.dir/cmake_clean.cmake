@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scientific_visualization.dir/scientific_visualization.cpp.o"
+  "CMakeFiles/scientific_visualization.dir/scientific_visualization.cpp.o.d"
+  "scientific_visualization"
+  "scientific_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scientific_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updatable_index.dir/updatable_index.cpp.o"
+  "CMakeFiles/updatable_index.dir/updatable_index.cpp.o.d"
+  "updatable_index"
+  "updatable_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updatable_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

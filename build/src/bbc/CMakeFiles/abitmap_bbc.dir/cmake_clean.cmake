@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abitmap_bbc.dir/bbc_vector.cc.o"
+  "CMakeFiles/abitmap_bbc.dir/bbc_vector.cc.o.d"
+  "libabitmap_bbc.a"
+  "libabitmap_bbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abitmap_bbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitmap/binning.cc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/binning.cc.o" "gcc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/binning.cc.o.d"
+  "/root/repo/src/bitmap/bitmap_table.cc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/bitmap_table.cc.o" "gcc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/bitmap_table.cc.o.d"
+  "/root/repo/src/bitmap/boolean_matrix.cc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/boolean_matrix.cc.o" "gcc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/boolean_matrix.cc.o.d"
+  "/root/repo/src/bitmap/encoding.cc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/encoding.cc.o" "gcc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/encoding.cc.o.d"
+  "/root/repo/src/bitmap/reorder.cc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/reorder.cc.o" "gcc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/reorder.cc.o.d"
+  "/root/repo/src/bitmap/schema.cc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/schema.cc.o" "gcc" "src/bitmap/CMakeFiles/abitmap_bitmap.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/abitmap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abitmap_bitmap.dir/binning.cc.o"
+  "CMakeFiles/abitmap_bitmap.dir/binning.cc.o.d"
+  "CMakeFiles/abitmap_bitmap.dir/bitmap_table.cc.o"
+  "CMakeFiles/abitmap_bitmap.dir/bitmap_table.cc.o.d"
+  "CMakeFiles/abitmap_bitmap.dir/boolean_matrix.cc.o"
+  "CMakeFiles/abitmap_bitmap.dir/boolean_matrix.cc.o.d"
+  "CMakeFiles/abitmap_bitmap.dir/encoding.cc.o"
+  "CMakeFiles/abitmap_bitmap.dir/encoding.cc.o.d"
+  "CMakeFiles/abitmap_bitmap.dir/reorder.cc.o"
+  "CMakeFiles/abitmap_bitmap.dir/reorder.cc.o.d"
+  "CMakeFiles/abitmap_bitmap.dir/schema.cc.o"
+  "CMakeFiles/abitmap_bitmap.dir/schema.cc.o.d"
+  "libabitmap_bitmap.a"
+  "libabitmap_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abitmap_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

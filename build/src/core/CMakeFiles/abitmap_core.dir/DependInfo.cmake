@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ab_index.cc" "src/core/CMakeFiles/abitmap_core.dir/ab_index.cc.o" "gcc" "src/core/CMakeFiles/abitmap_core.dir/ab_index.cc.o.d"
+  "/root/repo/src/core/ab_theory.cc" "src/core/CMakeFiles/abitmap_core.dir/ab_theory.cc.o" "gcc" "src/core/CMakeFiles/abitmap_core.dir/ab_theory.cc.o.d"
+  "/root/repo/src/core/approximate_bitmap.cc" "src/core/CMakeFiles/abitmap_core.dir/approximate_bitmap.cc.o" "gcc" "src/core/CMakeFiles/abitmap_core.dir/approximate_bitmap.cc.o.d"
+  "/root/repo/src/core/blocked_bitmap.cc" "src/core/CMakeFiles/abitmap_core.dir/blocked_bitmap.cc.o" "gcc" "src/core/CMakeFiles/abitmap_core.dir/blocked_bitmap.cc.o.d"
+  "/root/repo/src/core/cell_mapper.cc" "src/core/CMakeFiles/abitmap_core.dir/cell_mapper.cc.o" "gcc" "src/core/CMakeFiles/abitmap_core.dir/cell_mapper.cc.o.d"
+  "/root/repo/src/core/counting_bitmap.cc" "src/core/CMakeFiles/abitmap_core.dir/counting_bitmap.cc.o" "gcc" "src/core/CMakeFiles/abitmap_core.dir/counting_bitmap.cc.o.d"
+  "/root/repo/src/core/counting_index.cc" "src/core/CMakeFiles/abitmap_core.dir/counting_index.cc.o" "gcc" "src/core/CMakeFiles/abitmap_core.dir/counting_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/abitmap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/abitmap_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/abitmap_bitmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abitmap_core.dir/ab_index.cc.o"
+  "CMakeFiles/abitmap_core.dir/ab_index.cc.o.d"
+  "CMakeFiles/abitmap_core.dir/ab_theory.cc.o"
+  "CMakeFiles/abitmap_core.dir/ab_theory.cc.o.d"
+  "CMakeFiles/abitmap_core.dir/approximate_bitmap.cc.o"
+  "CMakeFiles/abitmap_core.dir/approximate_bitmap.cc.o.d"
+  "CMakeFiles/abitmap_core.dir/blocked_bitmap.cc.o"
+  "CMakeFiles/abitmap_core.dir/blocked_bitmap.cc.o.d"
+  "CMakeFiles/abitmap_core.dir/cell_mapper.cc.o"
+  "CMakeFiles/abitmap_core.dir/cell_mapper.cc.o.d"
+  "CMakeFiles/abitmap_core.dir/counting_bitmap.cc.o"
+  "CMakeFiles/abitmap_core.dir/counting_bitmap.cc.o.d"
+  "CMakeFiles/abitmap_core.dir/counting_index.cc.o"
+  "CMakeFiles/abitmap_core.dir/counting_index.cc.o.d"
+  "libabitmap_core.a"
+  "libabitmap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abitmap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

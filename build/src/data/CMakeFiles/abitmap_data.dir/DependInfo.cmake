@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/abitmap_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/abitmap_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/metrics.cc" "src/data/CMakeFiles/abitmap_data.dir/metrics.cc.o" "gcc" "src/data/CMakeFiles/abitmap_data.dir/metrics.cc.o.d"
+  "/root/repo/src/data/query_gen.cc" "src/data/CMakeFiles/abitmap_data.dir/query_gen.cc.o" "gcc" "src/data/CMakeFiles/abitmap_data.dir/query_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/abitmap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/abitmap_bitmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

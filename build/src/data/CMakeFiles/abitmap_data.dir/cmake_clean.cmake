@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abitmap_data.dir/generators.cc.o"
+  "CMakeFiles/abitmap_data.dir/generators.cc.o.d"
+  "CMakeFiles/abitmap_data.dir/metrics.cc.o"
+  "CMakeFiles/abitmap_data.dir/metrics.cc.o.d"
+  "CMakeFiles/abitmap_data.dir/query_gen.cc.o"
+  "CMakeFiles/abitmap_data.dir/query_gen.cc.o.d"
+  "libabitmap_data.a"
+  "libabitmap_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abitmap_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abitmap_engine.dir/csv.cc.o"
+  "CMakeFiles/abitmap_engine.dir/csv.cc.o.d"
+  "CMakeFiles/abitmap_engine.dir/hybrid_engine.cc.o"
+  "CMakeFiles/abitmap_engine.dir/hybrid_engine.cc.o.d"
+  "CMakeFiles/abitmap_engine.dir/table.cc.o"
+  "CMakeFiles/abitmap_engine.dir/table.cc.o.d"
+  "libabitmap_engine.a"
+  "libabitmap_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abitmap_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

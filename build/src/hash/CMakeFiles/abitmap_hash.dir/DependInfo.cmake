@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/general_hashes.cc" "src/hash/CMakeFiles/abitmap_hash.dir/general_hashes.cc.o" "gcc" "src/hash/CMakeFiles/abitmap_hash.dir/general_hashes.cc.o.d"
+  "/root/repo/src/hash/hash_family.cc" "src/hash/CMakeFiles/abitmap_hash.dir/hash_family.cc.o" "gcc" "src/hash/CMakeFiles/abitmap_hash.dir/hash_family.cc.o.d"
+  "/root/repo/src/hash/sha1.cc" "src/hash/CMakeFiles/abitmap_hash.dir/sha1.cc.o" "gcc" "src/hash/CMakeFiles/abitmap_hash.dir/sha1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/abitmap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abitmap_hash.dir/general_hashes.cc.o"
+  "CMakeFiles/abitmap_hash.dir/general_hashes.cc.o.d"
+  "CMakeFiles/abitmap_hash.dir/hash_family.cc.o"
+  "CMakeFiles/abitmap_hash.dir/hash_family.cc.o.d"
+  "CMakeFiles/abitmap_hash.dir/sha1.cc.o"
+  "CMakeFiles/abitmap_hash.dir/sha1.cc.o.d"
+  "libabitmap_hash.a"
+  "libabitmap_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abitmap_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

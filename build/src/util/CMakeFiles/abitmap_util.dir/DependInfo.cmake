@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitvector.cc" "src/util/CMakeFiles/abitmap_util.dir/bitvector.cc.o" "gcc" "src/util/CMakeFiles/abitmap_util.dir/bitvector.cc.o.d"
+  "/root/repo/src/util/byte_io.cc" "src/util/CMakeFiles/abitmap_util.dir/byte_io.cc.o" "gcc" "src/util/CMakeFiles/abitmap_util.dir/byte_io.cc.o.d"
+  "/root/repo/src/util/crc32.cc" "src/util/CMakeFiles/abitmap_util.dir/crc32.cc.o" "gcc" "src/util/CMakeFiles/abitmap_util.dir/crc32.cc.o.d"
+  "/root/repo/src/util/file_io.cc" "src/util/CMakeFiles/abitmap_util.dir/file_io.cc.o" "gcc" "src/util/CMakeFiles/abitmap_util.dir/file_io.cc.o.d"
+  "/root/repo/src/util/math.cc" "src/util/CMakeFiles/abitmap_util.dir/math.cc.o" "gcc" "src/util/CMakeFiles/abitmap_util.dir/math.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/abitmap_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/abitmap_util.dir/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/util/CMakeFiles/abitmap_util.dir/stopwatch.cc.o" "gcc" "src/util/CMakeFiles/abitmap_util.dir/stopwatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

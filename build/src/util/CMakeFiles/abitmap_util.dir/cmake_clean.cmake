@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abitmap_util.dir/bitvector.cc.o"
+  "CMakeFiles/abitmap_util.dir/bitvector.cc.o.d"
+  "CMakeFiles/abitmap_util.dir/byte_io.cc.o"
+  "CMakeFiles/abitmap_util.dir/byte_io.cc.o.d"
+  "CMakeFiles/abitmap_util.dir/crc32.cc.o"
+  "CMakeFiles/abitmap_util.dir/crc32.cc.o.d"
+  "CMakeFiles/abitmap_util.dir/file_io.cc.o"
+  "CMakeFiles/abitmap_util.dir/file_io.cc.o.d"
+  "CMakeFiles/abitmap_util.dir/math.cc.o"
+  "CMakeFiles/abitmap_util.dir/math.cc.o.d"
+  "CMakeFiles/abitmap_util.dir/status.cc.o"
+  "CMakeFiles/abitmap_util.dir/status.cc.o.d"
+  "CMakeFiles/abitmap_util.dir/stopwatch.cc.o"
+  "CMakeFiles/abitmap_util.dir/stopwatch.cc.o.d"
+  "libabitmap_util.a"
+  "libabitmap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abitmap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabitmap_util.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wah/wah_encoded.cc" "src/wah/CMakeFiles/abitmap_wah.dir/wah_encoded.cc.o" "gcc" "src/wah/CMakeFiles/abitmap_wah.dir/wah_encoded.cc.o.d"
+  "/root/repo/src/wah/wah_query.cc" "src/wah/CMakeFiles/abitmap_wah.dir/wah_query.cc.o" "gcc" "src/wah/CMakeFiles/abitmap_wah.dir/wah_query.cc.o.d"
+  "/root/repo/src/wah/wah_vector.cc" "src/wah/CMakeFiles/abitmap_wah.dir/wah_vector.cc.o" "gcc" "src/wah/CMakeFiles/abitmap_wah.dir/wah_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/abitmap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitmap/CMakeFiles/abitmap_bitmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

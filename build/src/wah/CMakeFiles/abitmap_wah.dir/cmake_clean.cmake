@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abitmap_wah.dir/wah_encoded.cc.o"
+  "CMakeFiles/abitmap_wah.dir/wah_encoded.cc.o.d"
+  "CMakeFiles/abitmap_wah.dir/wah_query.cc.o"
+  "CMakeFiles/abitmap_wah.dir/wah_query.cc.o.d"
+  "CMakeFiles/abitmap_wah.dir/wah_vector.cc.o"
+  "CMakeFiles/abitmap_wah.dir/wah_vector.cc.o.d"
+  "libabitmap_wah.a"
+  "libabitmap_wah.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abitmap_wah.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/ab_index_features_test.cc.o"
+  "CMakeFiles/core_test.dir/core/ab_index_features_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/ab_index_test.cc.o"
+  "CMakeFiles/core_test.dir/core/ab_index_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/ab_theory_test.cc.o"
+  "CMakeFiles/core_test.dir/core/ab_theory_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/approximate_bitmap_test.cc.o"
+  "CMakeFiles/core_test.dir/core/approximate_bitmap_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/cell_mapper_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cell_mapper_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/config_grid_test.cc.o"
+  "CMakeFiles/core_test.dir/core/config_grid_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/counting_index_test.cc.o"
+  "CMakeFiles/core_test.dir/core/counting_index_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/extensions_test.cc.o"
+  "CMakeFiles/core_test.dir/core/extensions_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

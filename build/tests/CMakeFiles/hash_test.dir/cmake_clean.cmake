@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_test.dir/hash/general_hashes_test.cc.o"
+  "CMakeFiles/hash_test.dir/hash/general_hashes_test.cc.o.d"
+  "CMakeFiles/hash_test.dir/hash/hash_family_test.cc.o"
+  "CMakeFiles/hash_test.dir/hash/hash_family_test.cc.o.d"
+  "CMakeFiles/hash_test.dir/hash/sha1_test.cc.o"
+  "CMakeFiles/hash_test.dir/hash/sha1_test.cc.o.d"
+  "hash_test"
+  "hash_test.pdb"
+  "hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wah_test.dir/wah/wah_encoded_test.cc.o"
+  "CMakeFiles/wah_test.dir/wah/wah_encoded_test.cc.o.d"
+  "CMakeFiles/wah_test.dir/wah/wah_query_test.cc.o"
+  "CMakeFiles/wah_test.dir/wah/wah_query_test.cc.o.d"
+  "CMakeFiles/wah_test.dir/wah/wah_vector_test.cc.o"
+  "CMakeFiles/wah_test.dir/wah/wah_vector_test.cc.o.d"
+  "wah_test"
+  "wah_test.pdb"
+  "wah_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wah_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

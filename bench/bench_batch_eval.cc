@@ -1,0 +1,143 @@
+// Scalar vs batched vs batched+parallel AB query evaluation (the
+// tentpole of the batched-pipeline change). Each benchmark evaluates a
+// fixed 2-attribute range query over the whole relation and reports rows
+// per second; the three variants share the index and the query, so any
+// difference is purely the evaluation pipeline. Run with
+// --benchmark_format=json for machine-readable output.
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "benchmark/benchmark.h"
+
+#include "bench_util.h"
+#include "core/ab_index.h"
+#include "data/generators.h"
+#include "data/query_gen.h"
+#include "util/thread_pool.h"
+
+namespace abitmap {
+namespace bench {
+namespace {
+
+struct Case {
+  ab::AbIndex index;
+  bitmap::BitmapQuery query;
+
+  Case(ab::AbIndex built, bitmap::BitmapQuery q)
+      : index(std::move(built)), query(std::move(q)) {}
+};
+
+/// Indexes are cached across benchmark re-entries: google-benchmark calls
+/// each function several times while calibrating iteration counts, and a
+/// 1M-row build per call would dominate the run.
+const Case& GetCase(uint64_t rows, int k, ab::Level level) {
+  using Key = std::tuple<uint64_t, int, int>;
+  static std::map<Key, std::unique_ptr<Case>>* cache =
+      new std::map<Key, std::unique_ptr<Case>>();
+  Key key{rows, k, static_cast<int>(level)};
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    bitmap::BinnedDataset d = data::MakeSynthetic(
+        "batch-eval", rows, 4, 16, data::Distribution::kUniform, 42);
+    ab::AbConfig cfg;
+    cfg.level = level;
+    cfg.alpha = 8;
+    cfg.k = k;
+    data::QueryGenParams params;
+    params.num_queries = 1;
+    params.qdim = 2;
+    params.bins_per_attr = 4;
+    params.rows_queried = rows;
+    params.seed = 9;
+    bitmap::BitmapQuery query = data::GenerateQueries(d, params)[0];
+    query.rows.clear();  // whole relation
+    it = cache
+             ->emplace(key, std::make_unique<Case>(
+                                ab::AbIndex::BuildParallel(
+                                    d, cfg, util::DefaultThreadCount()),
+                                std::move(query)))
+             .first;
+  }
+  return *it->second;
+}
+
+uint64_t ScaledRows(int64_t base) {
+  uint64_t rows = static_cast<uint64_t>(base) / DatasetScale();
+  return rows < 1024 ? 1024 : rows;
+}
+
+ab::Level LevelArg(int64_t v) {
+  return v == 0 ? ab::Level::kPerAttribute : ab::Level::kPerColumn;
+}
+
+/// Args: {rows, k, level (0 = per-attribute, 1 = per-column)}.
+void BM_EvalScalar(benchmark::State& state) {
+  const Case& c =
+      GetCase(ScaledRows(state.range(0)), static_cast<int>(state.range(1)),
+              LevelArg(state.range(2)));
+  for (auto _ : state) {
+    std::vector<bool> bits = c.index.Evaluate(c.query);
+    benchmark::DoNotOptimize(bits.size());
+  }
+  state.SetItemsProcessed(state.iterations() * c.index.num_rows());
+}
+
+void BM_EvalBatched(benchmark::State& state) {
+  const Case& c =
+      GetCase(ScaledRows(state.range(0)), static_cast<int>(state.range(1)),
+              LevelArg(state.range(2)));
+  for (auto _ : state) {
+    std::vector<bool> bits = c.index.EvaluateBatched(c.query);
+    benchmark::DoNotOptimize(bits.size());
+  }
+  state.SetItemsProcessed(state.iterations() * c.index.num_rows());
+}
+
+void BM_EvalBatchedParallel(benchmark::State& state) {
+  const Case& c =
+      GetCase(ScaledRows(state.range(0)), static_cast<int>(state.range(1)),
+              LevelArg(state.range(2)));
+  int threads = static_cast<int>(state.range(3));
+  util::ThreadPool pool(threads);
+  for (auto _ : state) {
+    std::vector<bool> bits = c.index.EvaluateParallel(c.query, &pool);
+    benchmark::DoNotOptimize(bits.size());
+  }
+  state.SetItemsProcessed(state.iterations() * c.index.num_rows());
+}
+
+void EvalArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t rows : {int64_t{100000}, int64_t{1000000}}) {
+    for (int64_t k : {int64_t{4}, int64_t{8}}) {
+      for (int64_t level : {int64_t{0}, int64_t{1}}) {
+        b->Args({rows, k, level});
+      }
+    }
+  }
+}
+
+void EvalArgsParallel(benchmark::internal::Benchmark* b) {
+  for (int64_t rows : {int64_t{100000}, int64_t{1000000}}) {
+    for (int64_t k : {int64_t{4}, int64_t{8}}) {
+      for (int64_t level : {int64_t{0}, int64_t{1}}) {
+        b->Args({rows, k, level, 4});
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_EvalScalar)->Apply(EvalArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvalBatched)->Apply(EvalArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EvalBatchedParallel)
+    ->Apply(EvalArgsParallel)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace abitmap
+
+BENCHMARK_MAIN();

@@ -127,6 +127,34 @@ void BM_AbTest(benchmark::State& state) {
 }
 BENCHMARK(BM_AbTest)->Arg(2)->Arg(6)->Arg(10);
 
+void BM_AbTestBatch(benchmark::State& state) {
+  // The batched membership kernel against the same filter BM_AbTest
+  // probes scalar: windows of kBatchWindow keys, one ProbesBatch virtual
+  // dispatch + one prefetch pass per window.
+  ab::AbParams params;
+  params.n_bits = 1 << 22;
+  params.k = static_cast<int>(state.range(0));
+  ab::ApproximateBitmap filter(params, hash::MakeIndependentFamily());
+  for (uint64_t key = 0; key < 100000; ++key) {
+    filter.Insert(key, hash::CellRef{key, 1});
+  }
+  constexpr size_t kWindow = ab::ApproximateBitmap::kBatchWindow;
+  uint64_t keys[kWindow];
+  hash::CellRef cells[kWindow];
+  uint8_t out[kWindow];
+  uint64_t next = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kWindow; ++i) {
+      keys[i] = next++;
+      cells[i] = hash::CellRef{keys[i], 1};
+    }
+    filter.TestBatch(keys, cells, kWindow, out);
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * kWindow);
+}
+BENCHMARK(BM_AbTestBatch)->Arg(2)->Arg(6)->Arg(10);
+
 void BM_AbTestDoubleHash(benchmark::State& state) {
   // The extension family: two mixes total regardless of k.
   ab::AbParams params;

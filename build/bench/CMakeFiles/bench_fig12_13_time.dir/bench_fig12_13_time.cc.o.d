@@ -220,6 +220,19 @@ bench/CMakeFiles/bench_fig12_13_time.dir/bench_fig12_13_time.cc.o: \
  /root/repo/src/core/cell_mapper.h /root/repo/src/hash/hash_family.h \
  /root/repo/src/hash/general_hashes.h /root/repo/src/util/statusor.h \
  /usr/include/c++/12/optional /root/repo/src/util/file_io.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/data/generators.h /root/repo/src/data/metrics.h \
  /root/repo/src/data/query_gen.h /root/repo/src/wah/wah_query.h \
  /root/repo/src/wah/wah_vector.h

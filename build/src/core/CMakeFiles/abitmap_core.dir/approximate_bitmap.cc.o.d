@@ -206,4 +206,11 @@ src/core/CMakeFiles/abitmap_core.dir/approximate_bitmap.cc.o: \
  /root/repo/src/core/ab_theory.h /root/repo/src/core/cell_mapper.h \
  /root/repo/src/hash/hash_family.h /root/repo/src/hash/general_hashes.h \
  /root/repo/src/util/statusor.h /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -218,16 +218,26 @@ src/engine/CMakeFiles/abitmap_engine.dir/hybrid_engine.cc.o: \
  /root/repo/src/util/status.h /root/repo/src/core/ab_theory.h \
  /root/repo/src/core/cell_mapper.h /root/repo/src/hash/hash_family.h \
  /root/repo/src/hash/general_hashes.h /root/repo/src/util/statusor.h \
- /root/repo/src/util/file_io.h /root/repo/src/engine/table.h \
- /root/repo/src/bitmap/binning.h /root/repo/src/engine/csv.h \
- /root/repo/src/wah/wah_query.h /root/repo/src/bitmap/bitmap_table.h \
- /root/repo/src/wah/wah_vector.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/util/file_io.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/engine/table.h /root/repo/src/bitmap/binning.h \
+ /root/repo/src/engine/csv.h /root/repo/src/wah/wah_query.h \
+ /root/repo/src/bitmap/bitmap_table.h /root/repo/src/wah/wah_vector.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

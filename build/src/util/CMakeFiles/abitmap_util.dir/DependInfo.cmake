@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/math.cc" "src/util/CMakeFiles/abitmap_util.dir/math.cc.o" "gcc" "src/util/CMakeFiles/abitmap_util.dir/math.cc.o.d"
   "/root/repo/src/util/status.cc" "src/util/CMakeFiles/abitmap_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/abitmap_util.dir/status.cc.o.d"
   "/root/repo/src/util/stopwatch.cc" "src/util/CMakeFiles/abitmap_util.dir/stopwatch.cc.o" "gcc" "src/util/CMakeFiles/abitmap_util.dir/stopwatch.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/abitmap_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/abitmap_util.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/abitmap_util.dir/status.cc.o.d"
   "CMakeFiles/abitmap_util.dir/stopwatch.cc.o"
   "CMakeFiles/abitmap_util.dir/stopwatch.cc.o.d"
+  "CMakeFiles/abitmap_util.dir/thread_pool.cc.o"
+  "CMakeFiles/abitmap_util.dir/thread_pool.cc.o.d"
   "libabitmap_util.a"
   "libabitmap_util.pdb"
 )

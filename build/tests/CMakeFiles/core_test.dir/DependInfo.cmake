@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/ab_index_test.cc" "tests/CMakeFiles/core_test.dir/core/ab_index_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ab_index_test.cc.o.d"
   "/root/repo/tests/core/ab_theory_test.cc" "tests/CMakeFiles/core_test.dir/core/ab_theory_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ab_theory_test.cc.o.d"
   "/root/repo/tests/core/approximate_bitmap_test.cc" "tests/CMakeFiles/core_test.dir/core/approximate_bitmap_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/approximate_bitmap_test.cc.o.d"
+  "/root/repo/tests/core/batch_eval_test.cc" "tests/CMakeFiles/core_test.dir/core/batch_eval_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/batch_eval_test.cc.o.d"
   "/root/repo/tests/core/cell_mapper_test.cc" "tests/CMakeFiles/core_test.dir/core/cell_mapper_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cell_mapper_test.cc.o.d"
   "/root/repo/tests/core/config_grid_test.cc" "tests/CMakeFiles/core_test.dir/core/config_grid_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/config_grid_test.cc.o.d"
   "/root/repo/tests/core/counting_index_test.cc" "tests/CMakeFiles/core_test.dir/core/counting_index_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/counting_index_test.cc.o.d"

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/core_test.dir/core/ab_theory_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/approximate_bitmap_test.cc.o"
   "CMakeFiles/core_test.dir/core/approximate_bitmap_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/batch_eval_test.cc.o"
+  "CMakeFiles/core_test.dir/core/batch_eval_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/cell_mapper_test.cc.o"
   "CMakeFiles/core_test.dir/core/cell_mapper_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/config_grid_test.cc.o"

@@ -325,13 +325,8 @@ uint64_t AbIndex::RangeSelectivityRows(
   return rows;
 }
 
-std::vector<bool> AbIndex::Evaluate(const bitmap::BitmapQuery& query) const {
-  std::vector<uint64_t> all_rows;
-  const std::vector<uint64_t>* rows = &query.rows;
-  if (query.rows.empty()) {
-    all_rows = bitmap::RowRange(0, num_rows_ - 1);
-    rows = &all_rows;
-  }
+std::vector<const bitmap::AttributeRange*> AbIndex::MakePlan(
+    const bitmap::BitmapQuery& query) const {
   // Probe the most selective attribute first so the AND short-circuits as
   // early as possible (like any conjunctive query plan).
   std::vector<const bitmap::AttributeRange*> plan;
@@ -347,6 +342,17 @@ std::vector<bool> AbIndex::Evaluate(const bitmap::BitmapQuery& query) const {
                 return RangeSelectivityRows(*a) < RangeSelectivityRows(*b);
               });
   }
+  return plan;
+}
+
+std::vector<bool> AbIndex::Evaluate(const bitmap::BitmapQuery& query) const {
+  std::vector<uint64_t> all_rows;
+  const std::vector<uint64_t>* rows = &query.rows;
+  if (query.rows.empty()) {
+    all_rows = bitmap::RowRange(0, num_rows_ - 1);
+    rows = &all_rows;
+  }
+  std::vector<const bitmap::AttributeRange*> plan = MakePlan(query);
   std::vector<bool> out;
   out.reserve(rows->size());
   for (uint64_t i : *rows) {
@@ -370,6 +376,102 @@ std::vector<bool> AbIndex::Evaluate(const bitmap::BitmapQuery& query) const {
     out.push_back(and_part);
   }
   return out;
+}
+
+void AbIndex::EvaluateRowsBatched(
+    const std::vector<const bitmap::AttributeRange*>& plan,
+    const uint64_t* rows, size_t count, uint8_t* out) const {
+  constexpr size_t W = ApproximateBitmap::kBatchWindow;
+  uint64_t keys[W];
+  hash::CellRef cells[W];
+  uint8_t lane_of[W];  // probe slot -> window lane
+  for (size_t base = 0; base < count; base += W) {
+    size_t w = std::min(W, count - base);
+    const uint64_t* wrows = rows + base;
+    // Bit i of the masks below tracks window lane i (row wrows[i]).
+    uint64_t alive = w == 64 ? ~uint64_t{0} : (uint64_t{1} << w) - 1;
+    for (const bitmap::AttributeRange* range : plan) {
+      uint64_t or_mask = 0;
+      for (uint32_t b = range->lo_bin; b <= range->hi_bin; ++b) {
+        // A lane that already hit one of this attribute's bins is
+        // satisfied (the scalar loop's inner break); a lane dead from an
+        // earlier attribute is out entirely (the outer break).
+        uint64_t pending = alive & ~or_mask;
+        if (pending == 0) break;
+        uint32_t gcol = mapping_.GlobalColumn(range->attr, b);
+        const ApproximateBitmap& filter = filters_[Route(range->attr, gcol)];
+        size_t m = 0;
+        while (pending) {
+          int i = __builtin_ctzll(pending);
+          pending &= pending - 1;
+          AB_DCHECK(wrows[i] < num_rows_);
+          keys[m] = mapper_.Key(wrows[i], gcol);
+          cells[m] = hash::CellRef{wrows[i], gcol};
+          lane_of[m] = static_cast<uint8_t>(i);
+          ++m;
+        }
+        uint64_t hits = filter.TestBatchMask(keys, cells, m);
+        while (hits) {
+          int j = __builtin_ctzll(hits);
+          hits &= hits - 1;
+          or_mask |= uint64_t{1} << lane_of[j];
+        }
+      }
+      alive &= or_mask;
+      if (alive == 0) break;
+    }
+    for (size_t i = 0; i < w; ++i) {
+      out[base + i] = static_cast<uint8_t>((alive >> i) & 1);
+    }
+  }
+}
+
+std::vector<bool> AbIndex::EvaluateBatched(
+    const bitmap::BitmapQuery& query) const {
+  std::vector<uint64_t> all_rows;
+  const std::vector<uint64_t>* rows = &query.rows;
+  if (query.rows.empty()) {
+    all_rows = bitmap::RowRange(0, num_rows_ - 1);
+    rows = &all_rows;
+  }
+  std::vector<const bitmap::AttributeRange*> plan = MakePlan(query);
+  std::vector<uint8_t> scratch(rows->size());
+  EvaluateRowsBatched(plan, rows->data(), rows->size(), scratch.data());
+  return std::vector<bool>(scratch.begin(), scratch.end());
+}
+
+std::vector<bool> AbIndex::EvaluateParallel(const bitmap::BitmapQuery& query,
+                                            int num_threads) const {
+  if (num_threads <= 1) return EvaluateBatched(query);
+  util::ThreadPool pool(num_threads);
+  return EvaluateParallel(query, &pool);
+}
+
+std::vector<bool> AbIndex::EvaluateParallel(const bitmap::BitmapQuery& query,
+                                            util::ThreadPool* pool) const {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    return EvaluateBatched(query);
+  }
+  std::vector<uint64_t> all_rows;
+  const std::vector<uint64_t>* rows = &query.rows;
+  if (query.rows.empty()) {
+    all_rows = bitmap::RowRange(0, num_rows_ - 1);
+    rows = &all_rows;
+  }
+  std::vector<const bitmap::AttributeRange*> plan = MakePlan(query);
+  // Workers write bytes into disjoint chunks of one scratch buffer (a
+  // std::vector<bool> would pack 64 lanes per word and race across chunk
+  // boundaries); the packed result is assembled once at the end.
+  std::vector<uint8_t> scratch(rows->size());
+  const uint64_t* row_data = rows->data();
+  uint8_t* out_data = scratch.data();
+  pool->ParallelFor(0, rows->size(),
+                    [this, &plan, row_data, out_data](
+                        uint64_t begin, uint64_t end, int /*chunk*/) {
+                      EvaluateRowsBatched(plan, row_data + begin,
+                                          end - begin, out_data + begin);
+                    });
+  return std::vector<bool>(scratch.begin(), scratch.end());
 }
 
 double AbIndex::EstimateQueryPrecision(

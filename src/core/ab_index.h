@@ -13,6 +13,7 @@
 #include "core/cell_mapper.h"
 #include "util/file_io.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 
 namespace abitmap {
 namespace ab {
@@ -140,6 +141,30 @@ class AbIndex {
   /// possible. Disable via config.preserve_query_order for the ablation.
   std::vector<bool> Evaluate(const bitmap::BitmapQuery& query) const;
 
+  /// Batched Figure-7 evaluation, bit-identical to Evaluate. Rows are
+  /// processed in windows of ApproximateBitmap::kBatchWindow: for each
+  /// (attribute, bin) in the same most-selective-first plan, all rows
+  /// still needing the probe are tested through TestBatchMask — one
+  /// virtual hash dispatch and one prefetch pass per window instead of a
+  /// dependent cache-missing load per probe. The scalar short-circuit
+  /// semantics survive as mask bookkeeping: a row stops probing an
+  /// attribute's bins at its first hit and drops out of the window at its
+  /// first failed attribute.
+  std::vector<bool> EvaluateBatched(const bitmap::BitmapQuery& query) const;
+
+  /// Multi-threaded batched evaluation: shards the requested rows into
+  /// contiguous chunks, one per pool worker, and runs the batched kernel
+  /// per chunk. The per-row plan (most-selective-first attribute order)
+  /// is shared by every chunk, so results are bit-identical to Evaluate.
+  /// num_threads <= 1 falls back to EvaluateBatched.
+  std::vector<bool> EvaluateParallel(const bitmap::BitmapQuery& query,
+                                     int num_threads) const;
+
+  /// Variant reusing a caller-owned pool (the engine keeps one alive
+  /// across queries instead of paying thread spawn per call).
+  std::vector<bool> EvaluateParallel(const bitmap::BitmapQuery& query,
+                                     util::ThreadPool* pool) const;
+
   /// Analytic precision estimate for a query ("the false positive rate can
   /// be estimated and controlled" — the paper's abstract), computed from
   /// the stored bin histograms and each filter's expected cell-level false
@@ -202,6 +227,17 @@ class AbIndex {
 
   /// Index of the filter responsible for a global column.
   size_t Route(uint32_t attr, uint32_t global_col) const;
+
+  /// The probe plan shared by all Evaluate variants: pointers into
+  /// query.ranges, most-selective-first unless preserve_query_order.
+  std::vector<const bitmap::AttributeRange*> MakePlan(
+      const bitmap::BitmapQuery& query) const;
+
+  /// The batched kernel: evaluates the plan for rows[0..count), writing
+  /// 0/1 into out[0..count). Thread-safe over disjoint output ranges.
+  void EvaluateRowsBatched(
+      const std::vector<const bitmap::AttributeRange*>& plan,
+      const uint64_t* rows, size_t count, uint8_t* out) const;
 
   /// Largest expected FP rate across filters (rebuild advisory baseline).
   double WorstExpectedFp() const;

@@ -1,5 +1,6 @@
 #include "core/approximate_bitmap.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.h"
@@ -12,6 +13,11 @@ namespace {
 /// Upper bound on k; keeps probe buffers on the stack. The theoretical
 /// optimum k = alpha * ln 2 stays far below this for any practical alpha.
 constexpr int kMaxHashFunctions = 64;
+
+/// Filter size (bits) above which the batched kernel issues software
+/// prefetches — ~2 MiB, past typical L2. Below this the filter is
+/// cache-resident and the prefetch pass costs more than it hides.
+constexpr uint64_t kPrefetchMinFilterBits = uint64_t{1} << 24;
 
 }  // namespace
 
@@ -52,12 +58,114 @@ bool ApproximateBitmap::Test(uint64_t key, const hash::CellRef& cell) const {
     }
     return true;
   }
+  // Eager families (one wide digest) get the same early-exit shape: probe
+  // positions are pulled one hashing chunk at a time, so a negative cell
+  // rejected in the first chunk never pays for the digests behind the
+  // remaining k - chunk positions.
   uint64_t probes[kMaxHashFunctions];
-  family_->Probes(key, cell, k_, bits_.size(), probes);
-  for (int t = 0; t < k_; ++t) {
-    if (!bits_.Get(probes[t])) return false;
+  size_t k = static_cast<size_t>(k_);
+  size_t chunk = family_->ProbesPerChunk(k, bits_.size());
+  if (chunk < 1) chunk = 1;
+  for (size_t base = 0; base < k; base += chunk) {
+    size_t end = std::min(k, base + chunk);
+    family_->ProbesRange(key, cell, base, end, bits_.size(), probes);
+    for (size_t t = 0; t < end - base; ++t) {
+      if (!bits_.Get(probes[t])) return false;
+    }
   }
   return true;
+}
+
+void ApproximateBitmap::TestBatch(const uint64_t* keys,
+                                  const hash::CellRef* cells, size_t count,
+                                  uint8_t* out) const {
+  for (size_t base = 0; base < count; base += kBatchWindow) {
+    size_t w = std::min(kBatchWindow, count - base);
+    uint64_t mask = TestBatchMask(keys + base, cells + base, w);
+    for (size_t i = 0; i < w; ++i) {
+      out[base + i] = static_cast<uint8_t>((mask >> i) & 1);
+    }
+  }
+}
+
+uint64_t ApproximateBitmap::TestBatchMask(const uint64_t* keys,
+                                          const hash::CellRef* cells,
+                                          size_t count) const {
+  AB_DCHECK(count <= kBatchWindow);
+  if (count == 0) return 0;
+  size_t k = static_cast<size_t>(k_);
+  uint64_t n = bits_.size();
+  // Rounds hashed per refill. Hashing all k probes up front would cost a
+  // window of negatives ~k/2 times the scalar lazy hashing (a negative
+  // dies after ~1/(1-fill) probes), which swamps the batching gains
+  // whenever the filter is cache-resident. Lazy families therefore hash
+  // two rounds at a time (most lanes are dead after the second round at
+  // any sane fill ratio); eager families use their natural hashing chunk
+  // (one SHA-1 digest's worth of positions).
+  size_t chunk = family_->PrefersLazyProbes()
+                     ? 2
+                     : family_->ProbesPerChunk(k, n);
+  chunk = std::min(std::max<size_t>(chunk, 1), k);
+  // Prefetching only pays when the filter is too large to sit in cache;
+  // for a cache-resident filter the pass is pure issue-slot overhead.
+  const bool want_prefetch = n >= kPrefetchMinFilterBits;
+  uint64_t alive = count == 64 ? ~uint64_t{0} : (uint64_t{1} << count) - 1;
+  // Refill scratch. The first refill probes every lane, so it reads the
+  // caller's arrays in place; later refills compact the survivors so the
+  // hash batch touches only cells that still need probing.
+  uint64_t lane_keys[kBatchWindow];
+  hash::CellRef lane_cells[kBatchWindow];
+  uint8_t lane_of[kBatchWindow];
+  uint64_t probes[kBatchWindow * kMaxHashFunctions];
+  for (size_t base = 0; base < k && alive; base += chunk) {
+    size_t end = std::min(k, base + chunk);
+    size_t width = end - base;
+    const uint64_t* rkeys = keys;
+    const hash::CellRef* rcells = cells;
+    size_t m;
+    if (base == 0) {
+      m = count;
+    } else {
+      m = 0;
+      uint64_t pending = alive;
+      while (pending) {
+        int i = __builtin_ctzll(pending);
+        pending &= pending - 1;
+        lane_keys[m] = keys[i];
+        lane_cells[m] = cells[i];
+        lane_of[m] = static_cast<uint8_t>(i);
+        ++m;
+      }
+      rkeys = lane_keys;
+      rcells = lane_cells;
+    }
+    family_->ProbesBatchRange(rkeys, rcells, m, base, end, n, probes);
+    if (want_prefetch) {
+      // Issue every prefetch before touching any word: the scattered
+      // misses overlap instead of serializing one dependent load per
+      // probe.
+      for (size_t j = 0; j < m * width; ++j) {
+        bits_.PrefetchBit(probes[j]);
+      }
+    }
+    // Round-major resolve: probe round t retires for every still-alive
+    // cell before round t+1 — the batched analogue of the scalar early
+    // exit (lanes killed in round t skip their remaining loads).
+    uint64_t live = m == 64 ? ~uint64_t{0} : (uint64_t{1} << m) - 1;
+    for (size_t t = 0; t < width && live; ++t) {
+      uint64_t pending = live;
+      while (pending) {
+        int j = __builtin_ctzll(pending);
+        pending &= pending - 1;
+        if (!bits_.Get(probes[static_cast<size_t>(j) * width + t])) {
+          live &= ~(uint64_t{1} << j);
+          size_t lane = base == 0 ? static_cast<size_t>(j) : lane_of[j];
+          alive &= ~(uint64_t{1} << lane);
+        }
+      }
+    }
+  }
+  return alive;
 }
 
 double ApproximateBitmap::FillRatio() const {

@@ -60,6 +60,29 @@ class ApproximateBitmap {
   /// means "present with high probability"; false is exact.
   bool Test(uint64_t key, const hash::CellRef& cell) const;
 
+  /// Window size of the batched membership kernel: large enough to cover
+  /// DRAM latency with ~W*k outstanding prefetches, small enough that the
+  /// probe buffer (W*k positions) stays in L1.
+  static constexpr size_t kBatchWindow = 32;
+
+  /// Batched membership: out[i] = Test(keys[i], cells[i]) ? 1 : 0, for all
+  /// i in [0, count). Bit-identical to count scalar Test calls, but the
+  /// cells are processed in windows of kBatchWindow and the probes are
+  /// pulled round-lazily: a few probe rounds are hashed per ProbesBatchRange
+  /// call (a single virtual dispatch for the whole window) for the cells
+  /// still alive, every target word is prefetched before any is read, and
+  /// rounds resolve round-major with dead lanes dropping out — so a window
+  /// of negatives pays roughly the scalar lazy hashing cost while the
+  /// memory misses overlap instead of serializing.
+  void TestBatch(const uint64_t* keys, const hash::CellRef* cells,
+                 size_t count, uint8_t* out) const;
+
+  /// One-window variant (count <= kBatchWindow): bit i of the result is
+  /// Test(keys[i], cells[i]). This is the form the query-evaluation kernel
+  /// consumes — its row masks AND/OR directly against the returned word.
+  uint64_t TestBatchMask(const uint64_t* keys, const hash::CellRef* cells,
+                         size_t count) const;
+
   uint64_t size_bits() const { return bits_.size(); }
   uint64_t SizeInBytes() const { return bits_.size() / 8; }
   int k() const { return k_; }

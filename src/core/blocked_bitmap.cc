@@ -1,5 +1,7 @@
 #include "core/blocked_bitmap.h"
 
+#include <algorithm>
+
 #include "hash/general_hashes.h"
 #include "util/math.h"
 
@@ -54,6 +56,43 @@ bool BlockedApproximateBitmap::Test(uint64_t key) const {
     }
   }
   return true;
+}
+
+void BlockedApproximateBitmap::TestBatch(const uint64_t* keys, size_t count,
+                                         uint8_t* out) const {
+  for (size_t base = 0; base < count; base += kBatchWindow) {
+    size_t w = std::min(kBatchWindow, count - base);
+    uint64_t mask = TestBatchMask(keys + base, w);
+    for (size_t i = 0; i < w; ++i) {
+      out[base + i] = static_cast<uint8_t>((mask >> i) & 1);
+    }
+  }
+}
+
+uint64_t BlockedApproximateBitmap::TestBatchMask(const uint64_t* keys,
+                                                 size_t count) const {
+  AB_DCHECK(count <= kBatchWindow);
+  if (count == 0) return 0;
+  uint64_t bases[kBatchWindow];
+  for (size_t i = 0; i < count; ++i) {
+    bases[i] = BlockOf(keys[i]) * kWordsPerBlock;
+    // One line covers the whole 512-bit block — all k probes of key i.
+    __builtin_prefetch(&words_[bases[i]], /*rw=*/0, /*locality=*/0);
+  }
+  uint64_t alive = count == 64 ? ~uint64_t{0} : (uint64_t{1} << count) - 1;
+  for (int t = 0; t < k_ && alive; ++t) {
+    uint64_t pending = alive;
+    while (pending) {
+      int i = __builtin_ctzll(pending);
+      pending &= pending - 1;
+      uint32_t bit = ProbeBit(keys[i], t);
+      if ((words_[bases[i] + (bit >> 6)] & (uint64_t{1} << (bit & 63))) ==
+          0) {
+        alive &= ~(uint64_t{1} << i);
+      }
+    }
+  }
+  return alive;
 }
 
 double BlockedApproximateBitmap::FillRatio() const {

@@ -42,6 +42,18 @@ class BlockedApproximateBitmap {
   void Insert(uint64_t key);
   bool Test(uint64_t key) const;
 
+  /// Window size shared with ApproximateBitmap's batched kernel.
+  static constexpr size_t kBatchWindow = 32;
+
+  /// Batched membership: out[i] = Test(keys[i]) ? 1 : 0. The blocked
+  /// layout is the natural fast path for batching — one prefetch covers
+  /// all k probes of a key, so a window issues exactly `count` cache-line
+  /// fetches before resolving any of them.
+  void TestBatch(const uint64_t* keys, size_t count, uint8_t* out) const;
+
+  /// One-window variant (count <= kBatchWindow): bit i = Test(keys[i]).
+  uint64_t TestBatchMask(const uint64_t* keys, size_t count) const;
+
   uint64_t size_bits() const { return num_blocks_ * kBlockBits; }
   uint64_t SizeInBytes() const { return size_bits() / 8; }
   uint64_t num_blocks() const { return num_blocks_; }

@@ -22,6 +22,11 @@ HybridEngine HybridEngine::Build(Table table, const Options& options) {
       std::make_unique<wah::WahIndex>(wah::WahIndex::Build(bitmap_table));
   engine.ab_ = std::make_unique<ab::AbIndex>(
       ab::AbIndex::Build(engine.discretized_.dataset, options.ab));
+  int threads = options.num_threads == 0 ? util::DefaultThreadCount()
+                                         : options.num_threads;
+  if (threads > 1) {
+    engine.pool_ = std::make_shared<util::ThreadPool>(threads);
+  }
   return engine;
 }
 
@@ -50,15 +55,26 @@ bool HybridEngine::RowMatches(uint64_t row, const EngineQuery& query) const {
 
 namespace {
 
-/// Maps evaluation bits back to row ids, optionally pruning.
+/// Result-index sizes below which batching/parallelism cost more than
+/// they save: tiny row subsets stay on the scalar path, mid-size ones on
+/// the single-thread batched kernel.
+constexpr uint64_t kBatchEvalMinRows = 256;
+constexpr uint64_t kParallelMinRows = 1 << 14;
+
+/// Maps evaluation bits back to row ids, optionally pruning. Candidate
+/// verification against the raw values is chunked through `pool` (when
+/// present) for large results — each worker collects its chunk's
+/// survivors locally, and the chunks are concatenated in row order.
 EngineResult CollectResult(const HybridEngine& engine,
                            const EngineQuery& query,
                            const bitmap::BitmapQuery& bin_query,
-                           const std::vector<bool>& bits, std::string path) {
+                           const std::vector<bool>& bits, std::string path,
+                           util::ThreadPool* pool) {
   EngineResult result;
   result.path = std::move(path);
   result.approximate = !query.exact;
-  auto consider = [&](uint64_t row, bool bit) {
+  auto consider = [&](uint64_t row, bool bit,
+                      std::vector<uint64_t>* row_ids) {
     if (!bit) return;
     if (query.exact) {
       // Prune both AB false positives and bin-boundary overshoot.
@@ -67,13 +83,28 @@ EngineResult CollectResult(const HybridEngine& engine,
         if (v < p.lo || v > p.hi) return;
       }
     }
-    result.row_ids.push_back(row);
+    row_ids->push_back(row);
   };
-  if (bin_query.rows.empty()) {
-    for (uint64_t row = 0; row < bits.size(); ++row) consider(row, bits[row]);
+  auto row_at = [&](size_t i) {
+    return bin_query.rows.empty() ? static_cast<uint64_t>(i)
+                                  : bin_query.rows[i];
+  };
+  size_t n = bin_query.rows.empty() ? bits.size() : bin_query.rows.size();
+  if (pool != nullptr && n >= kParallelMinRows) {
+    std::vector<std::vector<uint64_t>> parts(pool->num_threads());
+    pool->ParallelFor(0, n,
+                      [&](uint64_t begin, uint64_t end, int chunk) {
+                        std::vector<uint64_t>* out = &parts[chunk];
+                        for (uint64_t i = begin; i < end; ++i) {
+                          consider(row_at(i), bits[i], out);
+                        }
+                      });
+    for (const std::vector<uint64_t>& part : parts) {
+      result.row_ids.insert(result.row_ids.end(), part.begin(), part.end());
+    }
   } else {
-    for (size_t i = 0; i < bin_query.rows.size(); ++i) {
-      consider(bin_query.rows[i], bits[i]);
+    for (size_t i = 0; i < n; ++i) {
+      consider(row_at(i), bits[i], &result.row_ids);
     }
   }
   return result;
@@ -84,15 +115,27 @@ EngineResult CollectResult(const HybridEngine& engine,
 EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
   bitmap::BitmapQuery bin_query;
   ToBinQuery(query, &bin_query);
-  std::vector<bool> bits = ab_->Evaluate(bin_query);
-  return CollectResult(*this, query, bin_query, bits, "ab");
+  // Route by result cardinality: whole-relation and large row-subset
+  // evaluations go through the batched (and, with a pool, parallel)
+  // kernel; small subsets stay scalar — the window setup would dominate.
+  uint64_t n =
+      bin_query.rows.empty() ? table_.num_rows() : bin_query.rows.size();
+  std::vector<bool> bits;
+  if (pool_ != nullptr && n >= kParallelMinRows) {
+    bits = ab_->EvaluateParallel(bin_query, pool_.get());
+  } else if (n >= kBatchEvalMinRows) {
+    bits = ab_->EvaluateBatched(bin_query);
+  } else {
+    bits = ab_->Evaluate(bin_query);
+  }
+  return CollectResult(*this, query, bin_query, bits, "ab", pool_.get());
 }
 
 EngineResult HybridEngine::ExecuteWithWah(const EngineQuery& query) const {
   bitmap::BitmapQuery bin_query;
   ToBinQuery(query, &bin_query);
   std::vector<bool> bits = wah_->Evaluate(bin_query);
-  return CollectResult(*this, query, bin_query, bits, "wah");
+  return CollectResult(*this, query, bin_query, bits, "wah", pool_.get());
 }
 
 EngineResult HybridEngine::Execute(const EngineQuery& query) const {

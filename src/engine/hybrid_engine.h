@@ -9,6 +9,7 @@
 
 #include "core/ab_index.h"
 #include "engine/table.h"
+#include "util/thread_pool.h"
 #include "wah/wah_query.h"
 
 namespace abitmap {
@@ -60,6 +61,10 @@ class HybridEngine {
     /// measured value is lower (see bench_fig14_wah_vs_ab) — calibrate
     /// with MeasureCrossover() or set explicitly.
     double crossover_fraction = 0.02;
+    /// Worker threads for large AB evaluations and candidate
+    /// verification. 0 picks util::DefaultThreadCount(); 1 disables the
+    /// pool (every query runs on the calling thread).
+    int num_threads = 0;
   };
 
   /// Builds both indexes. The table is retained for exact-answer pruning.
@@ -101,6 +106,9 @@ class HybridEngine {
   Table::Discretized discretized_;
   std::unique_ptr<wah::WahIndex> wah_;
   std::unique_ptr<ab::AbIndex> ab_;
+  /// Shared by batched AB evaluation and exact-answer verification; null
+  /// when options.num_threads resolves to 1.
+  std::shared_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace engine

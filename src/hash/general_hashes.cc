@@ -384,6 +384,15 @@ uint64_t HashKeySalted(HashKind kind, uint64_t key, uint64_t salt) {
   // (small) salt is rendered fresh.
   size_t key_len;
   const char* key_buf = RenderDecimalCached(key, &key_len);
+  return HashRenderedSalted(kind, key_buf, key_len, salt);
+}
+
+size_t RenderKeyDecimal(uint64_t key, char out[20]) {
+  return RenderDecimal(key, out);
+}
+
+uint64_t HashRenderedSalted(HashKind kind, const char* key_buf, size_t key_len,
+                            uint64_t salt) {
   char buf[41];
   std::memcpy(buf, key_buf, key_len);
   size_t len = key_len;

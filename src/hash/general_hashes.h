@@ -48,6 +48,16 @@ uint64_t HashKey(HashKind kind, uint64_t key);
 /// |AllHashKinds()| independent functions).
 uint64_t HashKeySalted(HashKind kind, uint64_t key, uint64_t salt);
 
+/// Renders `key` into `out` as the decimal ASCII hash string HashKey feeds
+/// the classic functions, returning the length (<= 20). Batched probe
+/// kernels render each key once and hash the buffer with every family
+/// member, instead of going through the per-call memo of HashKey.
+size_t RenderKeyDecimal(uint64_t key, char out[20]);
+
+/// HashKeySalted over an already-rendered key buffer ("key:salt").
+uint64_t HashRenderedSalted(HashKind kind, const char* key_buf,
+                            size_t key_len, uint64_t salt);
+
 /// Strong 64-bit mixer (splitmix64 finalizer). Used by the double-hashing
 /// probe family and by tests as an independence baseline.
 uint64_t Mix64(uint64_t x);

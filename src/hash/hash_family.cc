@@ -1,5 +1,6 @@
 #include "hash/hash_family.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -18,6 +19,33 @@ uint64_t HashFamily::ProbeAt(uint64_t key, const CellRef& cell, size_t t,
   AB_CHECK_LT(t, 64u);
   Probes(key, cell, t + 1, n, buffer);
   return buffer[t];
+}
+
+void HashFamily::ProbesRange(uint64_t key, const CellRef& cell, size_t begin,
+                             size_t end, uint64_t n, uint64_t* out) const {
+  AB_CHECK_LE(begin, end);
+  AB_CHECK_LE(end, 64u);
+  if (begin == end) return;
+  uint64_t buffer[64];
+  Probes(key, cell, end, n, buffer);
+  for (size_t t = begin; t < end; ++t) out[t - begin] = buffer[t];
+}
+
+void HashFamily::ProbesBatch(const uint64_t* keys, const CellRef* cells,
+                             size_t count, size_t k, uint64_t n,
+                             uint64_t* out) const {
+  for (size_t i = 0; i < count; ++i) {
+    Probes(keys[i], cells[i], k, n, out + i * k);
+  }
+}
+
+void HashFamily::ProbesBatchRange(const uint64_t* keys, const CellRef* cells,
+                                  size_t count, size_t begin, size_t end,
+                                  uint64_t n, uint64_t* out) const {
+  size_t width = end - begin;
+  for (size_t i = 0; i < count; ++i) {
+    ProbesRange(keys[i], cells[i], begin, end, n, out + i * width);
+  }
 }
 
 namespace {
@@ -45,6 +73,32 @@ class IndependentFamily : public HashFamily {
     return h % n;
   }
 
+  void ProbesBatch(const uint64_t* keys, const CellRef* cells, size_t count,
+                   size_t k, uint64_t n, uint64_t* out) const override {
+    IndependentFamily::ProbesBatchRange(keys, cells, count, 0, k, n, out);
+  }
+
+  void ProbesBatchRange(const uint64_t* keys, const CellRef* /*cells*/,
+                        size_t count, size_t begin, size_t end, uint64_t n,
+                        uint64_t* out) const override {
+    AB_CHECK_GE(n, 1u);
+    // Render each key's decimal hash string once and feed it to every pool
+    // member directly — no per-probe virtual dispatch, no memo lookups.
+    char buf[20];
+    size_t width = end - begin;
+    for (size_t i = 0; i < count; ++i) {
+      size_t len = RenderKeyDecimal(keys[i], buf);
+      uint64_t* row = out + i * width;
+      for (size_t t = begin; t < end; ++t) {
+        HashKind kind = pool_[t % pool_.size()];
+        uint64_t h = (t < pool_.size())
+                         ? HashBytes(kind, buf, len)
+                         : HashRenderedSalted(kind, buf, len, t);
+        row[t - begin] = h % n;
+      }
+    }
+  }
+
   std::string name() const override { return "independent"; }
 
  private:
@@ -53,38 +107,75 @@ class IndependentFamily : public HashFamily {
 
 class Sha1Family : public HashFamily {
  public:
-  void Probes(uint64_t key, const CellRef& /*cell*/, size_t k, uint64_t n,
+  void Probes(uint64_t key, const CellRef& cell, size_t k, uint64_t n,
               uint64_t* out) const override {
+    Sha1Family::ProbesRange(key, cell, 0, k, n, out);
+  }
+
+  // One digest covers a whole run of probe indices; computing per-index
+  // would redo the digest each time.
+  bool PrefersLazyProbes() const override { return false; }
+
+  size_t ProbesPerChunk(size_t k, uint64_t n) const override {
+    size_t m = static_cast<size_t>(util::Log2Floor(n));
+    if (m == 0) return k;
+    // floor(160/m) partial values per digest (Table 1 uses k=10, m=16:
+    // one digest).
+    return std::max<size_t>(Sha1::kDigestBytes * 8 / m, 1);
+  }
+
+  /// Digest blocks are keyed by (key, block-counter), not chained, so a
+  /// slice of the probe sequence needs only the blocks it overlaps — the
+  /// early-exit membership loop fetches one digest's worth of probes at a
+  /// time and never computes a block it does not consume.
+  void ProbesRange(uint64_t key, const CellRef& /*cell*/, size_t begin,
+                   size_t end, uint64_t n, uint64_t* out) const override {
     AB_CHECK(util::IsPowerOfTwo(n));
+    AB_CHECK_LE(begin, end);
     size_t m = static_cast<size_t>(util::Log2Floor(n));
     if (m == 0) {
-      for (size_t t = 0; t < k; ++t) out[t] = 0;
+      for (size_t t = begin; t < end; ++t) out[t - begin] = 0;
       return;
     }
-    // One digest yields floor(160/m) partial values; extend with
-    // (key, block) digests as needed (Table 1 uses k=10, m=16: one digest).
-    Sha1::Digest digest = Sha1::Hash(&key, sizeof(key));
     size_t per_digest = Sha1::kDigestBytes * 8 / m;
     AB_CHECK_GE(per_digest, 1u);
-    uint64_t block = 0;
-    size_t within = 0;
-    for (size_t t = 0; t < k; ++t) {
-      if (within == per_digest) {
-        ++block;
-        within = 0;
-        uint8_t buf[16];
-        std::memcpy(buf, &key, 8);
-        std::memcpy(buf + 8, &block, 8);
-        digest = Sha1::Hash(buf, sizeof(buf));
+    Sha1::Digest digest;
+    uint64_t loaded_block = ~uint64_t{0};
+    for (size_t t = begin; t < end; ++t) {
+      uint64_t block = t / per_digest;
+      if (block != loaded_block) {
+        if (block == 0) {
+          digest = Sha1::Hash(&key, sizeof(key));
+        } else {
+          uint8_t buf[16];
+          std::memcpy(buf, &key, 8);
+          std::memcpy(buf + 8, &block, 8);
+          digest = Sha1::Hash(buf, sizeof(buf));
+        }
+        loaded_block = block;
       }
-      out[t] = DigestBits(digest, within * m, m);
-      ++within;
+      out[t - begin] = DigestBits(digest, (t % per_digest) * m, m);
     }
   }
 
-  // One digest covers all probe indices; computing per-index would redo
-  // the digest each time.
-  bool PrefersLazyProbes() const override { return false; }
+  void ProbesBatch(const uint64_t* keys, const CellRef* cells, size_t count,
+                   size_t k, uint64_t n, uint64_t* out) const override {
+    // One digest per key is already the scalar cost; the override just
+    // keeps the inner calls non-virtual.
+    for (size_t i = 0; i < count; ++i) {
+      Sha1Family::ProbesRange(keys[i], cells[i], 0, k, n, out + i * k);
+    }
+  }
+
+  void ProbesBatchRange(const uint64_t* keys, const CellRef* cells,
+                        size_t count, size_t begin, size_t end, uint64_t n,
+                        uint64_t* out) const override {
+    size_t width = end - begin;
+    for (size_t i = 0; i < count; ++i) {
+      Sha1Family::ProbesRange(keys[i], cells[i], begin, end, n,
+                              out + i * width);
+    }
+  }
 
   std::string name() const override { return "sha1"; }
 };
@@ -104,6 +195,27 @@ class DoubleHashFamily : public HashFamily {
   uint64_t ProbeAt(uint64_t key, const CellRef& /*cell*/, size_t t,
                    uint64_t n) const override {
     return (Mix64(key) + t * SecondHash(key)) % n;
+  }
+
+  void ProbesBatch(const uint64_t* keys, const CellRef* cells, size_t count,
+                   size_t k, uint64_t n, uint64_t* out) const override {
+    DoubleHashFamily::ProbesBatchRange(keys, cells, count, 0, k, n, out);
+  }
+
+  void ProbesBatchRange(const uint64_t* keys, const CellRef* /*cells*/,
+                        size_t count, size_t begin, size_t end, uint64_t n,
+                        uint64_t* out) const override {
+    AB_CHECK_GE(n, 1u);
+    // Two mixes per key, amortized over the requested rounds.
+    size_t width = end - begin;
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t h1 = Mix64(keys[i]);
+      uint64_t h2 = SecondHash(keys[i]);
+      uint64_t* row = out + i * width;
+      for (size_t t = begin; t < end; ++t) {
+        row[t - begin] = (h1 + t * h2) % n;
+      }
+    }
   }
 
   std::string name() const override { return "double"; }
@@ -129,6 +241,23 @@ class CircularFamily : public HashFamily {
   uint64_t ProbeAt(uint64_t key, const CellRef& /*cell*/, size_t t,
                    uint64_t n) const override {
     return (key * (2 * t + 1) + t) % n;
+  }
+
+  void ProbesBatch(const uint64_t* keys, const CellRef* cells, size_t count,
+                   size_t k, uint64_t n, uint64_t* out) const override {
+    CircularFamily::ProbesBatchRange(keys, cells, count, 0, k, n, out);
+  }
+
+  void ProbesBatchRange(const uint64_t* keys, const CellRef* /*cells*/,
+                        size_t count, size_t begin, size_t end, uint64_t n,
+                        uint64_t* out) const override {
+    AB_CHECK_GE(n, 1u);
+    size_t width = end - begin;
+    for (size_t i = 0; i < count; ++i) {
+      for (size_t t = begin; t < end; ++t) {
+        out[i * width + (t - begin)] = (keys[i] * (2 * t + 1) + t) % n;
+      }
+    }
   }
 
   std::string name() const override { return "circular"; }
@@ -157,6 +286,23 @@ class ColumnGroupFamily : public HashFamily {
     return base + offset;
   }
 
+  void ProbesBatch(const uint64_t* keys, const CellRef* cells, size_t count,
+                   size_t k, uint64_t n, uint64_t* out) const override {
+    ColumnGroupFamily::ProbesBatchRange(keys, cells, count, 0, k, n, out);
+  }
+
+  void ProbesBatchRange(const uint64_t* keys, const CellRef* cells,
+                        size_t count, size_t begin, size_t end, uint64_t n,
+                        uint64_t* out) const override {
+    size_t width = end - begin;
+    for (size_t i = 0; i < count; ++i) {
+      for (size_t t = begin; t < end; ++t) {
+        out[i * width + (t - begin)] =
+            ColumnGroupFamily::ProbeAt(keys[i], cells[i], t, n);
+      }
+    }
+  }
+
   std::string name() const override { return "column_group"; }
 
  private:
@@ -179,6 +325,27 @@ class SingleKindFamily : public HashFamily {
                    uint64_t n) const override {
     uint64_t h = (t == 0) ? HashKey(kind_, key) : HashKeySalted(kind_, key, t);
     return h % n;
+  }
+
+  void ProbesBatch(const uint64_t* keys, const CellRef* cells, size_t count,
+                   size_t k, uint64_t n, uint64_t* out) const override {
+    SingleKindFamily::ProbesBatchRange(keys, cells, count, 0, k, n, out);
+  }
+
+  void ProbesBatchRange(const uint64_t* keys, const CellRef* /*cells*/,
+                        size_t count, size_t begin, size_t end, uint64_t n,
+                        uint64_t* out) const override {
+    AB_CHECK_GE(n, 1u);
+    char buf[20];
+    size_t width = end - begin;
+    for (size_t i = 0; i < count; ++i) {
+      size_t len = RenderKeyDecimal(keys[i], buf);
+      for (size_t t = begin; t < end; ++t) {
+        uint64_t h = (t == 0) ? HashBytes(kind_, buf, len)
+                              : HashRenderedSalted(kind_, buf, len, t);
+        out[i * width + (t - begin)] = h % n;
+      }
+    }
   }
 
   std::string name() const override {

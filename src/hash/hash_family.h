@@ -49,6 +49,48 @@ class HashFamily {
   /// one digest regardless of k.
   virtual bool PrefersLazyProbes() const { return true; }
 
+  /// How many probe positions one unit of hashing work yields at filter
+  /// size n — e.g. the number of m-bit slices a single SHA-1 digest
+  /// provides. Eager membership tests (PrefersLazyProbes() == false) pull
+  /// probes one chunk at a time so a cell rejected early never pays for
+  /// hashing it did not consume. Lazy families return 1 by convention
+  /// (they are probed via ProbeAt instead).
+  virtual size_t ProbesPerChunk(size_t k, uint64_t n) const {
+    (void)n;
+    return k;
+  }
+
+  /// Fills out[0..(end-begin)) with probe positions begin..end-1 — the
+  /// corresponding slice of Probes(key, cell, end, n, ...). The default
+  /// recomputes the prefix; families whose probe blocks are independent
+  /// (SHA-1's counter-keyed digests) override it to compute only the
+  /// blocks covering the slice.
+  virtual void ProbesRange(uint64_t key, const CellRef& cell, size_t begin,
+                           size_t end, uint64_t n, uint64_t* out) const;
+
+  /// Batch variant of Probes: fills out[i*k + t] with probe t of key i for
+  /// all i in [0, count). Semantically identical to count scalar Probes
+  /// calls; the point is the cost model — the hot batched query kernel pays
+  /// one virtual dispatch per *window* of keys instead of one per probe,
+  /// and specialized families amortize per-key setup (decimal rendering,
+  /// the two double-hash mixes, one wide digest) across the window. The
+  /// default simply loops over Probes.
+  virtual void ProbesBatch(const uint64_t* keys, const CellRef* cells,
+                           size_t count, size_t k, uint64_t n,
+                           uint64_t* out) const;
+
+  /// Batch variant of ProbesRange: fills out[i*(end-begin) + (t-begin)]
+  /// with probe t of key i, for t in [begin, end). This is the primitive
+  /// behind the round-lazy batched membership test: the kernel pulls only
+  /// the next few probe rounds for the cells that are still alive, so a
+  /// window full of negatives pays roughly the scalar lazy hashing cost
+  /// while keeping the one-dispatch-per-window batching. The default loops
+  /// over ProbesRange; families override to hoist per-key setup out of the
+  /// probe loop.
+  virtual void ProbesBatchRange(const uint64_t* keys, const CellRef* cells,
+                                size_t count, size_t begin, size_t end,
+                                uint64_t n, uint64_t* out) const;
+
   /// Short name used in experiment output ("independent", "sha1", ...).
   virtual std::string name() const = 0;
 };

@@ -57,6 +57,22 @@ class BitVector {
   /// the least significant position. Bits past size() read as zero.
   uint64_t GetBits(size_t pos, int n) const;
 
+  /// The 64-bit word containing bit `pos` (bit `pos & 63` within it).
+  /// Batched probe kernels read the word once and mask locally.
+  uint64_t GetWord(size_t pos) const {
+    AB_DCHECK(pos < num_bits_);
+    return words_[pos >> 6];
+  }
+
+  /// Issues a read prefetch for the cache line holding bit `pos`. The
+  /// batched membership kernel prefetches a whole window of probe targets
+  /// before testing any of them, overlapping the DRAM misses that dominate
+  /// scattered probes into a multi-megabyte filter.
+  void PrefetchBit(size_t pos) const {
+    AB_DCHECK(pos < num_bits_);
+    __builtin_prefetch(&words_[pos >> 6], /*rw=*/0, /*locality=*/0);
+  }
+
   /// Appends one bit, growing the vector.
   void PushBack(bool value);
 

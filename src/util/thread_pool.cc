@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(num_threads, 1);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  AB_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    AB_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this]() { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end,
+    const std::function<void(uint64_t, uint64_t, int)>& body) {
+  if (begin >= end) return;
+  uint64_t total = end - begin;
+  uint64_t chunks = std::min<uint64_t>(num_threads(), total);
+  uint64_t chunk_size = (total + chunks - 1) / chunks;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    uint64_t b = begin + c * chunk_size;
+    uint64_t e = std::min(end, b + chunk_size);
+    if (b >= e) break;
+    Submit([&body, b, e, c]() { body(b, e, static_cast<int>(c)); });
+  }
+  Wait();
+}
+
+int DefaultThreadCount() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace util
+}  // namespace abitmap

@@ -1,0 +1,71 @@
+#ifndef ABITMAP_UTIL_THREAD_POOL_H_
+#define ABITMAP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace abitmap {
+namespace util {
+
+/// A small fixed-size worker pool for the library's data-parallel loops
+/// (parallel index build, batched query evaluation, candidate
+/// verification). Deliberately simple: a mutex-protected task queue and
+/// fixed contiguous chunking — the workloads sharded through it are
+/// uniform row ranges, so work stealing would buy nothing.
+///
+/// Thread-safety: Submit may be called from any thread; Wait assumes a
+/// single coordinating thread (it blocks until *all* submitted tasks have
+/// finished, so concurrent coordinators would wait on each other's work).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Splits [begin, end) into num_threads() roughly equal contiguous
+  /// chunks and runs body(chunk_begin, chunk_end, chunk_index) on the
+  /// workers, blocking until all chunks are done. Chunk boundaries are
+  /// deterministic: chunk i covers [begin + i*size, ...), so callers can
+  /// pre-allocate per-chunk output slots by index. Empty ranges return
+  /// immediately.
+  void ParallelFor(
+      uint64_t begin, uint64_t end,
+      const std::function<void(uint64_t, uint64_t, int)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  uint64_t pending_ = 0;  ///< queued + running tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Worker count matching the machine: hardware_concurrency, at least 1.
+int DefaultThreadCount();
+
+}  // namespace util
+}  // namespace abitmap
+
+#endif  // ABITMAP_UTIL_THREAD_POOL_H_

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build RelWithDebInfo, run the tier-1 test
+# suite, and smoke the batched-evaluation benchmark. Intended for CI and
+# as the pre-commit check — a clean exit means the tree is shippable.
+#
+# Usage: tools/check.sh [build-dir]   (default: build/check)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build/check}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure (RelWithDebInfo) =="
+cmake -S "$repo_root" -B "$build_dir" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+
+echo "== build =="
+cmake --build "$build_dir" -j "$jobs"
+
+echo "== tier-1 tests =="
+ctest --test-dir "$build_dir" -L tier1 --output-on-failure -j "$jobs"
+
+echo "== batch-eval bench (smoke) =="
+# Scale the datasets down and take a single rep: this validates that the
+# three pipelines run end to end, not their timings.
+ABITMAP_BENCH_SCALE=100 "$build_dir/bench/bench_batch_eval" \
+  --benchmark_min_time=0.01 --benchmark_repetitions=1 \
+  --benchmark_format=json >"$build_dir/bench_batch_eval_smoke.json"
+echo "wrote $build_dir/bench_batch_eval_smoke.json"
+
+echo "OK"

@@ -68,6 +68,10 @@ void PrecisionComparison() {
               kK, ab::FalsePositiveRate(8.0, kK));
   ab::ApproximateBitmap standard(Params(), hash::MakeDoubleHashFamily());
   ab::BlockedApproximateBitmap blocked(Params());
+  // 2^26 is block-aligned, so the realized alpha equals the request; any
+  // drift here would mean the theory line above used the wrong size.
+  std::printf("blocked effective alpha after rounding: %.4f\n",
+              blocked.effective_alpha());
   for (uint64_t key = 0; key < kInserts; ++key) {
     standard.Insert(key, hash::CellRef{});
     blocked.Insert(key);

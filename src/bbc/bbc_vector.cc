@@ -316,6 +316,26 @@ BbcVector Or(const BbcVector& a, const BbcVector& b) {
       [](bool x, bool y) { return x || y; });
 }
 
+std::vector<BbcVector> CompressColumnsParallel(
+    const std::vector<const util::BitVector*>& columns,
+    util::ThreadPool* pool) {
+  std::vector<BbcVector> out(columns.size());
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t j = 0; j < columns.size(); ++j) {
+      out[j] = BbcVector::Compress(*columns[j]);
+    }
+    return out;
+  }
+  pool->ParallelFor(0, columns.size(),
+                    [&out, &columns](uint64_t begin, uint64_t end,
+                                     int /*chunk*/) {
+                      for (uint64_t j = begin; j < end; ++j) {
+                        out[j] = BbcVector::Compress(*columns[j]);
+                      }
+                    });
+  return out;
+}
+
 BbcVector AndNot(const BbcVector& a, const BbcVector& b) {
   // a & ~b: safe with a partial final byte because a's padding bits are
   // zero, so the complemented b padding cannot leak ones into the result.

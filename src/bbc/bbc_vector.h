@@ -8,6 +8,7 @@
 #include "util/byte_io.h"
 #include "util/logging.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace abitmap {
 namespace bbc {
@@ -75,6 +76,16 @@ class BbcVector {
   std::vector<uint8_t> bytes_;
   uint64_t num_bits_ = 0;
 };
+
+/// Compresses a set of bit columns, fanning the independent per-column
+/// compressions out over `pool` (serial when pool is null or
+/// single-threaded). Entry i of the result is Compress(*columns[i]) —
+/// byte-identical to the serial loop, since each column writes only its
+/// own pre-allocated slot. This is the BBC half of the parallel
+/// column-encoding pipeline (WahIndex::Build(table, pool) is the other).
+std::vector<BbcVector> CompressColumnsParallel(
+    const std::vector<const util::BitVector*>& columns,
+    util::ThreadPool* pool);
 
 /// Accumulates payload bytes / fill runs and emits canonical BBC atoms.
 /// Used by Compress and by the logical operations.

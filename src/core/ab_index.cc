@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 #include <utility>
 
 #include "core/ab_theory.h"
@@ -160,48 +159,84 @@ AbIndex AbIndex::Build(const bitmap::BinnedDataset& dataset,
   // Figure 3: insert every set bit of the bitmap table. Iterating the
   // dataset column-by-column visits exactly the set cells (one per
   // attribute per row) without materializing the table.
-  index.InsertRowRange(dataset, 0, dataset.num_rows());
+  index.InsertRowRange(dataset, 0, dataset.num_rows(), 0, /*atomic=*/false);
   index.built_fp_ = index.WorstExpectedFp();
   return index;
 }
 
 AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
                                const AbConfig& config, int num_threads) {
-  AB_CHECK_GE(num_threads, 1);
-  uint64_t n_rows = dataset.num_rows();
-  uint64_t threads = std::min<uint64_t>(num_threads, n_rows);
   HashScheme scheme = config.scheme;
-  FamilyFactory factory = [scheme](uint32_t num_groups) {
-    return MakeFamily(scheme, num_groups);
-  };
-  if (threads <= 1) return Build(dataset, config, factory);
+  return BuildParallel(
+      dataset, config,
+      [scheme](uint32_t num_groups) { return MakeFamily(scheme, num_groups); },
+      num_threads);
+}
 
-  // One private skeleton per shard; merging their bit unions afterwards
-  // is exact (see ApproximateBitmap::MergeFrom).
-  std::vector<AbIndex> shards;
-  shards.reserve(threads);
-  for (uint64_t t = 0; t < threads; ++t) {
-    shards.push_back(MakeSkeleton(dataset, config, factory));
+AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
+                               const AbConfig& config,
+                               const FamilyFactory& factory,
+                               int num_threads) {
+  AB_CHECK_GE(num_threads, 1);
+  uint64_t threads = std::min<uint64_t>(num_threads, dataset.num_rows());
+  if (threads <= 1) return Build(dataset, config, factory);
+  util::ThreadPool pool(static_cast<int>(threads));
+  return BuildParallel(dataset, config, factory, &pool);
+}
+
+AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
+                               const AbConfig& config,
+                               util::ThreadPool* pool) {
+  HashScheme scheme = config.scheme;
+  return BuildParallel(
+      dataset, config,
+      [scheme](uint32_t num_groups) { return MakeFamily(scheme, num_groups); },
+      pool);
+}
+
+AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
+                               const AbConfig& config,
+                               const FamilyFactory& factory,
+                               util::ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    return Build(dataset, config, factory);
   }
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  uint64_t chunk = (n_rows + threads - 1) / threads;
-  for (uint64_t t = 0; t < threads; ++t) {
-    uint64_t begin = t * chunk;
-    uint64_t end = std::min(n_rows, begin + chunk);
-    workers.emplace_back([&dataset, &shards, t, begin, end]() {
-      shards[t].InsertRowRange(dataset, begin, end);
-    });
-  }
-  for (std::thread& w : workers) w.join();
-  AbIndex result = std::move(shards[0]);
-  for (uint64_t t = 1; t < threads; ++t) {
-    for (size_t f = 0; f < result.filters_.size(); ++f) {
-      result.filters_[f].MergeFrom(shards[t].filters_[f]);
+  AbIndex index = MakeSkeleton(dataset, config, factory);
+  uint64_t n_rows = dataset.num_rows();
+  if (n_rows > 0) {
+    if (config.level == Level::kPerDataset) {
+      // One big filter: sharding it across private clones keeps workers
+      // off each other's cache lines entirely; the merge is exact and
+      // FP-invariant (see ApproximateBitmap::UnionWith).
+      std::vector<ApproximateBitmap> shards;
+      shards.reserve(pool->num_threads());
+      for (int t = 0; t < pool->num_threads(); ++t) {
+        shards.push_back(index.filters_[0].EmptyClone());
+      }
+      pool->ParallelFor(
+          0, n_rows, [&](uint64_t begin, uint64_t end, int chunk) {
+            for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
+              index.InsertAttributeCells(dataset, a, begin, end, 0,
+                                         &shards[chunk], /*atomic=*/false);
+            }
+          });
+      for (const ApproximateBitmap& shard : shards) {
+        index.filters_[0].UnionWith(shard);
+      }
+    } else {
+      // Per-attribute / per-column: every worker inserts its row chunk
+      // into the shared filters through the atomic commit path. The
+      // partition is chunk-count-stable only in wall time — the bits are
+      // identical for ANY partition, because fetch_or commutes.
+      pool->ParallelFor(0, n_rows,
+                        [&](uint64_t begin, uint64_t end, int /*chunk*/) {
+                          index.InsertRowRange(dataset, begin, end, 0,
+                                               /*atomic=*/true);
+                        });
     }
   }
-  result.built_fp_ = result.WorstExpectedFp();
-  return result;
+  index.built_fp_ = index.WorstExpectedFp();
+  return index;
 }
 
 double AbIndex::WorstExpectedFp() const {
@@ -271,17 +306,73 @@ AbIndex AbIndex::MakeSkeleton(const bitmap::BinnedDataset& dataset,
   return index;
 }
 
-void AbIndex::InsertRowRange(const bitmap::BinnedDataset& dataset,
-                             uint64_t row_begin, uint64_t row_end) {
-  AB_CHECK_LE(row_begin, row_end);
-  AB_CHECK_LE(row_end, num_rows_);
-  for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
-    const std::vector<uint32_t>& column_values = dataset.values[a];
-    for (uint64_t i = row_begin; i < row_end; ++i) {
-      uint32_t gcol = mapping_.GlobalColumn(a, column_values[i]);
-      filters_[Route(a, gcol)].Insert(mapper_.Key(i, gcol),
-                                      hash::CellRef{i, gcol});
+namespace {
+
+/// Cells buffered per batch-insert flush. A multiple of the filter's
+/// hashing window; large enough that the loop bookkeeping amortizes,
+/// small enough that the key/cell staging arrays stay in L1.
+constexpr size_t kInsertBuffer = 256;
+
+}  // namespace
+
+void AbIndex::InsertAttributeCells(const bitmap::BinnedDataset& dataset,
+                                   uint32_t a, uint64_t row_begin,
+                                   uint64_t row_end, uint64_t id_offset,
+                                   ApproximateBitmap* filter, bool atomic) {
+  const std::vector<uint32_t>& column_values = dataset.values[a];
+  uint64_t keys[kInsertBuffer];
+  hash::CellRef cells[kInsertBuffer];
+  size_t m = 0;
+  auto flush = [&]() {
+    if (m == 0) return;
+    if (atomic) {
+      filter->InsertBatchAtomic(keys, cells, m);
+    } else {
+      filter->InsertBatch(keys, cells, m);
     }
+    m = 0;
+  };
+  for (uint64_t i = row_begin; i < row_end; ++i) {
+    uint32_t gcol = mapping_.GlobalColumn(a, column_values[i]);
+    uint64_t row = id_offset + i;
+    keys[m] = mapper_.Key(row, gcol);
+    cells[m] = hash::CellRef{row, gcol};
+    if (++m == kInsertBuffer) flush();
+  }
+  flush();
+}
+
+void AbIndex::InsertRowRange(const bitmap::BinnedDataset& dataset,
+                             uint64_t row_begin, uint64_t row_end,
+                             uint64_t id_offset, bool atomic) {
+  AB_CHECK_LE(row_begin, row_end);
+  AB_CHECK_LE(id_offset + row_end, num_rows_);
+  if (config_.level == Level::kPerColumn) {
+    // Routing is per-cell here (one filter per bitmap column), so a
+    // column scan has no single-filter window to batch-hash; the filters
+    // are also tiny, so the scalar path loses nothing to memory stalls.
+    for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
+      const std::vector<uint32_t>& column_values = dataset.values[a];
+      for (uint64_t i = row_begin; i < row_end; ++i) {
+        uint32_t gcol = mapping_.GlobalColumn(a, column_values[i]);
+        uint64_t row = id_offset + i;
+        ApproximateBitmap& f = filters_[gcol];
+        if (atomic) {
+          f.InsertAtomic(mapper_.Key(row, gcol), hash::CellRef{row, gcol});
+        } else {
+          f.Insert(mapper_.Key(row, gcol), hash::CellRef{row, gcol});
+        }
+      }
+    }
+    return;
+  }
+  // Per-dataset / per-attribute: one attribute's cells all route to one
+  // filter, so the column scan feeds the batched kernel directly.
+  for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
+    uint32_t first_col = mapping_.GlobalColumn(a, 0);
+    ApproximateBitmap* filter = &filters_[Route(a, first_col)];
+    InsertAttributeCells(dataset, a, row_begin, row_end, id_offset, filter,
+                         atomic);
   }
 }
 
@@ -509,15 +600,12 @@ void AbIndex::AppendRows(const bitmap::BinnedDataset& delta) {
   uint64_t added = delta.num_rows();
   num_rows_ = base + added;
   for (uint32_t a = 0; a < delta.num_attributes(); ++a) {
-    const std::vector<uint32_t>& column_values = delta.values[a];
-    for (uint64_t i = 0; i < added; ++i) {
-      uint32_t gcol = mapping_.GlobalColumn(a, column_values[i]);
-      uint64_t row = base + i;
-      filters_[Route(a, gcol)].Insert(mapper_.Key(row, gcol),
-                                      hash::CellRef{row, gcol});
-      ++column_set_bits_[gcol];
+    for (uint32_t v : delta.values[a]) {
+      ++column_set_bits_[mapping_.GlobalColumn(a, v)];
     }
   }
+  // Delta rows are local ids 0..added-1; they hash as rows base+i.
+  InsertRowRange(delta, 0, added, base, /*atomic=*/false);
 }
 
 bool AbIndex::NeedsRebuild(double fp_budget_factor) const {

@@ -104,12 +104,40 @@ class AbIndex {
   static AbIndex Build(const bitmap::BinnedDataset& dataset,
                        const AbConfig& config, const FamilyFactory& factory);
 
-  /// Multi-threaded build: shards the rows across `num_threads` private
-  /// filter sets and ORs them together — insertion order is irrelevant to
-  /// a union of bit sets, so the result is bit-identical to the serial
-  /// build. Peak memory is num_threads x the final index size.
+  /// Multi-threaded build: rows are sharded into contiguous chunks, one
+  /// per pool worker, and every chunk's cells are inserted through the
+  /// batch-hashed insert kernel. Two commit strategies, both bit-identical
+  /// to the serial build (a filter is a pure union of per-cell bit sets,
+  /// and OR commutes, so neither chunk boundaries nor interleaving can
+  /// change the result):
+  ///  * per-attribute / per-column: all workers populate the shared
+  ///    filters directly via striped atomic fetch_or
+  ///    (InsertBatchAtomic) — no extra memory, scales past the attribute
+  ///    count;
+  ///  * per-dataset: each worker fills a private same-shape filter
+  ///    (EmptyClone) and the shards are merged with UnionWith — the one
+  ///    big filter would otherwise be a single contention hotspot; peak
+  ///    memory is num_threads x the filter size.
+  /// num_threads <= 1 falls back to the serial Build.
   static AbIndex BuildParallel(const bitmap::BinnedDataset& dataset,
                                const AbConfig& config, int num_threads);
+
+  /// Variant with a caller-supplied hash family (config.scheme ignored).
+  static AbIndex BuildParallel(const bitmap::BinnedDataset& dataset,
+                               const AbConfig& config,
+                               const FamilyFactory& factory, int num_threads);
+
+  /// Variant reusing a caller-owned pool (the engine builds both of its
+  /// indexes through one pool instead of paying thread spawn per build).
+  /// A null or single-threaded pool falls back to the serial Build.
+  static AbIndex BuildParallel(const bitmap::BinnedDataset& dataset,
+                               const AbConfig& config,
+                               const FamilyFactory& factory,
+                               util::ThreadPool* pool);
+
+  /// Pool variant with the default config.scheme hash families.
+  static AbIndex BuildParallel(const bitmap::BinnedDataset& dataset,
+                               const AbConfig& config, util::ThreadPool* pool);
 
   Level level() const { return config_.level; }
   const AbConfig& config() const { return config_; }
@@ -221,9 +249,26 @@ class AbIndex {
   static AbIndex MakeSkeleton(const bitmap::BinnedDataset& dataset,
                               const AbConfig& config,
                               const FamilyFactory& factory);
-  /// Inserts the set bits of rows [row_begin, row_end).
+
+  /// Inserts attribute `a`'s cells of rows [row_begin, row_end) into
+  /// `filter`, batch-hashed in fixed-size windows (one ProbesBatch
+  /// dispatch + one write-prefetch pass per window). Row ids are shifted
+  /// by `id_offset` (AppendRows inserts a delta whose local row 0 is the
+  /// index's row num_rows()). With `atomic`, bits commit via striped
+  /// atomic fetch_or so concurrent callers may share the filter.
+  void InsertAttributeCells(const bitmap::BinnedDataset& dataset, uint32_t a,
+                            uint64_t row_begin, uint64_t row_end,
+                            uint64_t id_offset, ApproximateBitmap* filter,
+                            bool atomic);
+
+  /// Inserts the set bits of rows [row_begin, row_end) into the index's
+  /// own filters. Per-dataset/per-attribute cells go through the batched
+  /// kernel above; per-column routing is per-cell, so those filters take
+  /// the scalar path (they are small and cache-resident). Thread-safe
+  /// over any row partition when `atomic` is set.
   void InsertRowRange(const bitmap::BinnedDataset& dataset,
-                      uint64_t row_begin, uint64_t row_end);
+                      uint64_t row_begin, uint64_t row_end,
+                      uint64_t id_offset, bool atomic);
 
   /// Index of the filter responsible for a global column.
   size_t Route(uint32_t attr, uint32_t global_col) const;

@@ -1,6 +1,7 @@
 #include "core/approximate_bitmap.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "util/logging.h"
@@ -39,12 +40,78 @@ void ApproximateBitmap::Insert(uint64_t key, const hash::CellRef& cell) {
   ++insertions_;
 }
 
-void ApproximateBitmap::MergeFrom(const ApproximateBitmap& other) {
+void ApproximateBitmap::InsertAtomic(uint64_t key,
+                                     const hash::CellRef& cell) {
+  uint64_t probes[kMaxHashFunctions];
+  family_->Probes(key, cell, k_, bits_.size(), probes);
+  for (int t = 0; t < k_; ++t) {
+    bits_.SetAtomic(probes[t]);
+  }
+  std::atomic_ref<uint64_t>(insertions_)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void ApproximateBitmap::InsertBatch(const uint64_t* keys,
+                                    const hash::CellRef* cells,
+                                    size_t count) {
+  size_t k = static_cast<size_t>(k_);
+  uint64_t n = bits_.size();
+  const bool want_prefetch = n >= kPrefetchMinFilterBits;
+  uint64_t probes[kBatchWindow * kMaxHashFunctions];
+  for (size_t base = 0; base < count; base += kBatchWindow) {
+    size_t w = std::min(kBatchWindow, count - base);
+    family_->ProbesBatch(keys + base, cells + base, w, k, n, probes);
+    if (want_prefetch) {
+      // Write-intent prefetch for every target line before any store: the
+      // scattered read-for-ownership misses overlap instead of forming a
+      // chain of dependent store stalls.
+      for (size_t j = 0; j < w * k; ++j) {
+        bits_.PrefetchBitWrite(probes[j]);
+      }
+    }
+    for (size_t j = 0; j < w * k; ++j) {
+      bits_.Set(probes[j]);
+    }
+  }
+  insertions_ += count;
+}
+
+void ApproximateBitmap::InsertBatchAtomic(const uint64_t* keys,
+                                          const hash::CellRef* cells,
+                                          size_t count) {
+  size_t k = static_cast<size_t>(k_);
+  uint64_t n = bits_.size();
+  const bool want_prefetch = n >= kPrefetchMinFilterBits;
+  uint64_t probes[kBatchWindow * kMaxHashFunctions];
+  for (size_t base = 0; base < count; base += kBatchWindow) {
+    size_t w = std::min(kBatchWindow, count - base);
+    family_->ProbesBatch(keys + base, cells + base, w, k, n, probes);
+    if (want_prefetch) {
+      for (size_t j = 0; j < w * k; ++j) {
+        bits_.PrefetchBitWrite(probes[j]);
+      }
+    }
+    for (size_t j = 0; j < w * k; ++j) {
+      bits_.SetAtomic(probes[j]);
+    }
+  }
+  std::atomic_ref<uint64_t>(insertions_)
+      .fetch_add(count, std::memory_order_relaxed);
+}
+
+void ApproximateBitmap::UnionWith(const ApproximateBitmap& other) {
   AB_CHECK_EQ(bits_.size(), other.bits_.size());
   AB_CHECK_EQ(k_, other.k_);
   AB_CHECK(family_->name() == other.family_->name());
   bits_.OrWith(other.bits_);
   insertions_ += other.insertions_;
+}
+
+ApproximateBitmap ApproximateBitmap::EmptyClone() const {
+  AbParams params;
+  params.n_bits = bits_.size();
+  params.k = k_;
+  return ApproximateBitmap(params, family_);
 }
 
 bool ApproximateBitmap::Test(uint64_t key, const hash::CellRef& cell) const {

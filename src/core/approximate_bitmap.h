@@ -49,12 +49,49 @@ class ApproximateBitmap {
   /// Inserts the cell with hash string `key` (Figure 3, inner loop).
   void Insert(uint64_t key, const hash::CellRef& cell);
 
+  /// Thread-safe scalar insert: commits the k probe bits with atomic
+  /// fetch_or (util::BitVector::SetAtomic), so concurrent workers may
+  /// populate one filter. Bit-identical to Insert — OR is commutative, so
+  /// the final bit array is independent of interleaving. Callers must
+  /// join all writers before probing the filter.
+  void InsertAtomic(uint64_t key, const hash::CellRef& cell);
+
+  /// Batched insert: equivalent to count scalar Insert calls, but the
+  /// window's probe positions are hashed with one ProbesBatch virtual
+  /// dispatch and every target cache line gets a write-intent prefetch
+  /// before any store commits — the insert-side mirror of TestBatch.
+  /// Unlike membership tests there is no early exit: every cell commits
+  /// all k probes, so the full k-round batch hash is the natural shape.
+  void InsertBatch(const uint64_t* keys, const hash::CellRef* cells,
+                   size_t count);
+
+  /// Thread-safe InsertBatch: same batched hashing and prefetching, but
+  /// bits commit via striped atomic fetch_or and the insertion counter
+  /// updates atomically. Multiple workers may call this concurrently on
+  /// one filter; the result is bit-identical to any serial insertion
+  /// order of the same cells.
+  void InsertBatchAtomic(const uint64_t* keys, const hash::CellRef* cells,
+                         size_t count);
+
   /// ORs another filter's bits into this one. Because the AB is a pure
-  /// union of per-cell bit sets, the merge of two filters built over
-  /// disjoint row shards equals the filter built over their union — the
-  /// basis of the parallel build. Both filters must share size, k, and
-  /// hash family.
-  void MergeFrom(const ApproximateBitmap& other);
+  /// union of per-cell bit sets, the union of two filters built over
+  /// disjoint row shards equals the filter built over all rows serially —
+  /// bit for bit, which is the basis of the shard-and-merge parallel
+  /// build. The false positive rate is likewise invariant: FP depends
+  /// only on (n, k, total insertions), and the union preserves all three
+  /// (insertion counts add). Both filters must share size, k, and hash
+  /// family; duplicate cells across shards are benign (they OR the same
+  /// positions) but inflate the insertion-count-based FP estimate exactly
+  /// as re-inserting them serially would.
+  void UnionWith(const ApproximateBitmap& other);
+
+  /// Deprecated alias for UnionWith (the original shard-merge entry).
+  void MergeFrom(const ApproximateBitmap& other) { UnionWith(other); }
+
+  /// An empty filter with this filter's exact shape (size, k, shared hash
+  /// family) — the per-worker private filter of the shard-and-merge
+  /// build, without re-deriving parameters from the dataset.
+  ApproximateBitmap EmptyClone() const;
 
   /// Tests the cell with hash string `key` (Figure 5, inner loop). True
   /// means "present with high probability"; false is exact.

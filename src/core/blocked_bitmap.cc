@@ -23,6 +23,14 @@ BlockedApproximateBitmap::BlockedApproximateBitmap(const AbParams& params)
   AB_CHECK_GE(k_, 1);
   AB_CHECK_LE(k_, kMaxK);
   words_.assign(num_blocks_ * kWordsPerBlock, 0);
+  // Block rounding grows the filter; scale the requested alpha = n/s by
+  // the same factor so size/FP accounting sees the bits that exist, not
+  // the bits that were asked for.
+  if (params.alpha > 0 && params.n_bits > 0) {
+    effective_alpha_ = params.alpha *
+                       (static_cast<double>(size_bits()) /
+                        static_cast<double>(params.n_bits));
+  }
 }
 
 uint64_t BlockedApproximateBitmap::BlockOf(uint64_t key) const {
@@ -56,6 +64,32 @@ bool BlockedApproximateBitmap::Test(uint64_t key) const {
     }
   }
   return true;
+}
+
+void BlockedApproximateBitmap::InsertBatch(const uint64_t* keys,
+                                           size_t count) {
+  uint64_t bases[kBatchWindow];
+  for (size_t base = 0; base < count; base += kBatchWindow) {
+    size_t w = std::min(kBatchWindow, count - base);
+    const uint64_t* wkeys = keys + base;
+    for (size_t i = 0; i < w; ++i) {
+      bases[i] = BlockOf(wkeys[i]) * kWordsPerBlock;
+      // One write-intent prefetch covers the whole 512-bit block — all k
+      // probes of key i.
+      __builtin_prefetch(&words_[bases[i]], /*rw=*/1, /*locality=*/0);
+    }
+    for (size_t i = 0; i < w; ++i) {
+      for (int t = 0; t < k_; ++t) {
+        uint32_t bit = ProbeBit(wkeys[i], t);
+        words_[bases[i] + (bit >> 6)] |= uint64_t{1} << (bit & 63);
+      }
+    }
+  }
+  insertions_ += count;
+}
+
+double BlockedApproximateBitmap::ExpectedFalsePositiveRate() const {
+  return FalsePositiveRateExact(size_bits(), insertions_, k_);
 }
 
 void BlockedApproximateBitmap::TestBatch(const uint64_t* keys, size_t count,

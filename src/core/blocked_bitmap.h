@@ -42,6 +42,12 @@ class BlockedApproximateBitmap {
   void Insert(uint64_t key);
   bool Test(uint64_t key) const;
 
+  /// Batched insert: equivalent to count scalar Insert calls. Each key's
+  /// block is resolved once, every target cache line gets a write-intent
+  /// prefetch before any store, and then all k in-block probes commit —
+  /// one line fetch per key instead of a dependent store stall per probe.
+  void InsertBatch(const uint64_t* keys, size_t count);
+
   /// Window size shared with ApproximateBitmap's batched kernel.
   static constexpr size_t kBatchWindow = 32;
 
@@ -60,6 +66,22 @@ class BlockedApproximateBitmap {
   int k() const { return k_; }
   uint64_t insertions() const { return insertions_; }
 
+  /// The size parameter alpha = n/s actually realized after n_bits was
+  /// rounded up to whole 512-bit blocks. The ab_theory solvers size for
+  /// the requested n_bits; the rounding only ever grows the filter, so
+  /// effective_alpha() >= the requested alpha and analytic FP predictions
+  /// must use size_bits() (equivalently this alpha), not the requested
+  /// parameters — see ExpectedFalsePositiveRate(). Zero when the
+  /// constructing params carried no alpha (e.g. a raw n_bits/k pair).
+  double effective_alpha() const { return effective_alpha_; }
+
+  /// Expected false positive rate from the measured state, computed over
+  /// the rounded size_bits() — the block-rounded counterpart of
+  /// ApproximateBitmap::ExpectedFalsePositiveRate. (The per-block variance
+  /// penalty of blocking is not modeled; this is the matched-size Bloom
+  /// baseline the ablation bench compares the measured rate against.)
+  double ExpectedFalsePositiveRate() const;
+
   /// Fraction of set bits.
   double FillRatio() const;
 
@@ -71,6 +93,7 @@ class BlockedApproximateBitmap {
 
   uint64_t num_blocks_;
   int k_;
+  double effective_alpha_ = 0;
   std::vector<uint64_t> words_;
   uint64_t insertions_ = 0;
 };

@@ -61,6 +61,10 @@ class CountingApproximateBitmap {
   /// Fraction of nonzero counters (drives the false positive rate).
   double FillRatio() const;
 
+  /// Raw packed counter bytes (two 4-bit counters per byte). Exposed so
+  /// the parallel-build determinism tests can compare filters exactly.
+  const std::vector<uint8_t>& raw_counters() const { return counters_; }
+
  private:
   uint8_t Counter(uint64_t idx) const {
     uint8_t byte = counters_[idx >> 1];

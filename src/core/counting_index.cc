@@ -5,6 +5,7 @@
 
 #include "core/ab_theory.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace abitmap {
 namespace ab {
@@ -44,6 +45,13 @@ CountingAbIndex::CountingAbIndex(const AbConfig& config,
 
 CountingAbIndex CountingAbIndex::Build(const bitmap::BinnedDataset& dataset,
                                        const AbConfig& config) {
+  return Build(dataset, config, 1);
+}
+
+CountingAbIndex CountingAbIndex::Build(const bitmap::BinnedDataset& dataset,
+                                       const AbConfig& config,
+                                       int num_threads) {
+  AB_CHECK_GE(num_threads, 1);
   dataset.CheckValid();
   AB_CHECK_GE(config.alpha, 1.0);
   CountingAbIndex index(config, bitmap::ColumnMapping(dataset.attributes),
@@ -89,9 +97,30 @@ CountingAbIndex CountingAbIndex::Build(const bitmap::BinnedDataset& dataset,
     }
   }
 
-  for (uint32_t a = 0; a < d; ++a) {
-    for (uint64_t i = 0; i < n_rows; ++i) {
-      index.InsertCell(i, a, dataset.values[a][i]);
+  // Attribute-parallel population: attribute a's cells route to filter a
+  // (per-attribute) or to the columns of attribute a (per-column), so
+  // workers owning disjoint attribute ranges never share a filter. The
+  // single per-dataset filter cannot be partitioned this way; it stays on
+  // the serial loop.
+  int threads = std::min<int>(num_threads, d);
+  if (threads > 1 && config.level != Level::kPerDataset) {
+    util::ThreadPool pool(threads);
+    pool.ParallelFor(0, d,
+                     [&index, &dataset, n_rows](uint64_t attr_begin,
+                                                uint64_t attr_end,
+                                                int /*chunk*/) {
+                       for (uint64_t a = attr_begin; a < attr_end; ++a) {
+                         uint32_t attr = static_cast<uint32_t>(a);
+                         for (uint64_t i = 0; i < n_rows; ++i) {
+                           index.InsertCell(i, attr, dataset.values[a][i]);
+                         }
+                       }
+                     });
+  } else {
+    for (uint32_t a = 0; a < d; ++a) {
+      for (uint64_t i = 0; i < n_rows; ++i) {
+        index.InsertCell(i, a, dataset.values[a][i]);
+      }
     }
   }
   return index;

@@ -29,6 +29,17 @@ class CountingAbIndex {
   static CountingAbIndex Build(const bitmap::BinnedDataset& dataset,
                                const AbConfig& config);
 
+  /// Multi-threaded build: population fans out over a util::ThreadPool by
+  /// attribute. Attributes touch disjoint filters at the per-attribute
+  /// and per-column levels, so no synchronization is needed, and the
+  /// result is identical to the serial build — a counter's final value is
+  /// min(15, #inserts hitting it), which no insertion order can change.
+  /// The per-dataset level shares one filter whose packed 4-bit counters
+  /// have no atomic commit path, so it (like num_threads <= 1) falls back
+  /// to the serial loop.
+  static CountingAbIndex Build(const bitmap::BinnedDataset& dataset,
+                               const AbConfig& config, int num_threads);
+
   Level level() const { return config_.level; }
   uint64_t num_rows() const { return num_rows_; }
   const bitmap::ColumnMapping& mapping() const { return mapping_; }

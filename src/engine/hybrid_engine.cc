@@ -16,17 +16,22 @@ HybridEngine::HybridEngine(Table table, const Options& options)
 
 HybridEngine HybridEngine::Build(Table table, const Options& options) {
   HybridEngine engine(std::move(table), options);
-  bitmap::BitmapTable bitmap_table =
-      bitmap::BitmapTable::Build(engine.discretized_.dataset);
-  engine.wah_ =
-      std::make_unique<wah::WahIndex>(wah::WahIndex::Build(bitmap_table));
-  engine.ab_ = std::make_unique<ab::AbIndex>(
-      ab::AbIndex::Build(engine.discretized_.dataset, options.ab));
+  // The pool is created before the indexes so construction itself runs
+  // through it: WAH column compression and AB filter population both fan
+  // out over the same workers that later serve queries. Every parallel
+  // build path is bit-identical to its serial counterpart, so a 1-thread
+  // engine and an N-thread engine hold the same indexes.
   int threads = options.num_threads == 0 ? util::DefaultThreadCount()
                                          : options.num_threads;
   if (threads > 1) {
     engine.pool_ = std::make_shared<util::ThreadPool>(threads);
   }
+  bitmap::BitmapTable bitmap_table =
+      bitmap::BitmapTable::Build(engine.discretized_.dataset);
+  engine.wah_ = std::make_unique<wah::WahIndex>(
+      wah::WahIndex::Build(bitmap_table, engine.pool_.get()));
+  engine.ab_ = std::make_unique<ab::AbIndex>(ab::AbIndex::BuildParallel(
+      engine.discretized_.dataset, options.ab, engine.pool_.get()));
   return engine;
 }
 

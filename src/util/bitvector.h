@@ -1,6 +1,7 @@
 #ifndef ABITMAP_UTIL_BITVECTOR_H_
 #define ABITMAP_UTIL_BITVECTOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -53,6 +54,20 @@ class BitVector {
     }
   }
 
+  /// Sets bit `pos` with an atomic fetch_or on its backing word, so
+  /// concurrent writers populating one vector never lose each other's
+  /// bits. This is the striped-atomic commit path of the parallel filter
+  /// build: each 64-bit word is an independent stripe, writers contend
+  /// only when two probes land in the same word, and relaxed ordering
+  /// suffices because the build joins (synchronizes) before any reader
+  /// probes the bits. Mixing SetAtomic with the non-atomic mutators on a
+  /// live vector is the caller's race to avoid.
+  void SetAtomic(size_t pos) {
+    AB_DCHECK(pos < num_bits_);
+    std::atomic_ref<uint64_t> word(words_[pos >> 6]);
+    word.fetch_or(uint64_t{1} << (pos & 63), std::memory_order_relaxed);
+  }
+
   /// Returns `n` bits (1 <= n <= 64) starting at `pos`, with bit `pos` in
   /// the least significant position. Bits past size() read as zero.
   uint64_t GetBits(size_t pos, int n) const;
@@ -71,6 +86,15 @@ class BitVector {
   void PrefetchBit(size_t pos) const {
     AB_DCHECK(pos < num_bits_);
     __builtin_prefetch(&words_[pos >> 6], /*rw=*/0, /*locality=*/0);
+  }
+
+  /// Write-intent prefetch for the cache line holding bit `pos`. The
+  /// batched insert kernel issues these for a whole window of probe
+  /// targets before committing any store, so the read-for-ownership
+  /// misses of a DRAM-resident filter overlap instead of serializing.
+  void PrefetchBitWrite(size_t pos) {
+    AB_DCHECK(pos < num_bits_);
+    __builtin_prefetch(&words_[pos >> 6], /*rw=*/1, /*locality=*/0);
   }
 
   /// Appends one bit, growing the vector.

@@ -14,6 +14,24 @@ WahIndex WahIndex::Build(const bitmap::BitmapTable& table) {
   return index;
 }
 
+WahIndex WahIndex::Build(const bitmap::BitmapTable& table,
+                         util::ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1) return Build(table);
+  WahIndex index(table.mapping(), table.num_rows());
+  // Each column compresses into its own pre-allocated slot, so workers
+  // share nothing and the output is byte-identical to the serial build.
+  index.columns_.resize(table.num_columns());
+  pool->ParallelFor(0, table.num_columns(),
+                    [&index, &table](uint64_t begin, uint64_t end,
+                                     int /*chunk*/) {
+                      for (uint64_t j = begin; j < end; ++j) {
+                        index.columns_[j] = WahVector::Compress(
+                            table.column(static_cast<uint32_t>(j)));
+                      }
+                    });
+  return index;
+}
+
 uint64_t WahIndex::SizeInBytes() const {
   uint64_t total = 0;
   for (const WahVector& c : columns_) total += c.SizeInBytes();

@@ -7,6 +7,7 @@
 #include "bitmap/bitmap_table.h"
 #include "bitmap/query.h"
 #include "util/statusor.h"
+#include "util/thread_pool.h"
 #include "wah/wah_vector.h"
 
 namespace abitmap {
@@ -19,6 +20,13 @@ class WahIndex {
  public:
   /// Compresses every column of the table.
   static WahIndex Build(const bitmap::BitmapTable& table);
+
+  /// Parallel build: columns are compressed independently across the
+  /// pool's workers into pre-allocated slots, so the result is identical
+  /// to the serial Build in every byte. A null or single-threaded pool
+  /// falls back to the serial loop.
+  static WahIndex Build(const bitmap::BitmapTable& table,
+                        util::ThreadPool* pool);
 
   uint64_t num_rows() const { return num_rows_; }
   uint32_t num_columns() const {

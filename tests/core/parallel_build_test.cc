@@ -1,0 +1,287 @@
+// Correctness contract of the parallel, batch-hashed build pipeline: every
+// insert-side kernel (InsertBatch, InsertBatchAtomic, UnionWith over
+// shards, pool-parallel index builds, pool-parallel WAH/BBC column
+// compression) must produce results bit-identical to the serial scalar
+// path. Parallel construction is a wall-clock change, never a semantic
+// one — the filters are pure unions of per-cell bit sets and OR commutes.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "bbc/bbc_vector.h"
+#include "bitmap/bitmap_table.h"
+#include "core/ab_index.h"
+#include "core/approximate_bitmap.h"
+#include "core/blocked_bitmap.h"
+#include "core/counting_index.h"
+#include "data/generators.h"
+#include "hash/hash_family.h"
+#include "util/thread_pool.h"
+#include "wah/wah_query.h"
+
+namespace abitmap {
+namespace ab {
+namespace {
+
+struct CellBatch {
+  std::vector<uint64_t> keys;
+  std::vector<hash::CellRef> cells;
+};
+
+CellBatch RandomCells(size_t count, uint64_t seed) {
+  CellBatch batch;
+  std::mt19937_64 rng(seed);
+  batch.keys.reserve(count);
+  batch.cells.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch.keys.push_back(rng());
+    batch.cells.push_back(
+        hash::CellRef{rng() % 50000, static_cast<uint32_t>(rng() % 16)});
+  }
+  return batch;
+}
+
+ApproximateBitmap MakeFilter(uint64_t n_bits, int k) {
+  AbParams params;
+  params.n_bits = n_bits;
+  params.k = k;
+  return ApproximateBitmap(params, hash::MakeIndependentFamily());
+}
+
+TEST(InsertBatchTest, MatchesScalarInsertBitForBit) {
+  // Counts straddling window boundaries: empty, sub-window, exact
+  // windows, and a ragged tail.
+  for (size_t count : {size_t{0}, size_t{1}, size_t{31}, size_t{32},
+                       size_t{64}, size_t{507}}) {
+    CellBatch batch = RandomCells(count, 42 + count);
+    ApproximateBitmap scalar = MakeFilter(1 << 14, 5);
+    ApproximateBitmap batched = scalar.EmptyClone();
+    for (size_t i = 0; i < count; ++i) {
+      scalar.Insert(batch.keys[i], batch.cells[i]);
+    }
+    batched.InsertBatch(batch.keys.data(), batch.cells.data(), count);
+    ASSERT_EQ(scalar.bits(), batched.bits()) << "count " << count;
+    ASSERT_EQ(scalar.insertions(), batched.insertions());
+    ASSERT_EQ(scalar.insertions(), count);
+  }
+}
+
+TEST(InsertBatchTest, AtomicVariantMatchesScalarSerially) {
+  CellBatch batch = RandomCells(700, 7);
+  ApproximateBitmap scalar = MakeFilter(1 << 13, 4);
+  ApproximateBitmap atomic = scalar.EmptyClone();
+  for (size_t i = 0; i < batch.keys.size(); ++i) {
+    scalar.Insert(batch.keys[i], batch.cells[i]);
+  }
+  atomic.InsertBatchAtomic(batch.keys.data(), batch.cells.data(),
+                           batch.keys.size());
+  EXPECT_EQ(scalar.bits(), atomic.bits());
+  EXPECT_EQ(scalar.insertions(), atomic.insertions());
+}
+
+TEST(InsertBatchTest, ConcurrentAtomicInsertsEqualSerialInsert) {
+  // Many workers hammer one shared filter through the atomic batch path;
+  // after joining, the bits must equal a serial build over the same cells
+  // regardless of interleaving. Run twice to expose nondeterminism.
+  CellBatch batch = RandomCells(4096, 11);
+  ApproximateBitmap serial = MakeFilter(1 << 15, 6);
+  for (size_t i = 0; i < batch.keys.size(); ++i) {
+    serial.Insert(batch.keys[i], batch.cells[i]);
+  }
+  util::ThreadPool pool(8);
+  for (int run = 0; run < 2; ++run) {
+    ApproximateBitmap shared = serial.EmptyClone();
+    pool.ParallelFor(0, batch.keys.size(),
+                     [&](uint64_t begin, uint64_t end, int /*chunk*/) {
+                       shared.InsertBatchAtomic(batch.keys.data() + begin,
+                                                batch.cells.data() + begin,
+                                                end - begin);
+                     });
+    ASSERT_EQ(serial.bits(), shared.bits()) << "run " << run;
+    ASSERT_EQ(serial.insertions(), shared.insertions());
+  }
+}
+
+TEST(UnionWithTest, ShardUnionEqualsSerialInsert) {
+  CellBatch batch = RandomCells(1500, 23);
+  ApproximateBitmap serial = MakeFilter(1 << 14, 5);
+  for (size_t i = 0; i < batch.keys.size(); ++i) {
+    serial.Insert(batch.keys[i], batch.cells[i]);
+  }
+  // Three uneven shards built independently, then merged.
+  ApproximateBitmap merged = serial.EmptyClone();
+  size_t bounds[] = {0, 100, 900, batch.keys.size()};
+  for (int s = 0; s < 3; ++s) {
+    ApproximateBitmap shard = serial.EmptyClone();
+    shard.InsertBatch(batch.keys.data() + bounds[s],
+                      batch.cells.data() + bounds[s],
+                      bounds[s + 1] - bounds[s]);
+    merged.UnionWith(shard);
+  }
+  EXPECT_EQ(serial.bits(), merged.bits());
+  // Insertion counts add across the union, so the FP estimate — which
+  // depends only on (n, k, insertions) — is invariant under sharding.
+  EXPECT_EQ(serial.insertions(), merged.insertions());
+  EXPECT_DOUBLE_EQ(serial.ExpectedFalsePositiveRate(),
+                   merged.ExpectedFalsePositiveRate());
+}
+
+TEST(UnionWithTest, EmptyCloneSharesShapeAndFamily) {
+  ApproximateBitmap filter = MakeFilter(1 << 10, 7);
+  filter.Insert(123, hash::CellRef{1, 2});
+  ApproximateBitmap clone = filter.EmptyClone();
+  EXPECT_EQ(clone.size_bits(), filter.size_bits());
+  EXPECT_EQ(clone.k(), filter.k());
+  EXPECT_EQ(&clone.family(), &filter.family());
+  EXPECT_EQ(clone.insertions(), 0u);
+  EXPECT_EQ(clone.FillRatio(), 0.0);
+}
+
+TEST(BlockedInsertBatchTest, MatchesScalarInsert) {
+  AbParams params;
+  params.n_bits = 1 << 13;
+  params.k = 5;
+  std::mt19937_64 rng(3);
+  std::vector<uint64_t> keys(777);
+  for (uint64_t& k : keys) k = rng();
+  BlockedApproximateBitmap scalar(params);
+  BlockedApproximateBitmap batched(params);
+  for (uint64_t k : keys) scalar.Insert(k);
+  batched.InsertBatch(keys.data(), keys.size());
+  ASSERT_EQ(scalar.insertions(), batched.insertions());
+  // The classes expose no raw words; equality of every key's membership
+  // plus equal fill ratio pins the bit arrays for practical purposes.
+  EXPECT_DOUBLE_EQ(scalar.FillRatio(), batched.FillRatio());
+  std::mt19937_64 probe_rng(4);
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t k = probe_rng();
+    ASSERT_EQ(scalar.Test(k), batched.Test(k)) << "probe " << i;
+  }
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(batched.Test(k));  // no false negatives
+  }
+}
+
+TEST(BlockedBitmapTest, EffectiveAlphaReflectsBlockRounding) {
+  // 1000 requested bits round up to 1024 (two 512-bit blocks): the
+  // realized alpha grows by the same factor and FP predictions must be
+  // computed over size_bits(), not the requested n_bits.
+  AbParams params;
+  params.n_bits = 1000;
+  params.alpha = 8.0;
+  params.k = 5;
+  BlockedApproximateBitmap filter(params);
+  EXPECT_EQ(filter.size_bits(), 1024u);
+  EXPECT_EQ(filter.size_bits() % BlockedApproximateBitmap::kBlockBits, 0u);
+  EXPECT_DOUBLE_EQ(filter.effective_alpha(), 8.0 * 1024.0 / 1000.0);
+  EXPECT_GE(filter.effective_alpha(), params.alpha);
+  // The measured-state FP estimate uses the rounded size.
+  for (uint64_t key = 0; key < 125; ++key) filter.Insert(key * 2654435761u);
+  EXPECT_DOUBLE_EQ(
+      filter.ExpectedFalsePositiveRate(),
+      FalsePositiveRateExact(filter.size_bits(), filter.insertions(),
+                             filter.k()));
+  // Already-aligned sizes keep their requested alpha exactly; ForAlpha
+  // produces power-of-two sizes, block-aligned whenever >= one block.
+  AbParams aligned = AbParams::ForAlpha(8.0, 5, 128);  // n_bits = 1024
+  ASSERT_EQ(aligned.n_bits, 1024u);
+  BlockedApproximateBitmap exact(aligned);
+  EXPECT_DOUBLE_EQ(exact.effective_alpha(), aligned.alpha);
+}
+
+TEST(ParallelBuildTest, StableAcrossThreadCountsAndRepeatedRuns) {
+  bitmap::BinnedDataset d = data::MakeSynthetic(
+      "det", 3000, 3, 8, data::Distribution::kZipf, 5);
+  for (Level level :
+       {Level::kPerDataset, Level::kPerAttribute, Level::kPerColumn}) {
+    AbConfig cfg;
+    cfg.level = level;
+    cfg.alpha = 8;
+    AbIndex reference = AbIndex::Build(d, cfg);
+    for (int threads : {1, 2, 8}) {
+      for (int run = 0; run < 2; ++run) {
+        AbIndex parallel = AbIndex::BuildParallel(d, cfg, threads);
+        ASSERT_EQ(reference.num_filters(), parallel.num_filters());
+        for (size_t f = 0; f < reference.num_filters(); ++f) {
+          ASSERT_EQ(reference.filter(f).bits(), parallel.filter(f).bits())
+              << LevelName(level) << " threads=" << threads << " run=" << run
+              << " filter " << f;
+          ASSERT_EQ(reference.filter(f).insertions(),
+                    parallel.filter(f).insertions());
+        }
+      }
+    }
+    // The pool-reusing overload follows the same contract.
+    util::ThreadPool pool(4);
+    AbIndex pooled = AbIndex::BuildParallel(d, cfg, &pool);
+    for (size_t f = 0; f < reference.num_filters(); ++f) {
+      ASSERT_EQ(reference.filter(f).bits(), pooled.filter(f).bits())
+          << LevelName(level) << " pooled filter " << f;
+    }
+  }
+}
+
+TEST(ParallelBuildTest, CountingIndexParallelMatchesSerialCounters) {
+  bitmap::BinnedDataset d = data::MakeSynthetic(
+      "cnt", 2000, 4, 6, data::Distribution::kUniform, 17);
+  for (Level level :
+       {Level::kPerDataset, Level::kPerAttribute, Level::kPerColumn}) {
+    AbConfig cfg;
+    cfg.level = level;
+    cfg.alpha = 8;
+    CountingAbIndex serial = CountingAbIndex::Build(d, cfg);
+    CountingAbIndex parallel = CountingAbIndex::Build(d, cfg, 4);
+    ASSERT_EQ(serial.num_filters(), parallel.num_filters());
+    for (size_t f = 0; f < serial.num_filters(); ++f) {
+      ASSERT_EQ(serial.filter(f).raw_counters(),
+                parallel.filter(f).raw_counters())
+          << LevelName(level) << " filter " << f;
+    }
+  }
+}
+
+TEST(ParallelBuildTest, WahPoolBuildIsByteIdenticalToSerial) {
+  bitmap::BinnedDataset d = data::MakeSynthetic(
+      "wah", 2500, 3, 10, data::Distribution::kZipf, 29);
+  bitmap::BitmapTable table = bitmap::BitmapTable::Build(d);
+  wah::WahIndex serial = wah::WahIndex::Build(table);
+  util::ThreadPool pool(4);
+  wah::WahIndex parallel = wah::WahIndex::Build(table, &pool);
+  ASSERT_EQ(serial.num_columns(), parallel.num_columns());
+  for (uint32_t j = 0; j < serial.num_columns(); ++j) {
+    ASSERT_EQ(serial.column(j), parallel.column(j)) << "column " << j;
+  }
+  // Null / single-threaded pools take the serial path.
+  wah::WahIndex fallback = wah::WahIndex::Build(table, nullptr);
+  for (uint32_t j = 0; j < serial.num_columns(); ++j) {
+    ASSERT_EQ(serial.column(j), fallback.column(j));
+  }
+}
+
+TEST(ParallelBuildTest, BbcParallelColumnsMatchSerialCompress) {
+  bitmap::BinnedDataset d = data::MakeSynthetic(
+      "bbc", 1500, 2, 12, data::Distribution::kZipf, 41);
+  bitmap::BitmapTable table = bitmap::BitmapTable::Build(d);
+  std::vector<const util::BitVector*> columns;
+  for (uint32_t j = 0; j < table.num_columns(); ++j) {
+    columns.push_back(&table.column(j));
+  }
+  util::ThreadPool pool(4);
+  std::vector<bbc::BbcVector> parallel =
+      bbc::CompressColumnsParallel(columns, &pool);
+  std::vector<bbc::BbcVector> fallback =
+      bbc::CompressColumnsParallel(columns, nullptr);
+  ASSERT_EQ(parallel.size(), columns.size());
+  for (size_t j = 0; j < columns.size(); ++j) {
+    bbc::BbcVector serial = bbc::BbcVector::Compress(*columns[j]);
+    ASSERT_TRUE(serial == parallel[j]) << "column " << j;
+    ASSERT_TRUE(serial == fallback[j]) << "column " << j;
+  }
+}
+
+}  // namespace
+}  // namespace ab
+}  // namespace abitmap

@@ -132,6 +132,36 @@ TEST(HybridEngineTest, SizesReported) {
   EXPECT_GT(engine.AbSizeBytes(), 0u);
 }
 
+TEST(HybridEngineTest, ParallelBuildYieldsIdenticalIndexes) {
+  // Build runs WAH compression and AB population through the engine pool;
+  // both parallel paths are bit-identical to serial, so a 1-thread and a
+  // 4-thread engine must hold the same indexes and answer identically.
+  HybridEngine::Options serial_opts;
+  serial_opts.binning.bins = 16;
+  serial_opts.ab.alpha = 8;
+  serial_opts.num_threads = 1;
+  HybridEngine::Options parallel_opts = serial_opts;
+  parallel_opts.num_threads = 4;
+  HybridEngine serial = HybridEngine::Build(MakeRandomTable(2500, 9), serial_opts);
+  HybridEngine parallel =
+      HybridEngine::Build(MakeRandomTable(2500, 9), parallel_opts);
+  ASSERT_EQ(serial.wah_index().num_columns(), parallel.wah_index().num_columns());
+  for (uint32_t j = 0; j < serial.wah_index().num_columns(); ++j) {
+    ASSERT_EQ(serial.wah_index().column(j), parallel.wah_index().column(j))
+        << "wah column " << j;
+  }
+  ASSERT_EQ(serial.ab_index().num_filters(), parallel.ab_index().num_filters());
+  for (size_t f = 0; f < serial.ab_index().num_filters(); ++f) {
+    ASSERT_EQ(serial.ab_index().filter(f).bits(),
+              parallel.ab_index().filter(f).bits())
+        << "ab filter " << f;
+  }
+  EngineQuery q;
+  q.predicates.push_back(ValuePredicate{0, 10.0, 70.0});
+  q.rows = bitmap::RowRange(100, 1600);
+  EXPECT_EQ(serial.Execute(q).row_ids, parallel.Execute(q).row_ids);
+}
+
 TEST(HybridEngineTest, MeasureCrossoverReturnsSaneFraction) {
   HybridEngine engine = MakeEngine(20000, 8);
   double crossover = engine.MeasureCrossover();

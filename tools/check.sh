@@ -3,12 +3,26 @@
 # suite, and smoke the batched-evaluation benchmark. Intended for CI and
 # as the pre-commit check — a clean exit means the tree is shippable.
 #
+# When the toolchain supports -fsanitize=thread, a second tier-1 pass
+# runs under ThreadSanitizer (AB_THREAD_SANITIZER=ON) to exercise the
+# concurrent build/evaluate paths. Set AB_CHECK_TSAN=0 to skip it, or
+# AB_CHECK_TSAN=1 to make an unsupported toolchain a hard failure.
+#
 # Usage: tools/check.sh [build-dir]   (default: build/check)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build/check}"
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+tsan_supported() {
+  local probe_dir
+  probe_dir="$(mktemp -d)"
+  trap 'rm -rf "$probe_dir"' RETURN
+  printf 'int main(){return 0;}\n' >"$probe_dir/probe.cc"
+  "${CXX:-c++}" -fsanitize=thread -o "$probe_dir/probe" \
+    "$probe_dir/probe.cc" >/dev/null 2>&1
+}
 
 echo "== configure (RelWithDebInfo) =="
 cmake -S "$repo_root" -B "$build_dir" \
@@ -19,6 +33,25 @@ cmake --build "$build_dir" -j "$jobs"
 
 echo "== tier-1 tests =="
 ctest --test-dir "$build_dir" -L tier1 --output-on-failure -j "$jobs"
+
+if [ "${AB_CHECK_TSAN:-auto}" != "0" ]; then
+  if tsan_supported; then
+    tsan_dir="$build_dir-tsan"
+    echo "== configure (ThreadSanitizer) =="
+    cmake -S "$repo_root" -B "$tsan_dir" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DAB_THREAD_SANITIZER=ON >/dev/null
+    echo "== build (TSan) =="
+    cmake --build "$tsan_dir" -j "$jobs"
+    echo "== tier-1 tests (TSan) =="
+    ctest --test-dir "$tsan_dir" -L tier1 --output-on-failure -j "$jobs"
+  elif [ "${AB_CHECK_TSAN:-auto}" = "1" ]; then
+    echo "error: AB_CHECK_TSAN=1 but the toolchain cannot link -fsanitize=thread" >&2
+    exit 1
+  else
+    echo "== tier-1 tests (TSan) skipped: toolchain lacks -fsanitize=thread =="
+  fi
+fi
 
 echo "== batch-eval bench (smoke) =="
 # Scale the datasets down and take a single rep: this validates that the

@@ -4,17 +4,34 @@
 // per second; the three variants share the index and the query, so any
 // difference is purely the evaluation pipeline. Run with
 // --benchmark_format=json for machine-readable output.
+//
+// After the google-benchmark pass, main() times the individual query-side
+// kernels (probe hashing, batched membership, blocked-block probe, and the
+// word-wise verification ops) at the forced-scalar dispatch level and at
+// the detected SIMD level, and writes both the pipeline and kernel numbers
+// to BENCH_query.json (the query-side mirror of BENCH_build.json). The
+// comparison table and the SIMD banner go to stderr so stdout stays pure
+// google-benchmark output when piped as JSON.
 
+#include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <random>
 #include <tuple>
+#include <vector>
 
 #include "benchmark/benchmark.h"
 
 #include "bench_util.h"
 #include "core/ab_index.h"
+#include "core/approximate_bitmap.h"
+#include "core/blocked_bitmap.h"
 #include "data/generators.h"
 #include "data/query_gen.h"
+#include "hash/hash_family.h"
+#include "util/simd.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace abitmap {
@@ -136,8 +153,219 @@ BENCHMARK(BM_EvalBatchedParallel)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// Scalar-vs-SIMD kernel comparison + BENCH_query.json.
+
+/// Forces a dispatch level for the lifetime of the guard, restoring the
+/// previous level on destruction (same idiom as the parity tests).
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(util::simd::SimdLevel level)
+      : previous_(util::simd::ActiveSimdLevel()) {
+    util::simd::SetSimdLevelForTesting(level);
+  }
+  ~ScopedSimdLevel() { util::simd::SetSimdLevelForTesting(previous_); }
+
+ private:
+  util::simd::SimdLevel previous_;
+};
+
+struct KernelTiming {
+  std::string name;
+  uint64_t items = 0;  // work items per repetition (keys or 64-bit words)
+  double scalar_s = 0;
+  double simd_s = 0;
+
+  double Speedup() const { return simd_s > 0 ? scalar_s / simd_s : 0.0; }
+};
+
+/// Best-of-3 wall time of `fn` at the given dispatch level.
+template <typename Fn>
+double TimeAtLevel(util::simd::SimdLevel level, Fn&& fn) {
+  ScopedSimdLevel guard(level);
+  double best = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    util::Stopwatch timer;
+    fn();
+    best = std::min(best, timer.ElapsedMillis() / 1000);
+  }
+  return best;
+}
+
+/// Times one kernel body at forced-scalar and at the detected level.
+template <typename Fn>
+KernelTiming MeasureKernel(const std::string& name, uint64_t items, Fn&& fn) {
+  KernelTiming t;
+  t.name = name;
+  t.items = items;
+  t.scalar_s = TimeAtLevel(util::simd::SimdLevel::kScalar, fn);
+  t.simd_s = TimeAtLevel(util::simd::DetectedSimdLevel(), fn);
+  return t;
+}
+
+std::vector<KernelTiming> MeasureKernels() {
+  std::vector<KernelTiming> out;
+  // Sized so the scalar side takes tens of milliseconds at scale 1 but the
+  // check.sh smoke run (scale 100) stays fast.
+  const uint64_t num_keys =
+      std::max<uint64_t>(1 << 14, (uint64_t{2} << 20) / DatasetScale());
+  const uint64_t num_words =
+      std::max<uint64_t>(1 << 12, (uint64_t{4} << 20) / DatasetScale());
+  const int k = 8;
+  const uint64_t n = uint64_t{1} << 22;  // power of two: vector probe path
+
+  std::mt19937_64 rng(7);
+  std::vector<uint64_t> keys(num_keys);
+  std::vector<hash::CellRef> cells(num_keys);
+  for (uint64_t i = 0; i < num_keys; ++i) {
+    keys[i] = rng();
+    cells[i] = hash::CellRef{rng() % num_keys, static_cast<uint32_t>(i % 32)};
+  }
+  std::vector<uint64_t> probes(num_keys * k);
+
+  auto double_family =
+      std::shared_ptr<const hash::HashFamily>(hash::MakeDoubleHashFamily());
+  out.push_back(MeasureKernel("probes_double", num_keys, [&] {
+    double_family->ProbesBatch(keys.data(), cells.data(), num_keys, k, n,
+                               probes.data());
+    benchmark::DoNotOptimize(probes.data());
+  }));
+
+  auto independent_family =
+      std::shared_ptr<const hash::HashFamily>(hash::MakeIndependentFamily());
+  out.push_back(MeasureKernel("probes_independent", num_keys, [&] {
+    independent_family->ProbesBatch(keys.data(), cells.data(), num_keys, k, n,
+                                    probes.data());
+    benchmark::DoNotOptimize(probes.data());
+  }));
+
+  // Batched membership over a half-populated filter: every query walks the
+  // gather/blend (or scalar round-major) still-alive resolve.
+  ab::AbParams params;
+  params.n_bits = n;
+  params.k = k;
+  ab::ApproximateBitmap filter(params, double_family);
+  for (uint64_t i = 0; i < num_keys / 2; ++i) filter.Insert(keys[i], cells[i]);
+  std::vector<uint8_t> hits(num_keys);
+  out.push_back(MeasureKernel("test_batch_double", num_keys, [&] {
+    filter.TestBatch(keys.data(), cells.data(), num_keys, hits.data());
+    benchmark::DoNotOptimize(hits.data());
+  }));
+
+  // Single-load 512-bit block probe of the cache-local variant.
+  ab::AbParams blocked_params;
+  blocked_params.n_bits = n;
+  blocked_params.k = k;
+  ab::BlockedApproximateBitmap blocked(blocked_params);
+  blocked.InsertBatch(keys.data(), num_keys / 2);
+  out.push_back(MeasureKernel("blocked_test", num_keys, [&] {
+    blocked.TestBatch(keys.data(), num_keys, hits.data());
+    benchmark::DoNotOptimize(hits.data());
+  }));
+
+  // Word kernels behind WAH/BBC candidate verification and FillRatio.
+  std::vector<uint64_t> a(num_words), b(num_words);
+  for (uint64_t i = 0; i < num_words; ++i) {
+    a[i] = rng();
+    b[i] = rng();
+  }
+  out.push_back(MeasureKernel("popcount_words", num_words, [&] {
+    uint64_t total = util::simd::PopcountWords(a.data(), num_words);
+    benchmark::DoNotOptimize(total);
+  }));
+  out.push_back(MeasureKernel("and_words", num_words, [&] {
+    util::simd::AndWords(a.data(), b.data(), num_words);
+    benchmark::DoNotOptimize(a.data());
+  }));
+  return out;
+}
+
+/// End-to-end pipeline timings at the active level, for the JSON trend
+/// line: the same Evaluate/EvaluateBatched pair the benchmarks above
+/// sweep, at one representative configuration.
+struct PipelineTiming {
+  uint64_t rows = 0;
+  double scalar_ms = 0;        // AbIndex::Evaluate
+  double batched_ms = 0;       // AbIndex::EvaluateBatched, detected SIMD
+  double batched_scalar_ms = 0;  // EvaluateBatched at forced-scalar
+};
+
+PipelineTiming MeasurePipeline() {
+  PipelineTiming t;
+  const Case& c = GetCase(ScaledRows(1000000), 8, ab::Level::kPerAttribute);
+  t.rows = c.index.num_rows();
+  t.scalar_ms = 1000 * TimeAtLevel(util::simd::DetectedSimdLevel(), [&] {
+    std::vector<bool> bits = c.index.Evaluate(c.query);
+    benchmark::DoNotOptimize(bits.size());
+  });
+  t.batched_ms = 1000 * TimeAtLevel(util::simd::DetectedSimdLevel(), [&] {
+    std::vector<bool> bits = c.index.EvaluateBatched(c.query);
+    benchmark::DoNotOptimize(bits.size());
+  });
+  t.batched_scalar_ms = 1000 * TimeAtLevel(util::simd::SimdLevel::kScalar, [&] {
+    std::vector<bool> bits = c.index.EvaluateBatched(c.query);
+    benchmark::DoNotOptimize(bits.size());
+  });
+  return t;
+}
+
+void WriteQueryJson(const PipelineTiming& pipeline,
+                    const std::vector<KernelTiming>& kernels) {
+  std::FILE* f = std::fopen("BENCH_query.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write BENCH_query.json\n");
+    return;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"simd\": {\"detected\": \"%s\", \"active\": \"%s\"},\n"
+      "  \"pipeline\": {\"rows\": %llu, \"eval_scalar_ms\": %.4f,\n"
+      "    \"eval_batched_ms\": %.4f, \"eval_batched_scalar_kernels_ms\": "
+      "%.4f},\n"
+      "  \"kernels\": [\n",
+      util::simd::SimdLevelName(util::simd::DetectedSimdLevel()),
+      util::simd::SimdLevelName(util::simd::ActiveSimdLevel()),
+      static_cast<unsigned long long>(pipeline.rows), pipeline.scalar_ms,
+      pipeline.batched_ms, pipeline.batched_scalar_ms);
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelTiming& t = kernels[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"items\": %llu, \"scalar_s\": %.5f, "
+                 "\"simd_s\": %.5f, \"simd_speedup\": %.2f}%s\n",
+                 t.name.c_str(), static_cast<unsigned long long>(t.items),
+                 t.scalar_s, t.simd_s, t.Speedup(),
+                 i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void RunKernelComparison() {
+  PipelineTiming pipeline = MeasurePipeline();
+  std::vector<KernelTiming> kernels = MeasureKernels();
+  std::fprintf(stderr, "\nkernels: forced-scalar vs %s dispatch\n",
+               util::simd::SimdLevelName(util::simd::DetectedSimdLevel()));
+  std::fprintf(stderr, "%-20s %12s %12s %12s %9s\n", "kernel", "items",
+               "scalar(s)", "simd(s)", "speedup");
+  for (const KernelTiming& t : kernels) {
+    std::fprintf(stderr, "%-20s %12llu %12.5f %12.5f %8.2fx\n",
+                 t.name.c_str(), static_cast<unsigned long long>(t.items),
+                 t.scalar_s, t.simd_s, t.Speedup());
+  }
+  WriteQueryJson(pipeline, kernels);
+  std::fprintf(stderr, "wrote BENCH_query.json\n");
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace abitmap
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::fprintf(stderr, "%s\n", abitmap::bench::SimdBannerLine().c_str());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  abitmap::bench::RunKernelComparison();
+  return 0;
+}

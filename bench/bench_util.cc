@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/logging.h"
+#include "util/simd.h"
 #include "util/stopwatch.h"
 
 namespace abitmap {
@@ -123,7 +124,22 @@ std::string FormatBytes(uint64_t bytes) {
 }
 
 void PrintHeader(const std::string& title) {
+  // Every bench states the dispatch level its numbers were measured at,
+  // once, above its first table.
+  static bool printed_simd = false;
+  if (!printed_simd) {
+    printed_simd = true;
+    std::printf("%s\n", SimdBannerLine().c_str());
+  }
   std::printf("\n==== %s ====\n", title.c_str());
+}
+
+std::string SimdBannerLine() {
+  std::string line = "simd: detected=";
+  line += util::simd::SimdLevelName(util::simd::DetectedSimdLevel());
+  line += " active=";
+  line += util::simd::SimdLevelName(util::simd::ActiveSimdLevel());
+  return line;
 }
 
 }  // namespace bench

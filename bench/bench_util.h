@@ -66,6 +66,11 @@ WahTimes TimeWah(const wah::WahIndex& index,
 /// print sizes.
 std::string FormatBytes(uint64_t bytes);
 
+/// One-line description of the SIMD dispatch state, e.g.
+/// "simd: detected=avx2 active=avx2". Benchmarks print it (to stderr when
+/// stdout is piped as JSON) and record both levels in their JSON output.
+std::string SimdBannerLine();
+
 /// Prints a horizontal rule + centered title for table output.
 void PrintHeader(const std::string& title);
 

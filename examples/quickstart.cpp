@@ -10,11 +10,17 @@
 #include "core/ab_index.h"
 #include "data/generators.h"
 #include "data/metrics.h"
+#include "util/simd.h"
 #include "wah/wah_query.h"
 
 using namespace abitmap;
 
 int main() {
+  // 0. The probe/verify kernels dispatch once per process to the widest
+  //    instruction set the CPU offers (override with AB_SIMD_LEVEL=scalar).
+  std::printf("simd kernels: %s (detected %s)\n",
+              util::simd::SimdLevelName(util::simd::ActiveSimdLevel()),
+              util::simd::SimdLevelName(util::simd::DetectedSimdLevel()));
   // 1. A relation with three attributes, already discretized into bins
   //    (use bitmap::Binner for raw continuous data).
   bitmap::BinnedDataset dataset = data::MakeSynthetic(

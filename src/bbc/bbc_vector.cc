@@ -131,7 +131,7 @@ uint64_t BbcVector::CountOnes() const {
       if (dec.FillValue()) total += dec.Remaining() * 8;
       dec.Consume(dec.Remaining());
     } else {
-      total += std::popcount(dec.CurrentByte());
+      total += util::PopCount(dec.CurrentByte());
       dec.Consume(1);
     }
   }

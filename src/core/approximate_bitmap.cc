@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace abitmap {
 namespace ab {
@@ -214,6 +215,25 @@ uint64_t ApproximateBitmap::TestBatchMask(const uint64_t* keys,
       for (size_t j = 0; j < m * width; ++j) {
         bits_.PrefetchBit(probes[j]);
       }
+    }
+    if (util::simd::ActiveSimdLevel() == util::simd::SimdLevel::kAvx2) {
+      // Gather/blend resolve: fetch every probe bit of the chunk with the
+      // vector gather kernel, then AND each lane's row. The chunk is small
+      // (lazy families hash two rounds at a time) so skipping the scalar
+      // path's intra-chunk early exit changes execution shape only — the
+      // surviving-lane mask is identical.
+      uint8_t bitvals[kBatchWindow * kMaxHashFunctions];
+      util::simd::GatherBits(bits_.words().data(), probes, m * width,
+                             bitvals);
+      for (size_t j = 0; j < m; ++j) {
+        uint8_t all = 1;
+        for (size_t t = 0; t < width; ++t) all &= bitvals[j * width + t];
+        if (!all) {
+          size_t lane = base == 0 ? j : lane_of[j];
+          alive &= ~(uint64_t{1} << lane);
+        }
+      }
+      continue;
     }
     // Round-major resolve: probe round t retires for every still-alive
     // cell before round t+1 — the batched analogue of the scalar early

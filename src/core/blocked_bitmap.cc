@@ -4,6 +4,7 @@
 
 #include "hash/general_hashes.h"
 #include "util/math.h"
+#include "util/simd.h"
 
 namespace abitmap {
 namespace ab {
@@ -14,6 +15,21 @@ constexpr uint64_t kBlockSalt = 0x243F6A8885A308D3ull;   // pi
 constexpr uint64_t kProbeSalt1 = 0x13198A2E03707344ull;  // pi, continued
 constexpr uint64_t kProbeSalt2 = 0xA4093822299F31D0ull;
 constexpr int kMaxK = 32;
+
+/// The block's required-bit mask: all k probe positions of `key`, ORed
+/// into 8 words. Both mixes run once per key (the per-probe path redoes
+/// them for every t); the probe positions are exactly ProbeBit's.
+void BuildBlockMask(uint64_t key, int k, uint64_t mask8[8]) {
+  uint64_t h1 = hash::Mix64(key ^ kProbeSalt1);
+  uint64_t h2 = hash::Mix64(key ^ kProbeSalt2) | 1u;
+  for (int i = 0; i < 8; ++i) mask8[i] = 0;
+  for (int t = 0; t < k; ++t) {
+    uint32_t bit = static_cast<uint32_t>(
+        (h1 + static_cast<uint64_t>(t) * h2) %
+        BlockedApproximateBitmap::kBlockBits);
+    mask8[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+}
 
 }  // namespace
 
@@ -48,15 +64,29 @@ uint32_t BlockedApproximateBitmap::ProbeBit(uint64_t key, int t) {
 
 void BlockedApproximateBitmap::Insert(uint64_t key) {
   uint64_t base = BlockOf(key) * kWordsPerBlock;
-  for (int t = 0; t < k_; ++t) {
-    uint32_t bit = ProbeBit(key, t);
-    words_[base + (bit >> 6)] |= uint64_t{1} << (bit & 63);
+  if (util::simd::ActiveSimdLevel() != util::simd::SimdLevel::kScalar) {
+    uint64_t mask[kWordsPerBlock];
+    BuildBlockMask(key, k_, mask);
+    util::simd::Block512Or(&words_[base], mask);
+  } else {
+    for (int t = 0; t < k_; ++t) {
+      uint32_t bit = ProbeBit(key, t);
+      words_[base + (bit >> 6)] |= uint64_t{1} << (bit & 63);
+    }
   }
   ++insertions_;
 }
 
 bool BlockedApproximateBitmap::Test(uint64_t key) const {
   uint64_t base = BlockOf(key) * kWordsPerBlock;
+  if (util::simd::ActiveSimdLevel() != util::simd::SimdLevel::kScalar) {
+    // Single-load probe: the block's 8 words against the key's required
+    // mask in two 256-bit compares — no per-probe early exit, same
+    // verdict.
+    uint64_t mask[kWordsPerBlock];
+    BuildBlockMask(key, k_, mask);
+    return util::simd::Block512Covers(&words_[base], mask);
+  }
   for (int t = 0; t < k_; ++t) {
     uint32_t bit = ProbeBit(key, t);
     if ((words_[base + (bit >> 6)] & (uint64_t{1} << (bit & 63))) == 0) {
@@ -78,10 +108,18 @@ void BlockedApproximateBitmap::InsertBatch(const uint64_t* keys,
       // probes of key i.
       __builtin_prefetch(&words_[bases[i]], /*rw=*/1, /*locality=*/0);
     }
-    for (size_t i = 0; i < w; ++i) {
-      for (int t = 0; t < k_; ++t) {
-        uint32_t bit = ProbeBit(wkeys[i], t);
-        words_[bases[i] + (bit >> 6)] |= uint64_t{1} << (bit & 63);
+    if (util::simd::ActiveSimdLevel() != util::simd::SimdLevel::kScalar) {
+      uint64_t mask[kWordsPerBlock];
+      for (size_t i = 0; i < w; ++i) {
+        BuildBlockMask(wkeys[i], k_, mask);
+        util::simd::Block512Or(&words_[bases[i]], mask);
+      }
+    } else {
+      for (size_t i = 0; i < w; ++i) {
+        for (int t = 0; t < k_; ++t) {
+          uint32_t bit = ProbeBit(wkeys[i], t);
+          words_[bases[i] + (bit >> 6)] |= uint64_t{1} << (bit & 63);
+        }
       }
     }
   }
@@ -114,6 +152,16 @@ uint64_t BlockedApproximateBitmap::TestBatchMask(const uint64_t* keys,
     __builtin_prefetch(&words_[bases[i]], /*rw=*/0, /*locality=*/0);
   }
   uint64_t alive = count == 64 ? ~uint64_t{0} : (uint64_t{1} << count) - 1;
+  if (util::simd::ActiveSimdLevel() != util::simd::SimdLevel::kScalar) {
+    uint64_t mask[kWordsPerBlock];
+    for (size_t i = 0; i < count; ++i) {
+      BuildBlockMask(keys[i], k_, mask);
+      if (!util::simd::Block512Covers(&words_[bases[i]], mask)) {
+        alive &= ~(uint64_t{1} << i);
+      }
+    }
+    return alive;
+  }
   for (int t = 0; t < k_ && alive; ++t) {
     uint64_t pending = alive;
     while (pending) {
@@ -130,8 +178,7 @@ uint64_t BlockedApproximateBitmap::TestBatchMask(const uint64_t* keys,
 }
 
 double BlockedApproximateBitmap::FillRatio() const {
-  uint64_t set = 0;
-  for (uint64_t w : words_) set += util::PopCount(w);
+  uint64_t set = util::simd::PopcountWords(words_.data(), words_.size());
   return static_cast<double>(set) / static_cast<double>(size_bits());
 }
 

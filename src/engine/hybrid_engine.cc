@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "bitmap/bitmap_table.h"
+#include "util/bitvector.h"
 #include "util/stopwatch.h"
 
 namespace abitmap {
@@ -115,6 +116,50 @@ EngineResult CollectResult(const HybridEngine& engine,
   return result;
 }
 
+/// Whole-relation variant over the decompressed query result: candidates
+/// are the set bits, walked word-wise with FindNextSet, so sparse results
+/// skip their zero runs instead of testing every row. Row ids come out in
+/// the same ascending order CollectResult produces.
+EngineResult CollectResultFromBits(const HybridEngine& engine,
+                                   const EngineQuery& query,
+                                   const util::BitVector& bits,
+                                   std::string path, util::ThreadPool* pool) {
+  EngineResult result;
+  result.path = std::move(path);
+  result.approximate = !query.exact;
+  auto verified = [&](uint64_t row) {
+    if (query.exact) {
+      for (const ValuePredicate& p : query.predicates) {
+        double v = engine.table().value(row, p.attr);
+        if (v < p.lo || v > p.hi) return false;
+      }
+    }
+    return true;
+  };
+  size_t n = bits.size();
+  if (pool != nullptr && n >= kParallelMinRows) {
+    // Contiguous ascending chunks (ParallelFor's contract), so
+    // concatenating parts in chunk order keeps row ids sorted.
+    std::vector<std::vector<uint64_t>> parts(pool->num_threads());
+    pool->ParallelFor(0, n, [&](uint64_t begin, uint64_t end, int chunk) {
+      std::vector<uint64_t>* out = &parts[chunk];
+      for (size_t pos = bits.FindNextSet(begin); pos < end;
+           pos = bits.FindNextSet(pos + 1)) {
+        if (verified(pos)) out->push_back(pos);
+      }
+    });
+    for (const std::vector<uint64_t>& part : parts) {
+      result.row_ids.insert(result.row_ids.end(), part.begin(), part.end());
+    }
+  } else {
+    for (size_t pos = bits.FindNextSet(0); pos < n;
+         pos = bits.FindNextSet(pos + 1)) {
+      if (verified(pos)) result.row_ids.push_back(pos);
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
@@ -139,6 +184,12 @@ EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
 EngineResult HybridEngine::ExecuteWithWah(const EngineQuery& query) const {
   bitmap::BitmapQuery bin_query;
   ToBinQuery(query, &bin_query);
+  if (bin_query.rows.empty()) {
+    // Whole relation: keep the bit-wise result packed and walk its set
+    // bits — the verification loop touches only candidate rows.
+    util::BitVector bits = wah_->ExecuteBitwiseBits(bin_query);
+    return CollectResultFromBits(*this, query, bits, "wah", pool_.get());
+  }
   std::vector<bool> bits = wah_->Evaluate(bin_query);
   return CollectResult(*this, query, bin_query, bits, "wah", pool_.get());
 }

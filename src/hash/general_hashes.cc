@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace abitmap {
 namespace hash {
@@ -402,11 +403,10 @@ uint64_t HashRenderedSalted(HashKind kind, const char* key_buf, size_t key_len,
 }
 
 uint64_t Mix64(uint64_t x) {
-  // splitmix64 finalizer (public domain, Sebastiano Vigna).
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
+  // One mixer for the library: the scalar splitmix64 finalizer lives in
+  // util::simd next to its lane-parallel form (Mix64Batch) so the two
+  // can never drift.
+  return util::simd::Mix64(x);
 }
 
 }  // namespace hash

@@ -7,6 +7,7 @@
 #include "hash/sha1.h"
 #include "util/logging.h"
 #include "util/math.h"
+#include "util/simd.h"
 
 namespace abitmap {
 namespace hash {
@@ -50,6 +51,45 @@ void HashFamily::ProbesBatchRange(const uint64_t* keys, const CellRef* cells,
 
 namespace {
 
+/// The ten classic pool functions have lockstep vector kernels; the modern
+/// block hashes (Murmur3/XX64) do not and hash scalar.
+bool ToSimdKind(HashKind kind, util::simd::StringHashKind* out) {
+  switch (kind) {
+    case HashKind::kRS:
+      *out = util::simd::StringHashKind::kRs;
+      return true;
+    case HashKind::kJS:
+      *out = util::simd::StringHashKind::kJs;
+      return true;
+    case HashKind::kPJW:
+      *out = util::simd::StringHashKind::kPjw;
+      return true;
+    case HashKind::kELF:
+      *out = util::simd::StringHashKind::kElf;
+      return true;
+    case HashKind::kBKDR:
+      *out = util::simd::StringHashKind::kBkdr;
+      return true;
+    case HashKind::kSDBM:
+      *out = util::simd::StringHashKind::kSdbm;
+      return true;
+    case HashKind::kDJB:
+      *out = util::simd::StringHashKind::kDjb;
+      return true;
+    case HashKind::kDEK:
+      *out = util::simd::StringHashKind::kDek;
+      return true;
+    case HashKind::kAP:
+      *out = util::simd::StringHashKind::kAp;
+      return true;
+    case HashKind::kFNV:
+      *out = util::simd::StringHashKind::kFnv;
+      return true;
+    default:
+      return false;
+  }
+}
+
 class IndependentFamily : public HashFamily {
  public:
   explicit IndependentFamily(std::vector<HashKind> pool)
@@ -82,11 +122,53 @@ class IndependentFamily : public HashFamily {
                         size_t count, size_t begin, size_t end, uint64_t n,
                         uint64_t* out) const override {
     AB_CHECK_GE(n, 1u);
+    size_t width = end - begin;
+    size_t i = 0;
+    // Four keys in lockstep through the classic recurrences when a vector
+    // string-hash kernel is available. Salted rounds (t past the pool) and
+    // non-classic pool members hash scalar per lane; tails of fewer than
+    // four keys fall through to the scalar loop below.
+    if (util::simd::ActiveSimdLevel() == util::simd::SimdLevel::kAvx2) {
+      char bufs[4][20];
+      size_t lens[4];
+      uint8_t transposed[20 * 4];
+      for (; i + 4 <= count; i += 4) {
+        size_t max_len = 0;
+        for (int l = 0; l < 4; ++l) {
+          lens[l] = RenderKeyDecimal(keys[i + l], bufs[l]);
+          if (lens[l] > max_len) max_len = lens[l];
+        }
+        for (size_t pos = 0; pos < max_len; ++pos) {
+          for (int l = 0; l < 4; ++l) {
+            transposed[pos * 4 + l] =
+                pos < lens[l] ? static_cast<uint8_t>(bufs[l][pos]) : 0;
+          }
+        }
+        for (size_t t = begin; t < end; ++t) {
+          HashKind kind = pool_[t % pool_.size()];
+          util::simd::StringHashKind sk;
+          uint64_t h4[4];
+          if (t < pool_.size() && ToSimdKind(kind, &sk) &&
+              util::simd::StringHash4(sk, transposed, lens, h4)) {
+            for (int l = 0; l < 4; ++l) {
+              out[(i + l) * width + (t - begin)] = h4[l] % n;
+            }
+          } else {
+            for (int l = 0; l < 4; ++l) {
+              uint64_t h =
+                  (t < pool_.size())
+                      ? HashBytes(kind, bufs[l], lens[l])
+                      : HashRenderedSalted(kind, bufs[l], lens[l], t);
+              out[(i + l) * width + (t - begin)] = h % n;
+            }
+          }
+        }
+      }
+    }
     // Render each key's decimal hash string once and feed it to every pool
     // member directly — no per-probe virtual dispatch, no memo lookups.
     char buf[20];
-    size_t width = end - begin;
-    for (size_t i = 0; i < count; ++i) {
+    for (; i < count; ++i) {
       size_t len = RenderKeyDecimal(keys[i], buf);
       uint64_t* row = out + i * width;
       for (size_t t = begin; t < end; ++t) {
@@ -206,8 +288,26 @@ class DoubleHashFamily : public HashFamily {
                         size_t count, size_t begin, size_t end, uint64_t n,
                         uint64_t* out) const override {
     AB_CHECK_GE(n, 1u);
-    // Two mixes per key, amortized over the requested rounds.
     size_t width = end - begin;
+    if (width == 0) return;
+    // Vector path: both mixes lane-parallel, then the probe windows as a
+    // running (h1 + t*h2) & (n-1). Exact for power-of-two n because the
+    // wrapped 64-bit sum masked by n-1 equals the scalar `% n`.
+    if (util::IsPowerOfTwo(n) && util::simd::ActiveSimdLevel() !=
+                                     util::simd::SimdLevel::kScalar) {
+      constexpr size_t kChunk = 64;
+      uint64_t h1[kChunk];
+      uint64_t h2[kChunk];
+      for (size_t i = 0; i < count; i += kChunk) {
+        size_t c = std::min(kChunk, count - i);
+        util::simd::Mix64Batch(keys + i, c, 0, 0, h1);
+        util::simd::Mix64Batch(keys + i, c, kSecondSalt, 1, h2);
+        util::simd::DoubleHashRounds(h1, h2, c, begin, end, n - 1,
+                                     out + i * width);
+      }
+      return;
+    }
+    // Two mixes per key, amortized over the requested rounds.
     for (size_t i = 0; i < count; ++i) {
       uint64_t h1 = Mix64(keys[i]);
       uint64_t h2 = SecondHash(keys[i]);
@@ -221,10 +321,12 @@ class DoubleHashFamily : public HashFamily {
   std::string name() const override { return "double"; }
 
  private:
+  static constexpr uint64_t kSecondSalt = 0x6A09E667F3BCC909ull;
+
   // Forced odd so probes cycle through all residues when n is a power of
   // two.
   static uint64_t SecondHash(uint64_t key) {
-    return Mix64(key ^ 0x6A09E667F3BCC909ull) | 1u;
+    return Mix64(key ^ kSecondSalt) | 1u;
   }
 };
 

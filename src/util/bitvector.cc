@@ -3,6 +3,8 @@
 #include <bit>
 #include <utility>
 
+#include "util/simd.h"
+
 namespace abitmap {
 namespace util {
 
@@ -87,9 +89,7 @@ void BitVector::Resize(size_t num_bits) {
 }
 
 size_t BitVector::Count() const {
-  size_t total = 0;
-  for (uint64_t w : words_) total += std::popcount(w);
-  return total;
+  return simd::PopcountWords(words_.data(), words_.size());
 }
 
 size_t BitVector::CountRange(size_t begin, size_t end) const {
@@ -106,9 +106,9 @@ size_t BitVector::CountRange(size_t begin, size_t end) const {
     return std::popcount(w);
   }
   size_t total = std::popcount(words_[first_word] >> (begin & 63));
-  for (size_t i = first_word + 1; i < last_word; ++i) {
-    total += std::popcount(words_[i]);
-  }
+  total +=
+      simd::PopcountWords(words_.data() + first_word + 1,
+                          last_word - first_word - 1);
   uint64_t last = words_[last_word];
   size_t tail_bits = ((end - 1) & 63) + 1;
   if (tail_bits < 64) last &= (uint64_t{1} << tail_bits) - 1;
@@ -121,7 +121,7 @@ std::vector<size_t> BitVector::SetPositions() const {
   for (size_t wi = 0; wi < words_.size(); ++wi) {
     uint64_t w = words_[wi];
     while (w != 0) {
-      int bit = std::countr_zero(w);
+      int bit = simd::CountTrailingZeros64(w);
       out.push_back(wi * 64 + static_cast<size_t>(bit));
       w &= w - 1;
     }
@@ -135,7 +135,8 @@ size_t BitVector::FindNextSet(size_t pos) const {
   uint64_t w = words_[wi] & (~uint64_t{0} << (pos & 63));
   while (true) {
     if (w != 0) {
-      size_t found = wi * 64 + static_cast<size_t>(std::countr_zero(w));
+      size_t found =
+          wi * 64 + static_cast<size_t>(simd::CountTrailingZeros64(w));
       return found < num_bits_ ? found : num_bits_;
     }
     if (++wi >= words_.size()) return num_bits_;
@@ -145,26 +146,26 @@ size_t BitVector::FindNextSet(size_t pos) const {
 
 void BitVector::AndWith(const BitVector& other) {
   AB_CHECK_EQ(num_bits_, other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::AndWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void BitVector::OrWith(const BitVector& other) {
   AB_CHECK_EQ(num_bits_, other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::OrWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void BitVector::XorWith(const BitVector& other) {
   AB_CHECK_EQ(num_bits_, other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  simd::XorWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void BitVector::AndNotWith(const BitVector& other) {
   AB_CHECK_EQ(num_bits_, other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  simd::AndNotWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void BitVector::Flip() {
-  for (uint64_t& w : words_) w = ~w;
+  simd::NotWords(words_.data(), words_.size());
   ClearPadding();
 }
 

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace abitmap {
 namespace util {
@@ -24,7 +25,7 @@ int Log2Ceil(uint64_t x) {
   return IsPowerOfTwo(x) ? floor : floor + 1;
 }
 
-int PopCount(uint64_t x) { return std::popcount(x); }
+int PopCount(uint64_t x) { return simd::PopCount64(x); }
 
 }  // namespace util
 }  // namespace abitmap

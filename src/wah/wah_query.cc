@@ -64,6 +64,11 @@ WahVector WahIndex::ExecuteBitwise(const bitmap::BitmapQuery& query) const {
   return result;
 }
 
+util::BitVector WahIndex::ExecuteBitwiseBits(
+    const bitmap::BitmapQuery& query) const {
+  return ExecuteBitwise(query).Decompress();
+}
+
 std::vector<bool> WahIndex::Evaluate(const bitmap::BitmapQuery& query) const {
   WahVector result = ExecuteBitwise(query);
   if (query.rows.empty()) {

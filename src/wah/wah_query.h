@@ -53,6 +53,13 @@ class WahIndex {
   /// does not depend on how many rows the query asks for.
   WahVector ExecuteBitwise(const bitmap::BitmapQuery& query) const;
 
+  /// ExecuteBitwise decompressed to a verbatim bit vector — one bit per
+  /// row. Whole-relation consumers (the engine's candidate walk) iterate
+  /// its set bits with BitVector::FindNextSet instead of materializing a
+  /// vector<bool> of every row, and the decompression itself runs on the
+  /// word kernels.
+  util::BitVector ExecuteBitwiseBits(const bitmap::BitmapQuery& query) const;
+
   /// Full answer for a row-subset query: ExecuteBitwise followed by
   /// extraction of the requested rows from the compressed result (a forward
   /// scan — the "extra bit operations" step). Rows must be sorted.

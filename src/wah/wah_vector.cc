@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "util/math.h"
+#include "util/simd.h"
 
 namespace abitmap {
 namespace wah {
@@ -201,7 +202,7 @@ std::vector<uint64_t> WahVectorT<WordT>::SetPositions() const {
     } else {
       WordT g = dec.CurrentGroupWord();
       while (g != 0) {
-        int bit = std::countr_zero(g);
+        int bit = util::simd::CountTrailingZeros64(g);
         out.push_back(offset + static_cast<uint64_t>(bit));
         g &= g - 1;
       }
@@ -211,7 +212,7 @@ std::vector<uint64_t> WahVectorT<WordT>::SetPositions() const {
   }
   WordT t = tail_;
   while (t != 0) {
-    int bit = std::countr_zero(t);
+    int bit = util::simd::CountTrailingZeros64(t);
     out.push_back(offset + static_cast<uint64_t>(bit));
     t &= t - 1;
   }
@@ -343,7 +344,7 @@ void WahSetBitIterator<WordT>::FindNext() {
       return;
     }
     if (literal_left_ != 0) {
-      int bit = std::countr_zero(literal_left_);
+      int bit = util::simd::CountTrailingZeros64(literal_left_);
       literal_left_ &= literal_left_ - 1;
       position_ = literal_base_ + static_cast<uint64_t>(bit);
       return;

@@ -1,0 +1,322 @@
+// Unit tests for the util::simd kernel layer: every kernel, at every
+// dispatch level this binary can reach, against a naive scalar reference.
+// The level sweep is the heart of the contract — a kernel is correct when
+// its output is byte-identical at kScalar, kSse2, kAvx2, and kNeon (levels
+// the host lacks clamp down, so the sweep degrades gracefully on any
+// machine and in -DAB_DISABLE_SIMD=ON builds).
+
+#include "util/simd.h"
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "hash/general_hashes.h"
+
+namespace abitmap {
+namespace util {
+namespace simd {
+namespace {
+
+/// Forces a dispatch level for one scope and restores the previous one.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : prev_(ActiveSimdLevel()) {
+    SetSimdLevelForTesting(level);
+  }
+  ~ScopedSimdLevel() { SetSimdLevelForTesting(prev_); }
+
+ private:
+  SimdLevel prev_;
+};
+
+const SimdLevel kAllLevels[] = {SimdLevel::kScalar, SimdLevel::kSse2,
+                                SimdLevel::kAvx2, SimdLevel::kNeon};
+
+std::vector<uint64_t> RandomWords(size_t count, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> out(count);
+  for (uint64_t& w : out) w = rng();
+  return out;
+}
+
+TEST(SimdDispatchTest, DetectedLevelIsStable) {
+  SimdLevel a = DetectedSimdLevel();
+  SimdLevel b = DetectedSimdLevel();
+  EXPECT_EQ(a, b);
+#if defined(AB_DISABLE_SIMD)
+  EXPECT_EQ(a, SimdLevel::kScalar);
+#endif
+}
+
+TEST(SimdDispatchTest, ForcingNeverExceedsDetected) {
+  ScopedSimdLevel guard(ActiveSimdLevel());
+  for (SimdLevel level : kAllLevels) {
+    SetSimdLevelForTesting(level);
+    SimdLevel active = ActiveSimdLevel();
+    // Either the requested level or a clamped fallback; scalar is always
+    // honoured exactly.
+    if (level == SimdLevel::kScalar) {
+      EXPECT_EQ(active, SimdLevel::kScalar);
+    }
+    EXPECT_TRUE(active == level || active == SimdLevel::kScalar ||
+                active == DetectedSimdLevel());
+  }
+}
+
+TEST(SimdDispatchTest, ParseAndName) {
+  SimdLevel level;
+  EXPECT_TRUE(ParseSimdLevel("scalar", &level));
+  EXPECT_EQ(level, SimdLevel::kScalar);
+  EXPECT_TRUE(ParseSimdLevel("sse2", &level));
+  EXPECT_EQ(level, SimdLevel::kSse2);
+  EXPECT_TRUE(ParseSimdLevel("avx2", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx2);
+  EXPECT_TRUE(ParseSimdLevel("neon", &level));
+  EXPECT_EQ(level, SimdLevel::kNeon);
+  EXPECT_TRUE(ParseSimdLevel("auto", &level));
+  EXPECT_EQ(level, DetectedSimdLevel());
+  EXPECT_FALSE(ParseSimdLevel("avx512", &level));
+  EXPECT_FALSE(ParseSimdLevel(nullptr, &level));
+  for (SimdLevel l : kAllLevels) {
+    SimdLevel round_trip;
+    ASSERT_TRUE(ParseSimdLevel(SimdLevelName(l), &round_trip));
+    EXPECT_EQ(round_trip, l);
+  }
+}
+
+TEST(SimdWordTest, PopcountWordsMatchesNaive) {
+  for (size_t count : {0u, 1u, 3u, 4u, 7u, 64u, 129u}) {
+    std::vector<uint64_t> words = RandomWords(count, 42 + count);
+    size_t expected = 0;
+    for (uint64_t w : words) expected += static_cast<size_t>(PopCount64(w));
+    for (SimdLevel level : kAllLevels) {
+      ScopedSimdLevel guard(level);
+      EXPECT_EQ(PopcountWords(words.data(), count), expected)
+          << "level=" << SimdLevelName(ActiveSimdLevel())
+          << " count=" << count;
+    }
+  }
+}
+
+TEST(SimdWordTest, BinaryOpsMatchNaive) {
+  for (size_t count : {0u, 1u, 5u, 64u, 127u}) {
+    std::vector<uint64_t> a = RandomWords(count, 7 + count);
+    std::vector<uint64_t> b = RandomWords(count, 1007 + count);
+    for (SimdLevel level : kAllLevels) {
+      ScopedSimdLevel guard(level);
+      for (int op = 0; op < 5; ++op) {
+        std::vector<uint64_t> dst = a;
+        std::vector<uint64_t> expected = a;
+        switch (op) {
+          case 0:
+            AndWords(dst.data(), b.data(), count);
+            for (size_t i = 0; i < count; ++i) expected[i] &= b[i];
+            break;
+          case 1:
+            OrWords(dst.data(), b.data(), count);
+            for (size_t i = 0; i < count; ++i) expected[i] |= b[i];
+            break;
+          case 2:
+            XorWords(dst.data(), b.data(), count);
+            for (size_t i = 0; i < count; ++i) expected[i] ^= b[i];
+            break;
+          case 3:
+            AndNotWords(dst.data(), b.data(), count);
+            for (size_t i = 0; i < count; ++i) expected[i] &= ~b[i];
+            break;
+          case 4:
+            NotWords(dst.data(), count);
+            for (size_t i = 0; i < count; ++i) expected[i] = ~expected[i];
+            break;
+        }
+        EXPECT_EQ(dst, expected)
+            << "level=" << SimdLevelName(ActiveSimdLevel()) << " op=" << op
+            << " count=" << count;
+      }
+    }
+  }
+}
+
+TEST(SimdGatherTest, GatherBitsMatchesNaive) {
+  std::mt19937_64 rng(99);
+  std::vector<uint64_t> words = RandomWords(1024, 5);
+  uint64_t num_bits = words.size() * 64;
+  for (size_t count : {0u, 1u, 3u, 4u, 9u, 255u}) {
+    std::vector<uint64_t> positions(count);
+    for (uint64_t& p : positions) p = rng() % num_bits;
+    std::vector<uint8_t> expected(count);
+    for (size_t i = 0; i < count; ++i) {
+      expected[i] = static_cast<uint8_t>(
+          (words[positions[i] >> 6] >> (positions[i] & 63)) & 1);
+    }
+    for (SimdLevel level : kAllLevels) {
+      ScopedSimdLevel guard(level);
+      std::vector<uint8_t> out(count, 0xCC);
+      GatherBits(words.data(), positions.data(), count, out.data());
+      EXPECT_EQ(out, expected)
+          << "level=" << SimdLevelName(ActiveSimdLevel())
+          << " count=" << count;
+    }
+  }
+}
+
+TEST(SimdBlockTest, Block512CoversAndOrMatchNaive) {
+  std::mt19937_64 rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint64_t block[8];
+    uint64_t mask[8];
+    for (int i = 0; i < 8; ++i) {
+      block[i] = rng();
+      // Mostly-subset masks so both verdicts occur often.
+      mask[i] = (trial % 2 == 0) ? (block[i] & rng()) : rng();
+    }
+    uint64_t missing = 0;
+    for (int i = 0; i < 8; ++i) missing |= mask[i] & ~block[i];
+    bool expected = missing == 0;
+    for (SimdLevel level : kAllLevels) {
+      ScopedSimdLevel guard(level);
+      EXPECT_EQ(Block512Covers(block, mask), expected)
+          << "level=" << SimdLevelName(ActiveSimdLevel());
+      uint64_t merged[8];
+      std::memcpy(merged, block, sizeof(merged));
+      Block512Or(merged, mask);
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(merged[i], block[i] | mask[i]);
+      }
+      // After the OR, the block must cover the mask at every level.
+      EXPECT_TRUE(Block512Covers(merged, mask));
+    }
+  }
+}
+
+TEST(SimdHashTest, Mix64MatchesHashLibrary) {
+  std::mt19937_64 rng(2024);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t x = rng();
+    EXPECT_EQ(Mix64(x), hash::Mix64(x));
+  }
+}
+
+TEST(SimdHashTest, Mix64BatchMatchesScalarMix) {
+  std::mt19937_64 rng(77);
+  for (size_t count : {0u, 1u, 2u, 3u, 4u, 5u, 31u, 64u}) {
+    std::vector<uint64_t> keys = RandomWords(count, 300 + count);
+    uint64_t salt = rng();
+    for (uint64_t or_mask : {uint64_t{0}, uint64_t{1}}) {
+      std::vector<uint64_t> expected(count);
+      for (size_t i = 0; i < count; ++i) {
+        expected[i] = Mix64(keys[i] ^ salt) | or_mask;
+      }
+      for (SimdLevel level : kAllLevels) {
+        ScopedSimdLevel guard(level);
+        std::vector<uint64_t> out(count, ~uint64_t{0});
+        Mix64Batch(keys.data(), count, salt, or_mask, out.data());
+        EXPECT_EQ(out, expected)
+            << "level=" << SimdLevelName(ActiveSimdLevel())
+            << " count=" << count << " or_mask=" << or_mask;
+      }
+    }
+  }
+}
+
+TEST(SimdHashTest, DoubleHashRoundsMatchesFormula) {
+  std::mt19937_64 rng(55);
+  for (size_t count : {1u, 2u, 3u, 4u, 7u, 33u}) {
+    std::vector<uint64_t> h1 = RandomWords(count, 400 + count);
+    std::vector<uint64_t> h2 = RandomWords(count, 500 + count);
+    for (uint64_t& h : h2) h |= 1;
+    for (auto [begin, end] : {std::pair<size_t, size_t>{0, 1},
+                              {0, 6},
+                              {2, 4},
+                              {5, 13}}) {
+      size_t width = end - begin;
+      uint64_t pos_mask = (uint64_t{1} << (10 + rng() % 20)) - 1;
+      std::vector<uint64_t> expected(count * width);
+      for (size_t i = 0; i < count; ++i) {
+        for (size_t t = begin; t < end; ++t) {
+          expected[i * width + (t - begin)] = (h1[i] + t * h2[i]) & pos_mask;
+        }
+      }
+      for (SimdLevel level : kAllLevels) {
+        ScopedSimdLevel guard(level);
+        std::vector<uint64_t> out(count * width, ~uint64_t{0});
+        DoubleHashRounds(h1.data(), h2.data(), count, begin, end, pos_mask,
+                         out.data());
+        EXPECT_EQ(out, expected)
+            << "level=" << SimdLevelName(ActiveSimdLevel())
+            << " count=" << count << " begin=" << begin << " end=" << end;
+      }
+    }
+  }
+}
+
+/// StringHash4 against the scalar recurrences in hash/general_hashes.cc,
+/// over random decimal-ish strings of mixed lengths (the exact shape the
+/// probe kernels feed it).
+TEST(SimdHashTest, StringHash4MatchesScalarHashes) {
+  struct KindPair {
+    StringHashKind simd_kind;
+    hash::HashKind hash_kind;
+  };
+  const KindPair kKinds[] = {
+      {StringHashKind::kRs, hash::HashKind::kRS},
+      {StringHashKind::kJs, hash::HashKind::kJS},
+      {StringHashKind::kPjw, hash::HashKind::kPJW},
+      {StringHashKind::kElf, hash::HashKind::kELF},
+      {StringHashKind::kBkdr, hash::HashKind::kBKDR},
+      {StringHashKind::kSdbm, hash::HashKind::kSDBM},
+      {StringHashKind::kDjb, hash::HashKind::kDJB},
+      {StringHashKind::kDek, hash::HashKind::kDEK},
+      {StringHashKind::kAp, hash::HashKind::kAP},
+      {StringHashKind::kFnv, hash::HashKind::kFNV},
+  };
+  std::mt19937_64 rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Four lanes of random length (1..20), transposed layout.
+    char lanes[4][20];
+    size_t lens[4];
+    uint8_t transposed[20 * 4];
+    std::memset(transposed, 0, sizeof(transposed));
+    size_t max_len = 0;
+    for (int l = 0; l < 4; ++l) {
+      lens[l] = 1 + rng() % 20;
+      max_len = std::max(max_len, lens[l]);
+      for (size_t pos = 0; pos < lens[l]; ++pos) {
+        lanes[l][pos] = static_cast<char>('0' + rng() % 10);
+      }
+    }
+    for (size_t pos = 0; pos < max_len; ++pos) {
+      for (int l = 0; l < 4; ++l) {
+        transposed[pos * 4 + l] =
+            pos < lens[l] ? static_cast<uint8_t>(lanes[l][pos]) : 0;
+      }
+    }
+    for (const KindPair& kp : kKinds) {
+      uint64_t expected[4];
+      for (int l = 0; l < 4; ++l) {
+        expected[l] = hash::HashBytes(kp.hash_kind, lanes[l], lens[l]);
+      }
+      for (SimdLevel level : kAllLevels) {
+        ScopedSimdLevel guard(level);
+        uint64_t out[4];
+        if (StringHash4(kp.simd_kind, transposed, lens, out)) {
+          for (int l = 0; l < 4; ++l) {
+            EXPECT_EQ(out[l], expected[l])
+                << "level=" << SimdLevelName(ActiveSimdLevel())
+                << " kind=" << hash::HashKindName(kp.hash_kind)
+                << " lane=" << l << " len=" << lens[l];
+          }
+        }
+        // A false return (no vector kernel at this level) is a valid
+        // outcome; the caller hashes scalar.
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace util
+}  // namespace abitmap

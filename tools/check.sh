@@ -8,6 +8,11 @@
 # concurrent build/evaluate paths. Set AB_CHECK_TSAN=0 to skip it, or
 # AB_CHECK_TSAN=1 to make an unsupported toolchain a hard failure.
 #
+# Likewise, when -fsanitize=address links, a tier-1 pass runs under
+# ASan+UBSan (AB_ADDRESS_SANITIZER=ON) to check the SIMD gather/tail
+# paths for out-of-bounds reads and the hash kernels for UB. Set
+# AB_CHECK_ASAN=0 to skip, AB_CHECK_ASAN=1 to require it.
+#
 # Usage: tools/check.sh [build-dir]   (default: build/check)
 set -euo pipefail
 
@@ -21,6 +26,15 @@ tsan_supported() {
   trap 'rm -rf "$probe_dir"' RETURN
   printf 'int main(){return 0;}\n' >"$probe_dir/probe.cc"
   "${CXX:-c++}" -fsanitize=thread -o "$probe_dir/probe" \
+    "$probe_dir/probe.cc" >/dev/null 2>&1
+}
+
+asan_supported() {
+  local probe_dir
+  probe_dir="$(mktemp -d)"
+  trap 'rm -rf "$probe_dir"' RETURN
+  printf 'int main(){return 0;}\n' >"$probe_dir/probe.cc"
+  "${CXX:-c++}" -fsanitize=address,undefined -o "$probe_dir/probe" \
     "$probe_dir/probe.cc" >/dev/null 2>&1
 }
 
@@ -50,6 +64,25 @@ if [ "${AB_CHECK_TSAN:-auto}" != "0" ]; then
     exit 1
   else
     echo "== tier-1 tests (TSan) skipped: toolchain lacks -fsanitize=thread =="
+  fi
+fi
+
+if [ "${AB_CHECK_ASAN:-auto}" != "0" ]; then
+  if asan_supported; then
+    asan_dir="$build_dir-asan"
+    echo "== configure (ASan+UBSan) =="
+    cmake -S "$repo_root" -B "$asan_dir" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DAB_ADDRESS_SANITIZER=ON >/dev/null
+    echo "== build (ASan) =="
+    cmake --build "$asan_dir" -j "$jobs"
+    echo "== tier-1 tests (ASan) =="
+    ctest --test-dir "$asan_dir" -L tier1 --output-on-failure -j "$jobs"
+  elif [ "${AB_CHECK_ASAN:-auto}" = "1" ]; then
+    echo "error: AB_CHECK_ASAN=1 but the toolchain cannot link -fsanitize=address,undefined" >&2
+    exit 1
+  else
+    echo "== tier-1 tests (ASan) skipped: toolchain lacks -fsanitize=address =="
   fi
 fi
 

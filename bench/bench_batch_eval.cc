@@ -30,6 +30,7 @@
 #include "data/generators.h"
 #include "data/query_gen.h"
 #include "hash/hash_family.h"
+#include "obs/stats.h"
 #include "util/simd.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -316,15 +317,20 @@ void WriteQueryJson(const PipelineTiming& pipeline,
     std::fprintf(stderr, "warning: cannot write BENCH_query.json\n");
     return;
   }
+  // stats_enabled distinguishes the two tier-1 configurations: the
+  // metrics-on overhead is the eval_batched_ms delta between a default
+  // build's JSON and an -DAB_DISABLE_STATS=ON build's (EXPERIMENTS.md).
   std::fprintf(
       f,
       "{\n  \"simd\": {\"detected\": \"%s\", \"active\": \"%s\"},\n"
+      "  \"stats_enabled\": %s,\n"
       "  \"pipeline\": {\"rows\": %llu, \"eval_scalar_ms\": %.4f,\n"
       "    \"eval_batched_ms\": %.4f, \"eval_batched_scalar_kernels_ms\": "
       "%.4f},\n"
       "  \"kernels\": [\n",
       util::simd::SimdLevelName(util::simd::DetectedSimdLevel()),
       util::simd::SimdLevelName(util::simd::ActiveSimdLevel()),
+      obs::kStatsEnabled ? "true" : "false",
       static_cast<unsigned long long>(pipeline.rows), pipeline.scalar_ms,
       pipeline.batched_ms, pipeline.batched_scalar_ms);
   for (size_t i = 0; i < kernels.size(); ++i) {
@@ -367,5 +373,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   abitmap::bench::RunKernelComparison();
+  std::fprintf(stderr, "%s\n", abitmap::bench::StatsBannerLine().c_str());
   return 0;
 }

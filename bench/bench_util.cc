@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/stats.h"
 #include "util/logging.h"
 #include "util/simd.h"
 #include "util/stopwatch.h"
@@ -124,12 +125,16 @@ std::string FormatBytes(uint64_t bytes) {
 }
 
 void PrintHeader(const std::string& title) {
-  // Every bench states the dispatch level its numbers were measured at,
-  // once, above its first table.
+  // Every bench states the dispatch level its numbers were measured at —
+  // and whether the observability layer is compiled in — once, above its
+  // first table.
   static bool printed_simd = false;
   if (!printed_simd) {
     printed_simd = true;
     std::printf("%s\n", SimdBannerLine().c_str());
+    std::printf("%s\n", obs::kStatsEnabled
+                            ? "stats: enabled"
+                            : "stats: compiled out (AB_DISABLE_STATS)");
   }
   std::printf("\n==== %s ====\n", title.c_str());
 }
@@ -140,6 +145,30 @@ std::string SimdBannerLine() {
   line += " active=";
   line += util::simd::SimdLevelName(util::simd::ActiveSimdLevel());
   return line;
+}
+
+std::string StatsBannerLine() {
+  if (!obs::kStatsEnabled) return "stats: compiled out (AB_DISABLE_STATS)";
+  obs::StatsSnapshot s = obs::SnapshotStats();
+  uint64_t tested = s.counter(obs::Counter::kAbCellsTested);
+  uint64_t resolved = s.counter(obs::Counter::kAbProbesResolved);
+  uint64_t skipped = s.counter(obs::Counter::kAbProbesShortCircuited);
+  double skipped_pct =
+      resolved + skipped == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(skipped) /
+                static_cast<double>(resolved + skipped);
+  char buf[192];
+  std::snprintf(
+      buf, sizeof(buf),
+      "stats: enabled cells_tested=%llu short_circuited=%.1f%% "
+      "queries=%llu pool_tasks=%llu",
+      static_cast<unsigned long long>(tested), skipped_pct,
+      static_cast<unsigned long long>(
+          s.counter(obs::Counter::kIndexQueries)),
+      static_cast<unsigned long long>(
+          s.counter(obs::Counter::kPoolTasksCompleted)));
+  return std::string(buf);
 }
 
 }  // namespace bench

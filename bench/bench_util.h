@@ -71,6 +71,13 @@ std::string FormatBytes(uint64_t bytes);
 /// stdout is piped as JSON) and record both levels in their JSON output.
 std::string SimdBannerLine();
 
+/// One-line summary of the observability layer's current snapshot, e.g.
+/// "stats: enabled cells_tested=84125 short_circuited=86.1% queries=10"
+/// — or "stats: compiled out (AB_DISABLE_STATS)" in a stats-off build.
+/// Benchmarks print it after their workload so the probe accounting
+/// reflects the run.
+std::string StatsBannerLine();
+
 /// Prints a horizontal rule + centered title for table output.
 void PrintHeader(const std::string& title);
 

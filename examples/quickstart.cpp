@@ -10,6 +10,8 @@
 #include "core/ab_index.h"
 #include "data/generators.h"
 #include "data/metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 #include "util/simd.h"
 #include "wah/wah_query.h"
 
@@ -80,5 +82,25 @@ int main() {
   }
   std::printf("after pruning candidates against base data: %zu == %llu\n",
               verified, static_cast<unsigned long long>(acc.exact_ones));
+
+  // 6. Observability: the same query through the trace-collecting batched
+  //    path, plus the process-wide counters the library recorded along
+  //    the way (all zeros when built with -DAB_DISABLE_STATS=ON).
+  obs::QueryTrace trace;
+  (void)ab_index.EvaluateBatched(query, &trace);
+  std::printf("query trace: %s\n", trace.ToJson().c_str());
+  obs::StatsSnapshot stats = obs::SnapshotStats();
+  std::printf(
+      "stats: %s — cells_tested=%llu probes_resolved=%llu "
+      "short_circuited=%llu queries=%llu\n",
+      obs::kStatsEnabled ? "enabled" : "compiled out",
+      static_cast<unsigned long long>(
+          stats.counter(obs::Counter::kAbCellsTested)),
+      static_cast<unsigned long long>(
+          stats.counter(obs::Counter::kAbProbesResolved)),
+      static_cast<unsigned long long>(
+          stats.counter(obs::Counter::kAbProbesShortCircuited)),
+      static_cast<unsigned long long>(
+          stats.counter(obs::Counter::kIndexQueries)));
   return 0;
 }

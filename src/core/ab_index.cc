@@ -1,17 +1,34 @@
 #include "core/ab_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <utility>
 
 #include "core/ab_theory.h"
+#include "obs/stats.h"
 #include "util/logging.h"
 #include "util/math.h"
+#include "util/simd.h"
 
 namespace abitmap {
 namespace ab {
 
 namespace {
+
+/// Fills the trace fields every evaluation variant shares: the shape of
+/// the shared plan, the analytic precision prediction, and the dispatch
+/// level the kernels ran at. Probe-level fields are accumulated by the
+/// kernel itself.
+void FillEvalTrace(const AbIndex& index, const bitmap::BitmapQuery& query,
+                   size_t plan_size, size_t rows, obs::QueryTrace* trace) {
+  if (trace == nullptr) return;
+  trace->rows_evaluated += rows;
+  trace->attrs_in_plan = plan_size;
+  trace->predicted_precision = index.EstimateQueryPrecision(query);
+  trace->simd_level =
+      util::simd::SimdLevelName(util::simd::ActiveSimdLevel());
+}
 
 /// Per-column set-bit histogram: entry [global column] = number of rows in
 /// that bin.
@@ -155,12 +172,15 @@ AbIndex AbIndex::Build(const bitmap::BinnedDataset& dataset,
 
 AbIndex AbIndex::Build(const bitmap::BinnedDataset& dataset,
                        const AbConfig& config, const FamilyFactory& factory) {
+  obs::ScopedLatencyTimer timer(obs::Histogram::kBuildLatencyNs);
   AbIndex index = MakeSkeleton(dataset, config, factory);
   // Figure 3: insert every set bit of the bitmap table. Iterating the
   // dataset column-by-column visits exactly the set cells (one per
   // attribute per row) without materializing the table.
   index.InsertRowRange(dataset, 0, dataset.num_rows(), 0, /*atomic=*/false);
   index.built_fp_ = index.WorstExpectedFp();
+  AB_STATS_INC(obs::Counter::kIndexBuilds);
+  AB_STATS_ADD(obs::Counter::kIndexRowsIndexed, dataset.num_rows());
   return index;
 }
 
@@ -201,6 +221,7 @@ AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
   if (pool == nullptr || pool->num_threads() <= 1) {
     return Build(dataset, config, factory);
   }
+  obs::ScopedLatencyTimer timer(obs::Histogram::kBuildLatencyNs);
   AbIndex index = MakeSkeleton(dataset, config, factory);
   uint64_t n_rows = dataset.num_rows();
   if (n_rows > 0) {
@@ -236,6 +257,8 @@ AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
     }
   }
   index.built_fp_ = index.WorstExpectedFp();
+  AB_STATS_INC(obs::Counter::kIndexBuildsParallel);
+  AB_STATS_ADD(obs::Counter::kIndexRowsIndexed, n_rows);
   return index;
 }
 
@@ -437,6 +460,7 @@ std::vector<const bitmap::AttributeRange*> AbIndex::MakePlan(
 }
 
 std::vector<bool> AbIndex::Evaluate(const bitmap::BitmapQuery& query) const {
+  obs::ScopedLatencyTimer timer(obs::Histogram::kEvalLatencyNs);
   std::vector<uint64_t> all_rows;
   const std::vector<uint64_t>* rows = &query.rows;
   if (query.rows.empty()) {
@@ -446,12 +470,19 @@ std::vector<bool> AbIndex::Evaluate(const bitmap::BitmapQuery& query) const {
   std::vector<const bitmap::AttributeRange*> plan = MakePlan(query);
   std::vector<bool> out;
   out.reserve(rows->size());
+#if !defined(AB_DISABLE_STATS)
+  uint64_t cells_probed = 0;
+  uint64_t rows_matched = 0;
+#endif
   for (uint64_t i : *rows) {
     AB_DCHECK(i < num_rows_);
     bool and_part = true;
     for (const bitmap::AttributeRange* range : plan) {
       bool or_part = false;
       for (uint32_t b = range->lo_bin; b <= range->hi_bin; ++b) {
+#if !defined(AB_DISABLE_STATS)
+        ++cells_probed;
+#endif
         if (TestCell(i, range->attr, b)) {
           // Short-circuit: one bin hit satisfies the attribute.
           or_part = true;
@@ -464,24 +495,54 @@ std::vector<bool> AbIndex::Evaluate(const bitmap::BitmapQuery& query) const {
         break;
       }
     }
+#if !defined(AB_DISABLE_STATS)
+    rows_matched += and_part ? 1 : 0;
+#endif
     out.push_back(and_part);
   }
+#if !defined(AB_DISABLE_STATS)
+  {
+    obs::internal::ThreadStatsBlock* b = obs::internal::TlsBlock();
+    b->Add(obs::Counter::kIndexQueries, 1);
+    b->Add(obs::Counter::kIndexEvalScalar, 1);
+    b->Add(obs::Counter::kIndexRowsEvaluated, rows->size());
+    b->Add(obs::Counter::kIndexRowsMatched, rows_matched);
+    b->Add(obs::Counter::kIndexCellsProbed, cells_probed);
+  }
+  AB_STATS_HIST(obs::Histogram::kEvalRowsPerQuery, rows->size());
+#endif
   return out;
 }
 
 void AbIndex::EvaluateRowsBatched(
     const std::vector<const bitmap::AttributeRange*>& plan,
-    const uint64_t* rows, size_t count, uint8_t* out) const {
+    const uint64_t* rows, size_t count, uint8_t* out,
+    obs::QueryTrace* trace) const {
   constexpr size_t W = ApproximateBitmap::kBatchWindow;
   uint64_t keys[W];
   hash::CellRef cells[W];
   uint8_t lane_of[W];  // probe slot -> window lane
+#if !defined(AB_DISABLE_STATS)
+  // Probe accounting lives in locals; one publish per kernel call (and
+  // one batch of relaxed atomic adds into the shared trace) keeps the
+  // per-window cost at zero. The filter-level view aggregates through
+  // ProbeStats — TestBatchMask publishes nothing when handed an
+  // accumulator — and doubles as the index-level cells/windows tally
+  // (every probe this kernel issues goes through it).
+  uint64_t rows_matched = 0;
+  uint64_t rows_short_circuited = 0;
+  ApproximateBitmap::ProbeStats probe_stats;
+  ApproximateBitmap::ProbeStats* probe_stats_ptr = &probe_stats;
+#else
+  ApproximateBitmap::ProbeStats* probe_stats_ptr = nullptr;
+#endif
   for (size_t base = 0; base < count; base += W) {
     size_t w = std::min(W, count - base);
     const uint64_t* wrows = rows + base;
     // Bit i of the masks below tracks window lane i (row wrows[i]).
     uint64_t alive = w == 64 ? ~uint64_t{0} : (uint64_t{1} << w) - 1;
-    for (const bitmap::AttributeRange* range : plan) {
+    for (size_t pi = 0; pi < plan.size(); ++pi) {
+      const bitmap::AttributeRange* range = plan[pi];
       uint64_t or_mask = 0;
       for (uint32_t b = range->lo_bin; b <= range->hi_bin; ++b) {
         // A lane that already hit one of this attribute's bins is
@@ -501,24 +562,67 @@ void AbIndex::EvaluateRowsBatched(
           lane_of[m] = static_cast<uint8_t>(i);
           ++m;
         }
-        uint64_t hits = filter.TestBatchMask(keys, cells, m);
+        uint64_t hits = filter.TestBatchMask(keys, cells, m, probe_stats_ptr);
         while (hits) {
           int j = __builtin_ctzll(hits);
           hits &= hits - 1;
           or_mask |= uint64_t{1} << lane_of[j];
         }
       }
+#if !defined(AB_DISABLE_STATS)
+      // Lanes dying before the plan's last attribute skip the remaining
+      // attributes entirely — the batched form of the scalar outer break.
+      if (pi + 1 < plan.size()) {
+        rows_short_circuited += static_cast<uint64_t>(
+            __builtin_popcountll(alive) -
+            __builtin_popcountll(alive & or_mask));
+      }
+#endif
       alive &= or_mask;
       if (alive == 0) break;
     }
+#if !defined(AB_DISABLE_STATS)
+    rows_matched += static_cast<uint64_t>(__builtin_popcountll(alive));
+#endif
     for (size_t i = 0; i < w; ++i) {
       out[base + i] = static_cast<uint8_t>((alive >> i) & 1);
     }
   }
+#if !defined(AB_DISABLE_STATS)
+  {
+    obs::internal::ThreadStatsBlock* b = obs::internal::TlsBlock();
+    b->Add(obs::Counter::kAbCellsTested, probe_stats.cells_tested);
+    b->Add(obs::Counter::kAbBatchWindows, probe_stats.windows);
+    b->Add(obs::Counter::kAbProbesResolved, probe_stats.probes_resolved);
+    b->Add(obs::Counter::kAbProbesShortCircuited,
+           probe_stats.probes_short_circuited);
+    b->Add(obs::Counter::kIndexCellsProbed, probe_stats.cells_tested);
+    b->Add(obs::Counter::kIndexRowsMatched, rows_matched);
+  }
+  if (trace != nullptr) {
+    // Relaxed atomic adds: parallel chunks share one trace record.
+    std::atomic_ref<uint64_t>(trace->cells_probed)
+        .fetch_add(probe_stats.cells_tested, std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(trace->probe_windows)
+        .fetch_add(probe_stats.windows, std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(trace->rows_matched)
+        .fetch_add(rows_matched, std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(trace->rows_short_circuited)
+        .fetch_add(rows_short_circuited, std::memory_order_relaxed);
+  }
+#else
+  (void)trace;
+#endif
 }
 
 std::vector<bool> AbIndex::EvaluateBatched(
     const bitmap::BitmapQuery& query) const {
+  return EvaluateBatched(query, nullptr);
+}
+
+std::vector<bool> AbIndex::EvaluateBatched(const bitmap::BitmapQuery& query,
+                                           obs::QueryTrace* trace) const {
+  obs::ScopedLatencyTimer timer(obs::Histogram::kEvalLatencyNs);
   std::vector<uint64_t> all_rows;
   const std::vector<uint64_t>* rows = &query.rows;
   if (query.rows.empty()) {
@@ -527,7 +631,18 @@ std::vector<bool> AbIndex::EvaluateBatched(
   }
   std::vector<const bitmap::AttributeRange*> plan = MakePlan(query);
   std::vector<uint8_t> scratch(rows->size());
-  EvaluateRowsBatched(plan, rows->data(), rows->size(), scratch.data());
+  EvaluateRowsBatched(plan, rows->data(), rows->size(), scratch.data(),
+                      trace);
+  FillEvalTrace(*this, query, plan.size(), rows->size(), trace);
+#if !defined(AB_DISABLE_STATS)
+  {
+    obs::internal::ThreadStatsBlock* b = obs::internal::TlsBlock();
+    b->Add(obs::Counter::kIndexQueries, 1);
+    b->Add(obs::Counter::kIndexEvalBatched, 1);
+    b->Add(obs::Counter::kIndexRowsEvaluated, rows->size());
+  }
+  AB_STATS_HIST(obs::Histogram::kEvalRowsPerQuery, rows->size());
+#endif
   return std::vector<bool>(scratch.begin(), scratch.end());
 }
 
@@ -540,9 +655,16 @@ std::vector<bool> AbIndex::EvaluateParallel(const bitmap::BitmapQuery& query,
 
 std::vector<bool> AbIndex::EvaluateParallel(const bitmap::BitmapQuery& query,
                                             util::ThreadPool* pool) const {
+  return EvaluateParallel(query, pool, nullptr);
+}
+
+std::vector<bool> AbIndex::EvaluateParallel(const bitmap::BitmapQuery& query,
+                                            util::ThreadPool* pool,
+                                            obs::QueryTrace* trace) const {
   if (pool == nullptr || pool->num_threads() <= 1) {
-    return EvaluateBatched(query);
+    return EvaluateBatched(query, trace);
   }
+  obs::ScopedLatencyTimer timer(obs::Histogram::kEvalLatencyNs);
   std::vector<uint64_t> all_rows;
   const std::vector<uint64_t>* rows = &query.rows;
   if (query.rows.empty()) {
@@ -557,11 +679,22 @@ std::vector<bool> AbIndex::EvaluateParallel(const bitmap::BitmapQuery& query,
   const uint64_t* row_data = rows->data();
   uint8_t* out_data = scratch.data();
   pool->ParallelFor(0, rows->size(),
-                    [this, &plan, row_data, out_data](
+                    [this, &plan, row_data, out_data, trace](
                         uint64_t begin, uint64_t end, int /*chunk*/) {
                       EvaluateRowsBatched(plan, row_data + begin,
-                                          end - begin, out_data + begin);
+                                          end - begin, out_data + begin,
+                                          trace);
                     });
+  FillEvalTrace(*this, query, plan.size(), rows->size(), trace);
+#if !defined(AB_DISABLE_STATS)
+  {
+    obs::internal::ThreadStatsBlock* b = obs::internal::TlsBlock();
+    b->Add(obs::Counter::kIndexQueries, 1);
+    b->Add(obs::Counter::kIndexEvalParallel, 1);
+    b->Add(obs::Counter::kIndexRowsEvaluated, rows->size());
+  }
+  AB_STATS_HIST(obs::Histogram::kEvalRowsPerQuery, rows->size());
+#endif
   return std::vector<bool>(scratch.begin(), scratch.end());
 }
 
@@ -606,6 +739,7 @@ void AbIndex::AppendRows(const bitmap::BinnedDataset& delta) {
   }
   // Delta rows are local ids 0..added-1; they hash as rows base+i.
   InsertRowRange(delta, 0, added, base, /*atomic=*/false);
+  AB_STATS_ADD(obs::Counter::kIndexRowsAppended, added);
 }
 
 bool AbIndex::NeedsRebuild(double fp_budget_factor) const {

@@ -11,6 +11,7 @@
 #include "bitmap/schema.h"
 #include "core/approximate_bitmap.h"
 #include "core/cell_mapper.h"
+#include "obs/trace.h"
 #include "util/file_io.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
@@ -180,6 +181,14 @@ class AbIndex {
   /// first failed attribute.
   std::vector<bool> EvaluateBatched(const bitmap::BitmapQuery& query) const;
 
+  /// Trace-collecting variant: fills `trace` (non-null) with the query's
+  /// execution profile — rows evaluated, cells probed, probe windows,
+  /// short-circuit savings, the shared plan's attribute count, the active
+  /// SIMD dispatch level, and the ab_theory precision prediction. Same
+  /// result bits as EvaluateBatched(query).
+  std::vector<bool> EvaluateBatched(const bitmap::BitmapQuery& query,
+                                    obs::QueryTrace* trace) const;
+
   /// Multi-threaded batched evaluation: shards the requested rows into
   /// contiguous chunks, one per pool worker, and runs the batched kernel
   /// per chunk. The per-row plan (most-selective-first attribute order)
@@ -192,6 +201,13 @@ class AbIndex {
   /// across queries instead of paying thread spawn per call).
   std::vector<bool> EvaluateParallel(const bitmap::BitmapQuery& query,
                                      util::ThreadPool* pool) const;
+
+  /// Trace-collecting variant of the pool evaluation. Worker chunks
+  /// accumulate into `trace` with relaxed atomic adds (std::atomic_ref),
+  /// so the totals are exact regardless of chunking.
+  std::vector<bool> EvaluateParallel(const bitmap::BitmapQuery& query,
+                                     util::ThreadPool* pool,
+                                     obs::QueryTrace* trace) const;
 
   /// Analytic precision estimate for a query ("the false positive rate can
   /// be estimated and controlled" — the paper's abstract), computed from
@@ -280,9 +296,13 @@ class AbIndex {
 
   /// The batched kernel: evaluates the plan for rows[0..count), writing
   /// 0/1 into out[0..count). Thread-safe over disjoint output ranges.
+  /// Probe accounting aggregates in locals and publishes once per call:
+  /// to the process counters, and into `trace` (when non-null) via
+  /// relaxed atomic adds so concurrent chunks may share one record.
   void EvaluateRowsBatched(
       const std::vector<const bitmap::AttributeRange*>& plan,
-      const uint64_t* rows, size_t count, uint8_t* out) const;
+      const uint64_t* rows, size_t count, uint8_t* out,
+      obs::QueryTrace* trace) const;
 
   /// Largest expected FP rate across filters (rebuild advisory baseline).
   double WorstExpectedFp() const;

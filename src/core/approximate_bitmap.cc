@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/stats.h"
 #include "util/logging.h"
 #include "util/simd.h"
 
@@ -15,6 +16,18 @@ namespace {
 /// Upper bound on k; keeps probe buffers on the stack. The theoretical
 /// optimum k = alpha * ln 2 stays far below this for any practical alpha.
 constexpr int kMaxHashFunctions = 64;
+
+#if !defined(AB_DISABLE_STATS)
+/// Publishes one scalar Test's accounting with a single TLS fetch:
+/// the cell, the probes actually hashed/read, and the probes the early
+/// exit skipped.
+inline void PublishScalarTest(size_t resolved, size_t k) {
+  obs::internal::ThreadStatsBlock* b = obs::internal::TlsBlock();
+  b->Add(obs::Counter::kAbCellsTested, 1);
+  b->Add(obs::Counter::kAbProbesResolved, resolved);
+  b->Add(obs::Counter::kAbProbesShortCircuited, k - resolved);
+}
+#endif
 
 /// Filter size (bits) above which the batched kernel issues software
 /// prefetches — ~2 MiB, past typical L2. Below this the filter is
@@ -39,6 +52,7 @@ void ApproximateBitmap::Insert(uint64_t key, const hash::CellRef& cell) {
     bits_.Set(probes[t]);
   }
   ++insertions_;
+  AB_STATS_INC(obs::Counter::kAbCellsInserted);
 }
 
 void ApproximateBitmap::InsertAtomic(uint64_t key,
@@ -50,6 +64,7 @@ void ApproximateBitmap::InsertAtomic(uint64_t key,
   }
   std::atomic_ref<uint64_t>(insertions_)
       .fetch_add(1, std::memory_order_relaxed);
+  AB_STATS_INC(obs::Counter::kAbCellsInserted);
 }
 
 void ApproximateBitmap::InsertBatch(const uint64_t* keys,
@@ -75,6 +90,7 @@ void ApproximateBitmap::InsertBatch(const uint64_t* keys,
     }
   }
   insertions_ += count;
+  AB_STATS_ADD(obs::Counter::kAbCellsInserted, count);
 }
 
 void ApproximateBitmap::InsertBatchAtomic(const uint64_t* keys,
@@ -98,6 +114,7 @@ void ApproximateBitmap::InsertBatchAtomic(const uint64_t* keys,
   }
   std::atomic_ref<uint64_t>(insertions_)
       .fetch_add(count, std::memory_order_relaxed);
+  AB_STATS_ADD(obs::Counter::kAbCellsInserted, count);
 }
 
 void ApproximateBitmap::UnionWith(const ApproximateBitmap& other) {
@@ -121,9 +138,16 @@ bool ApproximateBitmap::Test(uint64_t key, const hash::CellRef& cell) const {
     // costs ~1/(zero-bit fraction) hash evaluations, not k.
     for (int t = 0; t < k_; ++t) {
       if (!bits_.Get(family_->ProbeAt(key, cell, t, bits_.size()))) {
+#if !defined(AB_DISABLE_STATS)
+        PublishScalarTest(static_cast<size_t>(t) + 1,
+                          static_cast<size_t>(k_));
+#endif
         return false;
       }
     }
+#if !defined(AB_DISABLE_STATS)
+    PublishScalarTest(static_cast<size_t>(k_), static_cast<size_t>(k_));
+#endif
     return true;
   }
   // Eager families (one wide digest) get the same early-exit shape: probe
@@ -138,9 +162,17 @@ bool ApproximateBitmap::Test(uint64_t key, const hash::CellRef& cell) const {
     size_t end = std::min(k, base + chunk);
     family_->ProbesRange(key, cell, base, end, bits_.size(), probes);
     for (size_t t = 0; t < end - base; ++t) {
-      if (!bits_.Get(probes[t])) return false;
+      if (!bits_.Get(probes[t])) {
+#if !defined(AB_DISABLE_STATS)
+        PublishScalarTest(base + t + 1, k);
+#endif
+        return false;
+      }
     }
   }
+#if !defined(AB_DISABLE_STATS)
+  PublishScalarTest(k, k);
+#endif
   return true;
 }
 
@@ -158,7 +190,11 @@ void ApproximateBitmap::TestBatch(const uint64_t* keys,
 
 uint64_t ApproximateBitmap::TestBatchMask(const uint64_t* keys,
                                           const hash::CellRef* cells,
-                                          size_t count) const {
+                                          size_t count,
+                                          ProbeStats* stats) const {
+#if defined(AB_DISABLE_STATS)
+  (void)stats;
+#endif
   AB_DCHECK(count <= kBatchWindow);
   if (count == 0) return 0;
   size_t k = static_cast<size_t>(k_);
@@ -185,6 +221,11 @@ uint64_t ApproximateBitmap::TestBatchMask(const uint64_t* keys,
   hash::CellRef lane_cells[kBatchWindow];
   uint8_t lane_of[kBatchWindow];
   uint64_t probes[kBatchWindow * kMaxHashFunctions];
+#if !defined(AB_DISABLE_STATS)
+  // Aggregated locally, published once per window: the kernel itself
+  // carries no per-probe accounting.
+  uint64_t probes_resolved = 0;
+#endif
   for (size_t base = 0; base < k && alive; base += chunk) {
     size_t end = std::min(k, base + chunk);
     size_t width = end - base;
@@ -225,6 +266,9 @@ uint64_t ApproximateBitmap::TestBatchMask(const uint64_t* keys,
       uint8_t bitvals[kBatchWindow * kMaxHashFunctions];
       util::simd::GatherBits(bits_.words().data(), probes, m * width,
                              bitvals);
+#if !defined(AB_DISABLE_STATS)
+      probes_resolved += m * width;  // the gather reads every chunk probe
+#endif
       for (size_t j = 0; j < m; ++j) {
         uint8_t all = 1;
         for (size_t t = 0; t < width; ++t) all &= bitvals[j * width + t];
@@ -241,6 +285,10 @@ uint64_t ApproximateBitmap::TestBatchMask(const uint64_t* keys,
     uint64_t live = m == 64 ? ~uint64_t{0} : (uint64_t{1} << m) - 1;
     for (size_t t = 0; t < width && live; ++t) {
       uint64_t pending = live;
+#if !defined(AB_DISABLE_STATS)
+      // Every lane still live at round start issues exactly one Get.
+      probes_resolved += static_cast<uint64_t>(__builtin_popcountll(live));
+#endif
       while (pending) {
         int j = __builtin_ctzll(pending);
         pending &= pending - 1;
@@ -252,6 +300,23 @@ uint64_t ApproximateBitmap::TestBatchMask(const uint64_t* keys,
       }
     }
   }
+#if !defined(AB_DISABLE_STATS)
+  if (stats != nullptr) {
+    // Aggregating caller: plain stack adds, no thread-local traffic.
+    stats->cells_tested += count;
+    stats->windows += 1;
+    stats->probes_resolved += probes_resolved;
+    stats->probes_short_circuited +=
+        static_cast<uint64_t>(count) * k - probes_resolved;
+  } else {
+    obs::internal::ThreadStatsBlock* b = obs::internal::TlsBlock();
+    b->Add(obs::Counter::kAbCellsTested, count);
+    b->Add(obs::Counter::kAbBatchWindows, 1);
+    b->Add(obs::Counter::kAbProbesResolved, probes_resolved);
+    b->Add(obs::Counter::kAbProbesShortCircuited,
+           static_cast<uint64_t>(count) * k - probes_resolved);
+  }
+#endif
   return alive;
 }
 

@@ -114,11 +114,25 @@ class ApproximateBitmap {
   void TestBatch(const uint64_t* keys, const hash::CellRef* cells,
                  size_t count, uint8_t* out) const;
 
+  /// Local probe accounting for the observability layer. A caller running
+  /// many windows passes one of these to TestBatchMask and publishes the
+  /// totals itself (one thread-local write batch per evaluation instead of
+  /// one per window); fields mirror the obs::Counter::kAb* taxonomy. In an
+  /// AB_DISABLE_STATS build the struct exists but nothing writes to it.
+  struct ProbeStats {
+    uint64_t cells_tested = 0;
+    uint64_t windows = 0;
+    uint64_t probes_resolved = 0;
+    uint64_t probes_short_circuited = 0;
+  };
+
   /// One-window variant (count <= kBatchWindow): bit i of the result is
   /// Test(keys[i], cells[i]). This is the form the query-evaluation kernel
   /// consumes — its row masks AND/OR directly against the returned word.
+  /// Probe accounting goes to `stats` when non-null (aggregating hot
+  /// callers), otherwise straight to the process counters.
   uint64_t TestBatchMask(const uint64_t* keys, const hash::CellRef* cells,
-                         size_t count) const;
+                         size_t count, ProbeStats* stats = nullptr) const;
 
   uint64_t size_bits() const { return bits_.size(); }
   uint64_t SizeInBytes() const { return bits_.size() / 8; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hash/general_hashes.h"
+#include "obs/stats.h"
 #include "util/math.h"
 #include "util/simd.h"
 
@@ -75,9 +76,11 @@ void BlockedApproximateBitmap::Insert(uint64_t key) {
     }
   }
   ++insertions_;
+  AB_STATS_INC(obs::Counter::kBlockedCellsInserted);
 }
 
 bool BlockedApproximateBitmap::Test(uint64_t key) const {
+  AB_STATS_INC(obs::Counter::kBlockedCellsTested);
   uint64_t base = BlockOf(key) * kWordsPerBlock;
   if (util::simd::ActiveSimdLevel() != util::simd::SimdLevel::kScalar) {
     // Single-load probe: the block's 8 words against the key's required
@@ -124,6 +127,7 @@ void BlockedApproximateBitmap::InsertBatch(const uint64_t* keys,
     }
   }
   insertions_ += count;
+  AB_STATS_ADD(obs::Counter::kBlockedCellsInserted, count);
 }
 
 double BlockedApproximateBitmap::ExpectedFalsePositiveRate() const {
@@ -145,6 +149,7 @@ uint64_t BlockedApproximateBitmap::TestBatchMask(const uint64_t* keys,
                                                  size_t count) const {
   AB_DCHECK(count <= kBatchWindow);
   if (count == 0) return 0;
+  AB_STATS_ADD(obs::Counter::kBlockedCellsTested, count);
   uint64_t bases[kBatchWindow];
   for (size_t i = 0; i < count; ++i) {
     bases[i] = BlockOf(keys[i]) * kWordsPerBlock;

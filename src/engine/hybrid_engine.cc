@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "bitmap/bitmap_table.h"
+#include "obs/stats.h"
 #include "util/bitvector.h"
+#include "util/simd.h"
 #include "util/stopwatch.h"
 
 namespace abitmap {
@@ -67,6 +69,32 @@ namespace {
 constexpr uint64_t kBatchEvalMinRows = 256;
 constexpr uint64_t kParallelMinRows = 1 << 14;
 
+/// Folds the collection outcome into the result's trace and the engine
+/// counters. In exact mode pruning reveals the truth, so the observed
+/// precision (verified / candidates) becomes known; note it prunes bin
+/// overshoot as well as AB false positives, so it lower-bounds the
+/// cell-level precision ab_theory predicts.
+void FinalizeVerification(const EngineQuery& query, uint64_t candidates,
+                          EngineResult* result) {
+  result->trace.candidates = candidates;
+  if (query.exact) {
+    uint64_t verified = result->row_ids.size();
+    result->trace.verified_matches = verified;
+    result->trace.observed_precision =
+        candidates == 0 ? 1.0
+                        : static_cast<double>(verified) /
+                              static_cast<double>(candidates);
+#if !defined(AB_DISABLE_STATS)
+    obs::internal::ThreadStatsBlock* b = obs::internal::TlsBlock();
+    b->Add(obs::Counter::kEngineCandidates, candidates);
+    b->Add(obs::Counter::kEngineVerified, verified);
+    b->Add(obs::Counter::kEngineFalsePositives, candidates - verified);
+#endif
+  } else {
+    AB_STATS_ADD(obs::Counter::kEngineCandidates, candidates);
+  }
+}
+
 /// Maps evaluation bits back to row ids, optionally pruning. Candidate
 /// verification against the raw values is chunked through `pool` (when
 /// present) for large results — each worker collects its chunk's
@@ -76,6 +104,7 @@ EngineResult CollectResult(const HybridEngine& engine,
                            const bitmap::BitmapQuery& bin_query,
                            const std::vector<bool>& bits, std::string path,
                            util::ThreadPool* pool) {
+  obs::ScopedLatencyTimer timer(obs::Histogram::kVerifyLatencyNs);
   EngineResult result;
   result.path = std::move(path);
   result.approximate = !query.exact;
@@ -96,23 +125,32 @@ EngineResult CollectResult(const HybridEngine& engine,
                                   : bin_query.rows[i];
   };
   size_t n = bin_query.rows.empty() ? bits.size() : bin_query.rows.size();
+  uint64_t candidates = 0;
   if (pool != nullptr && n >= kParallelMinRows) {
     std::vector<std::vector<uint64_t>> parts(pool->num_threads());
+    std::vector<uint64_t> part_candidates(parts.size(), 0);
     pool->ParallelFor(0, n,
                       [&](uint64_t begin, uint64_t end, int chunk) {
                         std::vector<uint64_t>* out = &parts[chunk];
+                        uint64_t cand = 0;
                         for (uint64_t i = begin; i < end; ++i) {
+                          cand += bits[i] ? 1 : 0;
                           consider(row_at(i), bits[i], out);
                         }
+                        part_candidates[chunk] = cand;
                       });
-    for (const std::vector<uint64_t>& part : parts) {
-      result.row_ids.insert(result.row_ids.end(), part.begin(), part.end());
+    for (size_t c = 0; c < parts.size(); ++c) {
+      candidates += part_candidates[c];
+      result.row_ids.insert(result.row_ids.end(), parts[c].begin(),
+                            parts[c].end());
     }
   } else {
     for (size_t i = 0; i < n; ++i) {
+      candidates += bits[i] ? 1 : 0;
       consider(row_at(i), bits[i], &result.row_ids);
     }
   }
+  FinalizeVerification(query, candidates, &result);
   return result;
 }
 
@@ -124,6 +162,7 @@ EngineResult CollectResultFromBits(const HybridEngine& engine,
                                    const EngineQuery& query,
                                    const util::BitVector& bits,
                                    std::string path, util::ThreadPool* pool) {
+  obs::ScopedLatencyTimer timer(obs::Histogram::kVerifyLatencyNs);
   EngineResult result;
   result.path = std::move(path);
   result.approximate = !query.exact;
@@ -141,21 +180,32 @@ EngineResult CollectResultFromBits(const HybridEngine& engine,
     // Contiguous ascending chunks (ParallelFor's contract), so
     // concatenating parts in chunk order keeps row ids sorted.
     std::vector<std::vector<uint64_t>> parts(pool->num_threads());
+    std::vector<uint64_t> part_candidates(parts.size(), 0);
     pool->ParallelFor(0, n, [&](uint64_t begin, uint64_t end, int chunk) {
       std::vector<uint64_t>* out = &parts[chunk];
+      uint64_t cand = 0;
       for (size_t pos = bits.FindNextSet(begin); pos < end;
            pos = bits.FindNextSet(pos + 1)) {
+        ++cand;
         if (verified(pos)) out->push_back(pos);
       }
+      part_candidates[chunk] = cand;
     });
-    for (const std::vector<uint64_t>& part : parts) {
-      result.row_ids.insert(result.row_ids.end(), part.begin(), part.end());
+    uint64_t candidates = 0;
+    for (size_t c = 0; c < parts.size(); ++c) {
+      candidates += part_candidates[c];
+      result.row_ids.insert(result.row_ids.end(), parts[c].begin(),
+                            parts[c].end());
     }
+    FinalizeVerification(query, candidates, &result);
   } else {
+    uint64_t candidates = 0;
     for (size_t pos = bits.FindNextSet(0); pos < n;
          pos = bits.FindNextSet(pos + 1)) {
+      ++candidates;
       if (verified(pos)) result.row_ids.push_back(pos);
     }
+    FinalizeVerification(query, candidates, &result);
   }
   return result;
 }
@@ -163,6 +213,8 @@ EngineResult CollectResultFromBits(const HybridEngine& engine,
 }  // namespace
 
 EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
+  AB_STATS_INC(obs::Counter::kEngineAbRouted);
+  util::Stopwatch query_timer;
   bitmap::BitmapQuery bin_query;
   ToBinQuery(query, &bin_query);
   // Route by result cardinality: whole-relation and large row-subset
@@ -170,31 +222,64 @@ EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
   // kernel; small subsets stay scalar — the window setup would dominate.
   uint64_t n =
       bin_query.rows.empty() ? table_.num_rows() : bin_query.rows.size();
+  obs::QueryTrace trace;
   std::vector<bool> bits;
   if (pool_ != nullptr && n >= kParallelMinRows) {
-    bits = ab_->EvaluateParallel(bin_query, pool_.get());
+    bits = ab_->EvaluateParallel(bin_query, pool_.get(), &trace);
   } else if (n >= kBatchEvalMinRows) {
-    bits = ab_->EvaluateBatched(bin_query);
+    bits = ab_->EvaluateBatched(bin_query, &trace);
   } else {
     bits = ab_->Evaluate(bin_query);
+    // The scalar path carries no trace plumbing; fill the shared fields
+    // at this level so every AB-routed result reads the same.
+    trace.rows_evaluated = n;
+    trace.attrs_in_plan = bin_query.ranges.size();
+    trace.predicted_precision = ab_->EstimateQueryPrecision(bin_query);
+    trace.simd_level =
+        util::simd::SimdLevelName(util::simd::ActiveSimdLevel());
   }
-  return CollectResult(*this, query, bin_query, bits, "ab", pool_.get());
+  EngineResult result =
+      CollectResult(*this, query, bin_query, bits, "ab", pool_.get());
+  // Graft the collection outcome onto the evaluation trace.
+  trace.candidates = result.trace.candidates;
+  trace.verified_matches = result.trace.verified_matches;
+  trace.observed_precision = result.trace.observed_precision;
+  result.trace = trace;
+  result.trace.path = "ab";
+  result.trace.latency_ms = query_timer.ElapsedMillis();
+  return result;
 }
 
 EngineResult HybridEngine::ExecuteWithWah(const EngineQuery& query) const {
+  AB_STATS_INC(obs::Counter::kEngineWahRouted);
+  util::Stopwatch query_timer;
   bitmap::BitmapQuery bin_query;
   ToBinQuery(query, &bin_query);
+  EngineResult result;
   if (bin_query.rows.empty()) {
     // Whole relation: keep the bit-wise result packed and walk its set
     // bits — the verification loop touches only candidate rows.
     util::BitVector bits = wah_->ExecuteBitwiseBits(bin_query);
-    return CollectResultFromBits(*this, query, bits, "wah", pool_.get());
+    result = CollectResultFromBits(*this, query, bits, "wah", pool_.get());
+  } else {
+    std::vector<bool> bits = wah_->Evaluate(bin_query);
+    result = CollectResult(*this, query, bin_query, bits, "wah", pool_.get());
   }
-  std::vector<bool> bits = wah_->Evaluate(bin_query);
-  return CollectResult(*this, query, bin_query, bits, "wah", pool_.get());
+  result.trace.rows_evaluated =
+      bin_query.rows.empty() ? table_.num_rows() : bin_query.rows.size();
+  result.trace.attrs_in_plan = bin_query.ranges.size();
+  // WAH is exact at bin granularity: the predicted precision of 1.0 is
+  // the model's statement, and pruning only removes bin overshoot.
+  result.trace.simd_level =
+      util::simd::SimdLevelName(util::simd::ActiveSimdLevel());
+  result.trace.path = "wah";
+  result.trace.latency_ms = query_timer.ElapsedMillis();
+  return result;
 }
 
 EngineResult HybridEngine::Execute(const EngineQuery& query) const {
+  obs::ScopedLatencyTimer timer(obs::Histogram::kQueryLatencyNs);
+  AB_STATS_INC(obs::Counter::kEngineQueries);
   if (query.rows.empty()) {
     return ExecuteWithWah(query);
   }

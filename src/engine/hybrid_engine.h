@@ -9,6 +9,7 @@
 
 #include "core/ab_index.h"
 #include "engine/table.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "wah/wah_query.h"
 
@@ -41,6 +42,11 @@ struct EngineResult {
   std::vector<uint64_t> row_ids;
   bool approximate = false;  ///< true if candidates were not pruned
   std::string path;          ///< "ab" or "wah"
+  /// The query's execution profile: evaluation shape from the index
+  /// kernels, candidate/verified counts from the collection pass, and the
+  /// predicted-vs-observed precision pair (observed only in exact mode,
+  /// where pruning reveals the truth).
+  obs::QueryTrace trace;
 };
 
 /// The query router the paper's introduction implies: WAH-compressed

@@ -1,0 +1,121 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace abitmap {
+namespace obs {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                                  ? static_cast<size_t>(n)
+                                  : sizeof(buf) - 1);
+}
+
+/// Index one past the last non-empty bucket (0 when all empty).
+size_t TrimmedBuckets(const HistogramSnapshot& h) {
+  size_t end = kNumHistogramBuckets;
+  while (end > 0 && h.buckets[end - 1] == 0) --end;
+  return end;
+}
+
+/// Upper bound of bucket b as a printable value ("0", "1", "3", ...).
+uint64_t BucketUpper(size_t b) {
+  return b == 0 ? 0 : (b >= 64 ? ~uint64_t{0} : (uint64_t{1} << b) - 1);
+}
+
+}  // namespace
+
+std::string ToJson(const StatsSnapshot& snapshot) {
+  std::string out = "{\n";
+  Appendf(&out, "  \"enabled\": %s,\n", kStatsEnabled ? "true" : "false");
+  out += "  \"counters\": {\n";
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    Appendf(&out, "    \"%s\": %" PRIu64 "%s\n",
+            CounterName(static_cast<Counter>(i)), snapshot.counters[i],
+            i + 1 < kNumCounters ? "," : "");
+  }
+  out += "  },\n  \"histograms\": {\n";
+  for (size_t h = 0; h < kNumHistograms; ++h) {
+    const HistogramSnapshot& hist = snapshot.histograms[h];
+    Appendf(&out,
+            "    \"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+            ", \"mean\": %.2f, \"p50\": %" PRIu64 ", \"p99\": %" PRIu64
+            ", \"buckets\": [",
+            HistogramName(static_cast<Histogram>(h)), hist.count, hist.sum,
+            hist.Mean(), hist.PercentileUpperBound(0.50),
+            hist.PercentileUpperBound(0.99));
+    size_t end = TrimmedBuckets(hist);
+    for (size_t b = 0; b < end; ++b) {
+      Appendf(&out, "%" PRIu64 "%s", hist.buckets[b],
+              b + 1 < end ? ", " : "");
+    }
+    Appendf(&out, "]}%s\n", h + 1 < kNumHistograms ? "," : "");
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+std::string ToPrometheus(const StatsSnapshot& snapshot) {
+  std::string out;
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    const char* name = CounterName(static_cast<Counter>(i));
+    Appendf(&out, "# TYPE abitmap_%s counter\n", name);
+    Appendf(&out, "abitmap_%s %" PRIu64 "\n", name, snapshot.counters[i]);
+  }
+  for (size_t h = 0; h < kNumHistograms; ++h) {
+    const char* name = HistogramName(static_cast<Histogram>(h));
+    const HistogramSnapshot& hist = snapshot.histograms[h];
+    Appendf(&out, "# TYPE abitmap_%s histogram\n", name);
+    uint64_t cumulative = 0;
+    size_t end = TrimmedBuckets(hist);
+    for (size_t b = 0; b < end; ++b) {
+      cumulative += hist.buckets[b];
+      Appendf(&out, "abitmap_%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+              name, BucketUpper(b), cumulative);
+    }
+    Appendf(&out, "abitmap_%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name,
+            hist.count);
+    Appendf(&out, "abitmap_%s_sum %" PRIu64 "\n", name, hist.sum);
+    Appendf(&out, "abitmap_%s_count %" PRIu64 "\n", name, hist.count);
+  }
+  return out;
+}
+
+std::string ToText(const StatsSnapshot& snapshot) {
+  std::string out;
+  if (!kStatsEnabled) {
+    return "stats: compiled out (AB_DISABLE_STATS)\n";
+  }
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    if (snapshot.counters[i] == 0) continue;
+    Appendf(&out, "%-28s %12" PRIu64 "\n",
+            CounterName(static_cast<Counter>(i)), snapshot.counters[i]);
+  }
+  for (size_t h = 0; h < kNumHistograms; ++h) {
+    const HistogramSnapshot& hist = snapshot.histograms[h];
+    if (hist.count == 0) continue;
+    Appendf(&out,
+            "%-28s count=%" PRIu64 " mean=%.1f p50<=%" PRIu64
+            " p99<=%" PRIu64 "\n",
+            HistogramName(static_cast<Histogram>(h)), hist.count,
+            hist.Mean(), hist.PercentileUpperBound(0.50),
+            hist.PercentileUpperBound(0.99));
+  }
+  if (out.empty()) out = "stats: no activity recorded\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace abitmap

@@ -1,0 +1,31 @@
+#ifndef ABITMAP_OBS_EXPORT_H_
+#define ABITMAP_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/stats.h"
+
+namespace abitmap {
+namespace obs {
+
+/// Renders a snapshot as a JSON object:
+///   {"enabled": true, "counters": {...},
+///    "histograms": {"name": {"count": c, "sum": s, "mean": m,
+///                            "p50": ..., "p99": ..., "buckets": [...]}}}
+/// Histogram bucket arrays are trimmed to the last non-empty bucket.
+std::string ToJson(const StatsSnapshot& snapshot);
+
+/// Renders a snapshot in the Prometheus text exposition format. Counters
+/// become `abitmap_<name>` counters; histograms become cumulative
+/// `abitmap_<name>_bucket{le="..."}` series (power-of-two upper bounds)
+/// plus `_sum` and `_count`.
+std::string ToPrometheus(const StatsSnapshot& snapshot);
+
+/// Compact human-readable table (ab_stats --format=text): one counter or
+/// histogram summary per line, zero-valued entries omitted.
+std::string ToText(const StatsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace abitmap
+
+#endif  // ABITMAP_OBS_EXPORT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/stats.h"
 #include "util/logging.h"
 
 namespace abitmap {
@@ -27,13 +28,26 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   AB_CHECK(task != nullptr);
+#if !defined(AB_DISABLE_STATS)
+  size_t depth;
+#endif
   {
     std::unique_lock<std::mutex> lock(mu_);
     AB_CHECK(!shutdown_);
     queue_.push_back(std::move(task));
     ++pending_;
+#if !defined(AB_DISABLE_STATS)
+    depth = queue_.size();
+#endif
   }
   work_ready_.notify_one();
+#if !defined(AB_DISABLE_STATS)
+  // Recorded outside the lock: the queue depth observed at submission is
+  // the backpressure signal; the stats write must not lengthen the
+  // critical section.
+  AB_STATS_INC(obs::Counter::kPoolTasksSubmitted);
+  AB_STATS_HIST(obs::Histogram::kPoolQueueDepth, depth);
+#endif
 }
 
 void ThreadPool::Wait() {
@@ -52,7 +66,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+#if !defined(AB_DISABLE_STATS)
+    {
+      obs::ScopedLatencyTimer timer(obs::Histogram::kPoolTaskLatencyNs);
+      task();
+    }
+    AB_STATS_INC(obs::Counter::kPoolTasksCompleted);
+#else
     task();
+#endif
     {
       std::unique_lock<std::mutex> lock(mu_);
       --pending_;

@@ -21,6 +21,12 @@ namespace util {
 /// Thread-safety: Submit may be called from any thread; Wait assumes a
 /// single coordinating thread (it blocks until *all* submitted tasks have
 /// finished, so concurrent coordinators would wait on each other's work).
+///
+/// Observability: unless built with -DAB_DISABLE_STATS=ON, Submit records
+/// the observed queue depth (obs::Histogram::kPoolQueueDepth) and workers
+/// record per-task wall time (kPoolTaskLatencyNs) plus the
+/// submitted/completed counters — the pool-health signals of the obs
+/// layer.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to at least 1).

@@ -1,19 +1,29 @@
-// Randomized robustness tests: deserializers must reject or tolerate — but
-// never crash on — arbitrarily corrupted input. Each trial serializes a
-// valid structure, applies random byte mutations/truncations, and feeds
-// the result back. A mutation may survive validation (it can hit padding
-// or produce a different-but-valid structure); the contract under test is
-// memory safety plus structural invariants of whatever is accepted.
+// Randomized robustness tests, two families:
+//  * deserializers must reject or tolerate — but never crash on —
+//    arbitrarily corrupted input. Each trial serializes a valid
+//    structure, applies random byte mutations/truncations, and feeds the
+//    result back. A mutation may survive validation (it can hit padding
+//    or produce a different-but-valid structure); the contract under
+//    test is memory safety plus structural invariants of whatever is
+//    accepted.
+//  * randomized insert/probe sweeps across the three encoding levels,
+//    the blocked filter, and every SIMD dispatch level the CPU supports:
+//    the AB's no-false-negative guarantee and the kernels' bit-identity
+//    contract must hold for arbitrary seeded inputs, not just the
+//    hand-picked cases of the unit tests.
 
 #include <random>
 
 #include "gtest/gtest.h"
 
 #include "bbc/bbc_vector.h"
+#include "bitmap/bitmap_table.h"
 #include "core/ab_index.h"
+#include "core/blocked_bitmap.h"
 #include "data/generators.h"
 #include "util/byte_io.h"
 #include "util/file_io.h"
+#include "util/simd.h"
 #include "wah/wah_vector.h"
 
 namespace abitmap {
@@ -136,6 +146,109 @@ TEST(FuzzRobustnessTest, EnvelopeCatchesMostMutations) {
     }
   }
   EXPECT_EQ(accepted, 0);
+}
+
+// Forces each dispatch level the binary/CPU supports in turn and runs
+// `body(level)` under it; always restores the entry level. Levels the
+// clamp rejects (e.g. kAvx2 on a NEON machine) are skipped.
+template <typename Body>
+void ForEachSupportedSimdLevel(const Body& body) {
+  namespace simd = util::simd;
+  simd::SimdLevel entry = simd::ActiveSimdLevel();
+  for (simd::SimdLevel level :
+       {simd::SimdLevel::kScalar, simd::SimdLevel::kSse2,
+        simd::SimdLevel::kAvx2, simd::SimdLevel::kNeon}) {
+    simd::SetSimdLevelForTesting(level);
+    if (simd::ActiveSimdLevel() != level) continue;
+    SCOPED_TRACE(std::string("simd=") + simd::SimdLevelName(level));
+    body(level);
+  }
+  simd::SetSimdLevelForTesting(entry);
+}
+
+TEST(FuzzRobustnessTest, RandomProbesNeverFalseNegativeAtAnyLevel) {
+  // Seeded random relations, all three encoding levels, every supported
+  // dispatch level: every truly-set cell must be reported set, and the
+  // scalar/batched evaluation paths must agree bit for bit.
+  std::mt19937_64 rng(6);
+  bitmap::BinnedDataset d = data::MakeSynthetic(
+      "fz", /*rows=*/4000, /*attrs=*/3, /*cardinality=*/6,
+      data::Distribution::kUniform, /*seed=*/9);
+  bitmap::BitmapTable table = bitmap::BitmapTable::Build(d);
+
+  for (ab::Level level : {ab::Level::kPerDataset, ab::Level::kPerAttribute,
+                          ab::Level::kPerColumn}) {
+    SCOPED_TRACE(ab::LevelName(level));
+    ab::AbConfig cfg;
+    cfg.level = level;
+    cfg.alpha = 4;  // deliberately small: plenty of false positives
+    ab::AbIndex index = ab::AbIndex::Build(d, cfg);
+
+    ForEachSupportedSimdLevel([&](util::simd::SimdLevel) {
+      // Randomized cell probes against ground truth.
+      for (int trial = 0; trial < 2000; ++trial) {
+        uint64_t row = rng() % d.num_rows();
+        uint32_t attr = rng() % d.values.size();
+        uint32_t bin = rng() % 6;
+        bool truth = d.values[attr][row] == bin;
+        bool reported = index.TestCell(row, attr, bin);
+        if (truth) EXPECT_TRUE(reported) << "false negative";
+      }
+      // Randomized range queries over random row subsets.
+      for (int trial = 0; trial < 10; ++trial) {
+        bitmap::BitmapQuery q;
+        uint32_t a0 = rng() % 3, a1 = (a0 + 1 + rng() % 2) % 3;
+        uint32_t lo0 = rng() % 5, lo1 = rng() % 5;
+        q.ranges = {{a0, lo0, lo0 + 1}, {a1, lo1, lo1 + 1}};
+        uint64_t start = rng() % (d.num_rows() - 500);
+        q.rows = bitmap::RowRange(start, start + 499);
+        std::vector<bool> exact = table.Evaluate(q);
+        std::vector<bool> scalar = index.Evaluate(q);
+        std::vector<bool> batched = index.EvaluateBatched(q);
+        ASSERT_EQ(scalar.size(), exact.size());
+        ASSERT_EQ(batched, scalar);  // kernel bit-identity
+        for (size_t i = 0; i < exact.size(); ++i) {
+          if (exact[i]) EXPECT_TRUE(scalar[i]) << "false negative at " << i;
+        }
+      }
+    });
+  }
+}
+
+TEST(FuzzRobustnessTest, BlockedFilterRandomInsertProbeAtEverySimdLevel) {
+  // The blocked AB has its own probe kernel (Block512Covers) with SIMD
+  // variants: random keys inserted through the scalar and batched paths
+  // must all test positive at every dispatch level, and TestBatchMask
+  // must agree with scalar Test on arbitrary probe mixes.
+  std::mt19937_64 rng(7);
+  std::vector<uint64_t> keys(3000);
+  for (uint64_t& k : keys) k = rng();
+
+  ab::BlockedApproximateBitmap filter(
+      ab::AbParams::ForAlpha(/*alpha=*/8, /*k=*/4, keys.size()));
+  // Half scalar inserts, half batched — both commit identically.
+  size_t half = keys.size() / 2;
+  for (size_t i = 0; i < half; ++i) filter.Insert(keys[i]);
+  filter.InsertBatch(keys.data() + half, keys.size() - half);
+  EXPECT_EQ(filter.insertions(), keys.size());
+
+  ForEachSupportedSimdLevel([&](util::simd::SimdLevel) {
+    for (uint64_t k : keys) {
+      ASSERT_TRUE(filter.Test(k)) << "false negative for inserted key";
+    }
+    // Random probe windows mixing present and absent keys.
+    for (int trial = 0; trial < 50; ++trial) {
+      uint64_t window[ab::BlockedApproximateBitmap::kBatchWindow];
+      size_t count = 1 + rng() % ab::BlockedApproximateBitmap::kBatchWindow;
+      for (size_t i = 0; i < count; ++i) {
+        window[i] = (rng() % 2 == 0) ? keys[rng() % keys.size()] : rng();
+      }
+      uint64_t mask = filter.TestBatchMask(window, count);
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ((mask >> i) & 1, filter.Test(window[i]) ? 1u : 0u);
+      }
+    }
+  });
 }
 
 }  // namespace

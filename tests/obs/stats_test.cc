@@ -1,0 +1,171 @@
+// Tests of the observability layer's recording and compile-out contracts
+// (src/obs/stats.h). The same file compiles in both configurations:
+// assertions branch on obs::kStatsEnabled, so the stats-off tier-1 pass
+// (tools/check.sh builds with -DAB_DISABLE_STATS=ON) verifies the
+// zero-overhead half — macro arguments unevaluated, empty timer, zeroed
+// snapshots — while the default build verifies the recording half.
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "obs/export.h"
+#include "obs/stats.h"
+
+namespace abitmap {
+namespace obs {
+namespace {
+
+// --- Compile-out contract -------------------------------------------------
+
+TEST(StatsContractTest, MacroArgumentsEvaluatedOnlyWhenEnabled) {
+  // The disabled macros must drop their arguments *unevaluated* — a stats
+  // call site whose operands have side effects (or cost) compiles to
+  // nothing. The enabled macros evaluate each argument exactly once.
+  int evaluations = 0;
+  AB_STATS_ADD(Counter::kAbCellsTested, (++evaluations, uint64_t{1}));
+  AB_STATS_INC((++evaluations, Counter::kAbCellsTested));
+  AB_STATS_HIST(Histogram::kEvalRowsPerQuery, (++evaluations, uint64_t{7}));
+  EXPECT_EQ(evaluations, kStatsEnabled ? 3 : 0);
+}
+
+TEST(StatsContractTest, ScopedLatencyTimerIsEmptyWhenDisabled) {
+  if (kStatsEnabled) {
+    // Enabled: a histogram id plus a start timestamp, nothing more.
+    EXPECT_LE(sizeof(ScopedLatencyTimer), 2 * sizeof(uint64_t));
+  } else {
+    // Disabled: an empty class — the scope costs one no-op constructor.
+    EXPECT_EQ(sizeof(ScopedLatencyTimer), 1u);
+  }
+}
+
+TEST(StatsContractTest, DisabledSnapshotIsAllZeros) {
+  // Link-compatibility half of the contract: SnapshotStats exists in both
+  // builds; with stats compiled out it returns zeroed data no matter how
+  // much work ran before the call.
+  AB_STATS_ADD(Counter::kAbCellsTested, 1000);
+  AB_STATS_HIST(Histogram::kQueryLatencyNs, 1234);
+  StatsSnapshot snap = SnapshotStats();
+  if (!kStatsEnabled) {
+    for (size_t c = 0; c < kNumCounters; ++c) EXPECT_EQ(snap.counters[c], 0u);
+    for (size_t h = 0; h < kNumHistograms; ++h) {
+      EXPECT_EQ(snap.histograms[h].count, 0u);
+      EXPECT_EQ(snap.histograms[h].sum, 0u);
+    }
+  }
+}
+
+// --- Recording (both halves guard on kStatsEnabled) -----------------------
+
+TEST(StatsRecordingTest, CountersAccumulate) {
+  ResetStats();
+  AB_STATS_INC(Counter::kIndexQueries);
+  AB_STATS_ADD(Counter::kAbCellsTested, 41);
+  AB_STATS_INC(Counter::kAbCellsTested);
+  StatsSnapshot snap = SnapshotStats();
+  EXPECT_EQ(snap.counter(Counter::kIndexQueries), kStatsEnabled ? 1u : 0u);
+  EXPECT_EQ(snap.counter(Counter::kAbCellsTested), kStatsEnabled ? 42u : 0u);
+  EXPECT_EQ(snap.counter(Counter::kEngineQueries), 0u);
+}
+
+TEST(StatsRecordingTest, ResetClearsEverything) {
+  AB_STATS_ADD(Counter::kIndexRowsEvaluated, 99);
+  AB_STATS_HIST(Histogram::kEvalRowsPerQuery, 99);
+  ResetStats();
+  StatsSnapshot snap = SnapshotStats();
+  EXPECT_EQ(snap.counter(Counter::kIndexRowsEvaluated), 0u);
+  EXPECT_EQ(snap.histogram(Histogram::kEvalRowsPerQuery).count, 0u);
+}
+
+TEST(StatsRecordingTest, HistogramPowerOfTwoBucketing) {
+  ResetStats();
+  // Bucket b holds [2^(b-1), 2^b - 1]; bucket 0 holds {0}.
+  AB_STATS_HIST(Histogram::kEvalRowsPerQuery, 0);     // bucket 0
+  AB_STATS_HIST(Histogram::kEvalRowsPerQuery, 1);     // bucket 1
+  AB_STATS_HIST(Histogram::kEvalRowsPerQuery, 2);     // bucket 2
+  AB_STATS_HIST(Histogram::kEvalRowsPerQuery, 3);     // bucket 2
+  AB_STATS_HIST(Histogram::kEvalRowsPerQuery, 1024);  // bucket 11
+  StatsSnapshot snap = SnapshotStats();
+  const HistogramSnapshot& h = snap.histogram(Histogram::kEvalRowsPerQuery);
+  if (!kStatsEnabled) {
+    EXPECT_EQ(h.count, 0u);
+    return;
+  }
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum, 0u + 1 + 2 + 3 + 1024);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[11], 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1030.0 / 5.0);
+  // The median (3rd of 5) sits in bucket 2, upper bound 2^2 - 1 = 3; the
+  // max lands in bucket 11, upper bound 2047.
+  EXPECT_EQ(h.PercentileUpperBound(0.5), 3u);
+  EXPECT_EQ(h.PercentileUpperBound(1.0), 2047u);
+}
+
+TEST(StatsRecordingTest, ScopedLatencyTimerRecordsOneSample) {
+  ResetStats();
+  { ScopedLatencyTimer timer(Histogram::kBuildLatencyNs); }
+  StatsSnapshot snap = SnapshotStats();
+  const HistogramSnapshot& h = snap.histogram(Histogram::kBuildLatencyNs);
+  EXPECT_EQ(h.count, kStatsEnabled ? 1u : 0u);
+}
+
+// --- Names and export formats ---------------------------------------------
+
+TEST(StatsExportTest, NamesAreDefinedAndDistinct) {
+  for (size_t c = 0; c < kNumCounters; ++c) {
+    const char* name = CounterName(static_cast<Counter>(c));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+    for (size_t d = c + 1; d < kNumCounters; ++d) {
+      EXPECT_STRNE(name, CounterName(static_cast<Counter>(d)));
+    }
+  }
+  for (size_t h = 0; h < kNumHistograms; ++h) {
+    ASSERT_NE(HistogramName(static_cast<Histogram>(h)), nullptr);
+  }
+}
+
+TEST(StatsExportTest, JsonContainsEveryCounter) {
+  ResetStats();
+  AB_STATS_ADD(Counter::kAbCellsTested, 7);
+  std::string json = ToJson(SnapshotStats());
+  for (size_t c = 0; c < kNumCounters; ++c) {
+    EXPECT_NE(json.find(CounterName(static_cast<Counter>(c))),
+              std::string::npos)
+        << CounterName(static_cast<Counter>(c));
+  }
+  if (kStatsEnabled) {
+    EXPECT_NE(json.find("\"ab_cells_tested\": 7"), std::string::npos) << json;
+  }
+}
+
+TEST(StatsExportTest, PrometheusShapeIsCumulative) {
+  ResetStats();
+  AB_STATS_HIST(Histogram::kQueryLatencyNs, 100);
+  AB_STATS_HIST(Histogram::kQueryLatencyNs, 100000);
+  std::string prom = ToPrometheus(SnapshotStats());
+  // Counters and histograms carry the exporter prefix; histograms emit
+  // the cumulative _bucket/_sum/_count triplet.
+  EXPECT_NE(prom.find("abitmap_ab_cells_tested"), std::string::npos);
+  EXPECT_NE(prom.find("abitmap_query_latency_ns_bucket{le="),
+            std::string::npos);
+  EXPECT_NE(prom.find("abitmap_query_latency_ns_sum"), std::string::npos);
+  EXPECT_NE(prom.find("abitmap_query_latency_ns_count"), std::string::npos);
+  if (kStatsEnabled) {
+    EXPECT_NE(prom.find("abitmap_query_latency_ns_count 2"),
+              std::string::npos)
+        << prom;
+  }
+}
+
+TEST(StatsExportTest, TextRendersWithoutCrashing) {
+  std::string text = ToText(SnapshotStats());
+  EXPECT_GT(text.size(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace abitmap

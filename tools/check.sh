@@ -13,6 +13,17 @@
 # paths for out-of-bounds reads and the hash kernels for UB. Set
 # AB_CHECK_ASAN=0 to skip, AB_CHECK_ASAN=1 to require it.
 #
+# A second tier-1 configuration always runs with the observability layer
+# compiled out (-DAB_DISABLE_STATS=ON): the stats macros must drop their
+# arguments unevaluated and the snapshot API must stay link-compatible,
+# which only a full build+test of that configuration proves. Set
+# AB_CHECK_STATS_OFF=0 to skip it.
+#
+# Set AB_CHECK_COVERAGE=1 to add a gcovr line-coverage pass (builds with
+# AB_COVERAGE=ON, reruns tier-1, writes coverage.txt into the build dir).
+# It is off by default and a hard error when requested without gcovr on
+# PATH.
+#
 # Usage: tools/check.sh [build-dir]   (default: build/check)
 set -euo pipefail
 
@@ -47,6 +58,37 @@ cmake --build "$build_dir" -j "$jobs"
 
 echo "== tier-1 tests =="
 ctest --test-dir "$build_dir" -L tier1 --output-on-failure -j "$jobs"
+
+if [ "${AB_CHECK_STATS_OFF:-1}" != "0" ]; then
+  stats_off_dir="$build_dir-stats-off"
+  echo "== configure (AB_DISABLE_STATS=ON) =="
+  cmake -S "$repo_root" -B "$stats_off_dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DAB_DISABLE_STATS=ON >/dev/null
+  echo "== build (stats off) =="
+  cmake --build "$stats_off_dir" -j "$jobs"
+  echo "== tier-1 tests (stats off) =="
+  ctest --test-dir "$stats_off_dir" -L tier1 --output-on-failure -j "$jobs"
+fi
+
+if [ "${AB_CHECK_COVERAGE:-0}" = "1" ]; then
+  if ! command -v gcovr >/dev/null 2>&1; then
+    echo "error: AB_CHECK_COVERAGE=1 but gcovr is not on PATH" >&2
+    exit 1
+  fi
+  cov_dir="$build_dir-coverage"
+  echo "== configure (coverage) =="
+  cmake -S "$repo_root" -B "$cov_dir" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DAB_COVERAGE=ON >/dev/null
+  echo "== build (coverage) =="
+  cmake --build "$cov_dir" -j "$jobs"
+  echo "== tier-1 tests (coverage) =="
+  ctest --test-dir "$cov_dir" -L tier1 --output-on-failure -j "$jobs"
+  echo "== gcovr =="
+  gcovr --root "$repo_root" --filter "$repo_root/src/" \
+    --print-summary "$cov_dir" | tee "$cov_dir/coverage.txt"
+fi
 
 if [ "${AB_CHECK_TSAN:-auto}" != "0" ]; then
   if tsan_supported; then

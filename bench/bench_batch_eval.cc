@@ -312,38 +312,35 @@ PipelineTiming MeasurePipeline() {
 
 void WriteQueryJson(const PipelineTiming& pipeline,
                     const std::vector<KernelTiming>& kernels) {
-  std::FILE* f = std::fopen("BENCH_query.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "warning: cannot write BENCH_query.json\n");
-    return;
-  }
   // stats_enabled distinguishes the two tier-1 configurations: the
   // metrics-on overhead is the eval_batched_ms delta between a default
   // build's JSON and an -DAB_DISABLE_STATS=ON build's (EXPERIMENTS.md).
-  std::fprintf(
-      f,
-      "{\n  \"simd\": {\"detected\": \"%s\", \"active\": \"%s\"},\n"
-      "  \"stats_enabled\": %s,\n"
-      "  \"pipeline\": {\"rows\": %llu, \"eval_scalar_ms\": %.4f,\n"
-      "    \"eval_batched_ms\": %.4f, \"eval_batched_scalar_kernels_ms\": "
-      "%.4f},\n"
-      "  \"kernels\": [\n",
-      util::simd::SimdLevelName(util::simd::DetectedSimdLevel()),
-      util::simd::SimdLevelName(util::simd::ActiveSimdLevel()),
-      obs::kStatsEnabled ? "true" : "false",
-      static_cast<unsigned long long>(pipeline.rows), pipeline.scalar_ms,
-      pipeline.batched_ms, pipeline.batched_scalar_ms);
-  for (size_t i = 0; i < kernels.size(); ++i) {
-    const KernelTiming& t = kernels[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"items\": %llu, \"scalar_s\": %.5f, "
-                 "\"simd_s\": %.5f, \"simd_speedup\": %.2f}%s\n",
-                 t.name.c_str(), static_cast<unsigned long long>(t.items),
-                 t.scalar_s, t.simd_s, t.Speedup(),
-                 i + 1 < kernels.size() ? "," : "");
+  JsonWriter w;
+  w.BeginObject();
+  AppendSimdInfo(&w);
+  w.Key("stats_enabled"), w.Bool(obs::kStatsEnabled);
+  w.Key("pipeline");
+  w.BeginObject();
+  w.Key("rows"), w.Uint(pipeline.rows);
+  w.Key("eval_scalar_ms"), w.Double(pipeline.scalar_ms);
+  w.Key("eval_batched_ms"), w.Double(pipeline.batched_ms);
+  w.Key("eval_batched_scalar_kernels_ms");
+  w.Double(pipeline.batched_scalar_ms);
+  w.EndObject();
+  w.Key("kernels");
+  w.BeginArray();
+  for (const KernelTiming& t : kernels) {
+    w.BeginObject();
+    w.Key("name"), w.String(t.name);
+    w.Key("items"), w.Uint(t.items);
+    w.Key("scalar_s"), w.Double(t.scalar_s, 5);
+    w.Key("simd_s"), w.Double(t.simd_s, 5);
+    w.Key("simd_speedup"), w.Double(t.Speedup(), 2);
+    w.EndObject();
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  w.EndArray();
+  w.EndObject();
+  WriteJsonFile("BENCH_query.json", w.str());
 }
 
 void RunKernelComparison() {

@@ -139,39 +139,44 @@ InsertKernelResult MeasureInsertKernel() {
 
 void WriteJson(const std::vector<DatasetResult>& datasets,
                const InsertKernelResult& kernel) {
-  std::FILE* f = std::fopen("BENCH_build.json", "w");
-  if (f == nullptr) {
-    std::printf("warning: cannot write BENCH_build.json\n");
-    return;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("datasets");
+  w.BeginArray();
+  for (const DatasetResult& r : datasets) {
+    w.BeginObject();
+    w.Key("name"), w.String(r.name);
+    w.Key("rows"), w.Uint(r.rows);
+    w.Key("table_s"), w.Double(r.table_s);
+    w.Key("wah_s"), w.Double(r.wah_s);
+    w.Key("wah_pool4_s"), w.Double(r.wah_par_s);
+    w.Key("bbc_s"), w.Double(r.bbc_s);
+    w.Key("bbc_pool4_s"), w.Double(r.bbc_par_s);
+    w.Key("ab_build_s");
+    w.BeginObject();
+    const char* labels[] = {"t1", "t2", "t4", "t8"};
+    for (size_t t = 0; t < 4; ++t) {
+      w.Key(labels[t]), w.Double(r.ab_threads_s[t]);
+    }
+    w.EndObject();
+    w.EndObject();
   }
-  std::fprintf(f, "{\n  \"datasets\": [\n");
-  for (size_t i = 0; i < datasets.size(); ++i) {
-    const DatasetResult& r = datasets[i];
-    std::fprintf(
-        f,
-        "    {\"name\": \"%s\", \"rows\": %llu, \"table_s\": %.4f,\n"
-        "     \"wah_s\": %.4f, \"wah_pool4_s\": %.4f,\n"
-        "     \"bbc_s\": %.4f, \"bbc_pool4_s\": %.4f,\n"
-        "     \"ab_build_s\": {\"t1\": %.4f, \"t2\": %.4f, \"t4\": %.4f, "
-        "\"t8\": %.4f}}%s\n",
-        r.name.c_str(), static_cast<unsigned long long>(r.rows), r.table_s,
-        r.wah_s, r.wah_par_s, r.bbc_s, r.bbc_par_s, r.ab_threads_s[0],
-        r.ab_threads_s[1], r.ab_threads_s[2], r.ab_threads_s[3],
-        i + 1 < datasets.size() ? "," : "");
-  }
-  std::fprintf(
-      f,
-      "  ],\n  \"simd\": {\"detected\": \"%s\", \"active\": \"%s\"},\n"
-      "  \"insert_kernel\": {\"cells\": %llu, \"scalar_s\": %.4f, "
-      "\"batch_scalar_s\": %.4f, \"batch_s\": %.4f, \"batch_speedup\": %.2f, "
-      "\"simd_speedup\": %.2f}\n}\n",
-      util::simd::SimdLevelName(util::simd::DetectedSimdLevel()),
-      util::simd::SimdLevelName(util::simd::ActiveSimdLevel()),
-      static_cast<unsigned long long>(kernel.cells), kernel.scalar_s,
-      kernel.batch_scalar_s, kernel.batch_s,
-      kernel.batch_s > 0 ? kernel.scalar_s / kernel.batch_s : 0.0,
-      kernel.batch_s > 0 ? kernel.batch_scalar_s / kernel.batch_s : 0.0);
-  std::fclose(f);
+  w.EndArray();
+  AppendSimdInfo(&w);
+  w.Key("insert_kernel");
+  w.BeginObject();
+  w.Key("cells"), w.Uint(kernel.cells);
+  w.Key("scalar_s"), w.Double(kernel.scalar_s);
+  w.Key("batch_scalar_s"), w.Double(kernel.batch_scalar_s);
+  w.Key("batch_s"), w.Double(kernel.batch_s);
+  w.Key("batch_speedup");
+  w.Double(kernel.batch_s > 0 ? kernel.scalar_s / kernel.batch_s : 0.0, 2);
+  w.Key("simd_speedup");
+  w.Double(kernel.batch_s > 0 ? kernel.batch_scalar_s / kernel.batch_s : 0.0,
+           2);
+  w.EndObject();
+  w.EndObject();
+  WriteJsonFile("BENCH_build.json", w.str());
 }
 
 void Run() {

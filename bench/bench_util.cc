@@ -147,6 +147,99 @@ std::string SimdBannerLine() {
   return line;
 }
 
+void JsonWriter::Prefix(bool is_key) {
+  if (after_key_) {
+    // Value directly after its key: no comma, the key already emitted ": ".
+    after_key_ = false;
+    return;
+  }
+  if (first_.empty()) return;  // the root value
+  if (!first_.back()) {
+    out_ += ",";
+    // Newlines at the top two levels keep the checked-in files diffable.
+    out_ += first_.size() <= 2 ? "\n" : " ";
+    if (first_.size() == 2) out_ += "  ";
+  }
+  first_.back() = false;
+  (void)is_key;
+}
+
+void JsonWriter::BeginObject() {
+  Prefix(false);
+  out_ += "{";
+  first_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  first_.pop_back();
+  out_ += "}";
+  if (first_.empty()) out_ += "\n";
+}
+
+void JsonWriter::BeginArray() {
+  Prefix(false);
+  out_ += "[";
+  first_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  first_.pop_back();
+  out_ += "]";
+}
+
+void JsonWriter::Key(const char* name) {
+  Prefix(true);
+  out_ += "\"";
+  out_ += name;
+  out_ += "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& v) {
+  Prefix(false);
+  out_ += "\"";
+  out_ += v;  // bench payloads carry no characters needing escapes
+  out_ += "\"";
+}
+
+void JsonWriter::Uint(uint64_t v) {
+  Prefix(false);
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Double(double v, int precision) {
+  Prefix(false);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool v) {
+  Prefix(false);
+  out_ += v ? "true" : "false";
+}
+
+void AppendSimdInfo(JsonWriter* writer) {
+  writer->Key("simd");
+  writer->BeginObject();
+  writer->Key("detected");
+  writer->String(util::simd::SimdLevelName(util::simd::DetectedSimdLevel()));
+  writer->Key("active");
+  writer->String(util::simd::SimdLevelName(util::simd::ActiveSimdLevel()));
+  writer->EndObject();
+}
+
+bool WriteJsonFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 std::string StatsBannerLine() {
   if (!obs::kStatsEnabled) return "stats: compiled out (AB_DISABLE_STATS)";
   obs::StatsSnapshot s = obs::SnapshotStats();

@@ -81,6 +81,50 @@ std::string StatsBannerLine();
 /// Prints a horizontal rule + centered title for table output.
 void PrintHeader(const std::string& title);
 
+/// Minimal streaming JSON emitter shared by the benchmark executables —
+/// one writer so BENCH_build.json and BENCH_query.json stay structurally
+/// consistent (comma placement, number formatting, the common "simd"
+/// stanza) instead of each bench hand-rolling fprintf templates.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("rows"); w.Uint(n);
+///   w.Key("datasets"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   WriteJsonFile("BENCH_foo.json", w.str());
+///
+/// Keys and values must alternate inside objects; the writer tracks
+/// nesting itself and inserts commas. Output is valid JSON with light
+/// newline formatting (one line per object entry at the top two levels).
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const char* name);
+  void String(const std::string& v);
+  void Uint(uint64_t v);
+  void Double(double v, int precision = 4);
+  void Bool(bool v);
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Comma/newline bookkeeping before a value or key.
+  void Prefix(bool is_key);
+
+  std::string out_;
+  std::vector<bool> first_;  ///< per nesting level: no entry emitted yet
+  bool after_key_ = false;
+};
+
+/// Appends the common `"simd": {"detected": ..., "active": ...}` entry.
+void AppendSimdInfo(JsonWriter* writer);
+
+/// Writes `content` to `path`, printing a warning to stderr on failure.
+/// Returns true on success.
+bool WriteJsonFile(const std::string& path, const std::string& content);
+
 }  // namespace bench
 }  // namespace abitmap
 

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/span.h"
 #include "util/math.h"
 
 namespace abitmap {
@@ -319,6 +320,7 @@ BbcVector Or(const BbcVector& a, const BbcVector& b) {
 std::vector<BbcVector> CompressColumnsParallel(
     const std::vector<const util::BitVector*>& columns,
     util::ThreadPool* pool) {
+  AB_SPAN("bbc/compress");
   std::vector<BbcVector> out(columns.size());
   if (pool == nullptr || pool->num_threads() <= 1) {
     for (size_t j = 0; j < columns.size(); ++j) {
@@ -329,6 +331,7 @@ std::vector<BbcVector> CompressColumnsParallel(
   pool->ParallelFor(0, columns.size(),
                     [&out, &columns](uint64_t begin, uint64_t end,
                                      int /*chunk*/) {
+                      AB_SPAN("bbc/compress/chunk");
                       for (uint64_t j = begin; j < end; ++j) {
                         out[j] = BbcVector::Compress(*columns[j]);
                       }

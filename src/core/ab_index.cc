@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/ab_theory.h"
+#include "obs/span.h"
 #include "obs/stats.h"
 #include "util/logging.h"
 #include "util/math.h"
@@ -172,6 +173,7 @@ AbIndex AbIndex::Build(const bitmap::BinnedDataset& dataset,
 
 AbIndex AbIndex::Build(const bitmap::BinnedDataset& dataset,
                        const AbConfig& config, const FamilyFactory& factory) {
+  AB_SPAN("ab/build");
   obs::ScopedLatencyTimer timer(obs::Histogram::kBuildLatencyNs);
   AbIndex index = MakeSkeleton(dataset, config, factory);
   // Figure 3: insert every set bit of the bitmap table. Iterating the
@@ -221,6 +223,7 @@ AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
   if (pool == nullptr || pool->num_threads() <= 1) {
     return Build(dataset, config, factory);
   }
+  AB_SPAN("ab/build/parallel");
   obs::ScopedLatencyTimer timer(obs::Histogram::kBuildLatencyNs);
   AbIndex index = MakeSkeleton(dataset, config, factory);
   uint64_t n_rows = dataset.num_rows();
@@ -236,13 +239,17 @@ AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
       }
       pool->ParallelFor(
           0, n_rows, [&](uint64_t begin, uint64_t end, int chunk) {
+            AB_SPAN("ab/build/chunk");
             for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
               index.InsertAttributeCells(dataset, a, begin, end, 0,
                                          &shards[chunk], /*atomic=*/false);
             }
           });
-      for (const ApproximateBitmap& shard : shards) {
-        index.filters_[0].UnionWith(shard);
+      {
+        AB_SPAN("ab/build/merge");
+        for (const ApproximateBitmap& shard : shards) {
+          index.filters_[0].UnionWith(shard);
+        }
       }
     } else {
       // Per-attribute / per-column: every worker inserts its row chunk
@@ -251,6 +258,7 @@ AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
       // identical for ANY partition, because fetch_or commutes.
       pool->ParallelFor(0, n_rows,
                         [&](uint64_t begin, uint64_t end, int /*chunk*/) {
+                          AB_SPAN("ab/build/chunk");
                           index.InsertRowRange(dataset, begin, end, 0,
                                                /*atomic=*/true);
                         });
@@ -460,6 +468,7 @@ std::vector<const bitmap::AttributeRange*> AbIndex::MakePlan(
 }
 
 std::vector<bool> AbIndex::Evaluate(const bitmap::BitmapQuery& query) const {
+  AB_SPAN("ab/eval/scalar");
   obs::ScopedLatencyTimer timer(obs::Histogram::kEvalLatencyNs);
   std::vector<uint64_t> all_rows;
   const std::vector<uint64_t>* rows = &query.rows;
@@ -622,6 +631,7 @@ std::vector<bool> AbIndex::EvaluateBatched(
 
 std::vector<bool> AbIndex::EvaluateBatched(const bitmap::BitmapQuery& query,
                                            obs::QueryTrace* trace) const {
+  AB_SPAN("ab/eval/batched");
   obs::ScopedLatencyTimer timer(obs::Histogram::kEvalLatencyNs);
   std::vector<uint64_t> all_rows;
   const std::vector<uint64_t>* rows = &query.rows;
@@ -664,6 +674,7 @@ std::vector<bool> AbIndex::EvaluateParallel(const bitmap::BitmapQuery& query,
   if (pool == nullptr || pool->num_threads() <= 1) {
     return EvaluateBatched(query, trace);
   }
+  AB_SPAN("ab/eval/parallel");
   obs::ScopedLatencyTimer timer(obs::Histogram::kEvalLatencyNs);
   std::vector<uint64_t> all_rows;
   const std::vector<uint64_t>* rows = &query.rows;
@@ -681,6 +692,7 @@ std::vector<bool> AbIndex::EvaluateParallel(const bitmap::BitmapQuery& query,
   pool->ParallelFor(0, rows->size(),
                     [this, &plan, row_data, out_data, trace](
                         uint64_t begin, uint64_t end, int /*chunk*/) {
+                      AB_SPAN("ab/eval/chunk");
                       EvaluateRowsBatched(plan, row_data + begin,
                                           end - begin, out_data + begin,
                                           trace);
@@ -724,6 +736,7 @@ double AbIndex::EstimateQueryPrecision(
 }
 
 void AbIndex::AppendRows(const bitmap::BinnedDataset& delta) {
+  AB_SPAN("ab/append");
   delta.CheckValid();
   AB_CHECK_EQ(delta.num_attributes(), mapping_.num_attributes());
   for (uint32_t a = 0; a < delta.num_attributes(); ++a) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "bitmap/bitmap_table.h"
+#include "obs/span.h"
 #include "obs/stats.h"
 #include "util/bitvector.h"
 #include "util/simd.h"
@@ -104,6 +105,7 @@ EngineResult CollectResult(const HybridEngine& engine,
                            const bitmap::BitmapQuery& bin_query,
                            const std::vector<bool>& bits, std::string path,
                            util::ThreadPool* pool) {
+  AB_SPAN("engine/verify");
   obs::ScopedLatencyTimer timer(obs::Histogram::kVerifyLatencyNs);
   EngineResult result;
   result.path = std::move(path);
@@ -162,6 +164,7 @@ EngineResult CollectResultFromBits(const HybridEngine& engine,
                                    const EngineQuery& query,
                                    const util::BitVector& bits,
                                    std::string path, util::ThreadPool* pool) {
+  AB_SPAN("engine/verify");
   obs::ScopedLatencyTimer timer(obs::Histogram::kVerifyLatencyNs);
   EngineResult result;
   result.path = std::move(path);
@@ -213,6 +216,7 @@ EngineResult CollectResultFromBits(const HybridEngine& engine,
 }  // namespace
 
 EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
+  AB_SPAN("engine/ab");
   AB_STATS_INC(obs::Counter::kEngineAbRouted);
   util::Stopwatch query_timer;
   bitmap::BitmapQuery bin_query;
@@ -251,6 +255,7 @@ EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
 }
 
 EngineResult HybridEngine::ExecuteWithWah(const EngineQuery& query) const {
+  AB_SPAN("engine/wah");
   AB_STATS_INC(obs::Counter::kEngineWahRouted);
   util::Stopwatch query_timer;
   bitmap::BitmapQuery bin_query;
@@ -278,6 +283,7 @@ EngineResult HybridEngine::ExecuteWithWah(const EngineQuery& query) const {
 }
 
 EngineResult HybridEngine::Execute(const EngineQuery& query) const {
+  AB_SPAN("engine/execute");
   obs::ScopedLatencyTimer timer(obs::Histogram::kQueryLatencyNs);
   AB_STATS_INC(obs::Counter::kEngineQueries);
   if (query.rows.empty()) {

@@ -4,10 +4,57 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "util/simd.h"
+
+#if !defined(AB_VERSION_STRING)
+#define AB_VERSION_STRING "0.0.0"
+#endif
+
 namespace abitmap {
 namespace obs {
 
 namespace {
+
+/// One-line # HELP text per counter, indexed like kCounterNames. Kept
+/// next to the exporter because only the Prometheus rendering uses it.
+const char* const kCounterHelp[kNumCounters] = {
+    "Membership tests issued to ApproximateBitmap filters",
+    "Cells inserted into ApproximateBitmap filters",
+    "Probe positions hashed and read by membership tests",
+    "Probes skipped by per-cell early exit",
+    "TestBatchMask windows processed",
+    "Membership tests issued to blocked filters",
+    "Cells inserted into blocked filters",
+    "AbIndex query evaluations",
+    "Rows pushed through AbIndex evaluations",
+    "Rows an AbIndex evaluation reported as candidates",
+    "(row, bin) membership tests issued by evaluations",
+    "Queries answered by the scalar evaluation path",
+    "Queries answered by the batched kernel",
+    "Queries answered by the pooled kernel",
+    "Serial AbIndex builds completed",
+    "Pool-parallel AbIndex builds completed",
+    "Rows inserted by AbIndex builds",
+    "Rows added by AbIndex::AppendRows",
+    "HybridEngine queries executed",
+    "Queries the engine routed to the AB index",
+    "Queries the engine routed to the WAH index",
+    "Candidate rows the chosen index reported",
+    "Candidates surviving raw-value verification",
+    "Candidates pruned as false positives (exact mode)",
+    "Tasks submitted to util::ThreadPool",
+    "Tasks completed by util::ThreadPool workers",
+};
+
+const char* const kHistogramHelp[kNumHistograms] = {
+    "HybridEngine::Execute wall time in nanoseconds",
+    "AbIndex evaluation wall time in nanoseconds",
+    "AbIndex build wall time in nanoseconds",
+    "Candidate verification wall time in nanoseconds",
+    "Per-task execution time on a pool worker in nanoseconds",
+    "Thread-pool queue length observed at Submit",
+    "Rows per AbIndex evaluation",
+};
 
 void Appendf(std::string* out, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
@@ -69,14 +116,28 @@ std::string ToJson(const StatsSnapshot& snapshot) {
 
 std::string ToPrometheus(const StatsSnapshot& snapshot) {
   std::string out;
+  // Build/runtime metadata first, in the info-metric idiom: the value is
+  // always 1, the payload is the labels. The `stats` label distinguishes
+  // a live exporter from an -DAB_DISABLE_STATS=ON build whose series are
+  // all legitimately zero.
+  out += "# HELP abitmap_build_info Build and runtime metadata "
+         "(value is always 1).\n";
+  out += "# TYPE abitmap_build_info gauge\n";
+  Appendf(&out,
+          "abitmap_build_info{version=\"%s\",simd=\"%s\",stats=\"%s\"} 1\n",
+          AB_VERSION_STRING,
+          util::simd::SimdLevelName(util::simd::ActiveSimdLevel()),
+          kStatsEnabled ? "on" : "off");
   for (size_t i = 0; i < kNumCounters; ++i) {
     const char* name = CounterName(static_cast<Counter>(i));
+    Appendf(&out, "# HELP abitmap_%s %s.\n", name, kCounterHelp[i]);
     Appendf(&out, "# TYPE abitmap_%s counter\n", name);
     Appendf(&out, "abitmap_%s %" PRIu64 "\n", name, snapshot.counters[i]);
   }
   for (size_t h = 0; h < kNumHistograms; ++h) {
     const char* name = HistogramName(static_cast<Histogram>(h));
     const HistogramSnapshot& hist = snapshot.histograms[h];
+    Appendf(&out, "# HELP abitmap_%s %s.\n", name, kHistogramHelp[h]);
     Appendf(&out, "# TYPE abitmap_%s histogram\n", name);
     uint64_t cumulative = 0;
     size_t end = TrimmedBuckets(hist);

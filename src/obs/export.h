@@ -15,10 +15,12 @@ namespace obs {
 /// Histogram bucket arrays are trimmed to the last non-empty bucket.
 std::string ToJson(const StatsSnapshot& snapshot);
 
-/// Renders a snapshot in the Prometheus text exposition format. Counters
-/// become `abitmap_<name>` counters; histograms become cumulative
-/// `abitmap_<name>_bucket{le="..."}` series (power-of-two upper bounds)
-/// plus `_sum` and `_count`.
+/// Renders a snapshot in the Prometheus text exposition format, led by an
+/// `abitmap_build_info` gauge carrying `version`, `simd`, and `stats`
+/// labels. Counters become `abitmap_<name>` counters; histograms become
+/// cumulative `abitmap_<name>_bucket{le="..."}` series (power-of-two
+/// upper bounds) plus `_sum` and `_count`. Every series gets a `# HELP`
+/// and `# TYPE` line.
 std::string ToPrometheus(const StatsSnapshot& snapshot);
 
 /// Compact human-readable table (ab_stats --format=text): one counter or

@@ -1,0 +1,222 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/span.h"
+#include "obs/stats.h"
+
+namespace abitmap {
+namespace obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    default:
+      return "Error";
+  }
+}
+
+/// Writes the whole buffer, riding out short writes and EINTR.
+void WriteAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void WriteResponse(int fd, const HttpRequest& request,
+                   const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  WriteAll(fd, head.data(), head.size());
+  if (request.method != "HEAD") {
+    WriteAll(fd, response.body.data(), response.body.size());
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer() : HttpServer(Options()) {}
+
+HttpServer::HttpServer(Options options) : options_(options) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, Handler handler) {
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+util::Status HttpServer::Start() {
+  if (running()) {
+    return util::Status::FailedPrecondition("HttpServer already started");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::FailedPrecondition(
+        std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, always
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string err = std::string("bind 127.0.0.1:") +
+                      std::to_string(options_.port) + ": " +
+                      std::strerror(errno);
+    ::close(fd);
+    return util::Status::FailedPrecondition(err);
+  }
+  if (::listen(fd, options_.backlog) != 0) {
+    std::string err = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return util::Status::FailedPrecondition(err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    std::string err = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return util::Status::FailedPrecondition(err);
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  serve_thread_ = std::thread([this]() { ServeLoop(); });
+  return util::Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (serve_thread_.joinable()) serve_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::ServeLoop() {
+  // Connections are serviced serially: the endpoint payloads are small
+  // and cheap (snapshot + render), so one slow reader can delay — but
+  // never overload — the process. The accept loop polls with a short
+  // timeout so Stop() is honoured within ~100 ms.
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    timeval tv{};
+    tv.tv_sec = options_.recv_timeout_ms / 1000;
+    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  AB_SPAN("http/request");
+  std::string raw;
+  char buf[1024];
+  // Read until the end of the header block; the endpoints take no bodies.
+  while (raw.find("\r\n\r\n") == std::string::npos) {
+    if (raw.size() >= options_.max_request_bytes) {
+      HttpRequest req{"GET", ""};
+      WriteResponse(fd, req, HttpResponse{431, "text/plain", "too large\n"});
+      return;
+    }
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // timeout or close before a full request
+    }
+    raw.append(buf, static_cast<size_t>(n));
+  }
+
+  HttpRequest request;
+  size_t line_end = raw.find("\r\n");
+  std::string line = raw.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    WriteResponse(fd, request,
+                  HttpResponse{400, "text/plain", "bad request\n"});
+    return;
+  }
+  request.method = line.substr(0, sp1);
+  request.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t query = request.path.find('?');
+  if (query != std::string::npos) request.path.resize(query);
+
+  if (request.method != "GET" && request.method != "HEAD") {
+    WriteResponse(fd, request,
+                  HttpResponse{405, "text/plain", "method not allowed\n"});
+    return;
+  }
+  for (const auto& [path, handler] : routes_) {
+    if (path == request.path) {
+      WriteResponse(fd, request, handler(request));
+      return;
+    }
+  }
+  WriteResponse(fd, request, HttpResponse{404, "text/plain", "not found\n"});
+}
+
+void RegisterObsEndpoints(HttpServer* server) {
+  server->Handle("/metrics", [](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = ToPrometheus(SnapshotStats());
+    return r;
+  });
+  server->Handle("/stats.json", [](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    r.body = ToJson(SnapshotStats());
+    return r;
+  });
+  server->Handle("/healthz", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  server->Handle("/traces.json", [](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    r.body = SpansToChromeJson();
+    return r;
+  });
+}
+
+}  // namespace obs
+}  // namespace abitmap

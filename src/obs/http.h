@@ -1,0 +1,98 @@
+#ifndef ABITMAP_OBS_HTTP_H_
+#define ABITMAP_OBS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+/// Minimal embedded HTTP/1.1 server for live observability — the serving
+/// half of src/obs. Deliberately tiny and dependency-free: loopback only
+/// (binds 127.0.0.1, never a routable interface), GET/HEAD only, exact
+/// path routing, one connection serviced at a time on one serving thread,
+/// bounded request size and kernel accept backlog, per-connection receive
+/// timeout. That is exactly enough for a Prometheus scraper, a health
+/// checker, and a trace download — not a general web server.
+///
+/// RegisterObsEndpoints() wires the standard endpoint set:
+///   GET /metrics      Prometheus exposition of the stats snapshot
+///   GET /stats.json   JSON snapshot (obs::ToJson)
+///   GET /healthz      "ok\n" liveness probe
+///   GET /traces.json  Chrome Trace Event JSON of the span ring
+/// All four serve clean payloads in an -DAB_DISABLE_STATS=ON build (zeroed
+/// metrics with an "off" build-info label, an empty disabled trace).
+
+namespace abitmap {
+namespace obs {
+
+struct HttpRequest {
+  std::string method;  ///< "GET" or "HEAD" (anything else is rejected)
+  std::string path;    ///< request target, query string stripped
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  struct Options {
+    uint16_t port = 0;         ///< 0 = ephemeral (read back via port())
+    int backlog = 16;          ///< kernel accept queue bound
+    size_t max_request_bytes = 8192;
+    int recv_timeout_ms = 2000;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer();  ///< default Options
+  explicit HttpServer(Options options);
+  ~HttpServer();  ///< calls Stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers an exact-match handler for `path`. Must be called before
+  /// Start(); later registrations would race the serving thread.
+  void Handle(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:port, starts listening, and spawns the serving
+  /// thread. FailedPrecondition on socket/bind errors (e.g. port in use).
+  util::Status Start();
+
+  /// Stops accepting, joins the serving thread, closes the socket.
+  /// Idempotent; in-flight responses finish first.
+  void Stop();
+
+  /// The bound port (the chosen one when Options::port was 0). Valid
+  /// after a successful Start().
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  Options options_;
+  std::vector<std::pair<std::string, Handler>> routes_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread serve_thread_;
+};
+
+/// Registers /metrics, /stats.json, /healthz, and /traces.json.
+void RegisterObsEndpoints(HttpServer* server);
+
+}  // namespace obs
+}  // namespace abitmap
+
+#endif  // ABITMAP_OBS_HTTP_H_

@@ -1,0 +1,217 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+namespace abitmap {
+namespace obs {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                                  ? static_cast<size_t>(n)
+                                  : sizeof(buf) - 1);
+}
+
+}  // namespace
+
+#if !defined(AB_DISABLE_STATS)
+
+namespace internal {
+
+namespace {
+
+/// One ring slot. All fields are relaxed atomics so a reader racing an
+/// overwrite reads stale-or-new values, never indeterminate ones; the
+/// sequence number tells it whether the payload was stable. seq holds
+/// 2*ticket+1 while the claiming writer fills the slot and 2*ticket+2
+/// once the payload is complete. A reader accepts a slot only when it
+/// observes the same even, nonzero seq before and after its payload
+/// reads (with an acquire fence in between): the writer's release fence
+/// after the odd store guarantees that any visible payload byte is
+/// preceded by its odd seq, so a stable even seq proves the payload is
+/// exactly the one that seq's writer published. Writers overwriting a
+/// slot out of ticket order can leave it carrying the older ticket's
+/// event; that event is still coherent and is kept.
+struct alignas(64) Slot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<uint32_t> tid{0};
+  std::atomic<uint64_t> span_id{0};
+  std::atomic<uint64_t> parent_id{0};
+  std::atomic<uint64_t> start_ns{0};
+  std::atomic<uint64_t> dur_ns{0};
+};
+
+struct Ring {
+  std::atomic<uint64_t> head{0};  ///< total spans ever published
+  Slot slots[kSpanRingCapacity];
+
+  static Ring& Instance() {
+    // Leaked singleton, same rationale as the stats registry: spans may be
+    // published from thread_local destructors after main() returns.
+    static Ring* r = new Ring();
+    return *r;
+  }
+};
+
+std::atomic<uint32_t> next_tid{0};
+std::atomic<uint64_t> next_span_id{0};
+
+}  // namespace
+
+thread_local uint64_t tls_current_span = 0;
+
+uint32_t SpanTid() {
+  thread_local uint32_t tid = 0;
+  if (tid == 0) tid = next_tid.fetch_add(1, std::memory_order_relaxed) + 1;
+  return tid;
+}
+
+uint64_t NextSpanId() {
+  return next_span_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void PublishSpan(const char* name, uint32_t tid, uint64_t span_id,
+                 uint64_t parent_id, uint64_t start_ns, uint64_t dur_ns) {
+  Ring& ring = Ring::Instance();
+  uint64_t ticket = ring.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = ring.slots[ticket % kSpanRingCapacity];
+  s.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  // Order the odd "write in progress" mark before the payload stores: a
+  // reader that can see any payload byte can also see the odd seq, so a
+  // stable even seq across the reader's two checks proves coherence.
+  std::atomic_thread_fence(std::memory_order_release);
+  s.name.store(name, std::memory_order_relaxed);
+  s.tid.store(tid, std::memory_order_relaxed);
+  s.span_id.store(span_id, std::memory_order_relaxed);
+  s.parent_id.store(parent_id, std::memory_order_relaxed);
+  s.start_ns.store(start_ns, std::memory_order_relaxed);
+  s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  s.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+}  // namespace internal
+
+std::vector<SpanEvent> SnapshotSpans() {
+  internal::Ring& ring = internal::Ring::Instance();
+  uint64_t head = ring.head.load(std::memory_order_acquire);
+  uint64_t count = std::min<uint64_t>(head, kSpanRingCapacity);
+  std::vector<SpanEvent> out;
+  out.reserve(count);
+  for (uint64_t t = head - count; t < head; ++t) {
+    internal::Slot& s = ring.slots[t % kSpanRingCapacity];
+    // Accept any stable, complete publication — not just ticket t's.
+    // Writers landing out of ticket order can leave the slot holding the
+    // previous lap's event; it is coherent, so keep it rather than
+    // dropping a slot from the snapshot.
+    uint64_t seq = s.seq.load(std::memory_order_acquire);
+    if (seq == 0 || (seq & 1) != 0) continue;  // never written / mid-write
+    SpanEvent e;
+    e.name = s.name.load(std::memory_order_relaxed);
+    e.tid = s.tid.load(std::memory_order_relaxed);
+    e.span_id = s.span_id.load(std::memory_order_relaxed);
+    e.parent_id = s.parent_id.load(std::memory_order_relaxed);
+    e.start_ns = s.start_ns.load(std::memory_order_relaxed);
+    e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != seq) continue;
+    if (e.name == nullptr) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+void ClearSpans() {
+  internal::Ring& ring = internal::Ring::Instance();
+  ring.head.store(0, std::memory_order_relaxed);
+  for (internal::Slot& s : ring.slots) {
+    s.seq.store(0, std::memory_order_relaxed);
+    s.name.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+#else  // AB_DISABLE_STATS
+
+std::vector<SpanEvent> SnapshotSpans() { return {}; }
+void ClearSpans() {}
+
+#endif  // AB_DISABLE_STATS
+
+std::string SpansToChromeJson() {
+  std::vector<SpanEvent> events = SnapshotSpans();
+  std::string out = "{\n\"displayTimeUnit\": \"ns\",\n";
+  Appendf(&out, "\"otherData\": {\"enabled\": %s, \"capacity\": %zu},\n",
+          kStatsEnabled ? "true" : "false", kSpanRingCapacity);
+  out += "\"traceEvents\": [";
+
+  // Thread-name metadata so Perfetto labels the rows.
+  std::vector<uint32_t> tids;
+  for (const SpanEvent& e : events) {
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end()) {
+      tids.push_back(e.tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  bool first = true;
+  for (uint32_t tid : tids) {
+    Appendf(&out,
+            "%s\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+            "\"tid\": %u, \"args\": {\"name\": \"abitmap-%u\"}}",
+            first ? "" : ",", tid, tid);
+    first = false;
+  }
+
+  std::unordered_map<uint64_t, const SpanEvent*> by_id;
+  by_id.reserve(events.size());
+  for (const SpanEvent& e : events) by_id.emplace(e.span_id, &e);
+
+  for (const SpanEvent& e : events) {
+    Appendf(&out,
+            "%s\n{\"name\": \"%s\", \"cat\": \"abitmap\", \"ph\": \"X\", "
+            "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+            "\"args\": {\"id\": %" PRIu64 ", \"parent\": %" PRIu64 "}}",
+            first ? "" : ",", e.name, e.tid,
+            static_cast<double>(e.start_ns) / 1000.0,
+            static_cast<double>(e.dur_ns) / 1000.0, e.span_id, e.parent_id);
+    first = false;
+    // Cross-thread parent link (a pool task chunk adopted a coordinating
+    // span): bind with a flow arrow. The "s" step must sit inside the
+    // parent slice, so the child's start is clamped into it.
+    auto parent_it = e.parent_id != 0 ? by_id.find(e.parent_id) : by_id.end();
+    if (parent_it != by_id.end() && parent_it->second->tid != e.tid) {
+      const SpanEvent& p = *parent_it->second;
+      uint64_t s_ns = std::max(p.start_ns,
+                               std::min(e.start_ns, p.start_ns + p.dur_ns));
+      Appendf(&out,
+              ",\n{\"name\": \"%s\", \"cat\": \"abitmap\", \"ph\": \"s\", "
+              "\"id\": %" PRIu64 ", \"pid\": 1, \"tid\": %u, \"ts\": %.3f}",
+              e.name, e.span_id, p.tid,
+              static_cast<double>(s_ns) / 1000.0);
+      Appendf(&out,
+              ",\n{\"name\": \"%s\", \"cat\": \"abitmap\", \"ph\": \"f\", "
+              "\"bp\": \"e\", \"id\": %" PRIu64 ", \"pid\": 1, \"tid\": %u, "
+              "\"ts\": %.3f}",
+              e.name, e.span_id, e.tid,
+              static_cast<double>(e.start_ns) / 1000.0);
+    }
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace abitmap

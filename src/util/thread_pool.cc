@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/span.h"
 #include "obs/stats.h"
 #include "util/logging.h"
 
@@ -31,10 +32,13 @@ void ThreadPool::Submit(std::function<void()> task) {
 #if !defined(AB_DISABLE_STATS)
   size_t depth;
 #endif
+  // Captured before taking the lock: the span context belongs to the
+  // submitting thread, not to whichever worker later runs the task.
+  uint64_t span_parent = obs::CurrentSpanContext();
   {
     std::unique_lock<std::mutex> lock(mu_);
     AB_CHECK(!shutdown_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), span_parent});
     ++pending_;
 #if !defined(AB_DISABLE_STATS)
     depth = queue_.size();
@@ -57,7 +61,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock,
@@ -68,12 +72,16 @@ void ThreadPool::WorkerLoop() {
     }
 #if !defined(AB_DISABLE_STATS)
     {
+      // Adopt the submitter's span as parent so the trace shows this
+      // task's work nested under the coordinating call.
+      obs::ScopedSpanParent adopt(task.span_parent);
+      AB_SPAN("pool/task");
       obs::ScopedLatencyTimer timer(obs::Histogram::kPoolTaskLatencyNs);
-      task();
+      task.fn();
     }
     AB_STATS_INC(obs::Counter::kPoolTasksCompleted);
 #else
-    task();
+    task.fn();
 #endif
     {
       std::unique_lock<std::mutex> lock(mu_);

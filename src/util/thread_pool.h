@@ -26,7 +26,10 @@ namespace util {
 /// the observed queue depth (obs::Histogram::kPoolQueueDepth) and workers
 /// record per-task wall time (kPoolTaskLatencyNs) plus the
 /// submitted/completed counters — the pool-health signals of the obs
-/// layer.
+/// layer. Submit also captures the submitting thread's span context
+/// (obs::CurrentSpanContext), and the worker adopts it around a
+/// "pool/task" span, so a trace of a parallel build/evaluation nests the
+/// pool-thread chunks under the coordinating span (see obs/span.h).
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to at least 1).
@@ -62,7 +65,15 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  /// A queued task plus the span context of the thread that submitted it,
+  /// so the worker can re-parent its trace slice (0 when stats are
+  /// compiled out or no span was open).
+  struct Task {
+    std::function<void()> fn;
+    uint64_t span_parent = 0;
+  };
+
+  std::deque<Task> queue_;
   uint64_t pending_ = 0;  ///< queued + running tasks
   bool shutdown_ = false;
   std::vector<std::thread> workers_;

@@ -2,10 +2,13 @@
 
 #include <utility>
 
+#include "obs/span.h"
+
 namespace abitmap {
 namespace wah {
 
 WahIndex WahIndex::Build(const bitmap::BitmapTable& table) {
+  AB_SPAN("wah/build");
   WahIndex index(table.mapping(), table.num_rows());
   index.columns_.reserve(table.num_columns());
   for (uint32_t j = 0; j < table.num_columns(); ++j) {
@@ -17,6 +20,7 @@ WahIndex WahIndex::Build(const bitmap::BitmapTable& table) {
 WahIndex WahIndex::Build(const bitmap::BitmapTable& table,
                          util::ThreadPool* pool) {
   if (pool == nullptr || pool->num_threads() <= 1) return Build(table);
+  AB_SPAN("wah/build");
   WahIndex index(table.mapping(), table.num_rows());
   // Each column compresses into its own pre-allocated slot, so workers
   // share nothing and the output is byte-identical to the serial build.
@@ -24,6 +28,7 @@ WahIndex WahIndex::Build(const bitmap::BitmapTable& table,
   pool->ParallelFor(0, table.num_columns(),
                     [&index, &table](uint64_t begin, uint64_t end,
                                      int /*chunk*/) {
+                      AB_SPAN("wah/compress");
                       for (uint64_t j = begin; j < end; ++j) {
                         index.columns_[j] = WahVector::Compress(
                             table.column(static_cast<uint32_t>(j)));

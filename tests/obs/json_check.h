@@ -1,0 +1,157 @@
+#ifndef ABITMAP_TESTS_OBS_JSON_CHECK_H_
+#define ABITMAP_TESTS_OBS_JSON_CHECK_H_
+
+// Minimal JSON syntax validator for the obs tests: the repo takes no JSON
+// library dependency, but the trace/stats endpoints promise syntactically
+// valid JSON, so the tests parse it with a ~100-line recursive-descent
+// checker (full JSON grammar, no semantics).
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace abitmap {
+namespace test {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  /// True iff the whole input is exactly one valid JSON value.
+  bool Validate() {
+    SkipWs();
+    if (!ParseValue()) return false;
+    SkipWs();
+    return p_ == end_;
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    for (; *word != '\0'; ++word, ++p_) {
+      if (p_ >= end_ || *p_ != *word) return false;
+    }
+    return true;
+  }
+
+  bool ParseString() {
+    if (p_ >= end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ >= end_) return false;
+        if (*p_ == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p_;
+            if (p_ >= end_ || !std::isxdigit(static_cast<unsigned char>(*p_)))
+              return false;
+          }
+        }
+      }
+      ++p_;
+    }
+    if (p_ >= end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber() {
+    if (p_ < end_ && *p_ == '-') ++p_;
+    if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+      return false;
+    while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ < end_ && *p_ == '.') {
+      ++p_;
+      if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+        return false;
+      while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ < end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_)))
+        return false;
+      while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    return true;
+  }
+
+  bool ParseObject() {
+    ++p_;  // '{'
+    SkipWs();
+    if (p_ < end_ && *p_ == '}') return ++p_, true;
+    for (;;) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (p_ >= end_ || *p_ != ':') return false;
+      ++p_;
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (p_ < end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (p_ < end_ && *p_ == '}') return ++p_, true;
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++p_;  // '['
+    SkipWs();
+    if (p_ < end_ && *p_ == ']') return ++p_, true;
+    for (;;) {
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (p_ < end_ && *p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (p_ < end_ && *p_ == ']') return ++p_, true;
+      return false;
+    }
+  }
+
+  bool ParseValue() {
+    if (p_ >= end_) return false;
+    switch (*p_) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+inline bool IsValidJson(const std::string& text) {
+  return JsonValidator(text).Validate();
+}
+
+}  // namespace test
+}  // namespace abitmap
+
+#endif  // ABITMAP_TESTS_OBS_JSON_CHECK_H_

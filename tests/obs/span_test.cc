@@ -1,0 +1,216 @@
+// Span-tracing layer: the compile-out contract, ring bounds, parent/child
+// nesting, thread-pool context propagation (the trace-coherence guarantee
+// of the tentpole), and the Chrome Trace Event JSON export. Every test
+// runs in both tier-1 configurations; stats-off asserts the disabled
+// behavior instead of skipping.
+//
+// The propagation test doubles as the TSan coverage for the lock-free
+// span ring: tools/check.sh runs this binary under ThreadSanitizer, so
+// concurrent PublishSpan/SnapshotSpans races would be flagged there.
+
+#include "obs/span.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/stats.h"
+#include "json_check.h"
+#include "util/thread_pool.h"
+
+namespace abitmap {
+namespace obs {
+namespace {
+
+/// First snapshot event with the given name, or nullptr.
+const SpanEvent* FindSpan(const std::vector<SpanEvent>& events,
+                          const std::string& name) {
+  for (const SpanEvent& e : events) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+const SpanEvent* FindById(const std::vector<SpanEvent>& events, uint64_t id) {
+  for (const SpanEvent& e : events) {
+    if (e.span_id == id) return &e;
+  }
+  return nullptr;
+}
+
+/// [start, start+dur] of `inner` within that of `outer`.
+bool Contains(const SpanEvent& outer, const SpanEvent& inner) {
+  return inner.start_ns >= outer.start_ns &&
+         inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns;
+}
+
+TEST(SpanTest, CompileOutContract) {
+  ClearSpans();
+  { AB_SPAN("contract/span"); }
+  std::vector<SpanEvent> events = SnapshotSpans();
+  if (kStatsEnabled) {
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "contract/span");
+    EXPECT_NE(events[0].span_id, 0u);
+    EXPECT_EQ(events[0].parent_id, 0u);
+    EXPECT_NE(events[0].tid, 0u);
+  } else {
+    EXPECT_TRUE(events.empty());
+    EXPECT_EQ(CurrentSpanContext(), 0u);
+  }
+  // The export is link-compatible and valid JSON in both configurations.
+  std::string json = SpansToChromeJson();
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find(kStatsEnabled ? "\"enabled\": true"
+                                    : "\"enabled\": false"),
+            std::string::npos);
+}
+
+TEST(SpanTest, NestedSpansRecordParentAndContainment) {
+  ClearSpans();
+  {
+    AB_SPAN("outer");
+    {
+      AB_SPAN("middle");
+      { AB_SPAN("inner"); }
+    }
+  }
+  std::vector<SpanEvent> events = SnapshotSpans();
+  if (!kStatsEnabled) {
+    EXPECT_TRUE(events.empty());
+    return;
+  }
+  ASSERT_EQ(events.size(), 3u);
+  const SpanEvent* outer = FindSpan(events, "outer");
+  const SpanEvent* middle = FindSpan(events, "middle");
+  const SpanEvent* inner = FindSpan(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(middle, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(middle->parent_id, outer->span_id);
+  EXPECT_EQ(inner->parent_id, middle->span_id);
+  EXPECT_TRUE(Contains(*outer, *middle));
+  EXPECT_TRUE(Contains(*middle, *inner));
+  // Inner spans complete (publish) before outer ones.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[2].name, "outer");
+}
+
+TEST(SpanTest, RingIsBounded) {
+  ClearSpans();
+  for (size_t i = 0; i < kSpanRingCapacity + 500; ++i) {
+    AB_SPAN("bounded");
+  }
+  std::vector<SpanEvent> events = SnapshotSpans();
+  if (!kStatsEnabled) {
+    EXPECT_TRUE(events.empty());
+    return;
+  }
+  // Oldest events were overwritten; the ring holds exactly capacity.
+  EXPECT_EQ(events.size(), kSpanRingCapacity);
+  ClearSpans();
+  EXPECT_TRUE(SnapshotSpans().empty());
+}
+
+TEST(SpanTest, ThreadPoolPropagatesParentContext) {
+  ClearSpans();
+  {
+    AB_SPAN("coordinator");
+    util::ThreadPool pool(2);
+    pool.ParallelFor(0, 1000,
+                     [](uint64_t begin, uint64_t end, int /*chunk*/) {
+                       AB_SPAN("chunk");
+                       volatile uint64_t sink = 0;
+                       for (uint64_t i = begin; i < end; ++i) sink += i;
+                       (void)sink;
+                     });
+  }
+  std::vector<SpanEvent> events = SnapshotSpans();
+  if (!kStatsEnabled) {
+    EXPECT_TRUE(events.empty());
+    return;
+  }
+  const SpanEvent* coordinator = FindSpan(events, "coordinator");
+  ASSERT_NE(coordinator, nullptr);
+  // Every chunk span was recorded on a pool thread but chains back to the
+  // coordinating span through its pool/task wrapper.
+  size_t chunks = 0;
+  for (const SpanEvent& e : events) {
+    if (std::string("chunk") != e.name) continue;
+    ++chunks;
+    const SpanEvent* task = FindById(events, e.parent_id);
+    ASSERT_NE(task, nullptr) << "chunk span has no recorded parent";
+    EXPECT_STREQ(task->name, "pool/task");
+    EXPECT_EQ(task->parent_id, coordinator->span_id);
+    EXPECT_NE(task->tid, coordinator->tid) << "task should run on a worker";
+    EXPECT_TRUE(Contains(*task, e));
+    EXPECT_TRUE(Contains(*coordinator, *task));
+  }
+  EXPECT_GE(chunks, 1u);
+  EXPECT_LE(chunks, 2u);  // a 2-thread pool submits at most 2 chunks
+}
+
+TEST(SpanTest, ConcurrentPublishAndSnapshotIsSafe) {
+  // Hammer the ring from several writers while a reader snapshots: the
+  // seqlock protocol must never yield torn events (and TSan must stay
+  // quiet). Torn slots are skipped, so every surviving event is coherent.
+  ClearSpans();
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([]() {
+      for (int i = 0; i < 5000; ++i) {
+        AB_SPAN("stress");
+      }
+    });
+  }
+  for (int r = 0; r < 20; ++r) {
+    for (const SpanEvent& e : SnapshotSpans()) {
+      ASSERT_STREQ(e.name, "stress");
+      ASSERT_NE(e.span_id, 0u);
+    }
+  }
+  for (std::thread& t : writers) t.join();
+  std::vector<SpanEvent> events = SnapshotSpans();
+  if (kStatsEnabled) {
+    EXPECT_EQ(events.size(), std::min<size_t>(15000, kSpanRingCapacity));
+  } else {
+    EXPECT_TRUE(events.empty());
+  }
+}
+
+TEST(SpanTest, ChromeJsonNestsPhasesAcrossThreads) {
+  ClearSpans();
+  {
+    AB_SPAN("parallel/root");
+    util::ThreadPool pool(2);
+    pool.ParallelFor(0, 64, [](uint64_t, uint64_t, int) {
+      AB_SPAN("parallel/chunk");
+    });
+  }
+  std::string json = SpansToChromeJson();
+  ASSERT_TRUE(test::IsValidJson(json)) << json;
+  if (!kStatsEnabled) {
+    EXPECT_EQ(json.find("\"ph\": \"X\""), std::string::npos);
+    return;
+  }
+  // Complete events for every phase, thread-name metadata, and flow
+  // arrows binding the cross-thread parent links.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"parallel/root\""), std::string::npos);
+  EXPECT_NE(json.find("\"parallel/chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  // Microsecond ts/dur fields are present on the X events.
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace abitmap

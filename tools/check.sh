@@ -19,6 +19,11 @@
 # which only a full build+test of that configuration proves. Set
 # AB_CHECK_STATS_OFF=0 to skip it.
 #
+# Both configurations also get an endpoint smoke: ab_stats --serve=0
+# --watch=1 runs a live parallel workload while this script fetches
+# /healthz and /metrics over loopback (plain bash /dev/tcp, no curl
+# dependency) and checks the payloads.
+#
 # Set AB_CHECK_COVERAGE=1 to add a gcovr line-coverage pass (builds with
 # AB_COVERAGE=ON, reruns tier-1, writes coverage.txt into the build dir).
 # It is off by default and a hard error when requested without gcovr on
@@ -49,6 +54,75 @@ asan_supported() {
     "$probe_dir/probe.cc" >/dev/null 2>&1
 }
 
+# Fetches an HTTP path from 127.0.0.1:$1 with bash's /dev/tcp (fd 3 both
+# ways); prints the full response. No curl/wget needed.
+http_get() {
+  local port="$1" path="$2"
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n' "$path" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+# Endpoint smoke against one build tree: start ab_stats serving on an
+# ephemeral port with a live parallel workload (--watch re-runs queries
+# each second), parse the announced port, fetch /healthz and /metrics,
+# check the payloads, then SIGINT the server and require a clean exit.
+endpoint_smoke() {
+  local dir="$1" label="$2" log port pid status health metrics
+  log="$dir/ab_stats_serve.log"
+  echo "== endpoint smoke ($label) =="
+  "$dir/tools/ab_stats" --serve=0 --watch=1 --threads=4 --scale=50 \
+    >/dev/null 2>"$log" &
+  pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "$log" | head -1)"
+    [ -n "$port" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "error: ab_stats --serve exited early; log:" >&2
+      cat "$log" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "error: ab_stats --serve never announced a port; log:" >&2
+    cat "$log" >&2
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  health="$(http_get "$port" /healthz)"
+  case "$health" in
+    *"200 OK"*ok*) ;;
+    *)
+      echo "error: /healthz did not answer ok; got:" >&2
+      echo "$health" >&2
+      kill "$pid" 2>/dev/null || true
+      return 1
+      ;;
+  esac
+  metrics="$(http_get "$port" /metrics)"
+  case "$metrics" in
+    *abitmap_build_info*) ;;
+    *)
+      echo "error: /metrics lacks abitmap_build_info; got:" >&2
+      echo "$metrics" | head -5 >&2
+      kill "$pid" 2>/dev/null || true
+      return 1
+      ;;
+  esac
+  kill -INT "$pid"
+  status=0
+  wait "$pid" || status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "error: ab_stats --serve exited with status $status" >&2
+    return 1
+  fi
+  echo "endpoint smoke ($label): /healthz + /metrics ok on port $port"
+}
+
 echo "== configure (RelWithDebInfo) =="
 cmake -S "$repo_root" -B "$build_dir" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -58,6 +132,8 @@ cmake --build "$build_dir" -j "$jobs"
 
 echo "== tier-1 tests =="
 ctest --test-dir "$build_dir" -L tier1 --output-on-failure -j "$jobs"
+
+endpoint_smoke "$build_dir" "default"
 
 if [ "${AB_CHECK_STATS_OFF:-1}" != "0" ]; then
   stats_off_dir="$build_dir-stats-off"
@@ -69,6 +145,8 @@ if [ "${AB_CHECK_STATS_OFF:-1}" != "0" ]; then
   cmake --build "$stats_off_dir" -j "$jobs"
   echo "== tier-1 tests (stats off) =="
   ctest --test-dir "$stats_off_dir" -L tier1 --output-on-failure -j "$jobs"
+
+  endpoint_smoke "$stats_off_dir" "stats off"
 fi
 
 if [ "${AB_CHECK_COVERAGE:-0}" = "1" ]; then

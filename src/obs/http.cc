@@ -37,10 +37,13 @@ const char* StatusText(int status) {
 }
 
 /// Writes the whole buffer, riding out short writes and EINTR.
+/// MSG_NOSIGNAL: a peer that hangs up mid-response (scrape timeout,
+/// aborted curl) must surface as EPIPE here, not raise SIGPIPE and kill
+/// the embedding process — the server never installs a signal handler.
 void WriteAll(int fd, const char* data, size_t len) {
   size_t off = 0;
   while (off < len) {
-    ssize_t n = ::write(fd, data + off, len - off);
+    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;  // peer went away; nothing useful to do
@@ -136,9 +139,12 @@ void HttpServer::ServeLoop() {
     if (ready <= 0) continue;
     int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
+    // A zero timeval disables SO_RCVTIMEO, and a silent client would then
+    // park the single serving thread in read() forever; clamp to 1 ms.
+    int timeout_ms = options_.recv_timeout_ms > 0 ? options_.recv_timeout_ms : 1;
     timeval tv{};
-    tv.tv_sec = options_.recv_timeout_ms / 1000;
-    tv.tv_usec = (options_.recv_timeout_ms % 1000) * 1000;
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
     ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     HandleConnection(conn);
     ::close(conn);

@@ -46,7 +46,7 @@ class HttpServer {
     uint16_t port = 0;         ///< 0 = ephemeral (read back via port())
     int backlog = 16;          ///< kernel accept queue bound
     size_t max_request_bytes = 8192;
-    int recv_timeout_ms = 2000;
+    int recv_timeout_ms = 2000;  ///< must be positive; values < 1 clamp to 1
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;

@@ -19,11 +19,26 @@ void Appendf(std::string* out, const char* fmt, ...) {
   char buf[256];
   va_list args;
   va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
   int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
-  if (n > 0) out->append(buf, static_cast<size_t>(n) < sizeof(buf)
-                                  ? static_cast<size_t>(n)
-                                  : sizeof(buf) - 1);
+  if (n <= 0) {
+    va_end(args_copy);
+    return;
+  }
+  if (static_cast<size_t>(n) < sizeof(buf)) {
+    out->append(buf, static_cast<size_t>(n));
+  } else {
+    // Truncating would emit syntactically broken JSON (unterminated
+    // strings, clipped braces); reformat into the destination instead.
+    size_t old_size = out->size();
+    out->resize(old_size + static_cast<size_t>(n) + 1);
+    std::vsnprintf(&(*out)[old_size], static_cast<size_t>(n) + 1, fmt,
+                   args_copy);
+    out->resize(old_size + static_cast<size_t>(n));
+  }
+  va_end(args_copy);
 }
 
 }  // namespace

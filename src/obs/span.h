@@ -59,8 +59,12 @@ inline constexpr size_t kSpanRingCapacity = 4096;
 /// AB_DISABLE_STATS build.
 std::vector<SpanEvent> SnapshotSpans();
 
-/// Discards all recorded spans (tests reset between phases). Exact only
-/// when no thread is concurrently publishing.
+/// Discards all recorded spans. QUIESCENT CALLERS ONLY: every publishing
+/// thread must have finished its spans, and no SnapshotSpans() reader
+/// (including an HttpServer serving /traces.json) may be running. A
+/// writer that claimed its ring ticket before the reset can republish a
+/// stale event into the "cleared" ring afterwards. Intended for test
+/// resets between phases, never for a live serving process.
 void ClearSpans();
 
 /// Chrome Trace Event Format JSON of SnapshotSpans(): one complete ("X")

@@ -76,6 +76,24 @@ const char* LevelName(Level level) {
   return "?";
 }
 
+const char* BuildStrategyName(BuildStrategy strategy) {
+  switch (strategy) {
+    case BuildStrategy::kAuto:
+      return "auto";
+    case BuildStrategy::kSerial:
+      return "serial";
+    case BuildStrategy::kAtomicShared:
+      return "atomic-shared";
+    case BuildStrategy::kPrivateShards:
+      return "private-shards";
+    case BuildStrategy::kPartitionOwner:
+      return "partition-owner";
+    case BuildStrategy::kAttributeOwner:
+      return "attribute-owner";
+  }
+  return "?";
+}
+
 const char* HashSchemeName(HashScheme scheme) {
   switch (scheme) {
     case HashScheme::kIndependent:
@@ -195,14 +213,26 @@ AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
       num_threads);
 }
 
+int AbIndex::ClampBuildThreads(int num_threads, uint64_t num_rows) {
+  uint64_t threads =
+      std::min<uint64_t>(std::max(num_threads, 1), num_rows);
+  // A build is CPU-bound: more workers than cores only adds context
+  // switches and cache thrash (measured 1.7x slower at 8 workers on one
+  // core), never speed. Callers that really want an oversubscribed pool
+  // can pass one to the pool overload, which takes it as given.
+  threads = std::min<uint64_t>(
+      threads, static_cast<uint64_t>(util::DefaultThreadCount()));
+  return static_cast<int>(threads);
+}
+
 AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
                                const AbConfig& config,
                                const FamilyFactory& factory,
                                int num_threads) {
   AB_CHECK_GE(num_threads, 1);
-  uint64_t threads = std::min<uint64_t>(num_threads, dataset.num_rows());
+  int threads = ClampBuildThreads(num_threads, dataset.num_rows());
   if (threads <= 1) return Build(dataset, config, factory);
-  util::ThreadPool pool(static_cast<int>(threads));
+  util::ThreadPool pool(threads);
   return BuildParallel(dataset, config, factory, &pool);
 }
 
@@ -216,57 +246,103 @@ AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
       pool);
 }
 
+namespace {
+
+/// kAuto thresholds. Below the cell floor a parallel pass costs more in
+/// thread fan-out than the inserts themselves; above the bit threshold a
+/// filter is too large to clone per worker (and large enough that the
+/// partition spans beat the shard-merge traffic).
+constexpr uint64_t kSerialCellFloor = 8192;
+constexpr uint64_t kPartitionMinBits = uint64_t{1} << 22;  // 512 KiB
+
+/// Bits one filter will get at this level (mirrors MakeSkeleton's sizing
+/// closely enough for strategy selection; exact n_bits rounding does not
+/// move a filter across the partition threshold meaningfully).
+uint64_t EstimatedFilterBits(const AbConfig& config, uint64_t set_bits) {
+  if (config.n_bits_override != 0) return config.n_bits_override;
+  return AbSizeBits(std::max<uint64_t>(set_bits, 1), config.alpha);
+}
+
+}  // namespace
+
+BuildStrategy AbIndex::ChooseBuildStrategy(
+    const bitmap::BinnedDataset& dataset, const AbConfig& config,
+    int num_threads) {
+  uint64_t n_rows = dataset.num_rows();
+  uint32_t d = dataset.num_attributes();
+  if (num_threads <= 1 || n_rows == 0) return BuildStrategy::kSerial;
+  BuildStrategy forced = config.build_strategy;
+  if (forced != BuildStrategy::kAuto) {
+    // Downgrade shapes a forced strategy cannot express: the single
+    // per-dataset filter has no per-attribute ownership, and per-column
+    // routing is per-cell (no single-filter batch windows to partition).
+    if (forced == BuildStrategy::kAttributeOwner &&
+        config.level == Level::kPerDataset) {
+      return BuildStrategy::kPrivateShards;
+    }
+    if ((forced == BuildStrategy::kPartitionOwner ||
+         forced == BuildStrategy::kPrivateShards) &&
+        config.level == Level::kPerColumn) {
+      return d > 1 ? BuildStrategy::kAttributeOwner
+                   : BuildStrategy::kAtomicShared;
+    }
+    return forced;
+  }
+  if (n_rows * d < kSerialCellFloor) return BuildStrategy::kSerial;
+  switch (config.level) {
+    case Level::kPerColumn:
+      // Attribute ownership is the only contention-free option (filters
+      // route per cell); with one attribute fall back to shared atomics.
+      return d > 1 ? BuildStrategy::kAttributeOwner
+                   : BuildStrategy::kAtomicShared;
+    case Level::kPerAttribute:
+      // Enough attributes: one owner per filter, no merge, no spill.
+      if (d >= static_cast<uint32_t>(num_threads)) {
+        return BuildStrategy::kAttributeOwner;
+      }
+      return EstimatedFilterBits(config, n_rows) >= kPartitionMinBits
+                 ? BuildStrategy::kPartitionOwner
+                 : BuildStrategy::kPrivateShards;
+    case Level::kPerDataset:
+      return EstimatedFilterBits(config, n_rows * d) >= kPartitionMinBits
+                 ? BuildStrategy::kPartitionOwner
+                 : BuildStrategy::kPrivateShards;
+  }
+  AB_CHECK(false);
+  return BuildStrategy::kSerial;
+}
+
 AbIndex AbIndex::BuildParallel(const bitmap::BinnedDataset& dataset,
                                const AbConfig& config,
                                const FamilyFactory& factory,
                                util::ThreadPool* pool) {
-  if (pool == nullptr || pool->num_threads() <= 1) {
+  int threads = pool == nullptr ? 1 : pool->num_threads();
+  BuildStrategy strategy = ChooseBuildStrategy(dataset, config, threads);
+  if (strategy == BuildStrategy::kSerial) {
     return Build(dataset, config, factory);
   }
   AB_SPAN("ab/build/parallel");
   obs::ScopedLatencyTimer timer(obs::Histogram::kBuildLatencyNs);
   AbIndex index = MakeSkeleton(dataset, config, factory);
-  uint64_t n_rows = dataset.num_rows();
-  if (n_rows > 0) {
-    if (config.level == Level::kPerDataset) {
-      // One big filter: sharding it across private clones keeps workers
-      // off each other's cache lines entirely; the merge is exact and
-      // FP-invariant (see ApproximateBitmap::UnionWith).
-      std::vector<ApproximateBitmap> shards;
-      shards.reserve(pool->num_threads());
-      for (int t = 0; t < pool->num_threads(); ++t) {
-        shards.push_back(index.filters_[0].EmptyClone());
-      }
-      pool->ParallelFor(
-          0, n_rows, [&](uint64_t begin, uint64_t end, int chunk) {
-            AB_SPAN("ab/build/chunk");
-            for (uint32_t a = 0; a < dataset.num_attributes(); ++a) {
-              index.InsertAttributeCells(dataset, a, begin, end, 0,
-                                         &shards[chunk], /*atomic=*/false);
-            }
-          });
-      {
-        AB_SPAN("ab/build/merge");
-        for (const ApproximateBitmap& shard : shards) {
-          index.filters_[0].UnionWith(shard);
-        }
-      }
-    } else {
-      // Per-attribute / per-column: every worker inserts its row chunk
-      // into the shared filters through the atomic commit path. The
-      // partition is chunk-count-stable only in wall time — the bits are
-      // identical for ANY partition, because fetch_or commutes.
-      pool->ParallelFor(0, n_rows,
-                        [&](uint64_t begin, uint64_t end, int /*chunk*/) {
-                          AB_SPAN("ab/build/chunk");
-                          index.InsertRowRange(dataset, begin, end, 0,
-                                               /*atomic=*/true);
-                        });
-    }
+  switch (strategy) {
+    case BuildStrategy::kAtomicShared:
+      index.BuildAtomicShared(dataset, pool);
+      break;
+    case BuildStrategy::kAttributeOwner:
+      index.BuildAttributeOwner(dataset, pool);
+      break;
+    case BuildStrategy::kPrivateShards:
+      index.BuildPrivateShards(dataset, pool);
+      break;
+    case BuildStrategy::kPartitionOwner:
+      index.BuildPartitionOwner(dataset, pool);
+      break;
+    default:
+      AB_CHECK(false);
   }
   index.built_fp_ = index.WorstExpectedFp();
   AB_STATS_INC(obs::Counter::kIndexBuildsParallel);
-  AB_STATS_ADD(obs::Counter::kIndexRowsIndexed, n_rows);
+  AB_STATS_ADD(obs::Counter::kIndexRowsIndexed, dataset.num_rows());
   return index;
 }
 
@@ -346,31 +422,42 @@ constexpr size_t kInsertBuffer = 256;
 
 }  // namespace
 
-void AbIndex::InsertAttributeCells(const bitmap::BinnedDataset& dataset,
-                                   uint32_t a, uint64_t row_begin,
-                                   uint64_t row_end, uint64_t id_offset,
-                                   ApproximateBitmap* filter, bool atomic) {
+template <typename Sink>
+void AbIndex::ForEachAttributeCellBatch(const bitmap::BinnedDataset& dataset,
+                                        uint32_t a, uint64_t row_begin,
+                                        uint64_t row_end, uint64_t id_offset,
+                                        Sink&& sink) const {
   const std::vector<uint32_t>& column_values = dataset.values[a];
   uint64_t keys[kInsertBuffer];
   hash::CellRef cells[kInsertBuffer];
   size_t m = 0;
-  auto flush = [&]() {
-    if (m == 0) return;
-    if (atomic) {
-      filter->InsertBatchAtomic(keys, cells, m);
-    } else {
-      filter->InsertBatch(keys, cells, m);
-    }
-    m = 0;
-  };
   for (uint64_t i = row_begin; i < row_end; ++i) {
     uint32_t gcol = mapping_.GlobalColumn(a, column_values[i]);
     uint64_t row = id_offset + i;
     keys[m] = mapper_.Key(row, gcol);
     cells[m] = hash::CellRef{row, gcol};
-    if (++m == kInsertBuffer) flush();
+    if (++m == kInsertBuffer) {
+      sink(keys, cells, m);
+      m = 0;
+    }
   }
-  flush();
+  if (m > 0) sink(keys, cells, m);
+}
+
+void AbIndex::InsertAttributeCells(const bitmap::BinnedDataset& dataset,
+                                   uint32_t a, uint64_t row_begin,
+                                   uint64_t row_end, uint64_t id_offset,
+                                   ApproximateBitmap* filter, bool atomic) {
+  ForEachAttributeCellBatch(
+      dataset, a, row_begin, row_end, id_offset,
+      [filter, atomic](const uint64_t* keys, const hash::CellRef* cells,
+                       size_t m) {
+        if (atomic) {
+          filter->InsertBatchAtomic(keys, cells, m);
+        } else {
+          filter->InsertBatch(keys, cells, m);
+        }
+      });
 }
 
 void AbIndex::InsertRowRange(const bitmap::BinnedDataset& dataset,
@@ -404,6 +491,144 @@ void AbIndex::InsertRowRange(const bitmap::BinnedDataset& dataset,
     ApproximateBitmap* filter = &filters_[Route(a, first_col)];
     InsertAttributeCells(dataset, a, row_begin, row_end, id_offset, filter,
                          atomic);
+  }
+}
+
+void AbIndex::BuildAtomicShared(const bitmap::BinnedDataset& dataset,
+                                util::ThreadPool* pool) {
+  // Every worker inserts its row chunk into the shared filters through
+  // the atomic commit path. The bits are identical for ANY partition,
+  // because fetch_or commutes.
+  pool->ParallelFor(0, dataset.num_rows(),
+                    [&](uint64_t begin, uint64_t end, int /*chunk*/) {
+                      AB_SPAN("ab/build/chunk");
+                      InsertRowRange(dataset, begin, end, 0,
+                                     /*atomic=*/true);
+                    });
+}
+
+void AbIndex::BuildAttributeOwner(const bitmap::BinnedDataset& dataset,
+                                  util::ThreadPool* pool) {
+  // One worker per attribute range: attribute a's cells route to filter a
+  // (per-attribute) or to the columns only attribute a produces
+  // (per-column), so owners never share a filter and every store is
+  // plain. Zero extra memory, zero merge; parallelism caps at d.
+  uint64_t n_rows = dataset.num_rows();
+  pool->ParallelFor(
+      0, dataset.num_attributes(), [&](uint64_t ab, uint64_t ae, int) {
+        AB_SPAN("ab/build/attr-owner");
+        for (uint64_t attr64 = ab; attr64 < ae; ++attr64) {
+          uint32_t a = static_cast<uint32_t>(attr64);
+          if (config_.level == Level::kPerColumn) {
+            const std::vector<uint32_t>& column_values = dataset.values[a];
+            for (uint64_t i = 0; i < n_rows; ++i) {
+              uint32_t gcol = mapping_.GlobalColumn(a, column_values[i]);
+              filters_[gcol].Insert(mapper_.Key(i, gcol),
+                                    hash::CellRef{i, gcol});
+            }
+          } else {
+            uint32_t first_col = mapping_.GlobalColumn(a, 0);
+            InsertAttributeCells(dataset, a, 0, n_rows, 0,
+                                 &filters_[Route(a, first_col)],
+                                 /*atomic=*/false);
+          }
+        }
+      });
+}
+
+void AbIndex::BuildPrivateShards(const bitmap::BinnedDataset& dataset,
+                                 util::ThreadPool* pool) {
+  uint64_t n_rows = dataset.num_rows();
+  int shards = util::ThreadPool::NumChunksFor(pool->num_threads(), n_rows);
+  // Populates `target` from the attribute range [attr_begin, attr_end):
+  // per-dataset routes all attributes to the one filter, per-attribute
+  // one at a time. Workers fill private same-shape shards with plain
+  // stores, then the shards merge by disjoint word ranges — each merge
+  // worker owns a range of the destination and ORs every shard's dirty
+  // granules in it, so the merge itself runs with plain stores too.
+  auto build_filter = [&](uint32_t attr_begin, uint32_t attr_end,
+                          ApproximateBitmap* target) {
+    std::vector<ApproximateBitmap::BuildShard> worker_shards;
+    worker_shards.reserve(shards);
+    for (int t = 0; t < shards; ++t) {
+      worker_shards.emplace_back(*target);
+    }
+    pool->ParallelFor(
+        0, n_rows, [&](uint64_t begin, uint64_t end, int chunk) {
+          AB_SPAN("ab/build/shard");
+          for (uint32_t a = attr_begin; a < attr_end; ++a) {
+            ForEachAttributeCellBatch(
+                dataset, a, begin, end, 0,
+                [&worker_shards, chunk](const uint64_t* keys,
+                                        const hash::CellRef* cells,
+                                        size_t m) {
+                  worker_shards[chunk].InsertBatch(keys, cells, m);
+                });
+          }
+        });
+    size_t num_words = target->bits().words().size();
+    pool->ParallelFor(0, num_words,
+                      [&](uint64_t word_begin, uint64_t word_end, int) {
+                        AB_SPAN("ab/build/merge-ranged");
+                        for (const ApproximateBitmap::BuildShard& shard :
+                             worker_shards) {
+                          target->MergeShardRange(shard, word_begin,
+                                                  word_end);
+                        }
+                      });
+    for (const ApproximateBitmap::BuildShard& shard : worker_shards) {
+      target->AbsorbShardCount(shard);
+    }
+  };
+  uint32_t d = dataset.num_attributes();
+  if (config_.level == Level::kPerDataset) {
+    build_filter(0, d, &filters_[0]);
+  } else {
+    for (uint32_t a = 0; a < d; ++a) {
+      build_filter(a, a + 1, &filters_[a]);
+    }
+  }
+}
+
+void AbIndex::BuildPartitionOwner(const bitmap::BinnedDataset& dataset,
+                                  util::ThreadPool* pool) {
+  uint64_t n_rows = dataset.num_rows();
+  int shards = util::ThreadPool::NumChunksFor(pool->num_threads(), n_rows);
+  // Worker `chunk` hashes its own rows; in-range probes commit with plain
+  // stores, the rest spill to their owners (see PartitionedInserter). The
+  // drain pass after the insert barrier flushes what the owners had not
+  // yet consumed inline.
+  auto build_filter = [&](uint32_t attr_begin, uint32_t attr_end,
+                          ApproximateBitmap* target) {
+    ApproximateBitmap::PartitionedInserter inserter(target, shards);
+    pool->ParallelFor(
+        0, n_rows, [&](uint64_t begin, uint64_t end, int chunk) {
+          AB_SPAN("ab/build/partition");
+          for (uint32_t a = attr_begin; a < attr_end; ++a) {
+            ForEachAttributeCellBatch(
+                dataset, a, begin, end, 0,
+                [&inserter, chunk](const uint64_t* keys,
+                                   const hash::CellRef* cells, size_t m) {
+                  inserter.InsertBatch(chunk, keys, cells, m);
+                });
+          }
+        });
+    pool->ParallelFor(0, static_cast<uint64_t>(shards),
+                      [&](uint64_t sb, uint64_t se, int) {
+                        AB_SPAN("ab/build/partition-drain");
+                        for (uint64_t s = sb; s < se; ++s) {
+                          inserter.Drain(static_cast<int>(s));
+                        }
+                      });
+    inserter.Finish();
+  };
+  uint32_t d = dataset.num_attributes();
+  if (config_.level == Level::kPerDataset) {
+    build_filter(0, d, &filters_[0]);
+  } else {
+    for (uint32_t a = 0; a < d; ++a) {
+      build_filter(a, a + 1, &filters_[a]);
+    }
   }
 }
 

@@ -93,6 +93,139 @@ class ApproximateBitmap {
   /// build, without re-deriving parameters from the dataset.
   ApproximateBitmap EmptyClone() const;
 
+  /// Words per dirty-tracking granule of a BuildShard (64 words = 512
+  /// bytes = 8 cache lines). Coarse enough that the touched bitmap is
+  /// 1/4096 of the filter, fine enough that a sparse shard's merge skips
+  /// almost everything it never wrote.
+  static constexpr size_t kMergeGranuleWords = 64;
+
+  /// A worker-private build target for the shard-and-merge parallel
+  /// build: the same bit-array shape as the filter it was cloned from,
+  /// written with plain stores (no thread ever shares a shard), plus a
+  /// touched-granule bitmap so the merge back into the real filter only
+  /// ORs ranges this shard actually dirtied. Cheaper than a full
+  /// ApproximateBitmap clone: no stats, no FP bookkeeping, and the merge
+  /// is ranged rather than whole-filter.
+  class BuildShard {
+   public:
+    /// An empty shard with `proto`'s shape (size, k, shared hash family).
+    explicit BuildShard(const ApproximateBitmap& proto);
+
+    BuildShard(BuildShard&&) = default;
+    BuildShard& operator=(BuildShard&&) = default;
+
+    /// Batched insert with plain stores; equivalent cell set to
+    /// ApproximateBitmap::InsertBatch. Single-threaded per shard.
+    void InsertBatch(const uint64_t* keys, const hash::CellRef* cells,
+                     size_t count);
+
+    uint64_t insertions() const { return insertions_; }
+
+   private:
+    friend class ApproximateBitmap;
+
+    util::BitVector bits_;
+    /// One bit per kMergeGranuleWords-word granule; set when any probe of
+    /// this shard landed in the granule.
+    std::vector<uint64_t> touched_;
+    int k_;
+    std::shared_ptr<const hash::HashFamily> family_;
+    uint64_t insertions_ = 0;
+  };
+
+  /// ORs the shard's dirty granules that intersect word range
+  /// [word_begin, word_end) into this filter with plain stores, skipping
+  /// granules the shard never touched. Distinct word ranges are disjoint
+  /// in memory, so a thread pool can merge one filter from many shards in
+  /// parallel by giving each worker its own range. Returns the number of
+  /// words actually ORed (the rest of the range was skipped as clean).
+  /// Does not transfer the insertion count — call AbsorbShardCount once
+  /// per shard after all ranges merged.
+  uint64_t MergeShardRange(const BuildShard& shard, size_t word_begin,
+                           size_t word_end);
+
+  /// Adds the shard's insertion count (and publishes its per-shard load to
+  /// the stats layer). Call exactly once per shard, after merging.
+  void AbsorbShardCount(const BuildShard& shard);
+
+  /// The partition-owner parallel build mode: the filter's word array is
+  /// split into num_shards contiguous cache-line-aligned ranges, and
+  /// worker `s` is the only thread that ever stores to range `s` — so all
+  /// bit commits are plain (non-atomic) stores and no cache line is ever
+  /// written by two threads. Each worker hashes its own rows; probe
+  /// positions landing in its own range commit immediately, the rest are
+  /// routed to the owning shard through bounded single-producer
+  /// single-consumer spill rings (drained by the owner between its own
+  /// windows). Ring overflow falls back to per-producer overflow vectors
+  /// applied by the owner after the insert barrier, never to a remote
+  /// store. Usage:
+  ///   1. every worker s calls InsertBatch(s, ...) for its rows;
+  ///   2. barrier (e.g. ParallelFor join);
+  ///   3. every shard s calls Drain(s) (may run in parallel);
+  ///   4. one thread calls Finish().
+  /// The result is bit-identical to serial insertion of the same cells.
+  class PartitionedInserter {
+   public:
+    /// Spill-ring slots per (producer, owner) pair. 1024 slots = 8 KiB a
+    /// ring; at 8 shards that is 512 KiB of rings, amortized across the
+    /// multi-megabyte filters this mode is selected for.
+    static constexpr size_t kDefaultSpillCapacity = 1024;
+
+    /// Partitions `target` into `num_shards` owned word ranges.
+    /// `spill_capacity` (rounded up to a power of two, minimum 2) bounds
+    /// each ring; tests shrink it to force the overflow path. `target`
+    /// must outlive the inserter and not be moved while building.
+    explicit PartitionedInserter(
+        ApproximateBitmap* target, int num_shards,
+        size_t spill_capacity = kDefaultSpillCapacity);
+    ~PartitionedInserter();
+
+    PartitionedInserter(const PartitionedInserter&) = delete;
+    PartitionedInserter& operator=(const PartitionedInserter&) = delete;
+
+    int num_shards() const { return num_shards_; }
+
+    /// Worker `shard`'s batched insert: hashes the cells, commits in-range
+    /// probes with plain stores, spills out-of-range probes to their
+    /// owners, and drains this shard's own inbox. Only one thread may use
+    /// a given `shard` value.
+    void InsertBatch(int shard, const uint64_t* keys,
+                     const hash::CellRef* cells, size_t count);
+
+    /// Owner-side drain of everything still queued for `shard` (rings and
+    /// overflow vectors). Call after all InsertBatch calls have been
+    /// joined; distinct shards may drain concurrently.
+    void Drain(int shard);
+
+    /// Commits the insertion count to the target and publishes spill /
+    /// imbalance stats. Call once, after every shard drained.
+    void Finish();
+
+    /// Probe-routing totals (valid after Finish; exposed for tests and
+    /// diagnostics).
+    uint64_t local_probes() const { return total_local_; }
+    uint64_t spilled_probes() const { return total_spilled_; }
+    uint64_t overflow_probes() const { return total_overflow_; }
+
+   private:
+    struct SpillRing;
+    struct ShardLocal;
+
+    int OwnerOfWord(size_t word) const;
+    void DrainInbox(int shard);
+
+    ApproximateBitmap* target_;
+    int num_shards_;
+    size_t span_words_;  ///< words per owned range (multiple of 8)
+    std::unique_ptr<SpillRing[]> rings_;  ///< [producer * S + owner]
+    std::vector<std::vector<uint64_t>> overflow_;  ///< [producer * S + owner]
+    std::unique_ptr<ShardLocal[]> locals_;  ///< per-producer counters
+    uint64_t total_local_ = 0;
+    uint64_t total_spilled_ = 0;
+    uint64_t total_overflow_ = 0;
+    bool finished_ = false;
+  };
+
   /// Tests the cell with hash string `key` (Figure 5, inner loop). True
   /// means "present with high probability"; false is exact.
   bool Test(uint64_t key, const hash::CellRef& cell) const;

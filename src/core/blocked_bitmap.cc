@@ -6,6 +6,7 @@
 #include "obs/stats.h"
 #include "util/math.h"
 #include "util/simd.h"
+#include "util/thread_pool.h"
 
 namespace abitmap {
 namespace ab {
@@ -99,8 +100,8 @@ bool BlockedApproximateBitmap::Test(uint64_t key) const {
   return true;
 }
 
-void BlockedApproximateBitmap::InsertBatch(const uint64_t* keys,
-                                           size_t count) {
+void BlockedApproximateBitmap::InsertRangeNoCount(const uint64_t* keys,
+                                                  size_t count) {
   uint64_t bases[kBatchWindow];
   for (size_t base = 0; base < count; base += kBatchWindow) {
     size_t w = std::min(kBatchWindow, count - base);
@@ -126,6 +127,54 @@ void BlockedApproximateBitmap::InsertBatch(const uint64_t* keys,
       }
     }
   }
+}
+
+void BlockedApproximateBitmap::InsertBatch(const uint64_t* keys,
+                                           size_t count) {
+  InsertRangeNoCount(keys, count);
+  insertions_ += count;
+  AB_STATS_ADD(obs::Counter::kBlockedCellsInserted, count);
+}
+
+void BlockedApproximateBitmap::InsertBatchPartitioned(
+    const uint64_t* keys, size_t count, util::ThreadPool* pool) {
+  int threads = pool == nullptr ? 1 : pool->num_threads();
+  int shards = util::ThreadPool::NumChunksFor(threads, count);
+  // A parallel pass over fewer keys than a couple of windows per worker
+  // costs more in routing than it saves in stores.
+  if (shards <= 1 || count < static_cast<size_t>(shards) * kBatchWindow) {
+    InsertBatch(keys, count);
+    return;
+  }
+  size_t s = static_cast<size_t>(shards);
+  uint64_t blocks_per_shard =
+      util::CeilDiv(num_blocks_, static_cast<uint64_t>(s));
+  // Phase 1: each producer chunk buckets its keys by the shard owning the
+  // key's block. Buckets are (producer, owner)-private, so no
+  // synchronization beyond the ParallelFor joins is needed.
+  std::vector<std::vector<uint64_t>> buckets(s * s);
+  pool->ParallelFor(0, count, [&](uint64_t b, uint64_t e, int chunk) {
+    std::vector<uint64_t>* row = &buckets[static_cast<size_t>(chunk) * s];
+    for (uint64_t i = b; i < e; ++i) {
+      uint64_t owner = BlockOf(keys[i]) / blocks_per_shard;
+      if (owner >= s) owner = s - 1;
+      row[owner].push_back(keys[i]);
+    }
+  });
+  // Phase 2: owner `o` inserts every bucket routed to it. All of a key's
+  // probes land in its block, blocks of one owner form a contiguous word
+  // range, and no other thread stores to that range — plain stores, no
+  // spill path at all.
+  pool->ParallelFor(0, s, [&](uint64_t ob, uint64_t oe, int) {
+    for (uint64_t o = ob; o < oe; ++o) {
+      for (size_t p = 0; p < s; ++p) {
+        const std::vector<uint64_t>& bucket = buckets[p * s + o];
+        if (!bucket.empty()) {
+          InsertRangeNoCount(bucket.data(), bucket.size());
+        }
+      }
+    }
+  });
   insertions_ += count;
   AB_STATS_ADD(obs::Counter::kBlockedCellsInserted, count);
 }

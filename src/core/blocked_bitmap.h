@@ -8,6 +8,9 @@
 #include "util/logging.h"
 
 namespace abitmap {
+namespace util {
+class ThreadPool;
+}  // namespace util
 namespace ab {
 
 /// Cache-blocked Approximate Bitmap: all k probes of a cell land in one
@@ -48,6 +51,16 @@ class BlockedApproximateBitmap {
   /// one line fetch per key instead of a dependent store stall per probe.
   void InsertBatch(const uint64_t* keys, size_t count);
 
+  /// Parallel partitioned insert: routes each key to the worker owning
+  /// its block's range (blocks are contiguous 512-bit lines, so block
+  /// ranges are word ranges), then each owner inserts its keys with plain
+  /// stores — the blocked layout's natural partition-owner mode, with no
+  /// spill queues because a key's writes land entirely in one block.
+  /// Bit-identical to InsertBatch on the same keys; falls back to the
+  /// serial batch for a null/single-thread pool or a tiny batch.
+  void InsertBatchPartitioned(const uint64_t* keys, size_t count,
+                              util::ThreadPool* pool);
+
   /// Window size shared with ApproximateBitmap's batched kernel.
   static constexpr size_t kBatchWindow = 32;
 
@@ -86,6 +99,10 @@ class BlockedApproximateBitmap {
   double FillRatio() const;
 
  private:
+  /// InsertBatch without the insertion accounting: the shared write core
+  /// of the serial batch and each partitioned owner's range-local pass.
+  void InsertRangeNoCount(const uint64_t* keys, size_t count);
+
   /// Block index and the k in-block bit positions for a key.
   uint64_t BlockOf(uint64_t key) const;
   /// In-block bit position of probe t (9-bit slices of a mixed key).

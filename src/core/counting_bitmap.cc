@@ -67,6 +67,33 @@ bool CountingApproximateBitmap::Test(uint64_t key,
   return true;
 }
 
+CountingApproximateBitmap CountingApproximateBitmap::EmptyClone() const {
+  AbParams params;
+  params.n_bits = num_counters_;
+  params.k = k_;
+  return CountingApproximateBitmap(params, family_);
+}
+
+void CountingApproximateBitmap::MergeSaturating(
+    const CountingApproximateBitmap& other) {
+  AB_CHECK_EQ(num_counters_, other.num_counters_);
+  AB_CHECK_EQ(k_, other.k_);
+  AB_CHECK(family_->name() == other.family_->name());
+  // Byte-wise: each byte packs two independent 4-bit counters, and the
+  // nibble sums (max 15 + 15 = 30) cannot carry across the nibble
+  // boundary of the widened arithmetic below.
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    uint8_t a = counters_[i];
+    uint8_t b = other.counters_[i];
+    uint8_t lo = static_cast<uint8_t>((a & 0x0F) + (b & 0x0F));
+    if (lo > kSaturated) lo = kSaturated;
+    uint8_t hi = static_cast<uint8_t>((a >> 4) + (b >> 4));
+    if (hi > kSaturated) hi = kSaturated;
+    counters_[i] = static_cast<uint8_t>(lo | (hi << 4));
+  }
+  live_ += other.live_;
+}
+
 double CountingApproximateBitmap::FillRatio() const {
   uint64_t nonzero = 0;
   for (uint64_t i = 0; i < num_counters_; ++i) {

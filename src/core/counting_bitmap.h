@@ -52,6 +52,19 @@ class CountingApproximateBitmap {
   /// Membership test, same semantics as ApproximateBitmap::Test.
   bool Test(uint64_t key, const hash::CellRef& cell) const;
 
+  /// An empty filter with this filter's exact shape (counters, k, shared
+  /// hash family) — the worker-private shard of the parallel build.
+  CountingApproximateBitmap EmptyClone() const;
+
+  /// Adds `other`'s counters into this filter, saturating at 15. This is
+  /// the counting analogue of ApproximateBitmap::UnionWith and is *exact*
+  /// with respect to serial insertion despite the clamp: for shard counts
+  /// a, b the identity min(15, min(15,a) + min(15,b)) == min(15, a+b)
+  /// holds (if either side clamps, both sides are 15), so shard-and-merge
+  /// produces byte-identical counters to inserting every cell serially.
+  /// Both filters must share shape and hash family.
+  void MergeSaturating(const CountingApproximateBitmap& other);
+
   uint64_t num_counters() const { return num_counters_; }
   int k() const { return k_; }
   /// Live insertions (inserts minus removes).

@@ -97,11 +97,42 @@ CountingAbIndex CountingAbIndex::Build(const bitmap::BinnedDataset& dataset,
     }
   }
 
+  // Per-dataset population: the single filter cannot be split by
+  // attribute, so workers build private shard filters over disjoint row
+  // ranges and the shards merge with the saturating add — which is exact
+  // (see MergeSaturating), so the counters are byte-identical to the
+  // serial build regardless of thread count.
+  if (config.level == Level::kPerDataset && num_threads > 1 && n_rows > 1) {
+    util::ThreadPool pool(num_threads);
+    int shards = util::ThreadPool::NumChunksFor(num_threads, n_rows);
+    std::vector<CountingApproximateBitmap> shard_filters;
+    shard_filters.reserve(shards);
+    for (int t = 0; t < shards; ++t) {
+      shard_filters.push_back(index.filters_[0].EmptyClone());
+    }
+    pool.ParallelFor(
+        0, n_rows,
+        [&index, &dataset, &shard_filters, d](uint64_t row_begin,
+                                              uint64_t row_end, int chunk) {
+          CountingApproximateBitmap& shard = shard_filters[chunk];
+          for (uint32_t a = 0; a < d; ++a) {
+            const std::vector<uint32_t>& column = dataset.values[a];
+            for (uint64_t i = row_begin; i < row_end; ++i) {
+              uint32_t gcol = index.mapping_.GlobalColumn(a, column[i]);
+              shard.Insert(index.mapper_.Key(i, gcol),
+                           hash::CellRef{i, gcol});
+            }
+          }
+        });
+    for (const CountingApproximateBitmap& shard : shard_filters) {
+      index.filters_[0].MergeSaturating(shard);
+    }
+    return index;
+  }
+
   // Attribute-parallel population: attribute a's cells route to filter a
   // (per-attribute) or to the columns of attribute a (per-column), so
-  // workers owning disjoint attribute ranges never share a filter. The
-  // single per-dataset filter cannot be partitioned this way; it stays on
-  // the serial loop.
+  // workers owning disjoint attribute ranges never share a filter.
   int threads = std::min<int>(num_threads, d);
   if (threads > 1 && config.level != Level::kPerDataset) {
     util::ThreadPool pool(threads);

@@ -35,8 +35,10 @@ class CountingAbIndex {
   /// result is identical to the serial build — a counter's final value is
   /// min(15, #inserts hitting it), which no insertion order can change.
   /// The per-dataset level shares one filter whose packed 4-bit counters
-  /// have no atomic commit path, so it (like num_threads <= 1) falls back
-  /// to the serial loop.
+  /// have no atomic commit path, so workers build private row-shard
+  /// filters and merge them with the exact saturating add
+  /// (CountingApproximateBitmap::MergeSaturating) — byte-identical to the
+  /// serial build at any thread count.
   static CountingAbIndex Build(const bitmap::BinnedDataset& dataset,
                                const AbConfig& config, int num_threads);
 

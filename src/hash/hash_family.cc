@@ -1,6 +1,10 @@
 #include "hash/hash_family.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -90,6 +94,121 @@ bool ToSimdKind(HashKind kind, util::simd::StringHashKind* out) {
   }
 }
 
+struct StringHash4State {
+  bool enabled = false;
+  std::string decision;
+};
+
+/// Decides once per process whether the lockstep kernel is worth using.
+/// Whichever way it goes, the probe positions are identical — only the
+/// cost differs — so the calibration can never change results.
+StringHash4State CalibrateStringHash4() {
+  StringHash4State state;
+  if (const char* env = std::getenv("AB_STRING_HASH4")) {
+    std::string v(env);
+    if (v == "on" || v == "ON" || v == "1") {
+      state.enabled = true;
+      state.decision = "on (env)";
+      return state;
+    }
+    if (v == "off" || v == "OFF" || v == "0") {
+      state.enabled = false;
+      state.decision = "off (env)";
+      return state;
+    }
+  }
+  if (util::simd::ActiveSimdLevel() != util::simd::SimdLevel::kAvx2) {
+    state.decision = "off (no avx2 kernel)";
+    return state;
+  }
+  // Race the two kernels over the default pool on a few hundred synthetic
+  // keys. The lockstep path pays a transpose plus per-lane bookkeeping for
+  // its four-wide multiplies; on narrow or port-starved hosts that
+  // overhead loses to the plain renderer + HashBytes loop, and assuming
+  // the vector path wins is exactly how the 0.93x batch regression crept
+  // in. Best of three runs each, to shake scheduler noise.
+  constexpr HashKind kPool[] = {HashKind::kRS,  HashKind::kJS,
+                                HashKind::kBKDR, HashKind::kDJB,
+                                HashKind::kFNV, HashKind::kAP};
+  constexpr size_t kKeys = 512;
+  uint64_t keys[kKeys];
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (size_t i = 0; i < kKeys; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    keys[i] = x;
+  }
+  uint64_t sink = 0;
+  auto best_of_3_ns = [](auto&& body) {
+    uint64_t best = ~uint64_t{0};
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      body();
+      auto t1 = std::chrono::steady_clock::now();
+      uint64_t ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count());
+      best = std::min(best, ns);
+    }
+    return best;
+  };
+  uint64_t scalar_ns = best_of_3_ns([&] {
+    char buf[20];
+    for (size_t i = 0; i < kKeys; ++i) {
+      size_t len = RenderKeyDecimal(keys[i], buf);
+      for (HashKind kind : kPool) sink += HashBytes(kind, buf, len);
+    }
+  });
+  uint64_t lockstep_ns = best_of_3_ns([&] {
+    char bufs[4][20];
+    size_t lens[4];
+    uint8_t transposed[20 * 4];
+    for (size_t i = 0; i + 4 <= kKeys; i += 4) {
+      size_t max_len = 0;
+      for (int l = 0; l < 4; ++l) {
+        lens[l] = RenderKeyDecimal(keys[i + l], bufs[l]);
+        if (lens[l] > max_len) max_len = lens[l];
+      }
+      for (size_t pos = 0; pos < max_len; ++pos) {
+        for (int l = 0; l < 4; ++l) {
+          transposed[pos * 4 + l] =
+              pos < lens[l] ? static_cast<uint8_t>(bufs[l][pos]) : 0;
+        }
+      }
+      for (HashKind kind : kPool) {
+        util::simd::StringHashKind sk;
+        uint64_t h4[4];
+        if (ToSimdKind(kind, &sk) &&
+            util::simd::StringHash4(sk, transposed, lens, h4)) {
+          sink += h4[0] + h4[1] + h4[2] + h4[3];
+        } else {
+          for (int l = 0; l < 4; ++l) sink += HashBytes(kind, bufs[l], lens[l]);
+        }
+      }
+    }
+  });
+  static volatile uint64_t g_calibration_sink;
+  g_calibration_sink = sink;
+  double ratio = lockstep_ns == 0
+                     ? 1.0
+                     : static_cast<double>(scalar_ns) /
+                           static_cast<double>(lockstep_ns);
+  // Require a real margin before switching kernels: a wash should keep the
+  // simpler scalar path.
+  state.enabled = ratio >= 1.02;
+  char label[64];
+  std::snprintf(label, sizeof(label), "%s (calibrated %.2fx)",
+                state.enabled ? "on" : "off", ratio);
+  state.decision = label;
+  return state;
+}
+
+const StringHash4State& StringHash4Config() {
+  static const StringHash4State state = CalibrateStringHash4();
+  return state;
+}
+
+std::atomic<int> g_string_hash4_force{-1};
+
 class IndependentFamily : public HashFamily {
  public:
   explicit IndependentFamily(std::vector<HashKind> pool)
@@ -110,7 +229,9 @@ class IndependentFamily : public HashFamily {
     HashKind kind = pool_[t % pool_.size()];
     uint64_t h =
         (t < pool_.size()) ? HashKey(kind, key) : HashKeySalted(kind, key, t);
-    return h % n;
+    // AB sizes are rounded to powers of two, so the reduction is almost
+    // always a mask; h & (n-1) == h % n exactly when n is a power of two.
+    return util::IsPowerOfTwo(n) ? (h & (n - 1)) : h % n;
   }
 
   void ProbesBatch(const uint64_t* keys, const CellRef* cells, size_t count,
@@ -123,12 +244,16 @@ class IndependentFamily : public HashFamily {
                         uint64_t* out) const override {
     AB_CHECK_GE(n, 1u);
     size_t width = end - begin;
+    const bool pow2 = util::IsPowerOfTwo(n);
+    const uint64_t mask = n - 1;
     size_t i = 0;
     // Four keys in lockstep through the classic recurrences when a vector
-    // string-hash kernel is available. Salted rounds (t past the pool) and
-    // non-classic pool members hash scalar per lane; tails of fewer than
-    // four keys fall through to the scalar loop below.
-    if (util::simd::ActiveSimdLevel() == util::simd::SimdLevel::kAvx2) {
+    // string-hash kernel is available AND it has been measured to beat the
+    // scalar loop on this host (see StringHash4Enabled). Salted rounds
+    // (t past the pool) and non-classic pool members hash scalar per lane;
+    // tails of fewer than four keys fall through to the scalar loop below.
+    if (util::simd::ActiveSimdLevel() == util::simd::SimdLevel::kAvx2 &&
+        StringHash4Enabled()) {
       char bufs[4][20];
       size_t lens[4];
       uint8_t transposed[20 * 4];
@@ -151,7 +276,8 @@ class IndependentFamily : public HashFamily {
           if (t < pool_.size() && ToSimdKind(kind, &sk) &&
               util::simd::StringHash4(sk, transposed, lens, h4)) {
             for (int l = 0; l < 4; ++l) {
-              out[(i + l) * width + (t - begin)] = h4[l] % n;
+              out[(i + l) * width + (t - begin)] =
+                  pow2 ? (h4[l] & mask) : h4[l] % n;
             }
           } else {
             for (int l = 0; l < 4; ++l) {
@@ -159,7 +285,7 @@ class IndependentFamily : public HashFamily {
                   (t < pool_.size())
                       ? HashBytes(kind, bufs[l], lens[l])
                       : HashRenderedSalted(kind, bufs[l], lens[l], t);
-              out[(i + l) * width + (t - begin)] = h % n;
+              out[(i + l) * width + (t - begin)] = pow2 ? (h & mask) : h % n;
             }
           }
         }
@@ -176,7 +302,7 @@ class IndependentFamily : public HashFamily {
         uint64_t h = (t < pool_.size())
                          ? HashBytes(kind, buf, len)
                          : HashRenderedSalted(kind, buf, len, t);
-        row[t - begin] = h % n;
+        row[t - begin] = pow2 ? (h & mask) : h % n;
       }
     }
   }
@@ -459,6 +585,23 @@ class SingleKindFamily : public HashFamily {
 };
 
 }  // namespace
+
+bool StringHash4Enabled() {
+  int force = g_string_hash4_force.load(std::memory_order_relaxed);
+  if (force >= 0) return force != 0;
+  return StringHash4Config().enabled;
+}
+
+std::string StringHash4Decision() {
+  int force = g_string_hash4_force.load(std::memory_order_relaxed);
+  if (force >= 0) return force != 0 ? "on (forced)" : "off (forced)";
+  return StringHash4Config().decision;
+}
+
+void SetStringHash4ForTesting(int force) {
+  g_string_hash4_force.store(force < 0 ? -1 : (force != 0 ? 1 : 0),
+                             std::memory_order_relaxed);
+}
 
 std::unique_ptr<HashFamily> MakeIndependentFamily() {
   // The default pool is the subset of the general-purpose library whose

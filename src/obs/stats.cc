@@ -29,6 +29,11 @@ const char* const kCounterNames[kNumCounters] = {
     "index_builds_parallel",
     "index_rows_indexed",
     "index_rows_appended",
+    "build_probes_local",
+    "build_probes_spilled",
+    "build_spill_overflow",
+    "build_merge_words_ored",
+    "build_merge_words_skipped",
     "engine_queries",
     "engine_ab_routed",
     "engine_wah_routed",
@@ -47,6 +52,7 @@ const char* const kHistogramNames[kNumHistograms] = {
     "pool_task_latency_ns",
     "pool_queue_depth",
     "eval_rows_per_query",
+    "build_shard_cells",
 };
 
 }  // namespace

@@ -65,6 +65,11 @@ enum class Counter : uint32_t {
   kIndexBuildsParallel,    ///< pool builds completed
   kIndexRowsIndexed,       ///< rows inserted by builds
   kIndexRowsAppended,      ///< rows added by AppendRows
+  kBuildProbesLocal,       ///< partition-owner probes landing in-range
+  kBuildProbesSpilled,     ///< probes routed to another shard's queue
+  kBuildSpillOverflow,     ///< spilled probes that overflowed a ring
+  kBuildMergeWordsOred,    ///< shard-merge words actually ORed
+  kBuildMergeWordsSkipped, ///< shard-merge words skipped as untouched
   // --- HybridEngine routing / verification ---
   kEngineQueries,
   kEngineAbRouted,
@@ -91,6 +96,7 @@ enum class Histogram : uint32_t {
   kPoolTaskLatencyNs,    ///< per-task execution time on a pool worker
   kPoolQueueDepth,       ///< queue length observed at Submit
   kEvalRowsPerQuery,     ///< rows per index evaluation
+  kBuildShardCells,      ///< cells per worker shard (build imbalance)
   kNumHistograms,
 };
 

@@ -154,6 +154,15 @@ void BitVector::OrWith(const BitVector& other) {
   simd::OrWords(words_.data(), other.words_.data(), words_.size());
 }
 
+void BitVector::OrRangeWith(const BitVector& other, size_t word_begin,
+                            size_t word_end) {
+  AB_CHECK_EQ(num_bits_, other.num_bits_);
+  AB_CHECK(word_end <= words_.size());
+  if (word_begin >= word_end) return;
+  simd::OrWords(words_.data() + word_begin, other.words_.data() + word_begin,
+                word_end - word_begin);
+}
+
 void BitVector::XorWith(const BitVector& other) {
   AB_CHECK_EQ(num_bits_, other.num_bits_);
   simd::XorWords(words_.data(), other.words_.data(), words_.size());

@@ -124,6 +124,12 @@ class BitVector {
   /// In-place logical operations. Sizes must match.
   void AndWith(const BitVector& other);
   void OrWith(const BitVector& other);
+  /// ORs `other`'s words [word_begin, word_end) into the same word range of
+  /// this vector. This is the ranged-merge primitive of the partitioned
+  /// parallel build: disjoint word ranges of one destination can be merged
+  /// from different threads with plain stores because no two ranges share a
+  /// word. Sizes must match and word_end must not exceed words().size().
+  void OrRangeWith(const BitVector& other, size_t word_begin, size_t word_end);
   void XorWith(const BitVector& other);
   void AndNotWith(const BitVector& other);
   /// Flips every bit.

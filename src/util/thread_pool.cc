@@ -107,6 +107,16 @@ void ThreadPool::ParallelFor(
   Wait();
 }
 
+int ThreadPool::NumChunksFor(int num_threads, uint64_t total) {
+  if (total == 0) return 0;
+  // Mirrors ParallelFor: ceil chunk sizing can leave trailing chunks empty
+  // (total=6, threads=4 -> chunk_size=2 -> 3 chunks), so recompute the
+  // count of chunks that actually receive work.
+  uint64_t chunks = std::min<uint64_t>(std::max(num_threads, 1), total);
+  uint64_t chunk_size = (total + chunks - 1) / chunks;
+  return static_cast<int>((total + chunk_size - 1) / chunk_size);
+}
+
 int DefaultThreadCount() {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);

@@ -59,6 +59,12 @@ class ThreadPool {
       uint64_t begin, uint64_t end,
       const std::function<void(uint64_t, uint64_t, int)>& body);
 
+  /// Exact number of (non-empty) chunks ParallelFor will create for a range
+  /// of `total` elements under `num_threads` workers. Build coordinators
+  /// size per-chunk state (private shards, spill queues) with this so every
+  /// chunk index handed to `body` has a slot and no slot goes unused.
+  static int NumChunksFor(int num_threads, uint64_t total);
+
  private:
   void WorkerLoop();
 

@@ -19,6 +19,7 @@
 #include "core/counting_index.h"
 #include "data/generators.h"
 #include "hash/hash_family.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 #include "wah/wah_query.h"
 
@@ -202,8 +203,12 @@ TEST(ParallelBuildTest, StableAcrossThreadCountsAndRepeatedRuns) {
     cfg.alpha = 8;
     AbIndex reference = AbIndex::Build(d, cfg);
     for (int threads : {1, 2, 8}) {
+      // The pool overload takes the worker count as given (the
+      // num_threads overload clamps to hardware concurrency, which
+      // would silently serialize this sweep on small CI hosts).
+      util::ThreadPool tpool(threads);
       for (int run = 0; run < 2; ++run) {
-        AbIndex parallel = AbIndex::BuildParallel(d, cfg, threads);
+        AbIndex parallel = AbIndex::BuildParallel(d, cfg, &tpool);
         ASSERT_EQ(reference.num_filters(), parallel.num_filters());
         for (size_t f = 0; f < reference.num_filters(); ++f) {
           ASSERT_EQ(reference.filter(f).bits(), parallel.filter(f).bits())
@@ -280,6 +285,281 @@ TEST(ParallelBuildTest, BbcParallelColumnsMatchSerialCompress) {
     ASSERT_TRUE(serial == parallel[j]) << "column " << j;
     ASSERT_TRUE(serial == fallback[j]) << "column " << j;
   }
+}
+
+// ---------------------------------------------------------------------
+// Contention-free build strategies (partition-owner, private-shard
+// ranged merge, attribute-owner) and the strategy selector.
+// ---------------------------------------------------------------------
+
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(util::simd::SimdLevel level)
+      : prev_(util::simd::ActiveSimdLevel()) {
+    util::simd::SetSimdLevelForTesting(level);
+  }
+  ~ScopedSimdLevel() { util::simd::SetSimdLevelForTesting(prev_); }
+
+ private:
+  util::simd::SimdLevel prev_;
+};
+
+const util::simd::SimdLevel kForcedLevels[] = {
+    util::simd::SimdLevel::kScalar, util::simd::SimdLevel::kSse2,
+    util::simd::SimdLevel::kAvx2, util::simd::SimdLevel::kNeon};
+
+TEST(BuildStrategyTest, SelectorRespectsSizeLevelAndThreads) {
+  bitmap::BinnedDataset big = data::MakeSynthetic(
+      "big", 20000, 4, 8, data::Distribution::kUniform, 3);
+  bitmap::BinnedDataset tiny = data::MakeSynthetic(
+      "tiny", 100, 2, 4, data::Distribution::kUniform, 5);
+  AbConfig cfg;
+  cfg.alpha = 8;
+
+  // One thread (or no work) is always serial, whatever is forced.
+  cfg.build_strategy = BuildStrategy::kPartitionOwner;
+  EXPECT_EQ(AbIndex::ChooseBuildStrategy(big, cfg, 1),
+            BuildStrategy::kSerial);
+  cfg.build_strategy = BuildStrategy::kAuto;
+  // Below the cell floor the fan-out costs more than the inserts.
+  EXPECT_EQ(AbIndex::ChooseBuildStrategy(tiny, cfg, 8),
+            BuildStrategy::kSerial);
+
+  // Per-attribute with d >= threads: one owner per filter, no merge.
+  cfg.level = Level::kPerAttribute;
+  EXPECT_EQ(AbIndex::ChooseBuildStrategy(big, cfg, 4),
+            BuildStrategy::kAttributeOwner);
+  // More threads than attributes: filter size decides. A forced override
+  // keeps the filters small/large deterministically.
+  cfg.n_bits_override = uint64_t{1} << 16;
+  EXPECT_EQ(AbIndex::ChooseBuildStrategy(big, cfg, 8),
+            BuildStrategy::kPrivateShards);
+  cfg.n_bits_override = uint64_t{1} << 23;
+  EXPECT_EQ(AbIndex::ChooseBuildStrategy(big, cfg, 8),
+            BuildStrategy::kPartitionOwner);
+  cfg.n_bits_override = 0;
+
+  // Per-column routes per cell, so ownership must be per attribute.
+  cfg.level = Level::kPerColumn;
+  EXPECT_EQ(AbIndex::ChooseBuildStrategy(big, cfg, 4),
+            BuildStrategy::kAttributeOwner);
+
+  // Forced strategies a level cannot express downgrade predictably.
+  cfg.level = Level::kPerDataset;
+  cfg.build_strategy = BuildStrategy::kAttributeOwner;
+  EXPECT_EQ(AbIndex::ChooseBuildStrategy(big, cfg, 4),
+            BuildStrategy::kPrivateShards);
+  cfg.level = Level::kPerColumn;
+  cfg.build_strategy = BuildStrategy::kPartitionOwner;
+  EXPECT_EQ(AbIndex::ChooseBuildStrategy(big, cfg, 4),
+            BuildStrategy::kAttributeOwner);
+  bitmap::BinnedDataset one_attr = data::MakeSynthetic(
+      "one", 20000, 1, 8, data::Distribution::kUniform, 9);
+  EXPECT_EQ(AbIndex::ChooseBuildStrategy(one_attr, cfg, 4),
+            BuildStrategy::kAtomicShared);
+}
+
+TEST(ParallelBuildTest, ForcedStrategiesBitIdenticalAcrossLevelsAndSimd) {
+  // Every strategy x index level x thread count x forced SIMD dispatch
+  // level must reproduce the serial build bit for bit. The reference is
+  // built once per level at the default dispatch level; SIMD parity
+  // makes the comparison meaningful across the forced levels.
+  bitmap::BinnedDataset d = data::MakeSynthetic(
+      "strat", 3000, 3, 8, data::Distribution::kZipf, 77);
+  for (Level level :
+       {Level::kPerDataset, Level::kPerAttribute, Level::kPerColumn}) {
+    AbConfig cfg;
+    cfg.level = level;
+    cfg.alpha = 8;
+    AbIndex reference = AbIndex::Build(d, cfg);
+    for (BuildStrategy strategy :
+         {BuildStrategy::kAtomicShared, BuildStrategy::kPrivateShards,
+          BuildStrategy::kPartitionOwner, BuildStrategy::kAttributeOwner}) {
+      cfg.build_strategy = strategy;
+      for (int threads : {2, 8}) {
+        util::ThreadPool tpool(threads);
+        for (util::simd::SimdLevel forced : kForcedLevels) {
+          ScopedSimdLevel scoped(forced);
+          AbIndex parallel = AbIndex::BuildParallel(d, cfg, &tpool);
+          ASSERT_EQ(reference.num_filters(), parallel.num_filters());
+          for (size_t f = 0; f < reference.num_filters(); ++f) {
+            ASSERT_EQ(reference.filter(f).bits(), parallel.filter(f).bits())
+                << LevelName(level) << " strategy "
+                << BuildStrategyName(strategy) << " threads=" << threads
+                << " simd=" << util::simd::SimdLevelName(forced)
+                << " filter " << f;
+            ASSERT_EQ(reference.filter(f).insertions(),
+                      parallel.filter(f).insertions());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelBuildTest, PartitionOwnerSpillRingHammer) {
+  // TSan target: a 2-slot spill capacity forces constant ring traffic
+  // *and* the overflow fallback while 8 workers hammer the inserter.
+  // The result must still equal serial insertion of the same cells, and
+  // the probe-routing accounting must add up exactly.
+  constexpr size_t kCount = 50000;
+  CellBatch batch = RandomCells(kCount, 99);
+  ApproximateBitmap serial = MakeFilter(uint64_t{1} << 20, 6);
+  for (size_t i = 0; i < kCount; ++i) {
+    serial.Insert(batch.keys[i], batch.cells[i]);
+  }
+  util::ThreadPool pool(8);
+  int shards = util::ThreadPool::NumChunksFor(8, kCount);
+  for (int run = 0; run < 2; ++run) {
+    ApproximateBitmap target = serial.EmptyClone();
+    ApproximateBitmap::PartitionedInserter inserter(&target, shards,
+                                                    /*spill_capacity=*/2);
+    pool.ParallelFor(0, kCount, [&](uint64_t begin, uint64_t end, int chunk) {
+      inserter.InsertBatch(chunk, batch.keys.data() + begin,
+                           batch.cells.data() + begin, end - begin);
+    });
+    pool.ParallelFor(0, static_cast<uint64_t>(shards),
+                     [&](uint64_t sb, uint64_t se, int) {
+                       for (uint64_t s = sb; s < se; ++s) {
+                         inserter.Drain(static_cast<int>(s));
+                       }
+                     });
+    inserter.Finish();
+    ASSERT_EQ(serial.bits(), target.bits()) << "run " << run;
+    ASSERT_EQ(serial.insertions(), target.insertions());
+    // Every probe was either committed locally or spilled; overflow is a
+    // subset of spills. With 8 owners, ~7/8 of probes spill; with 2-slot
+    // rings, overflow must actually trigger for the test to mean much.
+    EXPECT_EQ(inserter.local_probes() + inserter.spilled_probes(),
+              kCount * static_cast<uint64_t>(serial.k()));
+    EXPECT_GT(inserter.spilled_probes(), 0u);
+    EXPECT_GT(inserter.overflow_probes(), 0u);
+    EXPECT_LE(inserter.overflow_probes(), inserter.spilled_probes());
+  }
+}
+
+TEST(BuildShardTest, RangedMergeEqualsSerialAndSkipsCleanGranules) {
+  // A sparse shard (100 probes into a 65536-word filter) leaves most
+  // merge granules untouched; the ranged merge must OR exactly the dirty
+  // ones and still reproduce serial insertion bit for bit.
+  constexpr size_t kCount = 20;
+  CellBatch batch = RandomCells(kCount, 1234);
+  ApproximateBitmap serial = MakeFilter(uint64_t{1} << 22, 5);
+  for (size_t i = 0; i < kCount; ++i) {
+    serial.Insert(batch.keys[i], batch.cells[i]);
+  }
+  ApproximateBitmap::BuildShard shard(serial);
+  shard.InsertBatch(batch.keys.data(), batch.cells.data(), kCount);
+  EXPECT_EQ(shard.insertions(), kCount);
+
+  size_t num_words = serial.bits().words().size();
+  // Whole-range merge: far fewer words ORed than the filter holds.
+  ApproximateBitmap whole = serial.EmptyClone();
+  uint64_t merged = whole.MergeShardRange(shard, 0, num_words);
+  whole.AbsorbShardCount(shard);
+  EXPECT_EQ(serial.bits(), whole.bits());
+  EXPECT_EQ(serial.insertions(), whole.insertions());
+  EXPECT_GT(merged, 0u);
+  EXPECT_LE(merged, kCount * 5 * ApproximateBitmap::kMergeGranuleWords);
+  EXPECT_LT(merged, num_words / 4);
+
+  // The same merge split into three disjoint ranges (as the parallel
+  // ranged merge issues them) produces the identical filter.
+  ApproximateBitmap split = serial.EmptyClone();
+  uint64_t merged_split = 0;
+  size_t bounds[] = {0, num_words / 3, num_words / 2, num_words};
+  for (int r = 0; r < 3; ++r) {
+    merged_split += split.MergeShardRange(shard, bounds[r], bounds[r + 1]);
+  }
+  split.AbsorbShardCount(shard);
+  EXPECT_EQ(serial.bits(), split.bits());
+  EXPECT_EQ(merged, merged_split);
+
+  // A range the shard never touched merges zero words.
+  ApproximateBitmap empty_target = serial.EmptyClone();
+  ApproximateBitmap::BuildShard clean(serial);
+  EXPECT_EQ(empty_target.MergeShardRange(clean, 0, num_words), 0u);
+}
+
+TEST(BlockedInsertBatchPartitionedTest, MatchesSerialAcrossSimdLevels) {
+  AbParams params;
+  params.n_bits = uint64_t{1} << 15;
+  params.k = 5;
+  std::mt19937_64 rng(31);
+  std::vector<uint64_t> keys(20000);
+  for (uint64_t& k : keys) k = rng();
+  BlockedApproximateBitmap serial(params);
+  serial.InsertBatch(keys.data(), keys.size());
+  util::ThreadPool pool(4);
+  for (util::simd::SimdLevel forced : kForcedLevels) {
+    ScopedSimdLevel scoped(forced);
+    BlockedApproximateBitmap partitioned(params);
+    partitioned.InsertBatchPartitioned(keys.data(), keys.size(), &pool);
+    ASSERT_EQ(serial.insertions(), partitioned.insertions());
+    ASSERT_DOUBLE_EQ(serial.FillRatio(), partitioned.FillRatio());
+    std::mt19937_64 probe_rng(32);
+    for (int i = 0; i < 4000; ++i) {
+      uint64_t k = probe_rng();
+      ASSERT_EQ(serial.Test(k), partitioned.Test(k))
+          << "probe " << i << " simd " << util::simd::SimdLevelName(forced);
+    }
+    for (uint64_t k : keys) ASSERT_TRUE(partitioned.Test(k));
+  }
+  // Tiny batches and null pools fall back to the serial batch.
+  BlockedApproximateBitmap tiny_a(params);
+  BlockedApproximateBitmap tiny_b(params);
+  tiny_a.InsertBatch(keys.data(), 10);
+  tiny_b.InsertBatchPartitioned(keys.data(), 10, nullptr);
+  EXPECT_EQ(tiny_a.insertions(), tiny_b.insertions());
+  EXPECT_DOUBLE_EQ(tiny_a.FillRatio(), tiny_b.FillRatio());
+}
+
+TEST(CountingMergeTest, SaturatingMergeIsExactUnderSaturation) {
+  // min(15, min(15,a) + min(15,b)) == min(15, a+b): repeat one cell 20
+  // times split 12/8 across two shards — both the merged and the serial
+  // filter must clamp to the same counters, byte for byte.
+  AbParams params;
+  params.n_bits = 1 << 12;
+  params.k = 4;
+  auto family = std::shared_ptr<const hash::HashFamily>(
+      hash::MakeIndependentFamily());
+  CountingApproximateBitmap serial(params, family);
+  CountingApproximateBitmap shard_a = serial.EmptyClone();
+  CountingApproximateBitmap shard_b = serial.EmptyClone();
+  hash::CellRef cell{7, 3};
+  for (int i = 0; i < 20; ++i) serial.Insert(42, cell);
+  for (int i = 0; i < 12; ++i) shard_a.Insert(42, cell);
+  for (int i = 0; i < 8; ++i) shard_b.Insert(42, cell);
+  // Plus background cells on both sides of the split.
+  CellBatch batch = RandomCells(600, 55);
+  for (size_t i = 0; i < batch.keys.size(); ++i) {
+    serial.Insert(batch.keys[i], batch.cells[i]);
+    (i < 300 ? shard_a : shard_b).Insert(batch.keys[i], batch.cells[i]);
+  }
+  CountingApproximateBitmap merged = serial.EmptyClone();
+  merged.MergeSaturating(shard_a);
+  merged.MergeSaturating(shard_b);
+  EXPECT_EQ(serial.raw_counters(), merged.raw_counters());
+  EXPECT_EQ(serial.live(), merged.live());
+}
+
+TEST(StringHash4DispatchTest, ForcedKernelsProduceIdenticalFilters) {
+  // The lockstep string-hash path is a cost decision, never a semantic
+  // one: filters built with it forced on and forced off must be
+  // bit-identical (on non-AVX2 hosts both runs take the scalar path and
+  // the assertion is trivially true — the same fallback contract as the
+  // SIMD parity suite).
+  CellBatch batch = RandomCells(2000, 123);
+  ApproximateBitmap on = MakeFilter(1 << 14, 5);
+  ApproximateBitmap off = on.EmptyClone();
+  hash::SetStringHash4ForTesting(1);
+  on.InsertBatch(batch.keys.data(), batch.cells.data(), batch.keys.size());
+  hash::SetStringHash4ForTesting(0);
+  off.InsertBatch(batch.keys.data(), batch.cells.data(), batch.keys.size());
+  hash::SetStringHash4ForTesting(-1);
+  EXPECT_EQ(on.bits(), off.bits());
+  // The decision string is always well-formed and non-empty.
+  EXPECT_FALSE(hash::StringHash4Decision().empty());
 }
 
 }  // namespace

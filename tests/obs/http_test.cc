@@ -166,7 +166,9 @@ TEST_F(HttpServerTest, ServesDuringParallelWorkload) {
   // EvaluateParallel workload runs while a client scrapes the endpoints.
   std::atomic<bool> done{false};
   std::thread workload([&done]() {
-    bitmap::BinnedDataset dataset = data::MakeUniformDataset(21, 50);
+    // Scale 10 keeps the build above BuildParallel's serial-fallback cell
+    // floor, so the trace check below sees the parallel phases.
+    bitmap::BinnedDataset dataset = data::MakeUniformDataset(21, 10);
     ab::AbConfig config;
     config.alpha = 8.0;
     util::ThreadPool pool(4);

@@ -29,6 +29,14 @@
 # It is off by default and a hard error when requested without gcovr on
 # PATH.
 #
+# A build-scaling smoke runs a downsized bench_build_time thread sweep
+# and checks the per-dataset "scaling_ok" flag (the slowest parallel
+# point must stay within 5% of serial — the contention-free build may
+# only tie serial on small hosts, never lose). Advisory by default
+# because CI hosts are noisy and often single-core; set
+# AB_CHECK_SCALING=strict to make a failed sweep fatal (recommended
+# locally on multi-core machines) or AB_CHECK_SCALING=0 to skip.
+#
 # Usage: tools/check.sh [build-dir]   (default: build/check)
 set -euo pipefail
 
@@ -203,6 +211,32 @@ if [ "${AB_CHECK_ASAN:-auto}" != "0" ]; then
     exit 1
   else
     echo "== tier-1 tests (ASan) skipped: toolchain lacks -fsanitize=address =="
+  fi
+fi
+
+if [ "${AB_CHECK_SCALING:-advisory}" != "0" ]; then
+  echo "== build-scaling smoke (thread sweep) =="
+  scaling_dir="$build_dir/scaling-smoke"
+  mkdir -p "$scaling_dir"
+  # Run from a scratch dir: the bench writes BENCH_build.json into its
+  # cwd and the smoke must not clobber the checked-in full-scale record.
+  (cd "$scaling_dir" &&
+    ABITMAP_BENCH_SCALE="${AB_CHECK_SCALING_SCALE:-20}" ABITMAP_BENCH_REPS=3 \
+      "$build_dir/bench/bench_build_time") \
+    >"$scaling_dir/bench_build_time.log" 2>&1
+  if grep -q '"scaling_ok": false' "$scaling_dir/BENCH_build.json"; then
+    echo "build-scaling smoke: parallel build slower than serial beyond" \
+      "tolerance on $(grep -c '"scaling_ok": false' \
+      "$scaling_dir/BENCH_build.json") dataset(s);" \
+      "see $scaling_dir/bench_build_time.log" >&2
+    if [ "${AB_CHECK_SCALING:-advisory}" = "strict" ]; then
+      echo "error: AB_CHECK_SCALING=strict and the sweep regressed" >&2
+      exit 1
+    fi
+    echo "build-scaling smoke: ADVISORY failure (host may be noisy or" \
+      "single-core; AB_CHECK_SCALING=strict to enforce)" >&2
+  else
+    echo "build-scaling smoke: scaling_ok on all datasets"
   fi
 fi
 

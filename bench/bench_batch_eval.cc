@@ -14,6 +14,7 @@
 // google-benchmark output when piped as JSON.
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -24,7 +25,11 @@
 #include "benchmark/benchmark.h"
 
 #include "bench_util.h"
+#include "bitmap/bitmap_table.h"
 #include "core/ab_index.h"
+#include "engine/exact_index.h"
+#include "roaring/roaring_index.h"
+#include "wah/wah_query.h"
 #include "core/approximate_bitmap.h"
 #include "core/blocked_bitmap.h"
 #include "data/generators.h"
@@ -281,6 +286,83 @@ std::vector<KernelTiming> MeasureKernels() {
   return out;
 }
 
+/// Per-backend compressed size and selector outcome on one seed dataset,
+/// plus the headline sparse-intersection race. The size rows back the
+/// selector's claims (Roaring <= WAH where it picks Roaring); the
+/// intersect row is the galloping-kernel target: an asymmetric AND of two
+/// sub-1%-density columns, where array containers gallop instead of
+/// walking fills.
+struct BackendSizes {
+  std::string name;
+  uint64_t rows = 0;
+  uint64_t wah_bytes = 0;
+  uint64_t bbc_bytes = 0;
+  uint64_t roaring_bytes = 0;
+  std::array<uint64_t, engine::kNumBackendChoices> selector = {};
+};
+
+struct SparseIntersect {
+  uint64_t rows = 0;
+  double density_a = 0, density_b = 0;
+  double wah_ms = 0;
+  double roaring_ms = 0;
+  double Speedup() const { return roaring_ms > 0 ? wah_ms / roaring_ms : 0; }
+};
+
+std::vector<BackendSizes> MeasureBackendSizes() {
+  std::vector<BackendSizes> out;
+  for (EvalDataset& e : AllDatasets()) {
+    bitmap::BitmapTable table = bitmap::BitmapTable::Build(e.data);
+    BackendSizes s;
+    s.name = e.data.name;
+    s.rows = table.num_rows();
+    s.wah_bytes = wah::WahIndex::Build(table).SizeInBytes();
+    s.roaring_bytes = roaring::RoaringIndex::Build(table).SizeInBytes();
+    for (uint32_t j = 0; j < table.num_columns(); ++j) {
+      s.bbc_bytes += bbc::BbcVector::Compress(table.column(j)).SizeInBytes();
+      engine::BackendChoice c =
+          engine::ChooseBackend(engine::ProfileColumn(table.column(j)));
+      s.selector[static_cast<size_t>(c)]++;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+SparseIntersect MeasureSparseIntersect() {
+  SparseIntersect t;
+  t.rows = ScaledRows(4000000);
+  // Asymmetric sparse pair: 0.8% vs 0.05% density. The larger side is
+  // ~16x the smaller, the regime where the Roaring array containers
+  // switch from linear merge to galloping search; WAH still walks both
+  // compressed streams end to end.
+  std::mt19937_64 rng(41);
+  util::BitVector a(t.rows), b(t.rows);
+  for (uint64_t i = 0; i < t.rows / 125; ++i) a.Set(rng() % t.rows);
+  for (uint64_t i = 0; i < t.rows / 2000; ++i) b.Set(rng() % t.rows);
+  t.density_a = static_cast<double>(a.Count()) / t.rows;
+  t.density_b = static_cast<double>(b.Count()) / t.rows;
+  wah::WahVector wah_a = wah::WahVector::Compress(a);
+  wah::WahVector wah_b = wah::WahVector::Compress(b);
+  roaring::RoaringBitmap roar_a = roaring::RoaringBitmap::FromBitVector(a);
+  roaring::RoaringBitmap roar_b = roaring::RoaringBitmap::FromBitVector(b);
+  roar_a.Optimize();
+  roar_b.Optimize();
+  constexpr int kReps = 200;
+  uint64_t sink = 0;
+  // Warm both paths once, then time.
+  sink += And(wah_a, wah_b).NumWords();
+  sink += And(roar_a, roar_b).Count();
+  util::Stopwatch wah_timer;
+  for (int r = 0; r < kReps; ++r) sink += And(wah_a, wah_b).NumWords();
+  t.wah_ms = wah_timer.ElapsedMillis() / kReps;
+  util::Stopwatch roaring_timer;
+  for (int r = 0; r < kReps; ++r) sink += And(roar_a, roar_b).Count();
+  t.roaring_ms = roaring_timer.ElapsedMillis() / kReps;
+  benchmark::DoNotOptimize(sink);
+  return t;
+}
+
 /// End-to-end pipeline timings at the active level, for the JSON trend
 /// line: the same Evaluate/EvaluateBatched pair the benchmarks above
 /// sweep, at one representative configuration.
@@ -311,7 +393,9 @@ PipelineTiming MeasurePipeline() {
 }
 
 void WriteQueryJson(const PipelineTiming& pipeline,
-                    const std::vector<KernelTiming>& kernels) {
+                    const std::vector<KernelTiming>& kernels,
+                    const std::vector<BackendSizes>& backends,
+                    const SparseIntersect& intersect) {
   // stats_enabled distinguishes the two tier-1 configurations: the
   // metrics-on overhead is the eval_batched_ms delta between a default
   // build's JSON and an -DAB_DISABLE_STATS=ON build's (EXPERIMENTS.md).
@@ -319,6 +403,13 @@ void WriteQueryJson(const PipelineTiming& pipeline,
   w.BeginObject();
   AppendSimdInfo(&w);
   w.Key("stats_enabled"), w.Bool(obs::kStatsEnabled);
+  // The probes_independent kernel choice: whether the lockstep StringHash4
+  // path is engaged, and what the one-time runtime calibration measured.
+  w.Key("hash");
+  w.BeginObject();
+  w.Key("string_hash4"), w.Bool(hash::StringHash4Enabled());
+  w.Key("decision"), w.String(hash::StringHash4Decision());
+  w.EndObject();
   w.Key("pipeline");
   w.BeginObject();
   w.Key("rows"), w.Uint(pipeline.rows);
@@ -339,6 +430,40 @@ void WriteQueryJson(const PipelineTiming& pipeline,
     w.EndObject();
   }
   w.EndArray();
+  // Exact-backend comparison: per-dataset compressed sizes, what the
+  // density-adaptive selector picked, and the sparse galloping-AND race.
+  w.Key("backends");
+  w.BeginObject();
+  w.Key("datasets");
+  w.BeginArray();
+  for (const BackendSizes& s : backends) {
+    w.BeginObject();
+    w.Key("name"), w.String(s.name);
+    w.Key("rows"), w.Uint(s.rows);
+    w.Key("wah_bytes"), w.Uint(s.wah_bytes);
+    w.Key("bbc_bytes"), w.Uint(s.bbc_bytes);
+    w.Key("roaring_bytes"), w.Uint(s.roaring_bytes);
+    w.Key("selector");
+    w.BeginObject();
+    for (size_t c = 0; c < engine::kNumBackendChoices; ++c) {
+      w.Key(engine::BackendChoiceName(
+          static_cast<engine::BackendChoice>(c)));
+      w.Uint(s.selector[c]);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("sparse_intersect");
+  w.BeginObject();
+  w.Key("rows"), w.Uint(intersect.rows);
+  w.Key("density_a"), w.Double(intersect.density_a, 5);
+  w.Key("density_b"), w.Double(intersect.density_b, 5);
+  w.Key("wah_ms"), w.Double(intersect.wah_ms);
+  w.Key("roaring_ms"), w.Double(intersect.roaring_ms);
+  w.Key("roaring_speedup"), w.Double(intersect.Speedup(), 2);
+  w.EndObject();
+  w.EndObject();
   w.EndObject();
   WriteJsonFile("BENCH_query.json", w.str());
 }
@@ -348,6 +473,8 @@ void RunKernelComparison() {
   std::vector<KernelTiming> kernels = MeasureKernels();
   std::fprintf(stderr, "\nkernels: forced-scalar vs %s dispatch\n",
                util::simd::SimdLevelName(util::simd::DetectedSimdLevel()));
+  std::fprintf(stderr, "string_hash4: %s\n",
+               hash::StringHash4Decision().c_str());
   std::fprintf(stderr, "%-20s %12s %12s %12s %9s\n", "kernel", "items",
                "scalar(s)", "simd(s)", "speedup");
   for (const KernelTiming& t : kernels) {
@@ -355,7 +482,31 @@ void RunKernelComparison() {
                  t.name.c_str(), static_cast<unsigned long long>(t.items),
                  t.scalar_s, t.simd_s, t.Speedup());
   }
-  WriteQueryJson(pipeline, kernels);
+  std::vector<BackendSizes> backends = MeasureBackendSizes();
+  std::fprintf(stderr, "\nexact backends per dataset\n");
+  std::fprintf(stderr, "%-10s %12s %12s %12s  %s\n", "dataset", "wah(B)",
+               "bbc(B)", "roaring(B)", "selector");
+  for (const BackendSizes& s : backends) {
+    std::fprintf(
+        stderr,
+        "%-10s %12llu %12llu %12llu  wah=%llu bbc=%llu roaring=%llu "
+        "ab=%llu\n",
+        s.name.c_str(), static_cast<unsigned long long>(s.wah_bytes),
+        static_cast<unsigned long long>(s.bbc_bytes),
+        static_cast<unsigned long long>(s.roaring_bytes),
+        static_cast<unsigned long long>(s.selector[0]),
+        static_cast<unsigned long long>(s.selector[1]),
+        static_cast<unsigned long long>(s.selector[2]),
+        static_cast<unsigned long long>(s.selector[3]));
+  }
+  SparseIntersect intersect = MeasureSparseIntersect();
+  std::fprintf(stderr,
+               "sparse intersect (%.2f%% x %.3f%% of %llu rows): WAH "
+               "%.4f ms, Roaring %.4f ms (%.2fx)\n",
+               100 * intersect.density_a, 100 * intersect.density_b,
+               static_cast<unsigned long long>(intersect.rows),
+               intersect.wah_ms, intersect.roaring_ms, intersect.Speedup());
+  WriteQueryJson(pipeline, kernels, backends, intersect);
   std::fprintf(stderr, "wrote BENCH_query.json\n");
 }
 

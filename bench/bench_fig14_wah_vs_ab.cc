@@ -12,15 +12,35 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "roaring/roaring_index.h"
+#include "util/stopwatch.h"
 
 namespace abitmap {
 namespace bench {
 namespace {
 
+/// Average per-query wall time (ms) of the Roaring bit-wise phase — the
+/// Roaring mirror of TimeWah's bitwise column.
+double TimeRoaringBitwise(const roaring::RoaringIndex& index,
+                          const std::vector<bitmap::BitmapQuery>& queries) {
+  uint64_t sink = 0;
+  for (const bitmap::BitmapQuery& q : queries) {
+    sink += index.ExecuteBitwise(q).Count();
+  }
+  util::Stopwatch timer;
+  for (const bitmap::BitmapQuery& q : queries) {
+    sink += index.ExecuteBitwise(q).Count();
+  }
+  double ms = timer.ElapsedMillis() / queries.size();
+  if (sink == 0xFFFFFFFF) std::printf(" ");
+  return ms;
+}
+
 void Run() {
   for (EvalDataset& e : AllDatasets()) {
     bitmap::BitmapTable table = bitmap::BitmapTable::Build(e.data);
     wah::WahIndex wah_index = wah::WahIndex::Build(table);
+    roaring::RoaringIndex roaring_index = roaring::RoaringIndex::Build(table);
     ab::AbConfig cfg;
     cfg.level = ab::Level::kPerAttribute;
     cfg.alpha = e.paper_alpha;
@@ -29,15 +49,19 @@ void Run() {
     PrintHeader("Figure 14: " + e.data.name +
                 " (alpha=" + std::to_string(static_cast<int>(e.paper_alpha)) +
                 "), msec per query");
-    std::printf("%-8s %14s %14s %14s %10s\n", "rows", "WAH(bitwise)",
-                "WAH(+filter)", "AB", "AB/WAH");
+    std::printf("index sizes: WAH %s, Roaring %s\n",
+                FormatBytes(wah_index.SizeInBytes()).c_str(),
+                FormatBytes(roaring_index.SizeInBytes()).c_str());
+    std::printf("%-8s %14s %14s %14s %14s %10s\n", "rows", "WAH(bitwise)",
+                "WAH(+filter)", "Roaring", "AB", "AB/WAH");
     for (uint64_t rows : RowSweep(e.data.num_rows())) {
       std::vector<bitmap::BitmapQuery> queries = PaperWorkload(e.data, rows);
       WahTimes wah_times = TimeWah(wah_index, queries);
+      double roaring_ms = TimeRoaringBitwise(roaring_index, queries);
       double ab_ms = TimeAbEvaluate(ab_index, queries);
-      std::printf("%-8llu %14.4f %14.4f %14.4f %10.3f\n",
+      std::printf("%-8llu %14.4f %14.4f %14.4f %14.4f %10.3f\n",
                   static_cast<unsigned long long>(rows),
-                  wah_times.bitwise_ms, wah_times.full_ms, ab_ms,
+                  wah_times.bitwise_ms, wah_times.full_ms, roaring_ms, ab_ms,
                   ab_ms / wah_times.bitwise_ms);
       std::fflush(stdout);
     }
@@ -45,8 +69,8 @@ void Run() {
     // Crossover sweep: fraction of the relation queried where AB stops
     // winning against the WAH bit-wise time.
     std::printf("\nCrossover sweep (%s):\n", e.data.name.c_str());
-    std::printf("%-10s %12s %12s %8s\n", "fraction", "WAH(bitwise)", "AB",
-                "AB wins");
+    std::printf("%-10s %12s %12s %12s %8s\n", "fraction", "WAH(bitwise)",
+                "Roaring", "AB", "AB wins");
     double crossover = -1;
     for (double frac : {0.01, 0.05, 0.10, 0.15, 0.20, 0.30}) {
       uint64_t rows =
@@ -62,11 +86,13 @@ void Run() {
       std::vector<bitmap::BitmapQuery> queries =
           data::GenerateQueries(e.data, qp);
       WahTimes wah_times = TimeWah(wah_index, queries);
+      double roaring_ms = TimeRoaringBitwise(roaring_index, queries);
       double ab_ms = TimeAbEvaluate(ab_index, queries);
       bool wins = ab_ms < wah_times.bitwise_ms;
       if (!wins && crossover < 0) crossover = frac;
-      std::printf("%-10.2f %12.4f %12.4f %8s\n", frac, wah_times.bitwise_ms,
-                  ab_ms, wins ? "yes" : "no");
+      std::printf("%-10.2f %12.4f %12.4f %12.4f %8s\n", frac,
+                  wah_times.bitwise_ms, roaring_ms, ab_ms,
+                  wins ? "yes" : "no");
       std::fflush(stdout);
     }
     if (crossover > 0) {

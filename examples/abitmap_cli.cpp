@@ -243,9 +243,11 @@ int CmdDemo() {
   options.ab.alpha = 16;
   engine::HybridEngine engine =
       engine::HybridEngine::Build(std::move(table).value(), options);
-  std::printf("index sizes: WAH %llu bytes, AB %llu bytes\n",
-              static_cast<unsigned long long>(engine.WahSizeBytes()),
+  std::printf("index sizes: exact %llu bytes, AB %llu bytes\n",
+              static_cast<unsigned long long>(engine.ExactSizeBytes()),
               static_cast<unsigned long long>(engine.AbSizeBytes()));
+  std::printf("exact backends: %s\n",
+              engine.exact_index().ChoiceSummary().c_str());
   std::printf("calibrated AB/WAH crossover: %.1f%% of rows\n",
               engine.MeasureCrossover() * 100);
 

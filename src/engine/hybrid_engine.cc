@@ -1,6 +1,7 @@
 #include "engine/hybrid_engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "bitmap/bitmap_table.h"
@@ -20,11 +21,17 @@ HybridEngine::HybridEngine(Table table, const Options& options)
 
 HybridEngine HybridEngine::Build(Table table, const Options& options) {
   HybridEngine engine(std::move(table), options);
+  // The AB_BACKEND environment variable wins over Options::backend: it
+  // lets a deployed binary force "wah"/"bbc"/"roaring"/"ab" (or restore
+  // "auto") without a rebuild, mirroring AB_DISABLE_SIMD.
+  if (const char* env = std::getenv("AB_BACKEND")) {
+    if (env[0] != '\0') engine.options_.backend = env;
+  }
   // The pool is created before the indexes so construction itself runs
-  // through it: WAH column compression and AB filter population both fan
-  // out over the same workers that later serve queries. Every parallel
-  // build path is bit-identical to its serial counterpart, so a 1-thread
-  // engine and an N-thread engine hold the same indexes.
+  // through it: exact-column compression and AB filter population both
+  // fan out over the same workers that later serve queries. Every
+  // parallel build path is bit-identical to its serial counterpart, so a
+  // 1-thread engine and an N-thread engine hold the same indexes.
   int threads = options.num_threads == 0 ? util::DefaultThreadCount()
                                          : options.num_threads;
   if (threads > 1) {
@@ -32,8 +39,8 @@ HybridEngine HybridEngine::Build(Table table, const Options& options) {
   }
   bitmap::BitmapTable bitmap_table =
       bitmap::BitmapTable::Build(engine.discretized_.dataset);
-  engine.wah_ = std::make_unique<wah::WahIndex>(
-      wah::WahIndex::Build(bitmap_table, engine.pool_.get()));
+  engine.exact_ = std::make_unique<ExactIndex>(ExactIndex::Build(
+      bitmap_table, engine.pool_.get(), engine.options_.backend));
   engine.ab_ = std::make_unique<ab::AbIndex>(ab::AbIndex::BuildParallel(
       engine.discretized_.dataset, options.ab, engine.pool_.get()));
   return engine;
@@ -250,13 +257,14 @@ EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
   trace.observed_precision = result.trace.observed_precision;
   result.trace = trace;
   result.trace.path = "ab";
+  result.trace.backend = "ab";
   result.trace.latency_ms = query_timer.ElapsedMillis();
   return result;
 }
 
-EngineResult HybridEngine::ExecuteWithWah(const EngineQuery& query) const {
-  AB_SPAN("engine/wah");
-  AB_STATS_INC(obs::Counter::kEngineWahRouted);
+EngineResult HybridEngine::ExecuteWithExact(const EngineQuery& query) const {
+  AB_SPAN("engine/exact");
+  AB_STATS_INC(obs::Counter::kEngineExactRouted);
   util::Stopwatch query_timer;
   bitmap::BitmapQuery bin_query;
   ToBinQuery(query, &bin_query);
@@ -264,20 +272,23 @@ EngineResult HybridEngine::ExecuteWithWah(const EngineQuery& query) const {
   if (bin_query.rows.empty()) {
     // Whole relation: keep the bit-wise result packed and walk its set
     // bits — the verification loop touches only candidate rows.
-    util::BitVector bits = wah_->ExecuteBitwiseBits(bin_query);
-    result = CollectResultFromBits(*this, query, bits, "wah", pool_.get());
+    util::BitVector bits = exact_->ExecuteBitwiseBits(bin_query);
+    result = CollectResultFromBits(*this, query, bits, "exact", pool_.get());
   } else {
-    std::vector<bool> bits = wah_->Evaluate(bin_query);
-    result = CollectResult(*this, query, bin_query, bits, "wah", pool_.get());
+    std::vector<bool> bits = exact_->Evaluate(bin_query);
+    result =
+        CollectResult(*this, query, bin_query, bits, "exact", pool_.get());
   }
   result.trace.rows_evaluated =
       bin_query.rows.empty() ? table_.num_rows() : bin_query.rows.size();
   result.trace.attrs_in_plan = bin_query.ranges.size();
-  // WAH is exact at bin granularity: the predicted precision of 1.0 is
-  // the model's statement, and pruning only removes bin overshoot.
+  // The exact arm is exact at bin granularity whatever its backend: the
+  // predicted precision of 1.0 is the model's statement, and pruning only
+  // removes bin overshoot.
   result.trace.simd_level =
       util::simd::SimdLevelName(util::simd::ActiveSimdLevel());
-  result.trace.path = "wah";
+  result.trace.path = "exact";
+  result.trace.backend = exact_->PlanBackendLabel(bin_query);
   result.trace.latency_ms = query_timer.ElapsedMillis();
   return result;
 }
@@ -287,20 +298,29 @@ EngineResult HybridEngine::Execute(const EngineQuery& query) const {
   obs::ScopedLatencyTimer timer(obs::Histogram::kQueryLatencyNs);
   AB_STATS_INC(obs::Counter::kEngineQueries);
   if (query.rows.empty()) {
-    return ExecuteWithWah(query);
+    return ExecuteWithExact(query);
   }
   double fraction = static_cast<double>(query.rows.size()) /
                     static_cast<double>(table_.num_rows());
-  if (fraction <= options_.crossover_fraction) {
+  // Plans confined to AB-preferring (dense, incompressible) columns get
+  // the paper's ~15% crossover: their exact bitmaps are near-verbatim, so
+  // the AB keeps winning far past the generic threshold.
+  double crossover = options_.crossover_fraction;
+  bitmap::BitmapQuery bin_query;
+  ToBinQuery(query, &bin_query);
+  if (exact_->PlanPrefersAb(bin_query)) {
+    crossover = std::max(crossover, kAbPreferredCrossover);
+  }
+  if (fraction <= crossover) {
     return ExecuteWithAb(query);
   }
-  return ExecuteWithWah(query);
+  return ExecuteWithExact(query);
 }
 
 double HybridEngine::MeasureCrossover() {
   // Time both paths on a mid-selectivity predicate over growing row
-  // subsets; the threshold is the first fraction where WAH's (constant)
-  // cost drops below the AB's (linear) cost.
+  // subsets; the threshold is the first fraction where the exact arm's
+  // (constant) cost drops below the AB's (linear) cost.
   uint64_t n = table_.num_rows();
   EngineQuery query;
   uint32_t cardinality = discretized_.binners[0].cardinality();
@@ -320,10 +340,10 @@ double HybridEngine::MeasureCrossover() {
     util::Stopwatch ab_timer;
     (void)ExecuteWithAb(query);
     double ab_ms = ab_timer.ElapsedMillis();
-    util::Stopwatch wah_timer;
-    (void)ExecuteWithWah(query);
-    double wah_ms = wah_timer.ElapsedMillis();
-    if (ab_ms >= wah_ms) {
+    util::Stopwatch exact_timer;
+    (void)ExecuteWithExact(query);
+    double exact_ms = exact_timer.ElapsedMillis();
+    if (ab_ms >= exact_ms) {
       crossover = fraction;
       break;
     }

@@ -8,10 +8,10 @@
 #include <vector>
 
 #include "core/ab_index.h"
+#include "engine/exact_index.h"
 #include "engine/table.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
-#include "wah/wah_query.h"
 
 namespace abitmap {
 namespace engine {
@@ -41,7 +41,7 @@ struct EngineQuery {
 struct EngineResult {
   std::vector<uint64_t> row_ids;
   bool approximate = false;  ///< true if candidates were not pruned
-  std::string path;          ///< "ab" or "wah"
+  std::string path;          ///< "ab" or "exact"
   /// The query's execution profile: evaluation shape from the index
   /// kernels, candidate/verified counts from the collection pass, and the
   /// predicted-vs-observed precision pair (observed only in exact mode,
@@ -49,19 +49,31 @@ struct EngineResult {
   obs::QueryTrace trace;
 };
 
-/// The query router the paper's introduction implies: WAH-compressed
+/// The query router the paper's introduction implies: exact compressed
 /// bitmaps win on whole-relation queries, the Approximate Bitmap wins when
 /// the query names a small row subset ("executing a query that selects up
 /// to around 15% of the rows by using AB is still faster"). HybridEngine
-/// maintains both indexes over one table and routes each query by the
-/// fraction of rows it touches.
+/// maintains both over one table — the AB plus a density-adaptive
+/// ExactIndex whose per-column backend (WAH / BBC / Roaring) the selector
+/// picks at build time — and routes each query by the fraction of rows it
+/// touches. Plans that only touch AB-preferring (dense, incompressible)
+/// columns get the paper's higher ~15% crossover.
 class HybridEngine {
  public:
+  /// Effective AB crossover for plans confined to kAb-preferring columns
+  /// (the paper's "up to around 15% of the rows" regime).
+  static constexpr double kAbPreferredCrossover = 0.15;
+
   struct Options {
     /// Discretization applied to every column.
     BinningSpec binning;
     /// AB configuration (level, alpha, k, scheme).
     ab::AbConfig ab;
+    /// Exact-backend selection: "auto" (per-column density-adaptive
+    /// selector) or a forced BackendChoiceName ("wah", "bbc", "roaring",
+    /// "ab"). The AB_BACKEND environment variable, when set, wins over
+    /// this field.
+    std::string backend = "auto";
     /// Row-subset fraction below which the AB path is used. The paper's
     /// hardware put the crossover near 0.15; on this implementation the
     /// measured value is lower (see bench_fig14_wah_vs_ab) — calibrate
@@ -81,21 +93,21 @@ class HybridEngine {
 
   /// Forces a specific path (benchmarking / tests).
   EngineResult ExecuteWithAb(const EngineQuery& query) const;
-  EngineResult ExecuteWithWah(const EngineQuery& query) const;
+  EngineResult ExecuteWithExact(const EngineQuery& query) const;
 
   /// Times both paths on a synthetic row-subset sweep and returns the
-  /// fraction at which WAH overtakes the AB; also updates the routing
-  /// threshold.
+  /// fraction at which the exact arm overtakes the AB; also updates the
+  /// routing threshold.
   double MeasureCrossover();
 
   const Table& table() const { return table_; }
   const bitmap::BinnedDataset& dataset() const { return discretized_.dataset; }
-  uint64_t WahSizeBytes() const { return wah_->SizeInBytes(); }
+  uint64_t ExactSizeBytes() const { return exact_->SizeInBytes(); }
   uint64_t AbSizeBytes() const { return ab_->SizeInBytes(); }
   double crossover_fraction() const { return options_.crossover_fraction; }
 
   const ab::AbIndex& ab_index() const { return *ab_; }
-  const wah::WahIndex& wah_index() const { return *wah_; }
+  const ExactIndex& exact_index() const { return *exact_; }
 
  private:
   HybridEngine(Table table, const Options& options);
@@ -110,7 +122,7 @@ class HybridEngine {
   Table table_;
   Options options_;
   Table::Discretized discretized_;
-  std::unique_ptr<wah::WahIndex> wah_;
+  std::unique_ptr<ExactIndex> exact_;
   std::unique_ptr<ab::AbIndex> ab_;
   /// Shared by batched AB evaluation and exact-answer verification; null
   /// when options.num_threads resolves to 1.

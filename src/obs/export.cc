@@ -36,12 +36,21 @@ const char* const kCounterHelp[kNumCounters] = {
     "Pool-parallel AbIndex builds completed",
     "Rows inserted by AbIndex builds",
     "Rows added by AbIndex::AppendRows",
+    "Partition-owner build probes landing in the owner's range",
+    "Partition-owner build probes routed to another shard's queue",
+    "Spilled build probes overflowing a bounded ring",
+    "Shard-merge words actually ORed",
+    "Shard-merge words skipped as untouched",
     "HybridEngine queries executed",
     "Queries the engine routed to the AB index",
-    "Queries the engine routed to the WAH index",
+    "Queries the engine routed to the exact index (any backend)",
     "Candidate rows the chosen index reported",
     "Candidates surviving raw-value verification",
     "Candidates pruned as false positives (exact mode)",
+    "Columns the adaptive selector stored as WAH",
+    "Columns the adaptive selector stored as BBC",
+    "Columns the adaptive selector stored as Roaring",
+    "Columns marked AB-first by the selector (stored as Roaring)",
     "Tasks submitted to util::ThreadPool",
     "Tasks completed by util::ThreadPool workers",
 };
@@ -54,6 +63,7 @@ const char* const kHistogramHelp[kNumHistograms] = {
     "Per-task execution time on a pool worker in nanoseconds",
     "Thread-pool queue length observed at Submit",
     "Rows per AbIndex evaluation",
+    "Cells per worker shard in partitioned builds",
 };
 
 void Appendf(std::string* out, const char* fmt, ...)

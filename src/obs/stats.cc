@@ -36,10 +36,14 @@ const char* const kCounterNames[kNumCounters] = {
     "build_merge_words_skipped",
     "engine_queries",
     "engine_ab_routed",
-    "engine_wah_routed",
+    "engine_exact_routed",
     "engine_candidates",
     "engine_verified",
     "engine_false_positives",
+    "engine_backend_cols_wah",
+    "engine_backend_cols_bbc",
+    "engine_backend_cols_roaring",
+    "engine_backend_cols_ab_preferred",
     "pool_tasks_submitted",
     "pool_tasks_completed",
 };

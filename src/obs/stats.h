@@ -73,10 +73,15 @@ enum class Counter : uint32_t {
   // --- HybridEngine routing / verification ---
   kEngineQueries,
   kEngineAbRouted,
-  kEngineWahRouted,
+  kEngineExactRouted,      ///< routed to the exact arm (any backend)
   kEngineCandidates,       ///< rows the chosen index reported 1
   kEngineVerified,         ///< candidates surviving raw-value pruning
   kEngineFalsePositives,   ///< candidates - verified (exact mode only)
+  // --- ExactIndex backend selection (counted once per build) ---
+  kEngineColsWah,          ///< columns the selector stored as WAH
+  kEngineColsBbc,          ///< columns the selector stored as BBC
+  kEngineColsRoaring,      ///< columns the selector stored as Roaring
+  kEngineColsAbPreferred,  ///< columns marked AB-first (stored Roaring)
   // --- util::ThreadPool ---
   kPoolTasksSubmitted,
   kPoolTasksCompleted,

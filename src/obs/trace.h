@@ -35,7 +35,11 @@ struct QueryTrace {
   double observed_precision = -1.0; ///< verified/candidates; < 0 unknown
   // --- environment ---
   const char* simd_level = "";      ///< active dispatch level name
-  const char* path = "";            ///< "ab" or "wah" (engine-routed)
+  const char* path = "";            ///< "ab" or "exact" (engine-routed)
+  /// Exact-arm backend serving the plan's columns: "wah", "bbc",
+  /// "roaring", "ab" (AB-preferring columns), or "mixed"; "ab" for
+  /// AB-routed queries. Empty outside the engine.
+  const char* backend = "";
   double latency_ms = 0.0;
 
   /// Single-line JSON rendering (diagnostics, ab_stats --trace).
@@ -43,13 +47,14 @@ struct QueryTrace {
     char buf[512];
     std::snprintf(
         buf, sizeof(buf),
-        "{\"path\": \"%s\", \"simd\": \"%s\", \"latency_ms\": %.4f, "
+        "{\"path\": \"%s\", \"backend\": \"%s\", \"simd\": \"%s\", "
+        "\"latency_ms\": %.4f, "
         "\"rows_evaluated\": %llu, \"cells_probed\": %llu, "
         "\"probe_windows\": %llu, \"rows_matched\": %llu, "
         "\"rows_short_circuited\": %llu, \"attrs_in_plan\": %llu, "
         "\"candidates\": %llu, \"verified_matches\": %llu, "
         "\"predicted_precision\": %.6f, \"observed_precision\": %.6f}",
-        path, simd_level, latency_ms,
+        path, backend, simd_level, latency_ms,
         static_cast<unsigned long long>(rows_evaluated),
         static_cast<unsigned long long>(cells_probed),
         static_cast<unsigned long long>(probe_windows),

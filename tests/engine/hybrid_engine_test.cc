@@ -64,7 +64,7 @@ TEST(HybridEngineTest, ExactResultsMatchBruteForceBothPaths) {
     }
     std::vector<uint64_t> expected = BruteForce(engine.table(), q);
     EXPECT_EQ(engine.ExecuteWithAb(q).row_ids, expected) << trial;
-    EXPECT_EQ(engine.ExecuteWithWah(q).row_ids, expected) << trial;
+    EXPECT_EQ(engine.ExecuteWithExact(q).row_ids, expected) << trial;
     EXPECT_EQ(engine.Execute(q).row_ids, expected) << trial;
   }
 }
@@ -74,16 +74,22 @@ TEST(HybridEngineTest, RoutesByRowFraction) {
   EngineQuery q;
   q.predicates.push_back(ValuePredicate{0, 0.0, 50.0});
 
-  // Whole relation -> WAH.
-  EXPECT_EQ(engine.Execute(q).path, "wah");
+  // Whole relation -> exact arm.
+  EngineResult whole = engine.Execute(q);
+  EXPECT_EQ(whole.path, "exact");
+  // The trace carries the serving backend: a single name or "mixed".
+  EXPECT_STRNE(whole.trace.backend, "");
+  EXPECT_STRNE(whole.trace.backend, "none");
 
   // Tiny subset (below the default 2% threshold) -> AB.
   q.rows = bitmap::RowRange(100, 140);  // 41 rows of 5000 = 0.8%
-  EXPECT_EQ(engine.Execute(q).path, "ab");
+  EngineResult tiny = engine.Execute(q);
+  EXPECT_EQ(tiny.path, "ab");
+  EXPECT_STREQ(tiny.trace.backend, "ab");
 
-  // Large subset -> WAH.
+  // Large subset -> exact arm.
   q.rows = bitmap::RowRange(0, 2499);  // 50%
-  EXPECT_EQ(engine.Execute(q).path, "wah");
+  EXPECT_EQ(engine.Execute(q).path, "exact");
 }
 
 TEST(HybridEngineTest, ApproximateModeIsSupersetOfExact) {
@@ -128,7 +134,7 @@ TEST(HybridEngineTest, EmptyPredicateListSelectsRequestedRows) {
 
 TEST(HybridEngineTest, SizesReported) {
   HybridEngine engine = MakeEngine(2000, 7);
-  EXPECT_GT(engine.WahSizeBytes(), 0u);
+  EXPECT_GT(engine.ExactSizeBytes(), 0u);
   EXPECT_GT(engine.AbSizeBytes(), 0u);
 }
 
@@ -145,10 +151,15 @@ TEST(HybridEngineTest, ParallelBuildYieldsIdenticalIndexes) {
   HybridEngine serial = HybridEngine::Build(MakeRandomTable(2500, 9), serial_opts);
   HybridEngine parallel =
       HybridEngine::Build(MakeRandomTable(2500, 9), parallel_opts);
-  ASSERT_EQ(serial.wah_index().num_columns(), parallel.wah_index().num_columns());
-  for (uint32_t j = 0; j < serial.wah_index().num_columns(); ++j) {
-    ASSERT_EQ(serial.wah_index().column(j), parallel.wah_index().column(j))
-        << "wah column " << j;
+  ASSERT_EQ(serial.exact_index().num_columns(),
+            parallel.exact_index().num_columns());
+  for (uint32_t j = 0; j < serial.exact_index().num_columns(); ++j) {
+    ASSERT_EQ(serial.exact_index().column_choice(j),
+              parallel.exact_index().column_choice(j))
+        << "backend choice, column " << j;
+    ASSERT_EQ(serial.exact_index().DecompressColumn(j),
+              parallel.exact_index().DecompressColumn(j))
+        << "exact column " << j;
   }
   ASSERT_EQ(serial.ab_index().num_filters(), parallel.ab_index().num_filters());
   for (size_t f = 0; f < serial.ab_index().num_filters(); ++f) {
@@ -160,6 +171,101 @@ TEST(HybridEngineTest, ParallelBuildYieldsIdenticalIndexes) {
   q.predicates.push_back(ValuePredicate{0, 10.0, 70.0});
   q.rows = bitmap::RowRange(100, 1600);
   EXPECT_EQ(serial.Execute(q).row_ids, parallel.Execute(q).row_ids);
+}
+
+TEST(HybridEngineTest, BackendOptionForcesEveryColumn) {
+  for (const char* backend : {"wah", "bbc", "roaring"}) {
+    HybridEngine::Options options;
+    options.binning.bins = 16;
+    options.ab.alpha = 8;
+    options.backend = backend;
+    HybridEngine engine =
+        HybridEngine::Build(MakeRandomTable(1500, 10), options);
+    const ExactIndex& exact = engine.exact_index();
+    BackendChoice want;
+    ASSERT_TRUE(ParseBackendChoice(backend, &want));
+    for (uint32_t j = 0; j < exact.num_columns(); ++j) {
+      EXPECT_EQ(exact.column_choice(j), want) << backend << " column " << j;
+    }
+    EngineQuery q;
+    q.predicates.push_back(ValuePredicate{0, 20.0, 60.0});
+    EXPECT_EQ(engine.Execute(q).row_ids, BruteForce(engine.table(), q))
+        << backend;
+    EXPECT_STREQ(engine.Execute(q).trace.backend, backend);
+  }
+}
+
+TEST(HybridEngineTest, AbBackendEnvOverridesOption) {
+  ::setenv("AB_BACKEND", "wah", 1);
+  HybridEngine::Options options;
+  options.binning.bins = 8;
+  options.backend = "roaring";  // should lose to the environment
+  HybridEngine engine = HybridEngine::Build(MakeRandomTable(600, 11), options);
+  ::unsetenv("AB_BACKEND");
+  const ExactIndex& exact = engine.exact_index();
+  for (uint32_t j = 0; j < exact.num_columns(); ++j) {
+    EXPECT_EQ(exact.column_choice(j), BackendChoice::kWah) << "column " << j;
+  }
+}
+
+TEST(HybridEngineTest, ForcedBackendsAgreeOnEveryQuery) {
+  // The same table under every forced backend (and the selector) must
+  // answer every query identically: backends differ in cost, never in
+  // bits.
+  std::vector<HybridEngine> engines;
+  for (const char* backend : {"auto", "wah", "bbc", "roaring", "ab"}) {
+    HybridEngine::Options options;
+    options.binning.bins = 16;
+    options.ab.alpha = 8;
+    options.backend = backend;
+    engines.push_back(HybridEngine::Build(MakeRandomTable(2000, 12), options));
+  }
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    EngineQuery q;
+    q.predicates.push_back(
+        ValuePredicate{static_cast<uint32_t>(trial % 3), 10.0, 70.0});
+    if (trial % 2 == 1) {
+      uint64_t lo = rng() % 1000;
+      q.rows = bitmap::RowRange(lo, lo + 700);
+    }
+    std::vector<uint64_t> expected = engines[0].ExecuteWithExact(q).row_ids;
+    for (size_t e = 1; e < engines.size(); ++e) {
+      EXPECT_EQ(engines[e].ExecuteWithExact(q).row_ids, expected)
+          << "engine " << e << " trial " << trial;
+    }
+  }
+}
+
+TEST(HybridEngineTest, AbPreferredPlansGetRaisedCrossover) {
+  // Force every column AB-preferring: a subset at 10% of the rows sits
+  // above the default 2% crossover but below the raised 15% one, so it
+  // must route to the AB.
+  HybridEngine::Options options;
+  options.binning.bins = 16;
+  options.ab.alpha = 16;
+  options.backend = "ab";
+  HybridEngine engine = HybridEngine::Build(MakeRandomTable(5000, 14), options);
+  EngineQuery q;
+  q.predicates.push_back(ValuePredicate{0, 20.0, 60.0});
+  q.rows = bitmap::RowRange(0, 499);  // 10%
+  EngineResult result = engine.Execute(q);
+  EXPECT_EQ(result.path, "ab");
+  // Past the raised crossover the exact arm takes over again.
+  q.rows = bitmap::RowRange(0, 999);  // 20%
+  EXPECT_EQ(engine.Execute(q).path, "exact");
+}
+
+TEST(HybridEngineTest, ChoiceSummaryCoversEveryColumn) {
+  HybridEngine engine = MakeEngine(2000, 15);
+  const ExactIndex& exact = engine.exact_index();
+  uint64_t total = 0;
+  for (uint64_t c : exact.choice_counts()) total += c;
+  EXPECT_EQ(total, exact.num_columns());
+  std::string summary = exact.ChoiceSummary();
+  for (const char* name : {"wah=", "bbc=", "roaring=", "ab="}) {
+    EXPECT_NE(summary.find(name), std::string::npos) << summary;
+  }
 }
 
 TEST(HybridEngineTest, MeasureCrossoverReturnsSaneFraction) {

@@ -166,6 +166,31 @@ TEST(StatsExportTest, TextRendersWithoutCrashing) {
   EXPECT_GT(text.size(), 0u);
 }
 
+TEST(StatsExportTest, EveryMetricHasHelpText) {
+  // The HELP strings live in positional arrays parallel to the Counter /
+  // Histogram enums; a new enumerator without a matching entry leaves a
+  // null (or empty) hole that %s renders as garbage. Assert every HELP
+  // line carries real prose.
+  std::string prom = ToPrometheus(SnapshotStats());
+  size_t help_lines = 0;
+  size_t pos = 0;
+  while ((pos = prom.find("# HELP ", pos)) != std::string::npos) {
+    size_t eol = prom.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::string line = prom.substr(pos, eol - pos);
+    // "# HELP abitmap_<name> <prose>." — prose is non-empty and not the
+    // literal "(null)" glibc substitutes for a NULL %s argument.
+    size_t name_end = line.find(' ', 7);
+    ASSERT_NE(name_end, std::string::npos) << line;
+    std::string help = line.substr(name_end + 1);
+    EXPECT_GT(help.size(), 3u) << line;
+    EXPECT_EQ(help.find("(null)"), std::string::npos) << line;
+    ++help_lines;
+    pos = eol;
+  }
+  EXPECT_GE(help_lines, kNumCounters + kNumHistograms);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace abitmap

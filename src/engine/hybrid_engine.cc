@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <unordered_map>
 #include <utility>
 
 #include "bitmap/bitmap_table.h"
@@ -223,6 +225,11 @@ EngineResult CollectResultFromBits(const HybridEngine& engine,
 }  // namespace
 
 EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
+  return ExecuteAbImpl(query, pool_.get());
+}
+
+EngineResult HybridEngine::ExecuteAbImpl(const EngineQuery& query,
+                                         util::ThreadPool* pool) const {
   AB_SPAN("engine/ab");
   AB_STATS_INC(obs::Counter::kEngineAbRouted);
   util::Stopwatch query_timer;
@@ -235,8 +242,8 @@ EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
       bin_query.rows.empty() ? table_.num_rows() : bin_query.rows.size();
   obs::QueryTrace trace;
   std::vector<bool> bits;
-  if (pool_ != nullptr && n >= kParallelMinRows) {
-    bits = ab_->EvaluateParallel(bin_query, pool_.get(), &trace);
+  if (pool != nullptr && n >= kParallelMinRows) {
+    bits = ab_->EvaluateParallel(bin_query, pool, &trace);
   } else if (n >= kBatchEvalMinRows) {
     bits = ab_->EvaluateBatched(bin_query, &trace);
   } else {
@@ -250,7 +257,7 @@ EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
         util::simd::SimdLevelName(util::simd::ActiveSimdLevel());
   }
   EngineResult result =
-      CollectResult(*this, query, bin_query, bits, "ab", pool_.get());
+      CollectResult(*this, query, bin_query, bits, "ab", pool);
   // Graft the collection outcome onto the evaluation trace.
   trace.candidates = result.trace.candidates;
   trace.verified_matches = result.trace.verified_matches;
@@ -263,6 +270,11 @@ EngineResult HybridEngine::ExecuteWithAb(const EngineQuery& query) const {
 }
 
 EngineResult HybridEngine::ExecuteWithExact(const EngineQuery& query) const {
+  return ExecuteExactImpl(query, pool_.get());
+}
+
+EngineResult HybridEngine::ExecuteExactImpl(const EngineQuery& query,
+                                            util::ThreadPool* pool) const {
   AB_SPAN("engine/exact");
   AB_STATS_INC(obs::Counter::kEngineExactRouted);
   util::Stopwatch query_timer;
@@ -273,11 +285,10 @@ EngineResult HybridEngine::ExecuteWithExact(const EngineQuery& query) const {
     // Whole relation: keep the bit-wise result packed and walk its set
     // bits — the verification loop touches only candidate rows.
     util::BitVector bits = exact_->ExecuteBitwiseBits(bin_query);
-    result = CollectResultFromBits(*this, query, bits, "exact", pool_.get());
+    result = CollectResultFromBits(*this, query, bits, "exact", pool);
   } else {
     std::vector<bool> bits = exact_->Evaluate(bin_query);
-    result =
-        CollectResult(*this, query, bin_query, bits, "exact", pool_.get());
+    result = CollectResult(*this, query, bin_query, bits, "exact", pool);
   }
   result.trace.rows_evaluated =
       bin_query.rows.empty() ? table_.num_rows() : bin_query.rows.size();
@@ -294,11 +305,16 @@ EngineResult HybridEngine::ExecuteWithExact(const EngineQuery& query) const {
 }
 
 EngineResult HybridEngine::Execute(const EngineQuery& query) const {
+  return ExecuteRouted(query, pool_.get());
+}
+
+EngineResult HybridEngine::ExecuteRouted(const EngineQuery& query,
+                                         util::ThreadPool* pool) const {
   AB_SPAN("engine/execute");
   obs::ScopedLatencyTimer timer(obs::Histogram::kQueryLatencyNs);
   AB_STATS_INC(obs::Counter::kEngineQueries);
   if (query.rows.empty()) {
-    return ExecuteWithExact(query);
+    return ExecuteExactImpl(query, pool);
   }
   double fraction = static_cast<double>(query.rows.size()) /
                     static_cast<double>(table_.num_rows());
@@ -312,9 +328,81 @@ EngineResult HybridEngine::Execute(const EngineQuery& query) const {
     crossover = std::max(crossover, kAbPreferredCrossover);
   }
   if (fraction <= crossover) {
-    return ExecuteWithAb(query);
+    return ExecuteAbImpl(query, pool);
   }
-  return ExecuteWithExact(query);
+  return ExecuteExactImpl(query, pool);
+}
+
+namespace {
+
+/// Canonical byte key of a query for batch deduplication: exact flag,
+/// predicate triples, row list. Two queries with equal keys are the same
+/// query (bit-exact doubles included), so sharing the result is safe —
+/// this is a value identity, never a hash that could alias.
+std::string QueryKey(const EngineQuery& query) {
+  std::string key;
+  key.reserve(2 + query.predicates.size() * 20 + query.rows.size() * 8);
+  key.push_back(query.exact ? '\1' : '\0');
+  for (const ValuePredicate& p : query.predicates) {
+    char buf[20];
+    std::memcpy(buf, &p.attr, 4);
+    std::memcpy(buf + 4, &p.lo, 8);
+    std::memcpy(buf + 12, &p.hi, 8);
+    key.append(buf, sizeof(buf));
+  }
+  key.push_back('|');
+  key.append(reinterpret_cast<const char*>(query.rows.data()),
+             query.rows.size() * sizeof(uint64_t));
+  return key;
+}
+
+}  // namespace
+
+std::vector<EngineResult> HybridEngine::ExecuteBatch(
+    const std::vector<EngineQuery>& queries) const {
+  AB_SPAN("engine/execute_batch");
+  std::vector<EngineResult> results(queries.size());
+  if (queries.empty()) return results;
+  if (queries.size() == 1) {
+    results[0] = ExecuteRouted(queries[0], pool_.get());
+    return results;
+  }
+  // Collapse identical queries: the first occurrence becomes the unique
+  // representative, later ones remember its position. Under a skewed
+  // request mix this is the batch's main amortization.
+  std::unordered_map<std::string, size_t> seen;
+  std::vector<size_t> unique;            // indices of representatives
+  std::vector<size_t> dup_of(queries.size(), SIZE_MAX);
+  unique.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto [it, inserted] = seen.emplace(QueryKey(queries[i]), i);
+    if (inserted) {
+      unique.push_back(i);
+    } else {
+      dup_of[i] = it->second;
+    }
+  }
+  AB_STATS_ADD(obs::Counter::kEngineBatchDedupHits,
+               queries.size() - unique.size());
+  if (pool_ != nullptr && unique.size() > 1) {
+    // One pool dispatch for the whole batch. Workers claim one query at a
+    // time (costs vary by orders of magnitude between a 100-row subset
+    // and a whole-relation scan); each query runs its single-threaded
+    // path — a worker coordinating a nested ParallelFor on the same pool
+    // could deadlock with every worker waiting.
+    pool_->ParallelForDynamic(0, unique.size(), [&](uint64_t u) {
+      size_t i = unique[u];
+      results[i] = ExecuteRouted(queries[i], nullptr);
+    });
+  } else {
+    for (size_t i : unique) {
+      results[i] = ExecuteRouted(queries[i], pool_.get());
+    }
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (dup_of[i] != SIZE_MAX) results[i] = results[dup_of[i]];
+  }
+  return results;
 }
 
 double HybridEngine::MeasureCrossover() {

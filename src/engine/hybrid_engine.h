@@ -91,6 +91,23 @@ class HybridEngine {
   /// Routes and executes a query.
   EngineResult Execute(const EngineQuery& query) const;
 
+  /// Multi-query batch entry point — the serving frontend's dispatch
+  /// unit. Routes and executes every query, returning results aligned
+  /// with the input order, each with its own QueryTrace. Two
+  /// amortizations over per-query Execute calls:
+  ///   * identical queries (same predicates, rows, exact flag) are
+  ///     detected and executed once, the result shared — under a skewed
+  ///     (zipf) request mix a large batch collapses to its hot set
+  ///     (counted by engine_batch_dedup_hits);
+  ///   * unique queries are scheduled across the engine pool one query
+  ///     per worker claim (ParallelForDynamic), one pool wakeup per batch
+  ///     instead of per query; per-query execution then runs
+  ///     single-threaded to keep one level of parallelism.
+  /// Must be called from one coordinating thread at a time (the pool's
+  /// Wait contract); the serve dispatcher is that thread.
+  std::vector<EngineResult> ExecuteBatch(
+      const std::vector<EngineQuery>& queries) const;
+
   /// Forces a specific path (benchmarking / tests).
   EngineResult ExecuteWithAb(const EngineQuery& query) const;
   EngineResult ExecuteWithExact(const EngineQuery& query) const;
@@ -111,6 +128,18 @@ class HybridEngine {
 
  private:
   HybridEngine(Table table, const Options& options);
+
+  /// Path bodies with an explicit pool: the public single-query methods
+  /// pass the engine pool, ExecuteBatch passes nullptr inside its
+  /// ParallelForDynamic workers (a pool worker must not coordinate a
+  /// nested ParallelFor on the same pool — with every worker waiting,
+  /// nobody would run the nested chunks).
+  EngineResult ExecuteRouted(const EngineQuery& query,
+                             util::ThreadPool* pool) const;
+  EngineResult ExecuteAbImpl(const EngineQuery& query,
+                             util::ThreadPool* pool) const;
+  EngineResult ExecuteExactImpl(const EngineQuery& query,
+                                util::ThreadPool* pool) const;
 
   /// Translates value predicates to bin ranges; returns false when a
   /// predicate selects no bins (empty result).

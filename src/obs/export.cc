@@ -53,6 +53,14 @@ const char* const kCounterHelp[kNumCounters] = {
     "Columns marked AB-first by the selector (stored as Roaring)",
     "Tasks submitted to util::ThreadPool",
     "Tasks completed by util::ThreadPool workers",
+    "Connections accepted by the serve frontend",
+    "Query requests parsed off the wire by the serve frontend",
+    "Malformed requests rejected with 400/error frames",
+    "Requests rejected by batch-queue backpressure (503)",
+    "Requests whose deadline expired while queued",
+    "Admission batches dispatched to the engine",
+    "Queries executed through admission batches",
+    "ExecuteBatch queries answered by an identical query's result",
 };
 
 const char* const kHistogramHelp[kNumHistograms] = {
@@ -64,6 +72,9 @@ const char* const kHistogramHelp[kNumHistograms] = {
     "Thread-pool queue length observed at Submit",
     "Rows per AbIndex evaluation",
     "Cells per worker shard in partitioned builds",
+    "Serve request wall time from admission to rendered response in nanoseconds",
+    "Time a serve request waited in the batch-admission queue in nanoseconds",
+    "Queries per dispatched admission batch",
 };
 
 void Appendf(std::string* out, const char* fmt, ...)

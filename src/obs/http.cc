@@ -1,7 +1,5 @@
 #include "obs/http.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -13,6 +11,7 @@
 #include "obs/export.h"
 #include "obs/span.h"
 #include "obs/stats.h"
+#include "util/net.h"
 
 namespace abitmap {
 namespace obs {
@@ -36,22 +35,6 @@ const char* StatusText(int status) {
   }
 }
 
-/// Writes the whole buffer, riding out short writes and EINTR.
-/// MSG_NOSIGNAL: a peer that hangs up mid-response (scrape timeout,
-/// aborted curl) must surface as EPIPE here, not raise SIGPIPE and kill
-/// the embedding process — the server never installs a signal handler.
-void WriteAll(int fd, const char* data, size_t len) {
-  size_t off = 0;
-  while (off < len) {
-    ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return;  // peer went away; nothing useful to do
-    }
-    off += static_cast<size_t>(n);
-  }
-}
-
 void WriteResponse(int fd, const HttpRequest& request,
                    const HttpResponse& response) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
@@ -59,9 +42,12 @@ void WriteResponse(int fd, const HttpRequest& request,
   head += "Content-Type: " + response.content_type + "\r\n";
   head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   head += "Connection: close\r\n\r\n";
-  WriteAll(fd, head.data(), head.size());
+  // util::net::SendAll sends MSG_NOSIGNAL: a peer that hangs up
+  // mid-response (scrape timeout, aborted curl) surfaces as EPIPE, not a
+  // SIGPIPE killing the embedding process.
+  if (!util::net::SendAll(fd, head.data(), head.size())) return;
   if (request.method != "HEAD") {
-    WriteAll(fd, response.body.data(), response.body.size());
+    util::net::SendAll(fd, response.body.data(), response.body.size());
   }
 }
 
@@ -81,37 +67,10 @@ util::Status HttpServer::Start() {
   if (running()) {
     return util::Status::FailedPrecondition("HttpServer already started");
   }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return util::Status::FailedPrecondition(
-        std::string("socket: ") + std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, always
-  addr.sin_port = htons(options_.port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    std::string err = std::string("bind 127.0.0.1:") +
-                      std::to_string(options_.port) + ": " +
-                      std::strerror(errno);
-    ::close(fd);
-    return util::Status::FailedPrecondition(err);
-  }
-  if (::listen(fd, options_.backlog) != 0) {
-    std::string err = std::string("listen: ") + std::strerror(errno);
-    ::close(fd);
-    return util::Status::FailedPrecondition(err);
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
-    std::string err = std::string("getsockname: ") + std::strerror(errno);
-    ::close(fd);
-    return util::Status::FailedPrecondition(err);
-  }
-  port_ = ntohs(addr.sin_port);
-  listen_fd_ = fd;
+  util::StatusOr<int> fd =
+      util::net::ListenLoopback(options_.port, options_.backlog, &port_);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = fd.value();
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   serve_thread_ = std::thread([this]() { ServeLoop(); });
@@ -139,13 +98,9 @@ void HttpServer::ServeLoop() {
     if (ready <= 0) continue;
     int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
-    // A zero timeval disables SO_RCVTIMEO, and a silent client would then
-    // park the single serving thread in read() forever; clamp to 1 ms.
-    int timeout_ms = options_.recv_timeout_ms > 0 ? options_.recv_timeout_ms : 1;
-    timeval tv{};
-    tv.tv_sec = timeout_ms / 1000;
-    tv.tv_usec = (timeout_ms % 1000) * 1000;
-    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // SetRecvTimeout clamps to >= 1 ms: a silent client must not park the
+    // single serving thread in read() forever.
+    util::net::SetRecvTimeout(conn, options_.recv_timeout_ms);
     HandleConnection(conn);
     ::close(conn);
   }

@@ -16,7 +16,10 @@
 /// path routing, one connection serviced at a time on one serving thread,
 /// bounded request size and kernel accept backlog, per-connection receive
 /// timeout. That is exactly enough for a Prometheus scraper, a health
-/// checker, and a trace download — not a general web server.
+/// checker, and a trace download — not a general web server. The
+/// concurrent query frontend lives in serve/server.h; both sit on the
+/// shared socket hardening in util/net.h (loopback binds, MSG_NOSIGNAL
+/// sends, clamped receive timeouts).
 ///
 /// RegisterObsEndpoints() wires the standard endpoint set:
 ///   GET /metrics      Prometheus exposition of the stats snapshot

@@ -46,6 +46,14 @@ const char* const kCounterNames[kNumCounters] = {
     "engine_backend_cols_ab_preferred",
     "pool_tasks_submitted",
     "pool_tasks_completed",
+    "serve_conns_accepted",
+    "serve_requests",
+    "serve_bad_requests",
+    "serve_overload_rejected",
+    "serve_deadline_expired",
+    "serve_batches",
+    "serve_batch_queries",
+    "engine_batch_dedup_hits",
 };
 
 const char* const kHistogramNames[kNumHistograms] = {
@@ -57,6 +65,9 @@ const char* const kHistogramNames[kNumHistograms] = {
     "pool_queue_depth",
     "eval_rows_per_query",
     "build_shard_cells",
+    "serve_request_latency_ns",
+    "serve_queue_wait_ns",
+    "serve_batch_size",
 };
 
 }  // namespace

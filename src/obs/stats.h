@@ -85,6 +85,15 @@ enum class Counter : uint32_t {
   // --- util::ThreadPool ---
   kPoolTasksSubmitted,
   kPoolTasksCompleted,
+  // --- serve frontend (serve/server + serve/query_service) ---
+  kServeConnsAccepted,     ///< connections accepted by the frontend
+  kServeRequests,          ///< query requests parsed off the wire
+  kServeBadRequests,       ///< malformed frames/JSON/predicates rejected
+  kServeOverloadRejected,  ///< requests bounced by queue backpressure
+  kServeDeadlineExpired,   ///< requests whose deadline lapsed in queue
+  kServeBatches,           ///< admission batches dispatched
+  kServeBatchQueries,      ///< queries executed through batches
+  kEngineBatchDedupHits,   ///< ExecuteBatch queries served by a duplicate
   kNumCounters,
 };
 
@@ -102,6 +111,9 @@ enum class Histogram : uint32_t {
   kPoolQueueDepth,       ///< queue length observed at Submit
   kEvalRowsPerQuery,     ///< rows per index evaluation
   kBuildShardCells,      ///< cells per worker shard (build imbalance)
+  kServeRequestLatencyNs,///< serve: admission to response rendered
+  kServeQueueWaitNs,     ///< serve: time a request sat in the batch queue
+  kServeBatchSize,       ///< serve: queries per dispatched batch
   kNumHistograms,
 };
 

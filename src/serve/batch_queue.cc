@@ -1,0 +1,66 @@
+#include "serve/batch_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace abitmap {
+namespace serve {
+
+bool BatchQueue::TryEnqueue(PendingQuery* q) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ || queue_.size() >= options_.capacity) return false;
+    queue_.push_back(std::move(*q));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool BatchQueue::NextBatch(std::vector<PendingQuery>* out) {
+  out->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this]() { return stopped_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // stopped and drained
+
+  // Admission window: wait for a full batch, but never longer than
+  // max_delay_us past the oldest query's arrival. wait_until (rather than
+  // a fixed wait_for) keeps the window anchored to the first query even
+  // across spurious wakeups and partial fills. A stopped queue skips the
+  // window — drain immediately.
+  if (!stopped_ && queue_.size() < options_.max_batch &&
+      options_.max_delay_us > 0) {
+    std::chrono::time_point<std::chrono::steady_clock,
+                            std::chrono::nanoseconds>
+        window_end(std::chrono::nanoseconds(
+            queue_.front().enqueue_ns +
+            static_cast<uint64_t>(options_.max_delay_us) * 1000));
+    not_empty_.wait_until(lock, window_end, [this]() {
+      return stopped_ || queue_.size() >= options_.max_batch;
+    });
+    if (queue_.empty()) return false;  // stopped and raced with a drain
+  }
+
+  size_t n = std::min(queue_.size(), options_.max_batch);
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return true;
+}
+
+void BatchQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+size_t BatchQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace serve
+}  // namespace abitmap

@@ -1,0 +1,83 @@
+#ifndef ABITMAP_SERVE_BATCH_QUEUE_H_
+#define ABITMAP_SERVE_BATCH_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace abitmap {
+namespace serve {
+
+/// Monotonic clock for queue-wait and deadline accounting. Lives here (not
+/// in obs) so the serve layer keeps working under AB_DISABLE_STATS.
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// A query admitted to the service but not yet executed: the parsed
+/// request, its timing envelope, and the completion that delivers the
+/// response back to the owning connection.
+struct PendingQuery {
+  QueryRequest request;
+  uint64_t enqueue_ns = 0;
+  uint64_t deadline_ns = 0;  ///< 0 = none; absolute MonotonicNowNs time
+  std::function<void(QueryResponse)> done;
+};
+
+/// The dynamic batch-admission queue between the network frontend and the
+/// engine dispatcher — the serving analogue of inference-server batching.
+/// Producers (epoll workers) enqueue without blocking; a single consumer
+/// (the dispatcher) calls NextBatch, which accumulates queries until
+/// either `max_batch` are waiting or the oldest has waited `max_delay_us`,
+/// then hands the whole batch over for one HybridEngine::ExecuteBatch
+/// dispatch. The queue is bounded: when `capacity` queries are already
+/// waiting, TryEnqueue fails and the caller sheds the request with
+/// kOverloaded (backpressure instead of unbounded memory growth).
+class BatchQueue {
+ public:
+  struct Options {
+    size_t capacity = 1024;    ///< max queued queries before backpressure
+    size_t max_batch = 64;     ///< dispatch when this many are waiting
+    uint32_t max_delay_us = 200;  ///< ... or when the oldest is this stale
+  };
+
+  explicit BatchQueue(const Options& options) : options_(options) {}
+
+  /// Admits one query, moving from *q only on success. Returns false
+  /// (leaving *q intact, q->done not invoked) when the queue is full or
+  /// stopped — the caller owns the rejection response.
+  bool TryEnqueue(PendingQuery* q);
+
+  /// Blocks for the next batch (admission rules above). Returns false
+  /// when the queue is stopped and drained — the consumer's exit signal.
+  /// After Stop, remaining queries are still handed out (immediately,
+  /// without the delay window) so every admitted query gets a response.
+  bool NextBatch(std::vector<PendingQuery>* out);
+
+  /// Wakes the consumer and makes further TryEnqueue calls fail.
+  void Stop();
+
+  size_t depth() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<PendingQuery> queue_;
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+}  // namespace abitmap
+
+#endif  // ABITMAP_SERVE_BATCH_QUEUE_H_

@@ -1,0 +1,187 @@
+#include "serve/loadgen.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batch_queue.h"  // MonotonicNowNs
+#include "serve/workload.h"
+#include "util/net.h"
+
+namespace abitmap {
+namespace serve {
+
+namespace {
+
+struct ThreadStats {
+  std::vector<double> latencies_us;
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  uint64_t errors = 0;
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size()))) ;
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+/// Sends one request and blocks for its response. Returns false on a
+/// transport/protocol failure (the connection is unusable afterwards).
+bool RoundTrip(int fd, const QueryRequest& request, std::string* buffer,
+               QueryResponse* response) {
+  std::string frame = EncodeQueryFrame(request);
+  if (!util::net::SendAll(fd, frame.data(), frame.size())) return false;
+  char chunk[16384];
+  for (;;) {
+    size_t consumed = 0;
+    DecodeStatus st = DecodeResponseFrame(
+        reinterpret_cast<const uint8_t*>(buffer->data()), buffer->size(),
+        64u << 20, response, &consumed);
+    if (st == DecodeStatus::kOk) {
+      buffer->erase(0, consumed);
+      return true;
+    }
+    if (st == DecodeStatus::kMalformed) return false;
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return false;  // timeout, EOF, or error
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void DriveConnection(const std::vector<QueryRequest>& templates,
+                     const LoadgenOptions& options, int thread_index,
+                     uint64_t start_ns, uint64_t end_ns, ThreadStats* stats) {
+  util::StatusOr<int> fd = util::net::ConnectLoopback(options.port);
+  if (!fd.ok()) {
+    ++stats->errors;
+    return;
+  }
+  util::net::SetNoDelay(fd.value());
+  util::net::SetRecvTimeout(fd.value(), options.recv_timeout_ms);
+
+  ZipfSampler sampler(templates.size(), options.zipf_theta,
+                      options.seed * 7919 + static_cast<uint64_t>(thread_index) + 1);
+  std::string buffer;
+  uint32_t next_id = 1;
+
+  // Open loop: this thread's share of the arrival schedule.
+  double interval_ns = 0;
+  uint64_t next_arrival_ns = start_ns;
+  if (options.open_loop_qps > 0) {
+    interval_ns = 1e9 * options.connections / options.open_loop_qps;
+    next_arrival_ns =
+        start_ns + static_cast<uint64_t>(interval_ns * thread_index /
+                                         options.connections);
+  }
+
+  while (MonotonicNowNs() < end_ns) {
+    uint64_t scheduled_ns;
+    if (options.open_loop_qps > 0) {
+      scheduled_ns = next_arrival_ns;
+      next_arrival_ns += static_cast<uint64_t>(interval_ns);
+      uint64_t now = MonotonicNowNs();
+      if (scheduled_ns > now) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(scheduled_ns - now));
+      }
+      // Behind schedule: send immediately, latency accrues the backlog.
+      if (scheduled_ns >= end_ns) break;
+    } else {
+      scheduled_ns = MonotonicNowNs();
+    }
+
+    QueryRequest request = templates[sampler.Next()];
+    request.id = next_id++;
+    request.deadline_ms = options.deadline_ms;
+
+    QueryResponse response;
+    if (!RoundTrip(fd.value(), request, &buffer, &response)) {
+      ++stats->errors;
+      break;  // connection is gone; this worker retires
+    }
+    if (response.id != request.id) {
+      ++stats->errors;
+      break;
+    }
+    uint64_t done = MonotonicNowNs();
+    stats->latencies_us.push_back(
+        static_cast<double>(done - scheduled_ns) / 1000.0);
+    if (response.status == StatusCode::kOk) {
+      ++stats->ok;
+    } else if (response.status == StatusCode::kOverloaded ||
+               response.status == StatusCode::kDeadlineExceeded) {
+      ++stats->rejected;
+    } else {
+      ++stats->errors;
+    }
+  }
+  ::close(fd.value());
+}
+
+}  // namespace
+
+util::StatusOr<LoadgenResult> RunLoadgen(
+    const std::vector<QueryRequest>& templates,
+    const LoadgenOptions& options) {
+  if (templates.empty()) {
+    return util::Status::InvalidArgument("loadgen needs query templates");
+  }
+  // Fail fast when the server is unreachable, before spawning threads.
+  util::StatusOr<int> probe = util::net::ConnectLoopback(options.port);
+  if (!probe.ok()) return probe.status();
+  ::close(probe.value());
+
+  int connections = std::max(options.connections, 1);
+  std::vector<ThreadStats> stats(connections);
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  uint64_t start_ns = MonotonicNowNs();
+  uint64_t end_ns =
+      start_ns + static_cast<uint64_t>(options.duration_s * 1e9);
+  for (int t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t]() {
+      DriveConnection(templates, options, t, start_ns, end_ns, &stats[t]);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  uint64_t actual_end_ns = MonotonicNowNs();
+
+  LoadgenResult result;
+  std::vector<double> all;
+  for (const ThreadStats& s : stats) {
+    result.ok += s.ok;
+    result.rejected += s.rejected;
+    result.errors += s.errors;
+    all.insert(all.end(), s.latencies_us.begin(), s.latencies_us.end());
+  }
+  result.requests = all.size();
+  result.duration_s =
+      static_cast<double>(actual_end_ns - start_ns) / 1e9;
+  if (result.duration_s > 0) {
+    result.qps = static_cast<double>(result.ok) / result.duration_s;
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    double sum = 0;
+    for (double v : all) sum += v;
+    result.mean_us = sum / static_cast<double>(all.size());
+    result.p50_us = Percentile(all, 0.50);
+    result.p90_us = Percentile(all, 0.90);
+    result.p99_us = Percentile(all, 0.99);
+    result.p999_us = Percentile(all, 0.999);
+    result.max_us = all.back();
+  }
+  return result;
+}
+
+}  // namespace serve
+}  // namespace abitmap

@@ -1,0 +1,61 @@
+#ifndef ABITMAP_SERVE_LOADGEN_H_
+#define ABITMAP_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace abitmap {
+namespace serve {
+
+/// The tail-latency load harness: drives a running QueryServer over the
+/// binary protocol with a zipf-skewed stream drawn from a template pool,
+/// and reports throughput plus exact latency percentiles (every sample is
+/// kept and sorted — no histogram approximation at the tail).
+///
+/// Two driving modes:
+///  * closed loop (open_loop_qps == 0): each connection keeps exactly one
+///    request in flight; offered load adapts to service rate. Latency is
+///    response time.
+///  * open loop (open_loop_qps > 0): arrivals are scheduled at a fixed
+///    rate divided across connections, independent of completions, and
+///    latency is measured from the *scheduled* arrival — queueing delay
+///    from a saturated server counts against it (no coordinated
+///    omission).
+struct LoadgenOptions {
+  uint16_t port = 0;
+  int connections = 4;
+  double duration_s = 2.0;
+  double zipf_theta = 1.05;  ///< 0 = uniform over the template pool
+  double open_loop_qps = 0;  ///< total across connections; 0 = closed loop
+  uint32_t deadline_ms = 0;  ///< attached to every request; 0 = none
+  uint64_t seed = 1;
+  int recv_timeout_ms = 5000;  ///< per-response safety net
+};
+
+struct LoadgenResult {
+  uint64_t requests = 0;   ///< responses received
+  uint64_t ok = 0;
+  uint64_t rejected = 0;   ///< overloaded + deadline_exceeded
+  uint64_t errors = 0;     ///< transport failures, bad frames
+  double duration_s = 0;
+  double qps = 0;          ///< ok responses per second
+  double mean_us = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+};
+
+/// Runs the load. Fails only when no connection could be established;
+/// per-request failures are counted in the result.
+util::StatusOr<LoadgenResult> RunLoadgen(
+    const std::vector<QueryRequest>& templates, const LoadgenOptions& options);
+
+}  // namespace serve
+}  // namespace abitmap
+
+#endif  // ABITMAP_SERVE_LOADGEN_H_

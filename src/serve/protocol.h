@@ -1,0 +1,127 @@
+#ifndef ABITMAP_SERVE_PROTOCOL_H_
+#define ABITMAP_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/hybrid_engine.h"
+
+/// Wire protocols of the concurrent query frontend (serve/server.h). Two
+/// encodings of the same request/response model share one port:
+///
+///  * JSON over HTTP/1.1 — POST /query with a JSON body; curl-friendly,
+///    one request per connection (Connection: close).
+///  * Compact binary framing — persistent pipelined connections for load
+///    generators and latency-sensitive clients. A frame is
+///    [u32 magic][u32 payload_len][payload]; request magic "ABQ1",
+///    response magic "ABR1" (little-endian byte order throughout, via
+///    util::ByteWriter). Responses echo the request id so pipelined
+///    clients can match them.
+///
+/// Both decoders are fed from streaming buffers, so they distinguish
+/// "frame incomplete, read more" from "malformed, fail the request":
+/// DecodeStatus::kNeedMore vs kMalformed. Every size field is validated
+/// against the enclosing payload length and the server's request-size
+/// bound before any allocation — a hostile length prefix cannot OOM the
+/// server.
+
+namespace abitmap {
+namespace serve {
+
+/// Frame magics, little-endian on the wire ("ABQ1" / "ABR1").
+inline constexpr uint32_t kQueryMagic = 0x31514241u;     // "ABQ1"
+inline constexpr uint32_t kResponseMagic = 0x31524241u;  // "ABR1"
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Hard shape bounds, defense-in-depth behind the byte-size bound.
+inline constexpr size_t kMaxPredicates = 4096;
+
+/// Outcome classes of a served query. Kept small and stable: the binary
+/// protocol sends the raw value, the HTTP mapping is HttpStatusFor().
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kBadRequest = 1,        ///< malformed frame/JSON or invalid predicate
+  kOverloaded = 2,        ///< admission queue full (backpressure)
+  kDeadlineExceeded = 3,  ///< deadline lapsed before execution
+  kShuttingDown = 4,      ///< server stopping
+  kInternal = 5,
+};
+
+const char* StatusCodeName(StatusCode code);
+int HttpStatusFor(StatusCode code);
+
+/// One query as it travels the wire: a conjunction of value predicates
+/// over an optional row subset, plus serving controls.
+struct QueryRequest {
+  uint32_t id = 0;  ///< echoed in the response (pipelining)
+  std::vector<engine::ValuePredicate> predicates;
+  std::vector<uint64_t> rows;  ///< empty = whole relation
+  bool exact = true;
+  bool count_only = false;     ///< response carries count, not row ids
+  uint32_t deadline_ms = 0;    ///< 0 = no deadline; measured from admission
+};
+
+/// The served answer.
+struct QueryResponse {
+  uint32_t id = 0;
+  StatusCode status = StatusCode::kOk;
+  std::string error;            ///< human-readable cause when status != kOk
+  uint64_t count = 0;           ///< matching rows (even when count_only)
+  std::vector<uint64_t> row_ids;
+  // Serving annotations (JSON only; diagnostics, not results).
+  const char* path = "";        ///< "ab" / "exact"
+  const char* backend = "";     ///< exact-arm backend label
+  uint32_t batch_size = 0;      ///< queries in the dispatch batch
+  double latency_us = 0.0;      ///< server-side queue + execution time
+};
+
+/// Streaming decode outcome.
+enum class DecodeStatus {
+  kOk,        ///< one complete message decoded; *consumed bytes eaten
+  kNeedMore,  ///< prefix of a valid message; feed more bytes
+  kMalformed, ///< cannot be (a prefix of) a valid message
+};
+
+/// ---- binary framing ----
+
+std::string EncodeQueryFrame(const QueryRequest& request);
+std::string EncodeResponseFrame(const QueryResponse& response);
+
+/// Decodes one request frame from the front of [data, data+len).
+/// `max_frame_bytes` bounds the declared payload length (malformed when
+/// exceeded). On kOk sets *consumed; on kMalformed fills *error.
+DecodeStatus DecodeQueryFrame(const uint8_t* data, size_t len,
+                              size_t max_frame_bytes, QueryRequest* out,
+                              size_t* consumed, std::string* error);
+
+/// Decodes one response frame (client side: load generator, tests).
+DecodeStatus DecodeResponseFrame(const uint8_t* data, size_t len,
+                                 size_t max_frame_bytes, QueryResponse* out,
+                                 size_t* consumed);
+
+/// ---- JSON ----
+
+/// Parses a POST /query body:
+///   {"predicates": [{"attr": 0, "lo": 1.5, "hi": 3.0}, ...],
+///    "rows": [0, 5, 9],          // optional, default whole relation
+///    "exact": true,               // optional
+///    "count_only": false,         // optional
+///    "deadline_ms": 50,           // optional
+///    "id": 7}                     // optional
+/// Unknown keys are skipped. Returns false with *error on malformed
+/// input. Purely syntactic — semantic checks (attribute range, row
+/// bounds) happen in QueryService against the engine's table.
+bool ParseJsonQuery(std::string_view body, QueryRequest* out,
+                    std::string* error);
+
+/// Renders a response as a single-line JSON object. Row ids are included
+/// only for kOk without count_only.
+std::string ResponseToJson(const QueryResponse& response);
+
+}  // namespace serve
+}  // namespace abitmap
+
+#endif  // ABITMAP_SERVE_PROTOCOL_H_

@@ -1,0 +1,81 @@
+#ifndef ABITMAP_SERVE_QUERY_SERVICE_H_
+#define ABITMAP_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+#include "engine/hybrid_engine.h"
+#include "serve/batch_queue.h"
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace abitmap {
+namespace serve {
+
+/// The execution half of the query server, independent of any transport:
+/// validates requests against the engine's schema, admits them through
+/// the BatchQueue, and runs a single dispatcher thread that drains
+/// batches into HybridEngine::ExecuteBatch. The single dispatcher is
+/// deliberate — it satisfies the engine pool's one-coordinator contract
+/// while the pool itself provides intra-batch parallelism.
+///
+/// Request lifecycle:
+///   Submit -> validate (synchronous kBadRequest on schema violations)
+///          -> TryEnqueue (synchronous kOverloaded when the queue is full)
+///          -> [dispatcher] drop if the deadline already lapsed
+///          -> ExecuteBatch -> done(response)
+/// `done` is invoked exactly once per Submit, possibly on the caller's
+/// thread (rejections) or on the dispatcher thread (everything else), so
+/// transports must make it thread-safe and non-blocking.
+class QueryService {
+ public:
+  struct Options {
+    BatchQueue::Options queue;
+    /// When false, batch admission is disabled: every query dispatches
+    /// alone (max_batch=1, no delay window). The load harness ablates
+    /// this to measure what batching buys.
+    bool batching = true;
+    /// Applied to requests that carry no deadline_ms of their own.
+    /// 0 = no default deadline.
+    uint32_t default_deadline_ms = 0;
+  };
+
+  /// The engine must outlive the service.
+  QueryService(const engine::HybridEngine* engine, const Options& options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Spawns the dispatcher. Call once.
+  util::Status Start();
+
+  /// Stops admission, drains admitted queries (each still gets its
+  /// response), joins the dispatcher. Idempotent.
+  void Stop();
+
+  /// Validates and admits one request. See the lifecycle note above.
+  void Submit(QueryRequest request, std::function<void(QueryResponse)> done);
+
+  size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  void DispatchLoop();
+  /// Schema validation against the engine's table; fills *error and
+  /// returns false on violation.
+  bool Validate(const QueryRequest& request, std::string* error) const;
+
+  const engine::HybridEngine* engine_;
+  Options options_;
+  BatchQueue queue_;
+  std::thread dispatcher_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace serve
+}  // namespace abitmap
+
+#endif  // ABITMAP_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,87 @@
+#ifndef ABITMAP_SERVE_SERVER_H_
+#define ABITMAP_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "engine/hybrid_engine.h"
+#include "serve/query_service.h"
+#include "util/status.h"
+
+namespace abitmap {
+namespace serve {
+
+/// The network frontend of the concurrent query service: a loopback
+/// listener with an acceptor thread and N epoll event-loop workers, all
+/// non-blocking. Both wire protocols (see serve/protocol.h) share the
+/// port; the first bytes of each connection select the decoder. Decoded
+/// queries flow into the QueryService's batch-admission queue; responses
+/// come back to the owning worker through a completion inbox + eventfd
+/// wakeup and are written without blocking the event loop.
+///
+/// Bounded everywhere: connection count (`max_connections`, excess
+/// accepts are closed immediately), per-request bytes
+/// (`max_request_bytes`, enforced before buffering), and queue depth
+/// (QueryService backpressure -> 503/kOverloaded). Shutdown is graceful:
+/// the acceptor stops, admitted queries drain through the dispatcher,
+/// workers flush pending responses, then every connection closes.
+///
+/// Connections are identified inside a worker by monotonically increasing
+/// tokens (the epoll user-data), never by fd: a completion that arrives
+/// after its connection died resolves to a dead token and is dropped,
+/// rather than writing into an fd number the kernel may have reused.
+class QueryServer {
+ public:
+  struct Options {
+    uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+    int backlog = 64;
+    int num_workers = 2;          ///< epoll event-loop threads
+    size_t max_connections = 256;  ///< across all workers
+    size_t max_request_bytes = 1 << 20;
+    QueryService::Options service;
+  };
+
+  /// The engine must outlive the server.
+  QueryServer(const engine::HybridEngine* engine, const Options& options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, spawns the service dispatcher, workers, and acceptor.
+  /// Restartable: Start after Stop builds a fresh listener and service.
+  util::Status Start();
+
+  /// Graceful shutdown; idempotent. Safe to call from a signal-driven
+  /// main loop (it only joins threads and closes fds).
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (after Start).
+  uint16_t port() const { return port_; }
+
+ private:
+  class Worker;
+
+  void AcceptLoop();
+
+  const engine::HybridEngine* engine_;
+  Options options_;
+  std::unique_ptr<QueryService> service_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> live_connections_{0};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  size_t next_worker_ = 0;  ///< round-robin assignment (acceptor only)
+};
+
+}  // namespace serve
+}  // namespace abitmap
+
+#endif  // ABITMAP_SERVE_SERVER_H_

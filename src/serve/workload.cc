@@ -1,0 +1,94 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "util/logging.h"
+
+namespace abitmap {
+namespace serve {
+
+engine::Table MakeSeedTable(uint64_t num_rows, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> price, quantity, rating;
+  price.reserve(num_rows);
+  quantity.reserve(num_rows);
+  rating.reserve(num_rows);
+  std::uniform_real_distribution<double> price_dist(0, 100);
+  std::normal_distribution<double> rating_dist(3.0, 1.0);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    price.push_back(price_dist(rng));
+    quantity.push_back(static_cast<double>(rng() % 50));
+    rating.push_back(rating_dist(rng));
+  }
+  util::StatusOr<engine::Table> t = engine::Table::FromColumns(
+      "orders", {"price", "quantity", "rating"}, {price, quantity, rating});
+  AB_CHECK(t.ok());
+  return std::move(t).value();
+}
+
+std::vector<QueryRequest> MakeQueryTemplates(uint64_t num_rows,
+                                             const TemplateOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::vector<QueryRequest> templates;
+  templates.reserve(options.num_templates);
+  // Per-column plausible predicate ranges, matching MakeSeedTable.
+  const double lo_bound[3] = {0.0, 0.0, 0.0};
+  const double hi_bound[3] = {100.0, 49.0, 6.0};
+  uint64_t subset = static_cast<uint64_t>(
+      static_cast<double>(num_rows) * options.row_fraction);
+  for (size_t t = 0; t < options.num_templates; ++t) {
+    QueryRequest q;
+    q.exact = true;
+    q.count_only = options.count_only;
+    size_t num_predicates = 1 + (rng() % 2);
+    for (size_t p = 0; p < num_predicates; ++p) {
+      engine::ValuePredicate pred;
+      pred.attr = static_cast<uint32_t>(rng() % 3);
+      double span = hi_bound[pred.attr] - lo_bound[pred.attr];
+      double a = lo_bound[pred.attr] +
+                 std::uniform_real_distribution<double>(0, span)(rng);
+      double width = std::uniform_real_distribution<double>(0.1, 0.5)(rng) *
+                     span;
+      pred.lo = a;
+      pred.hi = std::min(a + width, hi_bound[pred.attr]);
+      q.predicates.push_back(pred);
+    }
+    if (subset > 0 && subset < num_rows) {
+      uint64_t start = rng() % (num_rows - subset);
+      q.rows.reserve(subset);
+      for (uint64_t r = start; r < start + subset; ++r) q.rows.push_back(r);
+    }
+    templates.push_back(std::move(q));
+  }
+  return templates;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double theta, uint64_t seed)
+    : state_(seed != 0 ? seed : 1) {
+  AB_CHECK(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+size_t ZipfSampler::Next() {
+  // xorshift64* — cheap, deterministic, and private to this sampler so
+  // concurrent loadgen threads never share RNG state.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  uint64_t r = state_ * 2685821657736338717ULL;
+  double u = static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace serve
+}  // namespace abitmap

@@ -1,0 +1,151 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace abitmap {
+namespace util {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::FailedPrecondition(std::string(what) + ": " +
+                                    std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<int> ListenLoopback(uint16_t port, int backlog,
+                             uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, always
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status err = Status::FailedPrecondition(
+        std::string("bind 127.0.0.1:") + std::to_string(port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status err = Errno("listen");
+    ::close(fd);
+    return err;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    Status err = Errno("getsockname");
+    ::close(fd);
+    return err;
+  }
+  if (bound_port != nullptr) *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+StatusOr<int> ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status err = Status::FailedPrecondition(
+        std::string("connect 127.0.0.1:") + std::to_string(port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  return fd;
+}
+
+bool SetRecvTimeout(int fd, int timeout_ms) {
+  int ms = timeout_ms > 0 ? timeout_ms : 1;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool SetNoDelay(int fd) {
+  int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+bool SendAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd, p + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer went away; nothing useful to do
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+ssize_t SendSome(int fd, const void* data, size_t len) {
+  for (;;) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+ssize_t RecvSome(int fd, void* buf, size_t len) {
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, len, 0);
+    if (n > 0) return n;
+    if (n == 0) return -1;  // clean EOF: connection is done either way
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+bool RecvAll(int fd, void* buf, size_t len) {
+  char* p = static_cast<char*>(buf);
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::recv(fd, p + off, len - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF, timeout, or error before the full read
+  }
+  return true;
+}
+
+}  // namespace net
+}  // namespace util
+}  // namespace abitmap

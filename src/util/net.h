@@ -1,0 +1,77 @@
+#ifndef ABITMAP_UTIL_NET_H_
+#define ABITMAP_UTIL_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <sys/types.h>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+/// Shared loopback-socket plumbing for the library's two network
+/// surfaces: the blocking obs HTTP server (obs/http) and the epoll query
+/// frontend (serve/server). One implementation so the hardening decisions
+/// — loopback-only binds, MSG_NOSIGNAL sends (a peer hang-up surfaces as
+/// EPIPE, never SIGPIPE), recv-timeout clamping so a silent client cannot
+/// park a serving thread forever — live in exactly one place.
+
+namespace abitmap {
+namespace util {
+namespace net {
+
+/// Creates a TCP listener bound to 127.0.0.1:`port` (never a routable
+/// interface; port 0 picks an ephemeral port) with SO_REUSEADDR and the
+/// given kernel accept backlog. On success returns the listening fd and
+/// stores the bound port into `bound_port` (the chosen one when `port`
+/// was 0). The caller owns the fd.
+StatusOr<int> ListenLoopback(uint16_t port, int backlog,
+                             uint16_t* bound_port);
+
+/// Blocking connect to 127.0.0.1:`port`. Returns the connected fd, or a
+/// Status on failure. Used by load generators and tests; the servers
+/// never dial out.
+StatusOr<int> ConnectLoopback(uint16_t port);
+
+/// Sets SO_RCVTIMEO. A zero timeval would disable the timeout entirely
+/// and let a silent client park the reading thread forever, so values
+/// below 1 ms clamp to 1 ms. Returns false on setsockopt failure.
+bool SetRecvTimeout(int fd, int timeout_ms);
+
+/// Puts the fd into O_NONBLOCK mode (event-loop connections).
+bool SetNonBlocking(int fd);
+
+/// Disables Nagle's algorithm (TCP_NODELAY). Request/response protocols
+/// with sub-millisecond service times cannot afford delayed ACK
+/// interactions on loopback.
+bool SetNoDelay(int fd);
+
+/// Writes the whole buffer to a blocking socket, riding out short writes
+/// and EINTR. Sends with MSG_NOSIGNAL so a peer that hangs up mid-response
+/// yields EPIPE instead of raising SIGPIPE (no server in this codebase
+/// installs a signal handler for it). Returns false when the peer went
+/// away before the buffer was fully written.
+bool SendAll(int fd, const void* data, size_t len);
+
+/// Single send() with MSG_NOSIGNAL on a non-blocking socket. Returns the
+/// byte count (>= 0), 0 meaning the socket buffer is full (EAGAIN — retry
+/// on EPOLLOUT), or -1 when the connection is gone. EINTR is retried
+/// internally.
+ssize_t SendSome(int fd, const void* data, size_t len);
+
+/// Single recv() on a non-blocking socket. Returns the byte count (> 0),
+/// 0 when no data is available right now (EAGAIN), or -1 when the peer
+/// closed or the connection errored. EINTR is retried internally.
+/// (A clean EOF and a hard error both return -1: for the serving loops
+/// the reaction — drop the connection — is identical.)
+ssize_t RecvSome(int fd, void* buf, size_t len);
+
+/// Blocking read of exactly `len` bytes (short reads retried, EINTR
+/// ridden out). Returns false on EOF/error/timeout before `len` bytes
+/// arrived. Load generators and tests use this to read framed responses.
+bool RecvAll(int fd, void* buf, size_t len);
+
+}  // namespace net
+}  // namespace util
+}  // namespace abitmap
+
+#endif  // ABITMAP_UTIL_NET_H_

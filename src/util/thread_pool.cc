@@ -107,6 +107,33 @@ void ThreadPool::ParallelFor(
   Wait();
 }
 
+void ThreadPool::ParallelForDynamic(
+    uint64_t begin, uint64_t end, const std::function<void(uint64_t)>& body) {
+  if (begin >= end) return;
+  uint64_t total = end - begin;
+  if (total == 1) {
+    // One item: run it here instead of paying a submit + wakeup.
+    body(begin);
+    return;
+  }
+  // One claiming loop per worker (capped by the item count); each loop
+  // drains indices until the cursor passes `end`. The cursor is shared
+  // state on one cache line, but a claim is a single fetch_add against
+  // work that is at least a query evaluation — contention is noise.
+  auto next = std::make_shared<std::atomic<uint64_t>>(begin);
+  uint64_t loops = std::min<uint64_t>(num_threads(), total);
+  for (uint64_t i = 0; i < loops; ++i) {
+    Submit([&body, next, end]() {
+      for (;;) {
+        uint64_t idx = next->fetch_add(1, std::memory_order_relaxed);
+        if (idx >= end) return;
+        body(idx);
+      }
+    });
+  }
+  Wait();
+}
+
 int ThreadPool::NumChunksFor(int num_threads, uint64_t total) {
   if (total == 0) return 0;
   // Mirrors ParallelFor: ceil chunk sizing can leave trailing chunks empty

@@ -65,6 +65,17 @@ class ThreadPool {
   /// chunk index handed to `body` has a slot and no slot goes unused.
   static int NumChunksFor(int num_threads, uint64_t total);
 
+  /// Dynamically scheduled variant for heterogeneous items: runs
+  /// body(index) for every index in [begin, end), with workers claiming
+  /// one index at a time off a shared atomic cursor. Where ParallelFor's
+  /// fixed contiguous chunks suit uniform row ranges, this suits mixed
+  /// workloads — a batch of concurrent queries whose individual costs
+  /// differ by orders of magnitude would leave most of a fixed chunking
+  /// idle behind the one expensive chunk. Blocks until all items are done;
+  /// same single-coordinator contract as Wait().
+  void ParallelForDynamic(uint64_t begin, uint64_t end,
+                          const std::function<void(uint64_t)>& body);
+
  private:
   void WorkerLoop();
 

@@ -1,0 +1,142 @@
+#include "serve/batch_queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace abitmap {
+namespace serve {
+namespace {
+
+PendingQuery MakeQuery(uint32_t id) {
+  PendingQuery q;
+  q.request.id = id;
+  q.enqueue_ns = MonotonicNowNs();
+  q.done = [](QueryResponse) {};
+  return q;
+}
+
+TEST(BatchQueueTest, FullBatchDispatchesWithoutWaitingForTheWindow) {
+  BatchQueue::Options options;
+  options.max_batch = 4;
+  options.max_delay_us = 1000000;  // 1 s — a timing bug would hang here
+  BatchQueue queue(options);
+  for (uint32_t i = 0; i < 4; ++i) {
+    PendingQuery q = MakeQuery(i);
+    ASSERT_TRUE(queue.TryEnqueue(&q));
+  }
+  std::vector<PendingQuery> batch;
+  uint64_t start = MonotonicNowNs();
+  ASSERT_TRUE(queue.NextBatch(&batch));
+  uint64_t elapsed_ms = (MonotonicNowNs() - start) / 1000000;
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_LT(elapsed_ms, 500u);  // far below the 1 s window
+  for (uint32_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i].request.id, i);
+}
+
+TEST(BatchQueueTest, PartialBatchDispatchesAfterTheDelayWindow) {
+  BatchQueue::Options options;
+  options.max_batch = 64;
+  options.max_delay_us = 20000;  // 20 ms
+  BatchQueue queue(options);
+  PendingQuery q = MakeQuery(1);
+  ASSERT_TRUE(queue.TryEnqueue(&q));
+  std::vector<PendingQuery> batch;
+  uint64_t start = MonotonicNowNs();
+  ASSERT_TRUE(queue.NextBatch(&batch));
+  uint64_t elapsed_us = (MonotonicNowNs() - start) / 1000;
+  EXPECT_EQ(batch.size(), 1u);
+  // The window is anchored to the enqueue time; allow generous slack
+  // above but require that some waiting actually happened.
+  EXPECT_GE(elapsed_us, 10000u);
+}
+
+TEST(BatchQueueTest, CapacityBoundsAdmission) {
+  BatchQueue::Options options;
+  options.capacity = 2;
+  BatchQueue queue(options);
+  PendingQuery a = MakeQuery(1), b = MakeQuery(2), c = MakeQuery(3);
+  EXPECT_TRUE(queue.TryEnqueue(&a));
+  EXPECT_TRUE(queue.TryEnqueue(&b));
+  EXPECT_FALSE(queue.TryEnqueue(&c));
+  EXPECT_EQ(queue.depth(), 2u);
+  // The rejected query still owns its callback — the caller can respond.
+  ASSERT_NE(c.done, nullptr);
+}
+
+TEST(BatchQueueTest, StopDrainsRemainingWithoutDelayThenSignalsExit) {
+  BatchQueue::Options options;
+  options.max_batch = 2;
+  options.max_delay_us = 1000000;
+  BatchQueue queue(options);
+  for (uint32_t i = 0; i < 5; ++i) {
+    PendingQuery q = MakeQuery(i);
+    ASSERT_TRUE(queue.TryEnqueue(&q));
+  }
+  queue.Stop();
+  PendingQuery late = MakeQuery(99);
+  EXPECT_FALSE(queue.TryEnqueue(&late));
+
+  std::vector<PendingQuery> batch;
+  size_t total = 0;
+  uint64_t start = MonotonicNowNs();
+  while (queue.NextBatch(&batch)) {
+    EXPECT_LE(batch.size(), 2u);
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 5u);
+  // No delay windows after Stop: the drain is immediate.
+  EXPECT_LT((MonotonicNowNs() - start) / 1000000, 500u);
+}
+
+TEST(BatchQueueTest, StoppedEmptyQueueReturnsFalsePromptly) {
+  BatchQueue queue(BatchQueue::Options{});
+  std::thread stopper([&queue]() { queue.Stop(); });
+  std::vector<PendingQuery> batch;
+  EXPECT_FALSE(queue.NextBatch(&batch));
+  stopper.join();
+}
+
+TEST(BatchQueueTest, ConcurrentProducersDeliverEveryQueryExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr uint32_t kPerProducer = 500;
+  BatchQueue::Options options;
+  options.capacity = kProducers * kPerProducer;
+  options.max_batch = 32;
+  options.max_delay_us = 100;
+  BatchQueue queue(options);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p]() {
+      for (uint32_t i = 0; i < kPerProducer; ++i) {
+        PendingQuery q = MakeQuery(static_cast<uint32_t>(p) * kPerProducer + i);
+        while (!queue.TryEnqueue(&q)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  size_t total = 0;
+  std::vector<PendingQuery> batch;
+  while (total < kProducers * kPerProducer) {
+    ASSERT_TRUE(queue.NextBatch(&batch));
+    for (PendingQuery& q : batch) {
+      ASSERT_LT(q.request.id, seen.size());
+      EXPECT_FALSE(seen[q.request.id]) << "duplicate " << q.request.id;
+      seen[q.request.id] = true;
+    }
+    total += batch.size();
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Stop();
+  EXPECT_FALSE(queue.NextBatch(&batch));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace abitmap

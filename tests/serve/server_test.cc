@@ -1,0 +1,424 @@
+#include "serve/server.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "serve/workload.h"
+#include "util/net.h"
+
+namespace abitmap {
+namespace serve {
+namespace {
+
+constexpr uint64_t kRows = 3000;
+
+engine::HybridEngine MakeEngine() {
+  engine::HybridEngine::Options options;
+  options.binning.bins = 16;
+  options.ab.alpha = 16;
+  options.ab.level = ab::Level::kPerAttribute;
+  options.num_threads = 2;  // exercise the pool path under TSan
+  return engine::HybridEngine::Build(MakeSeedTable(kRows, 11), options);
+}
+
+/// A minimal blocking binary-protocol client for tests.
+class Client {
+ public:
+  static Client Connect(uint16_t port) {
+    util::StatusOr<int> fd = util::net::ConnectLoopback(port);
+    AB_CHECK(fd.ok());
+    util::net::SetRecvTimeout(fd.value(), 10000);
+    return Client(fd.value());
+  }
+
+  explicit Client(int fd) : fd_(fd) {}
+  ~Client() { Close(); }
+  Client(Client&& o) : fd_(o.fd_), buffer_(std::move(o.buffer_)) {
+    o.fd_ = -1;
+  }
+  Client(const Client&) = delete;
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool SendRaw(const std::string& bytes) {
+    return util::net::SendAll(fd_, bytes.data(), bytes.size());
+  }
+
+  bool Send(const QueryRequest& request) {
+    return SendRaw(EncodeQueryFrame(request));
+  }
+
+  /// Blocks for one response frame; false on timeout/close/bad frame.
+  bool Receive(QueryResponse* response) {
+    char chunk[16384];
+    for (;;) {
+      size_t consumed = 0;
+      DecodeStatus st = DecodeResponseFrame(
+          reinterpret_cast<const uint8_t*>(buffer_.data()), buffer_.size(),
+          64u << 20, response, &consumed);
+      if (st == DecodeStatus::kOk) {
+        buffer_.erase(0, consumed);
+        return true;
+      }
+      if (st == DecodeStatus::kMalformed) return false;
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  bool RoundTrip(const QueryRequest& request, QueryResponse* response) {
+    return Send(request) && Receive(response);
+  }
+
+  /// Reads until the peer closes; returns everything seen (HTTP mode).
+  std::string ReadUntilClose() {
+    std::string out = std::move(buffer_);
+    buffer_.clear();
+    char chunk[16384];
+    for (;;) {
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      out.append(chunk, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+class QueryServerTest : public ::testing::Test {
+ protected:
+  QueryServerTest() : engine_(MakeEngine()) {}
+
+  QueryServer::Options DefaultOptions() {
+    QueryServer::Options options;
+    options.num_workers = 2;
+    options.service.queue.max_batch = 16;
+    options.service.queue.max_delay_us = 200;
+    return options;
+  }
+
+  engine::HybridEngine engine_;
+};
+
+TEST_F(QueryServerTest, ConcurrentClientsGetBitIdenticalResults) {
+  QueryServer server(&engine_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  TemplateOptions template_options;
+  template_options.num_templates = 16;
+  template_options.row_fraction = 0.05;
+  template_options.count_only = false;  // compare full row-id lists
+  std::vector<QueryRequest> templates =
+      MakeQueryTemplates(kRows, template_options);
+
+  // Reference answers computed directly against the engine.
+  std::vector<std::vector<uint64_t>> expected;
+  for (const QueryRequest& t : templates) {
+    engine::EngineQuery q;
+    q.predicates = t.predicates;
+    q.rows = t.rows;
+    q.exact = t.exact;
+    expected.push_back(engine_.Execute(q).row_ids);
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      Client client = Client::Connect(server.port());
+      ZipfSampler sampler(templates.size(), 0.9,
+                          static_cast<uint64_t>(c) + 1);
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        size_t pick = sampler.Next();
+        QueryRequest request = templates[pick];
+        request.id = static_cast<uint32_t>(i + 1);
+        QueryResponse response;
+        if (!client.RoundTrip(request, &response) ||
+            response.status != StatusCode::kOk ||
+            response.id != request.id ||
+            response.row_ids != expected[pick]) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, PipelinedRequestsOnOneConnectionAllAnswer) {
+  QueryServer server(&engine_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryRequest request;
+  request.predicates.push_back(engine::ValuePredicate{0, 10.0, 80.0});
+  request.count_only = true;
+
+  engine::EngineQuery direct;
+  direct.predicates = request.predicates;
+  uint64_t expected = engine_.Execute(direct).row_ids.size();
+
+  Client client = Client::Connect(server.port());
+  constexpr int kPipelined = 25;
+  std::string burst;
+  for (int i = 0; i < kPipelined; ++i) {
+    QueryRequest r = request;
+    r.id = static_cast<uint32_t>(i + 1);
+    burst += EncodeQueryFrame(r);
+  }
+  ASSERT_TRUE(client.SendRaw(burst));
+  std::vector<bool> answered(kPipelined + 1, false);
+  for (int i = 0; i < kPipelined; ++i) {
+    QueryResponse response;
+    ASSERT_TRUE(client.Receive(&response)) << i;
+    EXPECT_EQ(response.status, StatusCode::kOk);
+    EXPECT_EQ(response.count, expected);
+    ASSERT_GE(response.id, 1u);
+    ASSERT_LE(response.id, static_cast<uint32_t>(kPipelined));
+    EXPECT_FALSE(answered[response.id]) << "duplicate id " << response.id;
+    answered[response.id] = true;
+  }
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, HttpQueryMatchesEngineAndMetricsServe) {
+  QueryServer server(&engine_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  engine::EngineQuery direct;
+  direct.predicates.push_back(engine::ValuePredicate{0, 20.0, 60.0});
+  uint64_t expected = engine_.Execute(direct).row_ids.size();
+
+  {
+    Client client = Client::Connect(server.port());
+    std::string body =
+        R"({"predicates":[{"attr":0,"lo":20,"hi":60}],"count_only":true})";
+    std::string request = "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body;
+    ASSERT_TRUE(client.SendRaw(request));
+    std::string response = client.ReadUntilClose();
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"count\":" + std::to_string(expected)),
+              std::string::npos)
+        << response;
+  }
+  {
+    Client client = Client::Connect(server.port());
+    ASSERT_TRUE(client.SendRaw("GET /healthz HTTP/1.1\r\n\r\n"));
+    EXPECT_NE(client.ReadUntilClose().find("HTTP/1.1 200"),
+              std::string::npos);
+  }
+  {
+    Client client = Client::Connect(server.port());
+    ASSERT_TRUE(client.SendRaw("GET /nope HTTP/1.1\r\n\r\n"));
+    EXPECT_NE(client.ReadUntilClose().find("HTTP/1.1 404"),
+              std::string::npos);
+  }
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, LifecycleStartStopRestart) {
+  QueryServer server(&engine_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.running());
+  EXPECT_FALSE(server.Start().ok());  // double start refused
+  uint16_t first_port = server.port();
+  {
+    Client client = Client::Connect(first_port);
+    QueryRequest request;
+    request.predicates.push_back(engine::ValuePredicate{0, 0.0, 50.0});
+    request.count_only = true;
+    QueryResponse response;
+    ASSERT_TRUE(client.RoundTrip(request, &response));
+    EXPECT_EQ(response.status, StatusCode::kOk);
+  }
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+
+  ASSERT_TRUE(server.Start().ok());
+  {
+    Client client = Client::Connect(server.port());
+    QueryRequest request;
+    request.predicates.push_back(engine::ValuePredicate{1, 0.0, 10.0});
+    request.count_only = true;
+    QueryResponse response;
+    ASSERT_TRUE(client.RoundTrip(request, &response));
+    EXPECT_EQ(response.status, StatusCode::kOk);
+  }
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, MalformedBinaryFrameGetsErrorFrameThenClose) {
+  QueryServer server(&engine_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client = Client::Connect(server.port());
+  // Valid magic, hostile declared length.
+  std::string frame = EncodeQueryFrame(QueryRequest{});
+  uint32_t huge = 1u << 30;
+  std::string hostile = frame.substr(0, 4);
+  hostile.append(reinterpret_cast<const char*>(&huge), 4);
+  hostile += "xxxx";
+  ASSERT_TRUE(client.SendRaw(hostile));
+  QueryResponse response;
+  ASSERT_TRUE(client.Receive(&response));
+  EXPECT_EQ(response.status, StatusCode::kBadRequest);
+  // The server closes after answering a protocol violation.
+  char c;
+  EXPECT_LE(::read(client.fd(), &c, 1), 0);
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, GarbageBytesAnsweredAsHttp400) {
+  QueryServer server(&engine_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Client client = Client::Connect(server.port());
+  ASSERT_TRUE(client.SendRaw("total nonsense\r\n\r\n"));
+  std::string response = client.ReadUntilClose();
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, TruncatedFrameThenDisconnectDoesNotWedgeTheServer) {
+  QueryServer server(&engine_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    Client client = Client::Connect(server.port());
+    std::string frame = EncodeQueryFrame(QueryRequest{});
+    ASSERT_TRUE(client.SendRaw(frame.substr(0, frame.size() / 2)));
+    // Abandon the connection mid-frame.
+  }
+  // The server must still answer on a fresh connection.
+  Client client = Client::Connect(server.port());
+  QueryRequest request;
+  request.predicates.push_back(engine::ValuePredicate{0, 0.0, 50.0});
+  request.count_only = true;
+  QueryResponse response;
+  ASSERT_TRUE(client.RoundTrip(request, &response));
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, BackpressureSheds503UnderFlood) {
+  QueryServer::Options options = DefaultOptions();
+  options.service.queue.capacity = 2;
+  options.service.queue.max_batch = 64;
+  options.service.queue.max_delay_us = 200000;  // hold the window open
+  QueryServer server(&engine_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  QueryRequest request;
+  request.predicates.push_back(engine::ValuePredicate{0, 0.0, 100.0});
+  request.count_only = true;
+
+  Client client = Client::Connect(server.port());
+  constexpr int kFlood = 12;
+  std::string burst;
+  for (int i = 0; i < kFlood; ++i) {
+    QueryRequest r = request;
+    r.id = static_cast<uint32_t>(i + 1);
+    burst += EncodeQueryFrame(r);
+  }
+  ASSERT_TRUE(client.SendRaw(burst));
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i < kFlood; ++i) {
+    QueryResponse response;
+    ASSERT_TRUE(client.Receive(&response)) << i;
+    if (response.status == StatusCode::kOk) ++ok;
+    if (response.status == StatusCode::kOverloaded) ++overloaded;
+  }
+  EXPECT_EQ(ok + overloaded, kFlood);
+  EXPECT_GE(overloaded, kFlood - 4);
+  EXPECT_GE(ok, 2);
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, DeadlineExpiryAnsweredAs504Equivalent) {
+  QueryServer::Options options = DefaultOptions();
+  options.service.queue.max_batch = 64;
+  options.service.queue.max_delay_us = 50000;  // 50 ms window
+  QueryServer server(&engine_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client = Client::Connect(server.port());
+  QueryRequest request;
+  request.predicates.push_back(engine::ValuePredicate{0, 0.0, 100.0});
+  request.deadline_ms = 1;
+  QueryResponse response;
+  ASSERT_TRUE(client.RoundTrip(request, &response));
+  EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, ConnectionLimitShedsExcessAccepts) {
+  QueryServer::Options options = DefaultOptions();
+  options.max_connections = 1;
+  QueryServer server(&engine_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client first = Client::Connect(server.port());
+  // Prove the first connection is fully registered before probing.
+  QueryRequest request;
+  request.predicates.push_back(engine::ValuePredicate{0, 0.0, 50.0});
+  request.count_only = true;
+  QueryResponse response;
+  ASSERT_TRUE(first.RoundTrip(request, &response));
+
+  // The next accept must be shed: the socket closes without an answer.
+  Client second = Client::Connect(server.port());
+  ASSERT_TRUE(second.Send(request));
+  EXPECT_FALSE(second.Receive(&response));
+
+  // The first connection keeps working.
+  ASSERT_TRUE(first.RoundTrip(request, &response));
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, LoadgenDrivesTheServerCleanly) {
+  QueryServer server(&engine_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  TemplateOptions template_options;
+  template_options.num_templates = 8;
+  template_options.row_fraction = 0.02;
+  std::vector<QueryRequest> templates =
+      MakeQueryTemplates(kRows, template_options);
+
+  LoadgenOptions loadgen;
+  loadgen.port = server.port();
+  loadgen.connections = 2;
+  loadgen.duration_s = 0.5;
+  util::StatusOr<LoadgenResult> result = RunLoadgen(templates, loadgen);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().ok, 0u);
+  EXPECT_EQ(result.value().errors, 0u);
+  EXPECT_GT(result.value().qps, 0.0);
+  EXPECT_GT(result.value().p99_us, 0.0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace abitmap

@@ -1,0 +1,127 @@
+// ab_loadgen: the tail-latency load harness for ab_serve. Opens N binary
+// protocol connections against a running server and drives a zipf-skewed
+// stream of query templates, closed- or open-loop, reporting throughput
+// and exact latency percentiles (p50/p90/p99/p999 over every sample).
+//
+//   ./ab_loadgen --port=9200                         # closed loop, 4 conns
+//   ./ab_loadgen --port=9200 --connections=16 --duration=10
+//   ./ab_loadgen --port=9200 --qps=5000              # open loop at 5k qps
+//   ./ab_loadgen --port=9200 --theta=0               # uniform (no skew)
+//   ./ab_loadgen --port=9200 --json                  # machine-readable
+//
+// The template pool is regenerated deterministically from --rows and
+// --seed, so it matches the table a `./ab_serve --rows=R --seed=S` server
+// is serving — keep the two invocations' values in sync (row subsets
+// reference concrete row ids).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/loadgen.h"
+#include "serve/workload.h"
+
+using namespace abitmap;
+
+namespace {
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+void Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port=N [--connections=N] [--duration=SECS]\n"
+      "          [--templates=N] [--theta=F] [--qps=N] [--deadline-ms=N]\n"
+      "          [--rows=N] [--row-fraction=F] [--seed=N] [--json]\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::LoadgenOptions options;
+  serve::TemplateOptions template_options;
+  uint64_t rows = 200000;
+  int port = 0;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (FlagValue(argv[i], "--port", &v)) {
+      port = std::atoi(v);
+    } else if (FlagValue(argv[i], "--connections", &v)) {
+      options.connections = std::atoi(v);
+    } else if (FlagValue(argv[i], "--duration", &v)) {
+      options.duration_s = std::atof(v);
+    } else if (FlagValue(argv[i], "--templates", &v)) {
+      template_options.num_templates = std::strtoull(v, nullptr, 10);
+    } else if (FlagValue(argv[i], "--theta", &v)) {
+      options.zipf_theta = std::atof(v);
+    } else if (FlagValue(argv[i], "--qps", &v)) {
+      options.open_loop_qps = std::atof(v);
+    } else if (FlagValue(argv[i], "--deadline-ms", &v)) {
+      options.deadline_ms = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (FlagValue(argv[i], "--rows", &v)) {
+      rows = std::strtoull(v, nullptr, 10);
+    } else if (FlagValue(argv[i], "--row-fraction", &v)) {
+      template_options.row_fraction = std::atof(v);
+    } else if (FlagValue(argv[i], "--seed", &v)) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "ab_loadgen: --port is required\n");
+    Usage(argv[0]);
+    return 2;
+  }
+  options.port = static_cast<uint16_t>(port);
+  if (template_options.num_templates == 0) template_options.num_templates = 1;
+
+  std::vector<serve::QueryRequest> templates =
+      serve::MakeQueryTemplates(rows, template_options);
+  util::StatusOr<serve::LoadgenResult> run =
+      serve::RunLoadgen(templates, options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "ab_loadgen: %s\n", run.status().message().c_str());
+    return 1;
+  }
+  const serve::LoadgenResult& r = run.value();
+  if (json) {
+    std::printf(
+        "{\"qps\": %.1f, \"requests\": %llu, \"ok\": %llu, "
+        "\"rejected\": %llu, \"errors\": %llu, \"duration_s\": %.3f, "
+        "\"mean_us\": %.1f, \"p50_us\": %.1f, \"p90_us\": %.1f, "
+        "\"p99_us\": %.1f, \"p999_us\": %.1f, \"max_us\": %.1f}\n",
+        r.qps, static_cast<unsigned long long>(r.requests),
+        static_cast<unsigned long long>(r.ok),
+        static_cast<unsigned long long>(r.rejected),
+        static_cast<unsigned long long>(r.errors), r.duration_s, r.mean_us,
+        r.p50_us, r.p90_us, r.p99_us, r.p999_us, r.max_us);
+  } else {
+    std::printf("qps=%.1f requests=%llu ok=%llu rejected=%llu errors=%llu "
+                "duration=%.2fs\n",
+                r.qps, static_cast<unsigned long long>(r.requests),
+                static_cast<unsigned long long>(r.ok),
+                static_cast<unsigned long long>(r.rejected),
+                static_cast<unsigned long long>(r.errors), r.duration_s);
+    std::printf("latency_us: mean=%.1f p50=%.1f p90=%.1f p99=%.1f "
+                "p999=%.1f max=%.1f\n",
+                r.mean_us, r.p50_us, r.p90_us, r.p99_us, r.p999_us, r.max_us);
+  }
+  // A run where nothing succeeded is a failure for scripts even though
+  // the harness itself ran.
+  return r.ok > 0 ? 0 : 1;
+}

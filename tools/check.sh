@@ -37,6 +37,11 @@
 # AB_CHECK_SCALING=strict to make a failed sweep fatal (recommended
 # locally on multi-core machines) or AB_CHECK_SCALING=0 to skip.
 #
+# A serving smoke boots tools/ab_serve on an ephemeral port, drives it
+# with a 2-second ab_loadgen burst, and requires qps > 0 plus a clean
+# SIGINT shutdown. Advisory by default; AB_CHECK_SERVE=strict makes a
+# failure fatal, AB_CHECK_SERVE=0 skips.
+#
 # Usage: tools/check.sh [build-dir]   (default: build/check)
 set -euo pipefail
 
@@ -260,6 +265,74 @@ if [ "${AB_CHECK_BACKEND:-advisory}" != "0" ]; then
       exit 1
     fi
     echo "backend-selector smoke: ADVISORY failure" >&2
+  fi
+fi
+
+if [ "${AB_CHECK_SERVE:-advisory}" != "0" ]; then
+  echo "== serve smoke (ab_serve + ab_loadgen) =="
+  # Boot the query server on an ephemeral port, drive it with a short
+  # closed-loop loadgen burst, require qps > 0 with zero transport
+  # errors, then SIGINT the server and require a clean exit. Advisory by
+  # default (loopback throughput on shared CI hosts is noisy);
+  # AB_CHECK_SERVE=strict makes any failure fatal, =0 skips.
+  serve_ok=1
+  serve_log="$build_dir/ab_serve_smoke.log"
+  serve_rows=20000
+  "$build_dir/tools/ab_serve" --port=0 --rows="$serve_rows" --workers=2 \
+    >/dev/null 2>"$serve_log" &
+  serve_pid=$!
+  serve_port=""
+  for _ in $(seq 1 100); do
+    serve_port="$(sed -n \
+      's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "$serve_log" | head -1)"
+    [ -n "$serve_port" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+      echo "serve smoke: ab_serve exited early; log:" >&2
+      cat "$serve_log" >&2
+      serve_ok=0
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$serve_ok" = "1" ] && [ -z "$serve_port" ]; then
+    echo "serve smoke: ab_serve never announced a port" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    serve_ok=0
+  fi
+  if [ "$serve_ok" = "1" ]; then
+    loadgen_json="$build_dir/ab_loadgen_smoke.json"
+    if "$build_dir/tools/ab_loadgen" --port="$serve_port" \
+      --rows="$serve_rows" --connections=4 --duration=2 --json \
+      >"$loadgen_json" 2>>"$serve_log"; then
+      if grep -q '"errors": 0' "$loadgen_json" &&
+        ! grep -q '"qps": 0\.0' "$loadgen_json"; then
+        echo "serve smoke: $(tr -d '\n' <"$loadgen_json" | head -c 160)"
+      else
+        echo "serve smoke: loadgen reported errors or zero qps:" >&2
+        cat "$loadgen_json" >&2
+        serve_ok=0
+      fi
+    else
+      echo "serve smoke: ab_loadgen failed; see $serve_log" >&2
+      serve_ok=0
+    fi
+    kill -INT "$serve_pid" 2>/dev/null || true
+    serve_status=0
+    wait "$serve_pid" || serve_status=$?
+    if [ "$serve_status" -ne 0 ]; then
+      echo "serve smoke: ab_serve exited with status $serve_status" >&2
+      serve_ok=0
+    fi
+  fi
+  if [ "$serve_ok" != "1" ]; then
+    if [ "${AB_CHECK_SERVE:-advisory}" = "strict" ]; then
+      echo "error: AB_CHECK_SERVE=strict and the smoke failed" >&2
+      exit 1
+    fi
+    echo "serve smoke: ADVISORY failure (AB_CHECK_SERVE=strict to enforce)" >&2
+  else
+    echo "serve smoke: server + loadgen + clean shutdown ok on port $serve_port"
   fi
 fi
 

@@ -291,6 +291,22 @@ class AbIndex {
   /// expected FP rate beyond `fp_budget_factor` x its as-built rate.
   bool NeedsRebuild(double fp_budget_factor = 2.0) const;
 
+  /// Largest expected FP rate across filters at the current insertion
+  /// counts. Public so the engine can report base-index precision health
+  /// next to the mutable delta's effective-α drift.
+  double WorstExpectedFp() const;
+
+  /// What-if variant: the worst expected FP rate if `extra_rows` more rows
+  /// were appended. Per-attribute/per-dataset filters take exactly 1 / d
+  /// extra cells per row; for per-column filters the per-column split is
+  /// unknowable in advance, so each filter is charged the full extra_rows
+  /// (a conservative upper bound). This is the engine's signal for "time
+  /// to fold the mutable delta into a rebuilt base index".
+  double WorstExpectedFpWithExtraRows(uint64_t extra_rows) const;
+
+  /// As-built expected FP of the worst filter (the NeedsRebuild baseline).
+  double built_fp() const { return built_fp_; }
+
   /// Row-subset variant of Section 3.1 retrieval: approximate values of an
   /// arbitrary cell list (global column ids).
   std::vector<bool> EvaluateCells(const bitmap::CellQuery& query) const;
@@ -378,9 +394,6 @@ class AbIndex {
       const std::vector<const bitmap::AttributeRange*>& plan,
       const uint64_t* rows, size_t count, uint8_t* out,
       obs::QueryTrace* trace) const;
-
-  /// Largest expected FP rate across filters (rebuild advisory baseline).
-  double WorstExpectedFp() const;
 
   /// Rows matching an attribute range, from the bin histograms.
   uint64_t RangeSelectivityRows(const bitmap::AttributeRange& range) const;

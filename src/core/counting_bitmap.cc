@@ -1,5 +1,6 @@
 #include "core/counting_bitmap.h"
 
+#include <atomic>
 #include <utility>
 
 namespace abitmap {
@@ -65,6 +66,96 @@ bool CountingApproximateBitmap::Test(uint64_t key,
     if (Counter(probes[t]) == 0) return false;
   }
   return true;
+}
+
+namespace {
+
+// Relaxed atomic nibble accessors over the packed counter bytes. The
+// single-writer contract (see header) means read-modify-write does not
+// need an atomic RMW instruction — a relaxed load + relaxed store of the
+// byte is race-free against the other writer-side nibble because there is
+// no other writer, and race-defined against concurrent readers.
+inline uint8_t LoadCounterRelaxed(const std::vector<uint8_t>& bytes,
+                                  uint64_t idx) {
+  // atomic_ref<const T> only lands in C++26; the const_cast is sound
+  // because the referenced byte is never actually written through here.
+  uint8_t byte = std::atomic_ref<uint8_t>(
+                     const_cast<uint8_t&>(bytes[idx >> 1]))
+                     .load(std::memory_order_relaxed);
+  return (idx & 1) ? (byte >> 4) : (byte & 0x0F);
+}
+
+inline void StoreCounterRelaxed(std::vector<uint8_t>& bytes, uint64_t idx,
+                                uint8_t value) {
+  AB_DCHECK(value <= 15);
+  std::atomic_ref<uint8_t> ref(bytes[idx >> 1]);
+  uint8_t byte = ref.load(std::memory_order_relaxed);
+  if (idx & 1) {
+    byte = static_cast<uint8_t>((byte & 0x0F) | (value << 4));
+  } else {
+    byte = static_cast<uint8_t>((byte & 0xF0) | value);
+  }
+  ref.store(byte, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void CountingApproximateBitmap::InsertAtomic(uint64_t key,
+                                             const hash::CellRef& cell) {
+  uint64_t probes[kMaxHashFunctions];
+  family_->Probes(key, cell, k_, num_counters_, probes);
+  for (int t = 0; t < k_; ++t) {
+    uint8_t c = LoadCounterRelaxed(counters_, probes[t]);
+    if (c < kSaturated) StoreCounterRelaxed(counters_, probes[t], c + 1);
+  }
+  std::atomic_ref<uint64_t> live(live_);
+  live.store(live.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+}
+
+void CountingApproximateBitmap::RemoveAtomic(uint64_t key,
+                                             const hash::CellRef& cell) {
+  uint64_t probes[kMaxHashFunctions];
+  family_->Probes(key, cell, k_, num_counters_, probes);
+  for (int t = 0; t < k_; ++t) {
+    uint8_t c = LoadCounterRelaxed(counters_, probes[t]);
+    AB_CHECK_GE(c, 1);
+    // Saturated counters are sticky, same rule as Remove.
+    if (c < kSaturated) StoreCounterRelaxed(counters_, probes[t], c - 1);
+  }
+  std::atomic_ref<uint64_t> live(live_);
+  uint64_t n = live.load(std::memory_order_relaxed);
+  AB_CHECK_GE(n, 1u);
+  live.store(n - 1, std::memory_order_relaxed);
+}
+
+bool CountingApproximateBitmap::TestAtomic(uint64_t key,
+                                           const hash::CellRef& cell) const {
+  if (family_->PrefersLazyProbes()) {
+    for (int t = 0; t < k_; ++t) {
+      if (LoadCounterRelaxed(counters_,
+                             family_->ProbeAt(key, cell, t, num_counters_)) ==
+          0) {
+        return false;
+      }
+    }
+    return true;
+  }
+  uint64_t probes[kMaxHashFunctions];
+  family_->Probes(key, cell, k_, num_counters_, probes);
+  for (int t = 0; t < k_; ++t) {
+    if (LoadCounterRelaxed(counters_, probes[t]) == 0) return false;
+  }
+  return true;
+}
+
+uint64_t CountingApproximateBitmap::LiveRelaxed() const {
+  return std::atomic_ref<uint64_t>(const_cast<uint64_t&>(live_))
+      .load(std::memory_order_relaxed);
+}
+
+double CountingApproximateBitmap::ExpectedFalsePositiveRate() const {
+  return FalsePositiveRateExact(num_counters_, LiveRelaxed(), k_);
 }
 
 CountingApproximateBitmap CountingApproximateBitmap::EmptyClone() const {

@@ -52,6 +52,27 @@ class CountingApproximateBitmap {
   /// Membership test, same semantics as ApproximateBitmap::Test.
   bool Test(uint64_t key, const hash::CellRef& cell) const;
 
+  /// Concurrent-reader variants for the mutable index (core/mutable_index).
+  ///
+  /// Contract: there is at most ONE mutating thread at a time (the caller
+  /// serializes writers externally); any number of threads may call
+  /// TestAtomic/LiveRelaxed concurrently with it. All counter-byte and
+  /// live-count accesses go through std::atomic_ref with relaxed ordering,
+  /// so the data race is defined behaviour (and TSan-clean); *ordering* —
+  /// "a committed row's cells are visible" — is the caller's job, via its
+  /// seqlock/publication protocol. The plain Insert/Remove/Test remain the
+  /// single-threaded build/replay path.
+  void InsertAtomic(uint64_t key, const hash::CellRef& cell);
+  void RemoveAtomic(uint64_t key, const hash::CellRef& cell);
+  bool TestAtomic(uint64_t key, const hash::CellRef& cell) const;
+  /// live() readable concurrently with a writer.
+  uint64_t LiveRelaxed() const;
+
+  /// Expected false positive rate at the current live count, from the
+  /// paper's exact model (1 - (1 - 1/s)^(k·n))^k with n = live(). This is
+  /// what the mutable index's α-drift budget is checked against.
+  double ExpectedFalsePositiveRate() const;
+
   /// An empty filter with this filter's exact shape (counters, k, shared
   /// hash family) — the worker-private shard of the parallel build.
   CountingApproximateBitmap EmptyClone() const;

@@ -48,54 +48,76 @@ CountingAbIndex CountingAbIndex::Build(const bitmap::BinnedDataset& dataset,
   return Build(dataset, config, 1);
 }
 
-CountingAbIndex CountingAbIndex::Build(const bitmap::BinnedDataset& dataset,
-                                       const AbConfig& config,
-                                       int num_threads) {
-  AB_CHECK_GE(num_threads, 1);
-  dataset.CheckValid();
+CountingAbIndex CountingAbIndex::BuildEmpty(
+    const std::vector<bitmap::AttributeInfo>& attributes,
+    const AbConfig& config, const std::vector<uint64_t>& column_set_bits,
+    uint64_t num_rows) {
   AB_CHECK_GE(config.alpha, 1.0);
-  CountingAbIndex index(config, bitmap::ColumnMapping(dataset.attributes),
-                        dataset.num_rows());
-  uint64_t n_rows = dataset.num_rows();
-  uint32_t d = dataset.num_attributes();
+  CountingAbIndex index(config, bitmap::ColumnMapping(attributes), num_rows);
+  uint32_t d = index.mapping_.num_attributes();
+  AB_CHECK_EQ(column_set_bits.size(), index.mapping_.num_columns());
 
   auto make_params = [&config](uint64_t set_bits) {
-    AbParams params = AbParams::ForAlpha(config.alpha, 1, set_bits);
+    AbParams params =
+        AbParams::ForAlpha(config.alpha, 1, std::max<uint64_t>(set_bits, 1));
     params.k = std::min(config.k > 0 ? config.k : OptimalK(params.alpha), 64);
     params.n_bits = std::max<uint64_t>(params.n_bits, 8);
     return params;
   };
 
   switch (config.level) {
-    case Level::kPerDataset:
+    case Level::kPerDataset: {
+      uint64_t total = 0;
+      for (uint64_t s : column_set_bits) total += s;
       index.filters_.emplace_back(
-          make_params(n_rows * d),
+          make_params(total),
           MakeSchemeFamily(config.scheme, index.mapping_.num_columns()));
       break;
+    }
     case Level::kPerAttribute:
       for (uint32_t a = 0; a < d; ++a) {
+        uint64_t s = 0;
+        for (uint32_t b = 0; b < index.mapping_.cardinality(a); ++b) {
+          s += column_set_bits[index.mapping_.GlobalColumn(a, b)];
+        }
         index.filters_.emplace_back(
-            make_params(n_rows),
+            make_params(s),
             MakeSchemeFamily(config.scheme, index.mapping_.cardinality(a)));
       }
       break;
     case Level::kPerColumn: {
       AB_CHECK(config.scheme != HashScheme::kColumnGroup);
-      std::vector<uint64_t> counts(index.mapping_.num_columns(), 0);
-      for (uint32_t a = 0; a < d; ++a) {
-        for (uint32_t v : dataset.values[a]) {
-          ++counts[index.mapping_.GlobalColumn(a, v)];
-        }
-      }
       std::shared_ptr<const hash::HashFamily> family =
           MakeSchemeFamily(config.scheme, 1);
-      for (uint64_t s : counts) {
-        index.filters_.emplace_back(make_params(std::max<uint64_t>(s, 1)),
-                                    family);
+      for (uint64_t s : column_set_bits) {
+        index.filters_.emplace_back(make_params(s), family);
       }
       break;
     }
   }
+  return index;
+}
+
+CountingAbIndex CountingAbIndex::Build(const bitmap::BinnedDataset& dataset,
+                                       const AbConfig& config,
+                                       int num_threads) {
+  AB_CHECK_GE(num_threads, 1);
+  dataset.CheckValid();
+  uint64_t n_rows = dataset.num_rows();
+  uint32_t d = dataset.num_attributes();
+
+  // Size every level from the column histogram; summing the per-column
+  // counts reproduces the old direct sizing (per-attribute sums to n_rows,
+  // per-dataset to n_rows * d).
+  bitmap::ColumnMapping mapping(dataset.attributes);
+  std::vector<uint64_t> counts(mapping.num_columns(), 0);
+  for (uint32_t a = 0; a < d; ++a) {
+    for (uint32_t v : dataset.values[a]) {
+      ++counts[mapping.GlobalColumn(a, v)];
+    }
+  }
+  CountingAbIndex index =
+      BuildEmpty(dataset.attributes, config, counts, n_rows);
 
   // Per-dataset population: the single filter cannot be split by
   // attribute, so workers build private shard filters over disjoint row
@@ -214,6 +236,15 @@ uint64_t CountingAbIndex::InsertRow(const std::vector<uint32_t>& bins) {
     InsertCell(row, a, bins[a]);
   }
   return row;
+}
+
+void CountingAbIndex::InsertRowAt(uint64_t row,
+                                  const std::vector<uint32_t>& bins) {
+  AB_CHECK_EQ(bins.size(), mapping_.num_attributes());
+  num_rows_ = std::max(num_rows_, row + 1);
+  for (uint32_t a = 0; a < bins.size(); ++a) {
+    InsertCell(row, a, bins[a]);
+  }
 }
 
 bool CountingAbIndex::TestCell(uint64_t row, uint32_t attr,

@@ -42,7 +42,20 @@ class CountingAbIndex {
   static CountingAbIndex Build(const bitmap::BinnedDataset& dataset,
                                const AbConfig& config, int num_threads);
 
+  /// An empty skeleton with filters sized for the given workload shape:
+  /// `column_set_bits[g]` is the expected number of cells in global column
+  /// g (per-attribute filters size to the sum over their columns,
+  /// per-dataset to the grand total — exactly how Build sizes from a
+  /// dataset's histogram). `num_rows` only seeds the row-id space; rows
+  /// are added with InsertRowAt/InsertRow. This is how the mutable index
+  /// regrows a generation to a target capacity.
+  static CountingAbIndex BuildEmpty(
+      const std::vector<bitmap::AttributeInfo>& attributes,
+      const AbConfig& config, const std::vector<uint64_t>& column_set_bits,
+      uint64_t num_rows);
+
   Level level() const { return config_.level; }
+  const AbConfig& config() const { return config_; }
   uint64_t num_rows() const { return num_rows_; }
   const bitmap::ColumnMapping& mapping() const { return mapping_; }
   size_t num_filters() const { return filters_.size(); }
@@ -66,6 +79,29 @@ class CountingAbIndex {
 
   /// Appends one row with the given bins; returns its row id.
   uint64_t InsertRow(const std::vector<uint32_t>& bins);
+
+  /// Inserts a row at a *specific* id — the id-preserving replay path of
+  /// the mutable index's generation rebuild (row ids are stable for life,
+  /// so a regrown generation must re-insert surviving rows under their
+  /// original ids). Extends the row-id space if needed.
+  void InsertRowAt(uint64_t row, const std::vector<uint32_t>& bins);
+
+  /// Everything a caller needs to probe one bitmap cell directly against a
+  /// filter: which filter the cell routes to, plus the hash key / cell ref
+  /// for that filter's family. The mutable index uses this to wrap its own
+  /// seqlock protocol around per-cell filter accesses.
+  struct CellProbe {
+    size_t filter;
+    uint64_t key;
+    hash::CellRef cell;
+  };
+  CellProbe ProbeFor(uint64_t row, uint32_t attr, uint32_t bin) const {
+    uint32_t gcol = mapping_.GlobalColumn(attr, bin);
+    return CellProbe{Route(attr, gcol), mapper_.Key(row, gcol),
+                     hash::CellRef{row, gcol}};
+  }
+
+  CountingApproximateBitmap* mutable_filter(size_t i) { return &filters_[i]; }
 
   /// Approximate value of bitmap cell (row, attribute, bin); same
   /// guarantee as AbIndex::TestCell.

@@ -1,6 +1,7 @@
 #include "engine/hybrid_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <unordered_map>
@@ -45,7 +46,138 @@ HybridEngine HybridEngine::Build(Table table, const Options& options) {
       bitmap_table, engine.pool_.get(), engine.options_.backend));
   engine.ab_ = std::make_unique<ab::AbIndex>(ab::AbIndex::BuildParallel(
       engine.discretized_.dataset, options.ab, engine.pool_.get()));
+  engine.ingest_ = std::make_unique<IngestState>();
   return engine;
+}
+
+HybridEngine::IngestState::IngestState()
+    : chunks(new std::atomic<double*>[kMaxChunks]) {
+  for (uint64_t c = 0; c < kMaxChunks; ++c) {
+    chunks[c].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+HybridEngine::IngestState::~IngestState() {
+  for (uint64_t c = 0; c < chunks_allocated; ++c) {
+    delete[] chunks[c].load(std::memory_order_relaxed);
+  }
+  delete[] base_tombstones.load(std::memory_order_relaxed);
+}
+
+bool HybridEngine::HasMutations() const {
+  return ingest_ != nullptr &&
+         (ingest_->committed.load(std::memory_order_acquire) > 0 ||
+          ingest_->base_deletes.load(std::memory_order_acquire) > 0);
+}
+
+uint64_t HybridEngine::TotalRows() const {
+  uint64_t delta =
+      ingest_ ? ingest_->committed.load(std::memory_order_acquire) : 0;
+  return table_.num_rows() + delta;
+}
+
+uint64_t HybridEngine::IngestRow(const std::vector<double>& values) {
+  AB_SPAN("engine/ingest");
+  AB_CHECK(ingest_ != nullptr);
+  uint32_t cols = static_cast<uint32_t>(table_.num_columns());
+  AB_CHECK_EQ(values.size(), cols);
+  std::lock_guard<std::mutex> lock(ingest_->mu);
+  uint64_t local = ingest_->committed.load(std::memory_order_relaxed);
+  AB_CHECK_LT(local, IngestState::kChunkRows * IngestState::kMaxChunks);
+  if (ingest_->delta == nullptr) {
+    ab::MutableAbIndex::Options delta_options;
+    delta_options.config = options_.ab;
+    ingest_->delta = ab::MutableAbIndex::BuildEmpty(
+        discretized_.dataset.attributes, delta_options, 1024);
+  }
+  // Raw values first (plain stores into a chunk no reader can touch
+  // until `committed` advances past the row, release below).
+  uint64_t chunk = local / IngestState::kChunkRows;
+  double* data = ingest_->chunks[chunk].load(std::memory_order_relaxed);
+  if (data == nullptr) {
+    data = new double[IngestState::kChunkRows * cols];
+    ingest_->chunks[chunk].store(data, std::memory_order_relaxed);
+    ingest_->chunks_allocated = chunk + 1;
+  }
+  double* row_values = data + (local % IngestState::kChunkRows) * cols;
+  std::vector<uint32_t> bins(cols);
+  for (uint32_t c = 0; c < cols; ++c) {
+    AB_CHECK(!std::isnan(values[c]));
+    row_values[c] = values[c];
+    bins[c] = discretized_.binners[c].BinOf(values[c]);
+  }
+  uint64_t id = ingest_->delta->InsertRow(bins);
+  AB_CHECK_EQ(id, local);
+  ingest_->committed.store(local + 1, std::memory_order_release);
+
+  uint64_t gen = ingest_->delta->generation();
+  if (gen != ingest_->last_generation) {
+    AB_STATS_ADD(obs::Counter::kEngineRebuilds,
+                 gen - ingest_->last_generation);
+    ingest_->last_generation = gen;
+  }
+  AB_STATS_INC(obs::Counter::kEngineIngestRows);
+  return table_.num_rows() + local;
+}
+
+bool HybridEngine::DeleteRow(uint64_t row) {
+  AB_CHECK(ingest_ != nullptr);
+  uint64_t base_n = table_.num_rows();
+  std::lock_guard<std::mutex> lock(ingest_->mu);
+  if (row < base_n) {
+    std::atomic<uint64_t>* words =
+        ingest_->base_tombstones.load(std::memory_order_relaxed);
+    if (words == nullptr) {
+      uint64_t n_words = (base_n + 63) / 64;
+      words = new std::atomic<uint64_t>[n_words];
+      for (uint64_t w = 0; w < n_words; ++w) {
+        words[w].store(0, std::memory_order_relaxed);
+      }
+      ingest_->base_tombstones.store(words, std::memory_order_release);
+    }
+    uint64_t bit = uint64_t{1} << (row % 64);
+    if (words[row / 64].load(std::memory_order_relaxed) & bit) return false;
+    words[row / 64].fetch_or(bit, std::memory_order_release);
+    ingest_->base_deletes.fetch_add(1, std::memory_order_release);
+  } else {
+    uint64_t local = row - base_n;
+    if (ingest_->delta == nullptr ||
+        local >= ingest_->committed.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    if (!ingest_->delta->DeleteRow(local)) return false;
+  }
+  ingest_->deletes.fetch_add(1, std::memory_order_relaxed);
+  AB_STATS_INC(obs::Counter::kEngineIngestDeletes);
+  return true;
+}
+
+bool HybridEngine::RowLive(uint64_t row) const {
+  uint64_t base_n = table_.num_rows();
+  if (row < base_n) {
+    if (ingest_ == nullptr) return true;
+    const std::atomic<uint64_t>* words =
+        ingest_->base_tombstones.load(std::memory_order_acquire);
+    if (words == nullptr) return true;
+    return !(words[row / 64].load(std::memory_order_acquire) &
+             (uint64_t{1} << (row % 64)));
+  }
+  if (ingest_ == nullptr || ingest_->delta == nullptr) return false;
+  return ingest_->delta->RowLive(row - base_n);
+}
+
+HybridEngine::IngestStats HybridEngine::GetIngestStats() const {
+  IngestStats stats;
+  if (ingest_ == nullptr) return stats;
+  stats.ingested = ingest_->committed.load(std::memory_order_acquire);
+  stats.deleted = ingest_->deletes.load(std::memory_order_relaxed);
+  if (const ab::MutableAbIndex* delta = ingest_->delta.get()) {
+    stats.delta_live = delta->live_rows();
+    stats.delta_generations = delta->generation();
+    stats.delta_worst_fp = delta->WorstExpectedFp();
+  }
+  stats.base_fp_if_merged = ab_->WorstExpectedFpWithExtraRows(stats.delta_live);
+  return stats;
 }
 
 bool HybridEngine::ToBinQuery(const EngineQuery& query,
@@ -313,6 +445,14 @@ EngineResult HybridEngine::ExecuteRouted(const EngineQuery& query,
   AB_SPAN("engine/execute");
   obs::ScopedLatencyTimer timer(obs::Histogram::kQueryLatencyNs);
   AB_STATS_INC(obs::Counter::kEngineQueries);
+  if (HasMutations()) {
+    return ExecuteMutable(query, pool);
+  }
+  return RouteBase(query, pool);
+}
+
+EngineResult HybridEngine::RouteBase(const EngineQuery& query,
+                                     util::ThreadPool* pool) const {
   if (query.rows.empty()) {
     return ExecuteExactImpl(query, pool);
   }
@@ -331,6 +471,142 @@ EngineResult HybridEngine::ExecuteRouted(const EngineQuery& query,
     return ExecuteAbImpl(query, pool);
   }
   return ExecuteExactImpl(query, pool);
+}
+
+EngineResult HybridEngine::ExecuteMutable(const EngineQuery& query,
+                                          util::ThreadPool* pool) const {
+  uint64_t base_n = table_.num_rows();
+  bool whole_relation = query.rows.empty();
+  EngineResult result;
+  if (whole_relation) {
+    result = RouteBase(query, pool);
+  } else {
+    // Split the row subset: base ids route through the base indexes,
+    // ingested ids through the delta. Result ids come out base-part
+    // first (in query order), then delta-part (in query order).
+    EngineQuery base_query = query;
+    base_query.rows.clear();
+    std::vector<uint64_t> delta_rows;
+    for (uint64_t row : query.rows) {
+      if (row < base_n) {
+        base_query.rows.push_back(row);
+      } else {
+        delta_rows.push_back(row);
+      }
+    }
+    if (!base_query.rows.empty()) {
+      result = RouteBase(base_query, pool);
+    } else {
+      result.path = "delta";
+      result.approximate = !query.exact;
+    }
+    if (ingest_->base_deletes.load(std::memory_order_acquire) > 0) {
+      const std::atomic<uint64_t>* words =
+          ingest_->base_tombstones.load(std::memory_order_acquire);
+      if (words != nullptr) {
+        auto dead = [&](uint64_t row) {
+          return (words[row / 64].load(std::memory_order_acquire) &
+                  (uint64_t{1} << (row % 64))) != 0;
+        };
+        result.row_ids.erase(std::remove_if(result.row_ids.begin(),
+                                            result.row_ids.end(), dead),
+                             result.row_ids.end());
+      }
+    }
+    AppendDeltaMatches(query, &delta_rows, &result);
+    return result;
+  }
+  if (ingest_->base_deletes.load(std::memory_order_acquire) > 0) {
+    const std::atomic<uint64_t>* words =
+        ingest_->base_tombstones.load(std::memory_order_acquire);
+    if (words != nullptr) {
+      auto dead = [&](uint64_t row) {
+        return (words[row / 64].load(std::memory_order_acquire) &
+                (uint64_t{1} << (row % 64))) != 0;
+      };
+      result.row_ids.erase(std::remove_if(result.row_ids.begin(),
+                                          result.row_ids.end(), dead),
+                           result.row_ids.end());
+    }
+  }
+  AppendDeltaMatches(query, nullptr, &result);
+  return result;
+}
+
+void HybridEngine::AppendDeltaMatches(const EngineQuery& query,
+                                      const std::vector<uint64_t>* rows_global,
+                                      EngineResult* result) const {
+  uint64_t committed = ingest_->committed.load(std::memory_order_acquire);
+  const ab::MutableAbIndex* delta = ingest_->delta.get();
+  if (committed == 0 || delta == nullptr) return;
+  if (rows_global != nullptr && rows_global->empty()) return;
+  AB_SPAN("engine/delta_eval");
+  uint64_t base_n = table_.num_rows();
+  uint32_t cols = static_cast<uint32_t>(table_.num_columns());
+
+  bitmap::BitmapQuery bin_query;
+  ToBinQuery(query, &bin_query);
+  bin_query.rows.clear();
+  if (rows_global != nullptr) {
+    bin_query.rows.reserve(rows_global->size());
+    for (uint64_t row : *rows_global) {
+      uint64_t local = row - base_n;
+      if (local < committed) bin_query.rows.push_back(local);
+    }
+    if (bin_query.rows.empty()) return;
+  }
+  // The delta evaluation pins one index generation for the whole query
+  // and gates on row liveness, so deleted rows never surface.
+  std::vector<bool> bits = delta->Evaluate(bin_query);
+
+  auto raw_value = [&](uint64_t local, uint32_t attr) {
+    const double* chunk =
+        ingest_->chunks[local / IngestState::kChunkRows].load(
+            std::memory_order_relaxed);
+    return chunk[(local % IngestState::kChunkRows) * cols + attr];
+  };
+  uint64_t candidates = 0;
+  uint64_t appended = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (!bits[i]) continue;
+    ++candidates;
+    uint64_t local = bin_query.rows.empty() ? static_cast<uint64_t>(i)
+                                            : bin_query.rows[i];
+    if (query.exact) {
+      bool match = true;
+      for (const ValuePredicate& p : query.predicates) {
+        double v = raw_value(local, p.attr);
+        if (v < p.lo || v > p.hi) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+    }
+    result->row_ids.push_back(base_n + local);
+    ++appended;
+  }
+
+  result->trace.rows_evaluated += bits.size();
+  result->trace.candidates += candidates;
+  if (query.exact) {
+    result->trace.verified_matches += appended;
+    uint64_t total_candidates = result->trace.candidates;
+    result->trace.observed_precision =
+        total_candidates == 0
+            ? 1.0
+            : static_cast<double>(result->trace.verified_matches) /
+                  static_cast<double>(total_candidates);
+  }
+#if !defined(AB_DISABLE_STATS)
+  obs::internal::ThreadStatsBlock* b = obs::internal::TlsBlock();
+  b->Add(obs::Counter::kEngineCandidates, candidates);
+  b->Add(obs::Counter::kEngineDeltaMatches, appended);
+  if (query.exact) {
+    b->Add(obs::Counter::kEngineVerified, appended);
+    b->Add(obs::Counter::kEngineFalsePositives, candidates - appended);
+  }
+#endif
 }
 
 namespace {

@@ -1,13 +1,16 @@
 #ifndef ABITMAP_ENGINE_HYBRID_ENGINE_H_
 #define ABITMAP_ENGINE_HYBRID_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/ab_index.h"
+#include "core/mutable_index.h"
 #include "engine/exact_index.h"
 #include "engine/table.h"
 #include "obs/trace.h"
@@ -108,9 +111,54 @@ class HybridEngine {
   std::vector<EngineResult> ExecuteBatch(
       const std::vector<EngineQuery>& queries) const;
 
-  /// Forces a specific path (benchmarking / tests).
+  /// Forces a specific path (benchmarking / tests). These predate
+  /// streaming ingest and stay base-only: ingested rows and tombstones
+  /// are not consulted. Execute/ExecuteBatch are mutation-aware.
   EngineResult ExecuteWithAb(const EngineQuery& query) const;
   EngineResult ExecuteWithExact(const EngineQuery& query) const;
+
+  // --- Streaming ingest -------------------------------------------------
+  //
+  // The base table and its indexes stay immutable; ingested rows live in
+  // a side store — raw values in append-only chunks, cells in a
+  // MutableAbIndex delta (lock-free readers, α-drift auto-rebuild) —
+  // and base-row deletes in an atomic tombstone bitmap. Execute and
+  // ExecuteBatch merge: base result minus tombstones, plus verified
+  // delta matches. Ingest/delete calls are internally synchronized and
+  // may run concurrently with queries from other threads.
+
+  /// Appends a row (one value per column); returns its engine row id
+  /// (base rows keep ids [0, base_rows); ingested rows follow).
+  uint64_t IngestRow(const std::vector<double>& values);
+
+  /// Tombstones a row, base or ingested. Returns false if the id is
+  /// unknown or the row is already dead.
+  bool DeleteRow(uint64_t row);
+
+  /// True if `row` is committed and not deleted.
+  bool RowLive(uint64_t row) const;
+
+  /// Committed rows: base + ingested (dead rows included — ids are
+  /// permanent).
+  uint64_t TotalRows() const;
+  uint64_t base_rows() const { return table_.num_rows(); }
+
+  struct IngestStats {
+    uint64_t ingested = 0;           ///< rows ever ingested
+    uint64_t deleted = 0;            ///< rows tombstoned (base + delta)
+    uint64_t delta_live = 0;         ///< ingested rows still live
+    uint64_t delta_generations = 0;  ///< delta-index rebuilds completed
+    double delta_worst_fp = 0;       ///< delta effective-α expected FP
+    /// Expected base-AB FP if the live delta were folded into a rebuilt
+    /// base index — the "schedule an offline merge" signal.
+    double base_fp_if_merged = 0;
+  };
+  IngestStats GetIngestStats() const;
+
+  /// The delta index, or nullptr before the first ingest (tests).
+  const ab::MutableAbIndex* delta_index() const {
+    return ingest_ ? ingest_->delta.get() : nullptr;
+  }
 
   /// Times both paths on a synthetic row-subset sweep and returns the
   /// fraction at which the exact arm overtakes the AB; also updates the
@@ -136,6 +184,21 @@ class HybridEngine {
   /// nobody would run the nested chunks).
   EngineResult ExecuteRouted(const EngineQuery& query,
                              util::ThreadPool* pool) const;
+  /// The pre-ingest routing body (crossover-fraction dispatch over the
+  /// base indexes only).
+  EngineResult RouteBase(const EngineQuery& query,
+                         util::ThreadPool* pool) const;
+  /// Mutation-aware execution: base result minus tombstones, plus
+  /// verified delta matches.
+  EngineResult ExecuteMutable(const EngineQuery& query,
+                              util::ThreadPool* pool) const;
+  /// Evaluates `query` over the ingested rows (all committed when
+  /// `rows_global` is null, else the listed engine ids) and appends the
+  /// matches to `result`, updating its trace and the engine counters.
+  void AppendDeltaMatches(const EngineQuery& query,
+                          const std::vector<uint64_t>* rows_global,
+                          EngineResult* result) const;
+  bool HasMutations() const;
   EngineResult ExecuteAbImpl(const EngineQuery& query,
                              util::ThreadPool* pool) const;
   EngineResult ExecuteExactImpl(const EngineQuery& query,
@@ -156,6 +219,30 @@ class HybridEngine {
   /// Shared by batched AB evaluation and exact-answer verification; null
   /// when options.num_threads resolves to 1.
   std::shared_ptr<util::ThreadPool> pool_;
+
+  /// All mutation state, heap-held so the engine itself stays movable.
+  /// Raw delta values live in fixed-capacity chunk arrays whose pointers
+  /// are stored (program-order) before `committed` advances; readers
+  /// acquire `committed` and then read committed rows with plain loads.
+  struct IngestState {
+    static constexpr uint64_t kChunkRows = 4096;
+    static constexpr uint64_t kMaxChunks = 4096;  ///< ~16.7M delta rows
+
+    std::mutex mu;  ///< serializes IngestRow/DeleteRow writers
+    std::unique_ptr<ab::MutableAbIndex> delta;  ///< created on first ingest
+    std::unique_ptr<std::atomic<double*>[]> chunks;
+    uint64_t chunks_allocated = 0;  ///< under mu; dtor cleanup bound
+    std::atomic<uint64_t> committed{0};   ///< ingested rows visible
+    std::atomic<uint64_t> deletes{0};     ///< base + delta tombstones
+    uint64_t last_generation = 0;         ///< under mu; rebuild delta
+    /// Base-row tombstone bits, allocated on first base delete.
+    std::atomic<std::atomic<uint64_t>*> base_tombstones{nullptr};
+    std::atomic<uint64_t> base_deletes{0};
+
+    IngestState();
+    ~IngestState();
+  };
+  std::unique_ptr<IngestState> ingest_;
 };
 
 }  // namespace engine

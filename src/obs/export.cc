@@ -61,6 +61,16 @@ const char* const kCounterHelp[kNumCounters] = {
     "Admission batches dispatched to the engine",
     "Queries executed through admission batches",
     "ExecuteBatch queries answered by an identical query's result",
+    "Rows inserted into mutable AB indexes",
+    "Rows deleted from mutable AB indexes",
+    "Mutable-index generation rebuilds (drift-triggered or explicit)",
+    "Live rows carried into regrown mutable-index generations",
+    "Seqlock probe windows readers retried as torn",
+    "Rows ingested through HybridEngine::IngestRow",
+    "Rows tombstoned through HybridEngine::DeleteRow",
+    "Verified query matches served from the ingest delta",
+    "Delta-index generation rebuilds observed by the engine",
+    "Rows accepted by POST /insert",
 };
 
 const char* const kHistogramHelp[kNumHistograms] = {
@@ -75,6 +85,7 @@ const char* const kHistogramHelp[kNumHistograms] = {
     "Serve request wall time from admission to rendered response in nanoseconds",
     "Time a serve request waited in the batch-admission queue in nanoseconds",
     "Queries per dispatched admission batch",
+    "Mutable-index generation rebuild wall time in nanoseconds",
 };
 
 void Appendf(std::string* out, const char* fmt, ...)

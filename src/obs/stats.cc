@@ -54,6 +54,16 @@ const char* const kCounterNames[kNumCounters] = {
     "serve_batches",
     "serve_batch_queries",
     "engine_batch_dedup_hits",
+    "mutable_inserts",
+    "mutable_deletes",
+    "mutable_rebuilds",
+    "mutable_rebuild_rows",
+    "mutable_reader_retries",
+    "engine_ingest_rows",
+    "engine_ingest_deletes",
+    "engine_delta_matches",
+    "engine_rebuilds",
+    "serve_inserts",
 };
 
 const char* const kHistogramNames[kNumHistograms] = {
@@ -68,6 +78,7 @@ const char* const kHistogramNames[kNumHistograms] = {
     "serve_request_latency_ns",
     "serve_queue_wait_ns",
     "serve_batch_size",
+    "mutable_rebuild_ns",
 };
 
 }  // namespace

@@ -94,6 +94,18 @@ enum class Counter : uint32_t {
   kServeBatches,           ///< admission batches dispatched
   kServeBatchQueries,      ///< queries executed through batches
   kEngineBatchDedupHits,   ///< ExecuteBatch queries served by a duplicate
+  // --- mutable AB index (core/mutable_index) ---
+  kMutableInserts,         ///< rows inserted into a mutable index
+  kMutableDeletes,         ///< rows deleted from a mutable index
+  kMutableRebuilds,        ///< generation rebuilds (drift or explicit)
+  kMutableRebuildRows,     ///< live rows carried into new generations
+  kMutableReaderRetries,   ///< seqlock probe windows retried by readers
+  // --- HybridEngine streaming ingest ---
+  kEngineIngestRows,       ///< rows ingested through IngestRow
+  kEngineIngestDeletes,    ///< rows tombstoned through DeleteRow
+  kEngineDeltaMatches,     ///< verified matches served from the delta
+  kEngineRebuilds,         ///< delta-index generation rebuilds observed
+  kServeInserts,           ///< rows accepted by POST /insert
   kNumCounters,
 };
 
@@ -114,6 +126,7 @@ enum class Histogram : uint32_t {
   kServeRequestLatencyNs,///< serve: admission to response rendered
   kServeQueueWaitNs,     ///< serve: time a request sat in the batch queue
   kServeBatchSize,       ///< serve: queries per dispatched batch
+  kMutableRebuildNs,     ///< mutable index: generation rebuild wall time
   kNumHistograms,
 };
 

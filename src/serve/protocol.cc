@@ -518,6 +518,117 @@ bool ParseJsonQuery(std::string_view body, QueryRequest* out,
   return true;
 }
 
+bool ParseJsonInsert(std::string_view body, InsertRequest* out,
+                     std::string* error) {
+  *out = InsertRequest();
+  JsonCursor c(body);
+  if (!c.Consume('{')) {
+    *error = "body must be a JSON object";
+    return false;
+  }
+  // Parses one [v, v, ...] into a fresh row of *out, enforcing the row
+  // bound. Shared by both accepted shapes.
+  auto parse_row = [&c, out, error]() {
+    if (out->rows.size() >= kMaxInsertRows) {
+      *error = "too many rows";
+      return false;
+    }
+    std::vector<double> row;
+    if (!c.Consume('[')) {
+      *error = "row must be an array of numbers";
+      return false;
+    }
+    if (!c.Consume(']')) {
+      for (;;) {
+        double v;
+        if (!c.ParseNumber(&v)) {
+          *error = "row values must be numbers";
+          return false;
+        }
+        row.push_back(v);
+        if (c.Consume(']')) break;
+        if (!c.Consume(',')) {
+          *error = "malformed row array";
+          return false;
+        }
+      }
+    }
+    out->rows.push_back(std::move(row));
+    return true;
+  };
+  if (!c.Consume('}')) {
+    for (;;) {
+      std::string key;
+      if (!c.ParseString(&key) || !c.Consume(':')) {
+        *error = "malformed JSON key";
+        return false;
+      }
+      bool ok = true;
+      if (key == "values") {
+        ok = parse_row();
+      } else if (key == "rows") {
+        if (!c.Consume('[')) {
+          *error = "\"rows\" must be an array of arrays";
+          return false;
+        }
+        if (!c.Consume(']')) {
+          for (;;) {
+            if (!parse_row()) return false;
+            if (c.Consume(']')) break;
+            if (!c.Consume(',')) {
+              *error = "malformed rows array";
+              return false;
+            }
+          }
+        }
+      } else {
+        ok = c.SkipValue(0);
+      }
+      if (!ok) {
+        if (error->empty()) *error = "bad value for \"" + key + "\"";
+        return false;
+      }
+      if (c.Consume('}')) break;
+      if (!c.Consume(',')) {
+        *error = "malformed JSON object";
+        return false;
+      }
+    }
+  }
+  if (!c.AtEnd()) {
+    *error = "trailing data after JSON object";
+    return false;
+  }
+  if (out->rows.empty()) {
+    *error = "no rows: provide \"values\" or \"rows\"";
+    return false;
+  }
+  return true;
+}
+
+std::string InsertResponseToJson(const InsertResponse& response) {
+  std::string out;
+  out.reserve(64 + response.row_ids.size() * 8);
+  out.append("{\"status\":\"");
+  out.append(StatusCodeName(response.status));
+  out.push_back('"');
+  if (response.status != StatusCode::kOk) {
+    out.append(",\"error\":\"");
+    AppendJsonEscaped(response.error, &out);
+    out.push_back('"');
+  } else {
+    out.append(",\"rows\":[");
+    for (size_t i = 0; i < response.row_ids.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out.append(std::to_string(response.row_ids[i]));
+    }
+    out.append("],\"total_rows\":");
+    out.append(std::to_string(response.total_rows));
+  }
+  out.push_back('}');
+  return out;
+}
+
 std::string ResponseToJson(const QueryResponse& response) {
   std::string out;
   out.reserve(128 + response.row_ids.size() * 8);

@@ -38,6 +38,7 @@ inline constexpr size_t kFrameHeaderBytes = 8;
 
 /// Hard shape bounds, defense-in-depth behind the byte-size bound.
 inline constexpr size_t kMaxPredicates = 4096;
+inline constexpr size_t kMaxInsertRows = 4096;
 
 /// Outcome classes of a served query. Kept small and stable: the binary
 /// protocol sends the raw value, the HTTP mapping is HttpStatusFor().
@@ -120,6 +121,31 @@ bool ParseJsonQuery(std::string_view body, QueryRequest* out,
 /// Renders a response as a single-line JSON object. Row ids are included
 /// only for kOk without count_only.
 std::string ResponseToJson(const QueryResponse& response);
+
+/// ---- streaming ingest (JSON only) ----
+
+/// A POST /insert body: one or more rows, each one value per column.
+struct InsertRequest {
+  std::vector<std::vector<double>> rows;
+};
+
+/// The ingest answer: the engine row ids the rows were assigned.
+struct InsertResponse {
+  StatusCode status = StatusCode::kOk;
+  std::string error;
+  std::vector<uint64_t> row_ids;
+  uint64_t total_rows = 0;  ///< engine rows after the insert
+};
+
+/// Parses a POST /insert body. Two accepted shapes:
+///   {"values": [1.5, 2.0, 3.0]}                 // one row
+///   {"rows": [[1.5, 2.0, 3.0], [4.0, 5.0, 6.0]]} // a batch
+/// Unknown keys are skipped. Purely syntactic — column-count and NaN
+/// checks happen in QueryService against the engine's schema.
+bool ParseJsonInsert(std::string_view body, InsertRequest* out,
+                     std::string* error);
+
+std::string InsertResponseToJson(const InsertResponse& response);
 
 }  // namespace serve
 }  // namespace abitmap

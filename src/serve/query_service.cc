@@ -11,7 +11,7 @@
 namespace abitmap {
 namespace serve {
 
-QueryService::QueryService(const engine::HybridEngine* engine,
+QueryService::QueryService(engine::HybridEngine* engine,
                            const Options& options)
     : engine_(engine),
       options_(options),
@@ -44,7 +44,9 @@ void QueryService::Stop() {
 bool QueryService::Validate(const QueryRequest& request,
                             std::string* error) const {
   const engine::Table& table = engine_->table();
-  uint64_t num_rows = table.num_rows();
+  // Ingested rows are addressable too; TotalRows is an acquire load, so a
+  // client that saw its insert response can immediately query the row.
+  uint64_t num_rows = engine_->TotalRows();
   uint32_t num_columns = static_cast<uint32_t>(table.num_columns());
   for (const engine::ValuePredicate& p : request.predicates) {
     // The engine AB_CHECKs these invariants and aborts the process on
@@ -112,6 +114,40 @@ void QueryService::Submit(QueryRequest request,
     return;
   }
   AB_STATS_INC(obs::Counter::kServeRequests);
+}
+
+InsertResponse QueryService::HandleInsert(const InsertRequest& request) {
+  InsertResponse response;
+  if (stopped_.load(std::memory_order_acquire) || !started_.load()) {
+    response.status = StatusCode::kShuttingDown;
+    response.error = "server is shutting down";
+    return response;
+  }
+  size_t num_columns = engine_->table().num_columns();
+  for (size_t i = 0; i < request.rows.size(); ++i) {
+    const std::vector<double>& row = request.rows[i];
+    if (row.size() != num_columns) {
+      response.status = StatusCode::kBadRequest;
+      response.error = "row " + std::to_string(i) + " has " +
+                       std::to_string(row.size()) + " values (table has " +
+                       std::to_string(num_columns) + " columns)";
+      return response;
+    }
+    for (double v : row) {
+      if (std::isnan(v)) {
+        response.status = StatusCode::kBadRequest;
+        response.error = "row " + std::to_string(i) + " has a NaN value";
+        return response;
+      }
+    }
+  }
+  response.row_ids.reserve(request.rows.size());
+  for (const std::vector<double>& row : request.rows) {
+    response.row_ids.push_back(engine_->IngestRow(row));
+  }
+  AB_STATS_ADD(obs::Counter::kServeInserts, request.rows.size());
+  response.total_rows = engine_->TotalRows();
+  return response;
 }
 
 void QueryService::DispatchLoop() {

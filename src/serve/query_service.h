@@ -42,8 +42,9 @@ class QueryService {
     uint32_t default_deadline_ms = 0;
   };
 
-  /// The engine must outlive the service.
-  QueryService(const engine::HybridEngine* engine, const Options& options);
+  /// The engine must outlive the service. Non-const because the service
+  /// is also the ingest entry point (HandleInsert); queries only read.
+  QueryService(engine::HybridEngine* engine, const Options& options);
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -59,6 +60,15 @@ class QueryService {
   /// Validates and admits one request. See the lifecycle note above.
   void Submit(QueryRequest request, std::function<void(QueryResponse)> done);
 
+  /// Streaming ingest: validates the rows against the engine's schema and
+  /// appends them, returning their engine row ids. Runs synchronously on
+  /// the caller's thread (the epoll worker), NOT through the admission
+  /// queue — HybridEngine::IngestRow is internally synchronized and safe
+  /// against the dispatcher's concurrent queries, and an insert is a
+  /// point mutation with no batching to amortize. All-or-nothing per
+  /// request: a bad row rejects the whole batch before any row lands.
+  InsertResponse HandleInsert(const InsertRequest& request);
+
   size_t queue_depth() const { return queue_.depth(); }
 
  private:
@@ -67,7 +77,7 @@ class QueryService {
   /// returns false on violation.
   bool Validate(const QueryRequest& request, std::string* error) const;
 
-  const engine::HybridEngine* engine_;
+  engine::HybridEngine* engine_;
   Options options_;
   BatchQueue queue_;
   std::thread dispatcher_;

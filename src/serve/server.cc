@@ -413,6 +413,27 @@ class QueryServer::Worker {
       SubmitQuery(conn.token, std::move(query), Proto::kHttp);
       return true;
     }
+    if (request.method == "POST" && request.path == "/insert") {
+      // Ingest runs inline on this worker thread: IngestRow is internally
+      // synchronized and concurrent with the dispatcher's queries by
+      // design, so there is nothing to queue behind.
+      InsertRequest insert;
+      std::string perr;
+      InsertResponse resp;
+      if (!ParseJsonInsert(request.body, &insert, &perr)) {
+        AB_STATS_INC(obs::Counter::kServeBadRequests);
+        resp.status = StatusCode::kBadRequest;
+        resp.error = perr;
+      } else {
+        resp = server_->service_->HandleInsert(insert);
+      }
+      uint64_t token = conn.token;
+      QueueBytes(conn,
+                 RenderHttp(HttpStatusFor(resp.status), "application/json",
+                            InsertResponseToJson(resp) + "\n"),
+                 /*close_after=*/true);
+      return conns_.count(token) > 0;
+    }
     if (request.method == "GET" || request.method == "HEAD") {
       std::string body;
       std::string content_type = "text/plain; charset=utf-8";
@@ -511,7 +532,7 @@ class QueryServer::Worker {
   uint64_t next_token_ = 1;
 };
 
-QueryServer::QueryServer(const engine::HybridEngine* engine,
+QueryServer::QueryServer(engine::HybridEngine* engine,
                          const Options& options)
     : engine_(engine), options_(options) {
   if (options_.num_workers < 1) options_.num_workers = 1;

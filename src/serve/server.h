@@ -44,8 +44,9 @@ class QueryServer {
     QueryService::Options service;
   };
 
-  /// The engine must outlive the server.
-  QueryServer(const engine::HybridEngine* engine, const Options& options);
+  /// The engine must outlive the server. Non-const: POST /insert mutates
+  /// it through the service's ingest entry point.
+  QueryServer(engine::HybridEngine* engine, const Options& options);
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -68,7 +69,7 @@ class QueryServer {
 
   void AcceptLoop();
 
-  const engine::HybridEngine* engine_;
+  engine::HybridEngine* engine_;
   Options options_;
   std::unique_ptr<QueryService> service_;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -1,0 +1,279 @@
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "bitmap/query.h"
+#include "bitmap/schema.h"
+#include "core/mutable_index.h"
+#include "data/generators.h"
+
+/// The reader/writer interleaving battery for MutableAbIndex. These tests
+/// are the TSan targets for the lock-free read protocol: run them under
+/// -fsanitize=thread (tools/check.sh's TSan pass does) and any
+/// non-atomic access in the probe path, a mis-ordered publication, or a
+/// seqlock window that admits a torn read shows up as a race or an
+/// assertion.
+///
+/// The correctness property asserted throughout is the one-sided
+/// guarantee extended to concurrency: a reader that observes a row as
+/// live (RowLive, or a pre-agreed immortal set) must find every one of
+/// that row's cells present — zero false negatives, no matter how the
+/// writer's inserts, deletes, and generation rebuilds interleave.
+///
+/// Sized for small machines (CI containers pin us to 1-2 cores): few
+/// threads, iteration-bounded loops, no wall-clock dependence.
+
+namespace abitmap {
+namespace ab {
+namespace {
+
+MutableAbIndex::Options SmallOptions() {
+  MutableAbIndex::Options options;
+  options.config.level = Level::kPerAttribute;
+  options.config.alpha = 8;
+  options.auto_rebuild = false;
+  return options;
+}
+
+TEST(MutableConcurrencyTest, ReadersSeeNoFalseNegativesDuringChurn) {
+  // Immortal rows are never deleted; the writer churns the rows around
+  // them. Readers hammer the immortal set the whole time.
+  constexpr uint64_t kImmortal = 64;
+  constexpr uint64_t kChurnRows = 256;
+  constexpr int kReaders = 3;
+  constexpr int kWriterOps = 4000;
+  // Probe-bounded readers, not stop-flag readers: on a single-core host
+  // the scheduler can run the whole writer loop before a reader ever
+  // starts, which would make a stop-flag reader exit with zero probes.
+  constexpr int kProbesPerReader = 3000;
+
+  bitmap::BinnedDataset d = data::MakeSynthetic(
+      "t", kImmortal + kChurnRows, 3, 8, data::Distribution::kUniform, 29);
+  auto index = MutableAbIndex::Build(d, SmallOptions());
+
+  std::atomic<uint64_t> false_negatives{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      std::mt19937_64 rng(100 + t);
+      for (int p = 0; p < kProbesPerReader; ++p) {
+        uint64_t row = rng() % kImmortal;
+        uint32_t attr = static_cast<uint32_t>(rng() % 3);
+        if (!index->TestCell(row, attr, d.values[attr][row])) {
+          false_negatives.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::mt19937_64 rng(31);
+  // Ids are append-only, so "reviving" a churn slot means inserting a
+  // fresh row and remembering its id; the immortal set is what readers
+  // assert on.
+  std::vector<uint8_t> churn_alive(kChurnRows, 1);
+  std::vector<uint64_t> slot_row(kChurnRows);
+  for (uint64_t i = 0; i < kChurnRows; ++i) slot_row[i] = kImmortal + i;
+  for (int op = 0; op < kWriterOps; ++op) {
+    uint64_t i = rng() % kChurnRows;
+    if (churn_alive[i]) {
+      ASSERT_TRUE(index->DeleteRow(slot_row[i]));
+      churn_alive[i] = 0;
+    } else {
+      std::vector<uint32_t> bins = {static_cast<uint32_t>(rng() % 8),
+                                    static_cast<uint32_t>(rng() % 8),
+                                    static_cast<uint32_t>(rng() % 8)};
+      slot_row[i] = index->InsertRow(bins);
+      churn_alive[i] = 1;
+    }
+    // Surrender the core periodically so reader probes interleave with
+    // the churn even when the host has a single hardware thread.
+    if ((op & 63) == 0) std::this_thread::yield();
+  }
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(false_negatives.load(), 0u);
+}
+
+TEST(MutableConcurrencyTest, InsertVisibilityIsPublishedBeforeTheRowId) {
+  // Writer inserts rows; a reader polls num_rows() and immediately probes
+  // every newly committed row. The publication order (cells -> live bit
+  // -> committed counter) makes every committed row fully visible.
+  constexpr uint64_t kRows = 3000;
+  std::vector<bitmap::AttributeInfo> attrs = {{"a", 8}, {"b", 8}};
+  auto index = MutableAbIndex::BuildEmpty(attrs, SmallOptions(), 64);
+
+  // Bins are a pure function of the row id, so the reader derives the
+  // expected cells without sharing state with the writer.
+  auto bins_for = [](uint64_t row) {
+    return std::vector<uint32_t>{static_cast<uint32_t>(row % 8),
+                                 static_cast<uint32_t>((row / 8) % 8)};
+  };
+
+  std::atomic<uint64_t> false_negatives{0};
+  std::thread reader([&]() {
+    uint64_t seen = 0;
+    while (seen < kRows) {
+      uint64_t committed = index->num_rows();
+      for (; seen < committed; ++seen) {
+        std::vector<uint32_t> bins = bins_for(seen);
+        if (!index->RowLive(seen) || !index->TestCell(seen, 0, bins[0]) ||
+            !index->TestCell(seen, 1, bins[1])) {
+          false_negatives.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (uint64_t row = 0; row < kRows; ++row) index->InsertRow(bins_for(row));
+  reader.join();
+  EXPECT_EQ(false_negatives.load(), 0u);
+}
+
+TEST(MutableConcurrencyTest, DeleteClearsLivenessBeforeCells) {
+  // Readers must never see dead-row-still-live inconsistencies *in the
+  // direction that breaks queries*: once DeleteRow returns, RowLive is
+  // false. While a delete is in flight a reader may see either state of
+  // the row, but a live observation must imply complete cells.
+  constexpr int kRounds = 1500;
+  std::vector<bitmap::AttributeInfo> attrs = {{"a", 8}, {"b", 8}};
+  auto index = MutableAbIndex::BuildEmpty(attrs, SmallOptions(), 64);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> violations{0};
+  std::thread reader([&]() {
+    std::mt19937_64 rng(41);
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t committed = index->num_rows();
+      if (committed == 0) continue;
+      uint64_t row = rng() % committed;
+      if (index->RowLive(row)) {
+        uint32_t b0 = static_cast<uint32_t>(row % 8);
+        bool hit = index->TestCell(row, 0, b0);
+        // A miss is only a violation if the row is *still* live: ids are
+        // never revived, so live-after implies live-throughout. A row
+        // deleted mid-probe may legitimately answer false — it is dead.
+        if (!hit && index->RowLive(row)) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  for (int round = 0; round < kRounds; ++round) {
+    uint64_t row = index->InsertRow(
+        {static_cast<uint32_t>((index->num_rows()) % 8),
+         static_cast<uint32_t>((index->num_rows() / 8) % 8)});
+    if (round % 2 == 0) index->DeleteRow(row);
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(violations.load(), 0u);
+}
+
+TEST(MutableConcurrencyTest, RebuildSwapsGenerationsUnderReaders) {
+  // Readers run full Evaluate() queries while the writer keeps deleting,
+  // inserting, and force-rebuilding; every query lands on some pinned
+  // generation and the immortal rows must match in all of them.
+  constexpr uint64_t kImmortal = 48;
+  constexpr int kReaders = 2;
+  constexpr int kRebuilds = 8;  // > the 4 generation slots
+
+  bitmap::BinnedDataset d = data::MakeSynthetic(
+      "t", kImmortal, 2, 4, data::Distribution::kUniform, 43);
+  auto index = MutableAbIndex::Build(d, SmallOptions());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> misses{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t]() {
+      std::mt19937_64 rng(200 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t row = rng() % kImmortal;
+        bitmap::BitmapQuery q;
+        q.ranges.push_back({0, d.values[0][row], d.values[0][row]});
+        q.ranges.push_back({1, d.values[1][row], d.values[1][row]});
+        q.rows.push_back(row);
+        std::vector<bool> hit = index->Evaluate(q);
+        if (hit.size() != 1 || !hit[0]) {
+          misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::mt19937_64 rng(47);
+  for (int r = 0; r < kRebuilds; ++r) {
+    std::vector<uint64_t> extra;
+    for (int i = 0; i < 40; ++i) {
+      extra.push_back(index->InsertRow({static_cast<uint32_t>(rng() % 4),
+                                        static_cast<uint32_t>(rng() % 4)}));
+    }
+    index->Rebuild();
+    for (uint64_t row : extra) index->DeleteRow(row);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(misses.load(), 0u);
+  EXPECT_EQ(index->generation(), static_cast<uint64_t>(kRebuilds));
+}
+
+TEST(MutableConcurrencyTest, AutoRebuildRacesWithWritersAndReaders) {
+  // auto_rebuild on with a tight start: background rebuilds fire while
+  // the writer keeps inserting and readers keep probing. Afterwards every
+  // committed row must be fully probeable — no insert may be lost to a
+  // racing generation swap (the delta-log replay under test).
+  constexpr uint64_t kRows = 1200;
+  std::vector<bitmap::AttributeInfo> attrs = {{"a", 8}, {"b", 8}};
+  MutableAbIndex::Options options = SmallOptions();
+  options.auto_rebuild = true;
+  options.fp_budget_factor = 1.5;
+  options.regrow_headroom = 2.0;
+  auto index = MutableAbIndex::BuildEmpty(attrs, options, 64);
+
+  auto bins_for = [](uint64_t row) {
+    return std::vector<uint32_t>{static_cast<uint32_t>((row * 7) % 8),
+                                 static_cast<uint32_t>((row * 3) % 8)};
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> false_negatives{0};
+  std::thread reader([&]() {
+    std::mt19937_64 rng(53);
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t committed = index->num_rows();
+      if (committed == 0) continue;
+      uint64_t row = rng() % committed;
+      std::vector<uint32_t> bins = bins_for(row);
+      if (!index->TestCell(row, 0, bins[0]) ||
+          !index->TestCell(row, 1, bins[1])) {
+        false_negatives.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  for (uint64_t row = 0; row < kRows; ++row) index->InsertRow(bins_for(row));
+  index->WaitForRebuild();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(false_negatives.load(), 0u);
+  EXPECT_GE(index->generation(), 1u);  // drift actually fired
+  for (uint64_t row = 0; row < kRows; ++row) {
+    std::vector<uint32_t> bins = bins_for(row);
+    ASSERT_TRUE(index->TestCell(row, 0, bins[0])) << row;
+    ASSERT_TRUE(index->TestCell(row, 1, bins[1])) << row;
+  }
+}
+
+}  // namespace
+}  // namespace ab
+}  // namespace abitmap

@@ -1,0 +1,318 @@
+#include "core/mutable_index.h"
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "bitmap/bitmap_table.h"
+#include "data/generators.h"
+#include "data/metrics.h"
+#include "data/query_gen.h"
+
+namespace abitmap {
+namespace ab {
+namespace {
+
+/// More rounds than generation slots (4), so the swap path exercises
+/// slot reuse.
+constexpr int kNumRebuildRounds = 6;
+
+bitmap::BinnedDataset TestDataset(uint64_t rows, uint64_t seed) {
+  return data::MakeSynthetic("t", rows, 3, 8, data::Distribution::kUniform,
+                             seed);
+}
+
+std::vector<uint32_t> RowBins(const bitmap::BinnedDataset& d, uint64_t row) {
+  std::vector<uint32_t> bins(d.num_attributes());
+  for (uint32_t a = 0; a < d.num_attributes(); ++a) bins[a] = d.values[a][row];
+  return bins;
+}
+
+/// Every live row must probe true on all of its cells — the
+/// no-false-negative contract, checked exhaustively.
+void ExpectNoFalseNegatives(const MutableAbIndex& index,
+                            const bitmap::BinnedDataset& d,
+                            const std::vector<bool>& alive) {
+  for (uint64_t row = 0; row < alive.size(); ++row) {
+    if (!alive[row]) continue;
+    ASSERT_TRUE(index.RowLive(row)) << row;
+    for (uint32_t a = 0; a < d.num_attributes(); ++a) {
+      EXPECT_TRUE(index.TestCell(row, a, d.values[a][row]))
+          << "false negative: row " << row << " attr " << a;
+    }
+  }
+}
+
+class MutableIndexLevelTest : public ::testing::TestWithParam<Level> {
+ protected:
+  MutableAbIndex::Options OptionsFor(double alpha) {
+    MutableAbIndex::Options options;
+    options.config.level = GetParam();
+    options.config.alpha = alpha;
+    options.auto_rebuild = false;  // deterministic unless a test opts in
+    return options;
+  }
+};
+
+TEST_P(MutableIndexLevelTest, BuildProbesEveryRow) {
+  bitmap::BinnedDataset d = TestDataset(500, 1);
+  auto index = MutableAbIndex::Build(d, OptionsFor(8));
+  EXPECT_EQ(index->num_rows(), 500u);
+  EXPECT_EQ(index->live_rows(), 500u);
+  ExpectNoFalseNegatives(*index, d, std::vector<bool>(500, true));
+}
+
+TEST_P(MutableIndexLevelTest, InsertedRowIsImmediatelyVisible) {
+  bitmap::BinnedDataset d = TestDataset(200, 2);
+  auto index = MutableAbIndex::Build(d, OptionsFor(8));
+  uint64_t row = index->InsertRow({1, 2, 3});
+  EXPECT_EQ(row, 200u);
+  EXPECT_EQ(index->num_rows(), 201u);
+  EXPECT_TRUE(index->RowLive(row));
+  EXPECT_TRUE(index->TestCell(row, 0, 1));
+  EXPECT_TRUE(index->TestCell(row, 1, 2));
+  EXPECT_TRUE(index->TestCell(row, 2, 3));
+
+  bitmap::BitmapQuery q;
+  q.ranges.push_back({0, 1, 1});
+  q.ranges.push_back({1, 2, 2});
+  q.ranges.push_back({2, 3, 3});
+  q.rows.push_back(row);
+  std::vector<bool> hit = index->Evaluate(q);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_TRUE(hit[0]);
+}
+
+TEST_P(MutableIndexLevelTest, DeleteKillsTheRowAndSparesTheRest) {
+  bitmap::BinnedDataset d = TestDataset(300, 3);
+  auto index = MutableAbIndex::Build(d, OptionsFor(16));
+  std::vector<bool> alive(300, true);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 120; ++i) {
+    uint64_t row = rng() % 300;
+    bool was_alive = alive[row];
+    EXPECT_EQ(index->DeleteRow(row), was_alive);
+    alive[row] = false;
+    EXPECT_FALSE(index->RowLive(row));
+  }
+  EXPECT_FALSE(index->DeleteRow(300));  // unknown id
+  // Deleting other rows' cells must not create false negatives for the
+  // survivors — the counting-filter invariant under test.
+  ExpectNoFalseNegatives(*index, d, alive);
+  // Dead rows never match a query, regardless of filter aliasing.
+  bitmap::BitmapQuery q;
+  q.ranges.push_back({0, 0, 7});
+  std::vector<bool> hit = index->Evaluate(q);
+  for (uint64_t row = 0; row < 300; ++row) {
+    if (!alive[row]) EXPECT_FALSE(hit[row]) << row;
+  }
+}
+
+TEST_P(MutableIndexLevelTest, EvaluateTracksMutableGroundTruth) {
+  // Churn: deletes and inserts interleaved, then compare queries against
+  // an exact bitmap table over the surviving relation.
+  bitmap::BinnedDataset d = TestDataset(800, 4);
+  auto index = MutableAbIndex::Build(d, OptionsFor(16));
+  std::mt19937_64 rng(9);
+  std::vector<bool> alive(800, true);
+  for (int op = 0; op < 400; ++op) {
+    if (rng() % 2 == 0) {
+      uint64_t row = rng() % alive.size();
+      if (alive[row]) {
+        index->DeleteRow(row);
+        alive[row] = false;
+      }
+    } else {
+      std::vector<uint32_t> bins = {static_cast<uint32_t>(rng() % 8),
+                                    static_cast<uint32_t>(rng() % 8),
+                                    static_cast<uint32_t>(rng() % 8)};
+      uint64_t row = index->InsertRow(bins);
+      ASSERT_EQ(row, alive.size());
+      for (uint32_t a = 0; a < 3; ++a) d.values[a].push_back(bins[a]);
+      alive.push_back(true);
+    }
+  }
+  bitmap::BitmapTable truth = bitmap::BitmapTable::Build(d);
+  data::QueryGenParams qp;
+  qp.num_queries = 20;
+  qp.rows_queried = 300;
+  qp.seed = 11;
+  for (const bitmap::BitmapQuery& q : data::GenerateQueries(d, qp)) {
+    std::vector<bool> expected = truth.Evaluate(q);
+    std::vector<bool> got = index->Evaluate(q);
+    ASSERT_EQ(expected.size(), got.size());
+    const std::vector<uint64_t>& rows = q.rows;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      uint64_t row = rows.empty() ? i : rows[i];
+      if (!alive[row]) {
+        EXPECT_FALSE(got[i]) << "dead row " << row << " matched";
+      } else if (expected[i]) {
+        EXPECT_TRUE(got[i]) << "false negative on live row " << row;
+      }
+    }
+  }
+}
+
+TEST_P(MutableIndexLevelTest, RebuildPreservesAnswersAndShedsDrift) {
+  bitmap::BinnedDataset d = TestDataset(400, 5);
+  auto index = MutableAbIndex::Build(d, OptionsFor(8));
+  std::vector<bool> alive(400, true);
+  for (uint64_t row = 0; row < 400; row += 2) {
+    index->DeleteRow(row);
+    alive[row] = false;
+  }
+  double fp_before = index->WorstExpectedFp();
+  index->Rebuild();
+  EXPECT_EQ(index->generation(), 1u);
+  EXPECT_EQ(index->live_rows(), 200u);
+  // The regrown generation holds only live cells, so its expected FP at
+  // the current load cannot exceed the drifted one.
+  EXPECT_LE(index->WorstExpectedFp(), fp_before + 1e-12);
+  ExpectNoFalseNegatives(*index, d, alive);
+  // Ids survive the swap: a post-rebuild insert continues the sequence,
+  // and deleted ids stay dead.
+  uint64_t row = index->InsertRow({4, 4, 4});
+  EXPECT_EQ(row, 400u);
+  EXPECT_TRUE(index->TestCell(row, 0, 4));
+  EXPECT_FALSE(index->RowLive(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, MutableIndexLevelTest,
+                         ::testing::Values(Level::kPerDataset,
+                                           Level::kPerAttribute,
+                                           Level::kPerColumn),
+                         [](const ::testing::TestParamInfo<Level>& info) {
+                           switch (info.param) {
+                             case Level::kPerDataset:
+                               return "PerDataset";
+                             case Level::kPerAttribute:
+                               return "PerAttribute";
+                             default:
+                               return "PerColumn";
+                           }
+                         });
+
+TEST(MutableIndexTest, BuildEmptyGrowsFromNothing) {
+  std::vector<bitmap::AttributeInfo> attrs = {{"a", 8}, {"b", 8}, {"c", 8}};
+  MutableAbIndex::Options options;
+  options.config.alpha = 8;
+  options.auto_rebuild = false;
+  auto index = MutableAbIndex::BuildEmpty(attrs, options, 128);
+  EXPECT_EQ(index->num_rows(), 0u);
+  bitmap::BitmapQuery q;
+  q.ranges.push_back({0, 0, 7});
+  EXPECT_TRUE(index->Evaluate(q).empty());
+
+  for (uint64_t i = 0; i < 100; ++i) {
+    uint64_t row = index->InsertRow({static_cast<uint32_t>(i % 8),
+                                     static_cast<uint32_t>((i / 8) % 8),
+                                     static_cast<uint32_t>(i % 3)});
+    EXPECT_EQ(row, i);
+    EXPECT_TRUE(index->TestCell(row, 0, i % 8));
+  }
+  EXPECT_EQ(index->live_rows(), 100u);
+}
+
+TEST(MutableIndexTest, SaturatedCountersStaySetThroughDeletes) {
+  // Force tiny filters (8 counters each) under per-dataset so hundreds of
+  // cells hammer each counter far past 15. The sticky-saturation rule
+  // must hold: deleting most rows may leave saturated counters at 15,
+  // but must never produce a false negative for a survivor — and must
+  // never trip the underflow abort.
+  std::vector<bitmap::AttributeInfo> attrs = {{"a", 4}, {"b", 4}};
+  MutableAbIndex::Options options;
+  options.config.level = Level::kPerDataset;
+  options.config.n_bits_override = 8;
+  options.auto_rebuild = false;
+  auto index = MutableAbIndex::BuildEmpty(attrs, options, 64);
+  std::mt19937_64 rng(13);
+  std::vector<std::vector<uint32_t>> bins;
+  for (int i = 0; i < 400; ++i) {
+    bins.push_back({static_cast<uint32_t>(rng() % 4),
+                    static_cast<uint32_t>(rng() % 4)});
+    index->InsertRow(bins.back());
+  }
+  for (uint64_t row = 0; row < 390; ++row) index->DeleteRow(row);
+  for (uint64_t row = 390; row < 400; ++row) {
+    EXPECT_TRUE(index->TestCell(row, 0, bins[row][0])) << row;
+    EXPECT_TRUE(index->TestCell(row, 1, bins[row][1])) << row;
+  }
+}
+
+TEST(MutableIndexTest, AlphaDriftTriggersAutomaticRebuild) {
+  // Start tiny (sized for 64 rows) with auto-rebuild on: pushing hundreds
+  // of rows through must blow the fp budget and regrow in the background.
+  std::vector<bitmap::AttributeInfo> attrs = {{"a", 8}, {"b", 8}};
+  MutableAbIndex::Options options;
+  options.config.alpha = 8;
+  options.fp_budget_factor = 2.0;
+  options.regrow_headroom = 2.0;
+  options.auto_rebuild = true;
+  auto index = MutableAbIndex::BuildEmpty(attrs, options, 64);
+  double design_fp = index->DesignFp();
+  ASSERT_GT(design_fp, 0);
+
+  std::mt19937_64 rng(17);
+  std::vector<std::vector<uint32_t>> bins;
+  for (int i = 0; i < 2000; ++i) {
+    bins.push_back({static_cast<uint32_t>(rng() % 8),
+                    static_cast<uint32_t>(rng() % 8)});
+    index->InsertRow(bins.back());
+  }
+  index->WaitForRebuild();
+  EXPECT_GE(index->generation(), 1u);
+  // The regrown generation honours the budget at its new design point:
+  // worst live FP is back under budget relative to the *new* design.
+  EXPECT_FALSE(index->NeedsRebuild());
+  // Every row survived every swap.
+  for (uint64_t row = 0; row < 2000; ++row) {
+    ASSERT_TRUE(index->TestCell(row, 0, bins[row][0])) << row;
+    ASSERT_TRUE(index->TestCell(row, 1, bins[row][1])) << row;
+  }
+}
+
+TEST(MutableIndexTest, FilterStatsTrackEffectiveAlpha) {
+  bitmap::BinnedDataset d = TestDataset(256, 19);
+  MutableAbIndex::Options options;
+  options.config.level = Level::kPerAttribute;
+  options.config.alpha = 8;
+  options.auto_rebuild = false;
+  auto index = MutableAbIndex::Build(d, options);
+
+  std::vector<MutableAbIndex::FilterStats> stats = index->FilterStatsSnapshot();
+  ASSERT_EQ(stats.size(), 3u);  // one filter per attribute
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.live, 256u);  // one cell per row per attribute
+    EXPECT_GT(s.num_counters, 0u);
+    EXPECT_GT(s.k, 0);
+  }
+  // Deletes shrink the live counts — the effective α the drift budget
+  // prices — and with them the worst expected FP.
+  double fp_full = index->WorstExpectedFp();
+  for (uint64_t row = 0; row < 128; ++row) index->DeleteRow(row);
+  stats = index->FilterStatsSnapshot();
+  for (const auto& s : stats) EXPECT_EQ(s.live, 128u);
+  EXPECT_LT(index->WorstExpectedFp(), fp_full);
+}
+
+TEST(MutableIndexTest, ExplicitRebuildIsIdempotentUnderRepetition) {
+  bitmap::BinnedDataset d = TestDataset(150, 23);
+  MutableAbIndex::Options options;
+  options.config.alpha = 8;
+  options.auto_rebuild = false;
+  auto index = MutableAbIndex::Build(d, options);
+  std::vector<bool> alive(150, true);
+  for (int round = 0; round < kNumRebuildRounds; ++round) {
+    index->DeleteRow(static_cast<uint64_t>(round));
+    alive[static_cast<size_t>(round)] = false;
+    index->Rebuild();
+    ExpectNoFalseNegatives(*index, d, alive);
+  }
+  EXPECT_EQ(index->generation(), static_cast<uint64_t>(kNumRebuildRounds));
+}
+
+}  // namespace
+}  // namespace ab
+}  // namespace abitmap

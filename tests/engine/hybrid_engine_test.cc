@@ -361,6 +361,180 @@ TEST(HybridEngineTest, ExecuteBatchOnEmptyInputReturnsEmpty) {
   EXPECT_TRUE(engine.ExecuteBatch({}).empty());
 }
 
+// Ground truth for a mutated engine: raw values of every committed row
+// (base then ingested) plus a liveness mask, evaluated the same way
+// BruteForce evaluates the immutable table.
+std::vector<uint64_t> BruteForceMutable(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<bool>& live, const EngineQuery& q) {
+  std::vector<uint64_t> ids = q.rows;
+  if (ids.empty()) {
+    for (uint64_t r = 0; r < rows.size(); ++r) ids.push_back(r);
+  }
+  std::vector<uint64_t> out;
+  for (uint64_t r : ids) {
+    if (!live[r]) continue;
+    bool match = true;
+    for (const ValuePredicate& p : q.predicates) {
+      if (rows[r][p.attr] < p.lo || rows[r][p.attr] > p.hi) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(r);
+  }
+  return out;
+}
+
+TEST(HybridEngineTest, IngestedRowsAreQueryableAgainstGroundTruth) {
+  HybridEngine engine = MakeEngine(1500, 21);
+  const uint64_t base_n = engine.base_rows();
+  ASSERT_EQ(base_n, 1500u);
+  EXPECT_EQ(engine.TotalRows(), base_n);
+
+  std::vector<std::vector<double>> rows;
+  for (uint64_t r = 0; r < base_n; ++r) {
+    rows.push_back({engine.table().value(r, 0), engine.table().value(r, 1),
+                    engine.table().value(r, 2)});
+  }
+  std::mt19937_64 rng(22);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> v = {
+        std::uniform_real_distribution<double>(0, 100)(rng),
+        static_cast<double>(rng() % 50),
+        std::normal_distribution<double>(3.0, 1.0)(rng)};
+    uint64_t id = engine.IngestRow(v);
+    // Ids continue the base numbering, in commit order.
+    EXPECT_EQ(id, base_n + static_cast<uint64_t>(i));
+    EXPECT_TRUE(engine.RowLive(id));
+    rows.push_back(v);
+  }
+  EXPECT_EQ(engine.TotalRows(), base_n + 300);
+  std::vector<bool> live(rows.size(), true);
+
+  // Whole relation: base matches then delta matches, both ascending.
+  EngineQuery q;
+  q.predicates.push_back(ValuePredicate{0, 20.0, 60.0});
+  q.predicates.push_back(ValuePredicate{1, 5.0, 30.0});
+  std::vector<uint64_t> expected = BruteForceMutable(rows, live, q);
+  EXPECT_EQ(engine.Execute(q).row_ids, expected);
+  // The workload has to actually exercise the delta for this to mean
+  // anything.
+  ASSERT_FALSE(expected.empty());
+  EXPECT_GT(expected.back(), base_n);
+
+  // Explicit row subset straddling the base/delta boundary.
+  q.rows = bitmap::RowRange(1400, 1700);
+  EXPECT_EQ(engine.Execute(q).row_ids, BruteForceMutable(rows, live, q));
+
+  // Delta-only subset.
+  q.rows = bitmap::RowRange(base_n, base_n + 299);
+  EXPECT_EQ(engine.Execute(q).row_ids, BruteForceMutable(rows, live, q));
+}
+
+TEST(HybridEngineTest, DeleteRowTombstonesBaseAndDeltaRows) {
+  HybridEngine engine = MakeEngine(800, 23);
+  const uint64_t base_n = engine.base_rows();
+  std::vector<std::vector<double>> rows;
+  for (uint64_t r = 0; r < base_n; ++r) {
+    rows.push_back({engine.table().value(r, 0), engine.table().value(r, 1),
+                    engine.table().value(r, 2)});
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> v = {50.0 + i * 0.1, 10.0, 3.0};
+    engine.IngestRow(v);
+    rows.push_back(v);
+  }
+  std::vector<bool> live(rows.size(), true);
+
+  // Base deletes: first delete wins, the second is a no-op.
+  std::mt19937_64 rng(24);
+  for (int i = 0; i < 150; ++i) {
+    uint64_t row = rng() % base_n;
+    EXPECT_EQ(engine.DeleteRow(row), live[row] == true);
+    live[row] = false;
+    EXPECT_FALSE(engine.RowLive(row));
+  }
+  // Delta deletes.
+  for (uint64_t local : {3u, 40u, 99u}) {
+    uint64_t id = base_n + local;
+    EXPECT_TRUE(engine.DeleteRow(id));
+    EXPECT_FALSE(engine.DeleteRow(id));
+    EXPECT_FALSE(engine.RowLive(id));
+    live[id] = false;
+  }
+  // Unknown ids are rejected, and ids stay permanent: TotalRows counts
+  // the dead.
+  EXPECT_FALSE(engine.DeleteRow(engine.TotalRows()));
+  EXPECT_FALSE(engine.RowLive(engine.TotalRows()));
+  EXPECT_EQ(engine.TotalRows(), base_n + 100);
+
+  EngineQuery q;
+  q.predicates.push_back(ValuePredicate{0, 40.0, 70.0});
+  EXPECT_EQ(engine.Execute(q).row_ids, BruteForceMutable(rows, live, q));
+
+  q.rows = bitmap::RowRange(700, base_n + 99);
+  EXPECT_EQ(engine.Execute(q).row_ids, BruteForceMutable(rows, live, q));
+}
+
+TEST(HybridEngineTest, IngestStatsTrackChurnAndMergeSignal) {
+  HybridEngine engine = MakeEngine(600, 25);
+  HybridEngine::IngestStats before = engine.GetIngestStats();
+  EXPECT_EQ(before.ingested, 0u);
+  EXPECT_EQ(before.deleted, 0u);
+  EXPECT_EQ(before.delta_live, 0u);
+  EXPECT_EQ(before.delta_worst_fp, 0.0);
+
+  for (int i = 0; i < 200; ++i) {
+    engine.IngestRow({static_cast<double>(i % 100), 5.0, 2.5});
+  }
+  uint64_t base_n = engine.base_rows();
+  for (int i = 0; i < 40; ++i) engine.DeleteRow(base_n + i);  // delta rows
+  for (int i = 0; i < 10; ++i) engine.DeleteRow(i);           // base rows
+
+  HybridEngine::IngestStats after = engine.GetIngestStats();
+  EXPECT_EQ(after.ingested, 200u);
+  EXPECT_EQ(after.deleted, 50u);
+  EXPECT_EQ(after.delta_live, 160u);
+  EXPECT_GT(after.delta_worst_fp, 0.0);
+  EXPECT_LT(after.delta_worst_fp, 1.0);
+  // Folding 160 extra live rows into the base AB can only raise its
+  // expected FP relative to folding none.
+  EXPECT_GE(after.base_fp_if_merged, before.base_fp_if_merged);
+  EXPECT_GT(after.base_fp_if_merged, 0.0);
+}
+
+TEST(HybridEngineTest, ExecuteBatchSeesMutations) {
+  HybridEngine engine = MakeEngine(1000, 27);
+  const uint64_t base_n = engine.base_rows();
+  std::vector<std::vector<double>> rows;
+  for (uint64_t r = 0; r < base_n; ++r) {
+    rows.push_back({engine.table().value(r, 0), engine.table().value(r, 1),
+                    engine.table().value(r, 2)});
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> v = {25.0 + i, 20.0, 3.0};
+    engine.IngestRow(v);
+    rows.push_back(v);
+  }
+  std::vector<bool> live(rows.size(), true);
+  for (uint64_t row : {5u, 6u, 7u}) {
+    engine.DeleteRow(row);
+    live[row] = false;
+  }
+
+  EngineQuery whole;
+  whole.predicates.push_back(ValuePredicate{0, 20.0, 60.0});
+  EngineQuery subset = whole;
+  subset.rows = bitmap::RowRange(0, base_n + 49);
+  std::vector<EngineResult> results = engine.ExecuteBatch({whole, subset});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].row_ids, BruteForceMutable(rows, live, whole));
+  EXPECT_EQ(results[1].row_ids, BruteForceMutable(rows, live, subset));
+  // Batch and single-query paths agree on the mutated engine.
+  EXPECT_EQ(results[0].row_ids, engine.Execute(whole).row_ids);
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace abitmap

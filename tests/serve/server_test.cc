@@ -237,6 +237,61 @@ TEST_F(QueryServerTest, HttpQueryMatchesEngineAndMetricsServe) {
   server.Stop();
 }
 
+TEST_F(QueryServerTest, HttpInsertRoundTripMakesRowsQueryable) {
+  QueryServer server(&engine_, DefaultOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto http_post = [&](const std::string& path, const std::string& body) {
+    Client client = Client::Connect(server.port());
+    std::string request = "POST " + path +
+                          " HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body;
+    EXPECT_TRUE(client.SendRaw(request));
+    return client.ReadUntilClose();
+  };
+
+  // Single-row insert: the new id continues the base numbering.
+  std::string r1 = http_post("/insert", R"({"values":[45.5,17,3.2]})");
+  EXPECT_NE(r1.find("HTTP/1.1 200"), std::string::npos) << r1;
+  EXPECT_NE(r1.find("\"rows\":[" + std::to_string(kRows) + "]"),
+            std::string::npos)
+      << r1;
+  EXPECT_NE(r1.find("\"total_rows\":" + std::to_string(kRows + 1)),
+            std::string::npos)
+      << r1;
+
+  // Batch insert: ids in commit order.
+  std::string r2 =
+      http_post("/insert", R"({"rows":[[45.6,18,3.1],[45.7,19,3.0]]})");
+  EXPECT_NE(r2.find("HTTP/1.1 200"), std::string::npos) << r2;
+  EXPECT_NE(r2.find("\"rows\":[" + std::to_string(kRows + 1) + "," +
+                    std::to_string(kRows + 2) + "]"),
+            std::string::npos)
+      << r2;
+
+  // A client that saw the insert response can immediately query the new
+  // rows by id — the explicit subset names only ingested ids.
+  std::string query_body =
+      R"({"predicates":[{"attr":0,"lo":45.0,"hi":46.0}],"rows":[)" +
+      std::to_string(kRows) + "," + std::to_string(kRows + 1) + "," +
+      std::to_string(kRows + 2) + R"(],"count_only":true})";
+  std::string r3 = http_post("/query", query_body);
+  EXPECT_NE(r3.find("HTTP/1.1 200"), std::string::npos) << r3;
+  EXPECT_NE(r3.find("\"count\":3"), std::string::npos) << r3;
+
+  // Rejections: wrong column count, malformed JSON, and no rows at all
+  // are 400s, and none of them land a row.
+  EXPECT_NE(http_post("/insert", R"({"values":[1,2]})").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_post("/insert", "{").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(http_post("/insert", "{}").find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_EQ(engine_.TotalRows(), kRows + 3);
+  EXPECT_TRUE(engine_.RowLive(kRows + 2));
+  server.Stop();
+}
+
 TEST_F(QueryServerTest, LifecycleStartStopRestart) {
   QueryServer server(&engine_, DefaultOptions());
   ASSERT_TRUE(server.Start().ok());

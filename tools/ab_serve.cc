@@ -11,6 +11,7 @@
 // Try it with curl (JSON over HTTP):
 //   curl -s http://127.0.0.1:PORT/healthz
 //   curl -s -d '{"predicates":[{"attr":0,"lo":20,"hi":60}]}' http://127.0.0.1:PORT/query
+//   curl -s -d '{"values":[45.0,17,3.2]}' http://127.0.0.1:PORT/insert
 //   curl -s http://127.0.0.1:PORT/metrics | grep ab_serve
 //
 // or drive it hard with ./ab_loadgen --port=PORT (binary protocol).

@@ -42,6 +42,13 @@
 # SIGINT shutdown. Advisory by default; AB_CHECK_SERVE=strict makes a
 # failure fatal, AB_CHECK_SERVE=0 skips.
 #
+# A mutable-ingest smoke boots ab_serve again and interleaves a loadgen
+# query burst with POST /insert bursts on the live server: every insert
+# must answer ok, the loadgen must finish with zero errors, /metrics
+# must show abitmap_engine_ingest_rows > 0, and SIGINT must still stop
+# the server cleanly. Advisory by default; AB_CHECK_MUTABLE=strict makes
+# a failure fatal, AB_CHECK_MUTABLE=0 skips.
+#
 # Usage: tools/check.sh [build-dir]   (default: build/check)
 set -euo pipefail
 
@@ -73,6 +80,17 @@ http_get() {
   local port="$1" path="$2"
   exec 3<>"/dev/tcp/127.0.0.1/$port"
   printf 'GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n' "$path" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+# POSTs a body to an HTTP path on 127.0.0.1:$1 with bash's /dev/tcp;
+# prints the full response.
+http_post() {
+  local port="$1" path="$2" body="$3"
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  printf 'POST %s HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: %s\r\n\r\n%s' \
+    "$path" "${#body}" "$body" >&3
   cat <&3
   exec 3<&- 3>&-
 }
@@ -333,6 +351,99 @@ if [ "${AB_CHECK_SERVE:-advisory}" != "0" ]; then
     echo "serve smoke: ADVISORY failure (AB_CHECK_SERVE=strict to enforce)" >&2
   else
     echo "serve smoke: server + loadgen + clean shutdown ok on port $serve_port"
+  fi
+fi
+
+if [ "${AB_CHECK_MUTABLE:-advisory}" != "0" ]; then
+  echo "== mutable-ingest smoke (ab_serve + loadgen + /insert) =="
+  # Queries and streaming inserts on the same live server: the loadgen
+  # hammers /query-equivalent binary frames while this script lands
+  # /insert bursts on the HTTP side. Ingest must not disturb serving
+  # (zero loadgen errors) and must be observable (every insert answers
+  # ok; /metrics shows the ingested rows).
+  mut_ok=1
+  mut_log="$build_dir/ab_serve_mutable_smoke.log"
+  mut_rows=20000
+  "$build_dir/tools/ab_serve" --port=0 --rows="$mut_rows" --workers=2 \
+    >/dev/null 2>"$mut_log" &
+  mut_pid=$!
+  mut_port=""
+  for _ in $(seq 1 100); do
+    mut_port="$(sed -n \
+      's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "$mut_log" | head -1)"
+    [ -n "$mut_port" ] && break
+    if ! kill -0 "$mut_pid" 2>/dev/null; then
+      echo "mutable smoke: ab_serve exited early; log:" >&2
+      cat "$mut_log" >&2
+      mut_ok=0
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$mut_ok" = "1" ] && [ -z "$mut_port" ]; then
+    echo "mutable smoke: ab_serve never announced a port" >&2
+    kill "$mut_pid" 2>/dev/null || true
+    mut_ok=0
+  fi
+  if [ "$mut_ok" = "1" ]; then
+    mut_json="$build_dir/ab_loadgen_mutable_smoke.json"
+    "$build_dir/tools/ab_loadgen" --port="$mut_port" --rows="$mut_rows" \
+      --connections=4 --duration=2 --json \
+      >"$mut_json" 2>>"$mut_log" &
+    mut_loadgen_pid=$!
+    # Insert bursts while the loadgen is live: 3 bursts of 10 rows.
+    mut_inserts=0
+    for burst in 1 2 3; do
+      for i in $(seq 1 10); do
+        resp="$(http_post "$mut_port" /insert \
+          "{\"values\":[$((burst * 10 + i)).5,$i,3.0]}" || true)"
+        case "$resp" in
+          *'"status":"ok"'*) mut_inserts=$((mut_inserts + 1)) ;;
+          *)
+            echo "mutable smoke: insert rejected; response:" >&2
+            echo "$resp" >&2
+            mut_ok=0
+            ;;
+        esac
+      done
+      sleep 0.3
+    done
+    if ! wait "$mut_loadgen_pid"; then
+      echo "mutable smoke: ab_loadgen failed; see $mut_log" >&2
+      mut_ok=0
+    elif ! grep -q '"errors": 0' "$mut_json"; then
+      echo "mutable smoke: loadgen saw errors during ingest:" >&2
+      cat "$mut_json" >&2
+      mut_ok=0
+    fi
+    if [ "$mut_ok" = "1" ]; then
+      mut_metrics="$(http_get "$mut_port" /metrics)"
+      ingested="$(printf '%s\n' "$mut_metrics" |
+        sed -n 's/^abitmap_engine_ingest_rows \([0-9]*\).*/\1/p' | head -1)"
+      if [ -z "$ingested" ] || [ "$ingested" -lt "$mut_inserts" ]; then
+        echo "mutable smoke: /metrics ingest counter ($ingested) below" \
+          "the $mut_inserts inserts sent" >&2
+        mut_ok=0
+      fi
+    fi
+    kill -INT "$mut_pid" 2>/dev/null || true
+    mut_status=0
+    wait "$mut_pid" || mut_status=$?
+    if [ "$mut_status" -ne 0 ]; then
+      echo "mutable smoke: ab_serve exited with status $mut_status" >&2
+      mut_ok=0
+    fi
+  fi
+  if [ "$mut_ok" != "1" ]; then
+    if [ "${AB_CHECK_MUTABLE:-advisory}" = "strict" ]; then
+      echo "error: AB_CHECK_MUTABLE=strict and the smoke failed" >&2
+      exit 1
+    fi
+    echo "mutable smoke: ADVISORY failure (AB_CHECK_MUTABLE=strict to enforce)" >&2
+  else
+    echo "mutable smoke: $mut_inserts inserts + loadgen + clean shutdown" \
+      "ok on port $mut_port"
   fi
 fi
 

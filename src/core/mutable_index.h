@@ -133,6 +133,10 @@ class MutableAbIndex {
   uint64_t reader_retries() const {
     return reader_retries_.load(std::memory_order_relaxed);
   }
+  /// True while a background rebuild is in flight (telemetry gauge).
+  bool rebuild_running() const {
+    return rebuild_running_.load(std::memory_order_relaxed);
+  }
 
   /// Worst expected FP across the current generation's filters at their
   /// *live* cell counts — the effective-α health the drift budget gates

@@ -248,6 +248,10 @@ EngineResult CollectResult(const HybridEngine& engine,
                            util::ThreadPool* pool) {
   AB_SPAN("engine/verify");
   obs::ScopedLatencyTimer timer(obs::Histogram::kVerifyLatencyNs);
+  // Per-result timing (trace.verify_ns), not telemetry: it rides the
+  // serve layer's stage breakdown, so it is measured in both stats
+  // configurations.
+  util::Stopwatch verify_timer;
   EngineResult result;
   result.path = std::move(path);
   result.approximate = !query.exact;
@@ -294,6 +298,8 @@ EngineResult CollectResult(const HybridEngine& engine,
     }
   }
   FinalizeVerification(query, candidates, &result);
+  result.trace.verify_ns =
+      static_cast<uint64_t>(verify_timer.ElapsedMicros() * 1000.0);
   return result;
 }
 
@@ -307,6 +313,7 @@ EngineResult CollectResultFromBits(const HybridEngine& engine,
                                    std::string path, util::ThreadPool* pool) {
   AB_SPAN("engine/verify");
   obs::ScopedLatencyTimer timer(obs::Histogram::kVerifyLatencyNs);
+  util::Stopwatch verify_timer;
   EngineResult result;
   result.path = std::move(path);
   result.approximate = !query.exact;
@@ -351,6 +358,8 @@ EngineResult CollectResultFromBits(const HybridEngine& engine,
     }
     FinalizeVerification(query, candidates, &result);
   }
+  result.trace.verify_ns =
+      static_cast<uint64_t>(verify_timer.ElapsedMicros() * 1000.0);
   return result;
 }
 
@@ -394,6 +403,7 @@ EngineResult HybridEngine::ExecuteAbImpl(const EngineQuery& query,
   trace.candidates = result.trace.candidates;
   trace.verified_matches = result.trace.verified_matches;
   trace.observed_precision = result.trace.observed_precision;
+  trace.verify_ns = result.trace.verify_ns;
   result.trace = trace;
   result.trace.path = "ab";
   result.trace.backend = "ab";

@@ -86,6 +86,9 @@ const char* const kHistogramHelp[kNumHistograms] = {
     "Time a serve request waited in the batch-admission queue in nanoseconds",
     "Queries per dispatched admission batch",
     "Mutable-index generation rebuild wall time in nanoseconds",
+    "Serve request frame/JSON decode wall time in nanoseconds",
+    "Serve response rendering wall time in nanoseconds",
+    "Serve response socket-flush wall time in nanoseconds",
 };
 
 void Appendf(std::string* out, const char* fmt, ...)

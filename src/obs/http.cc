@@ -9,8 +9,10 @@
 #include <utility>
 
 #include "obs/export.h"
+#include "obs/slowlog.h"
 #include "obs/span.h"
 #include "obs/stats.h"
+#include "obs/timeseries.h"
 #include "util/net.h"
 
 namespace abitmap {
@@ -175,6 +177,18 @@ void RegisterObsEndpoints(HttpServer* server) {
     HttpResponse r;
     r.content_type = "application/json";
     r.body = SpansToChromeJson();
+    return r;
+  });
+  server->Handle("/slow.json", [](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    r.body = SlowLogToJson();
+    return r;
+  });
+  server->Handle("/timeseries.json", [](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    r.body = TimeSeriesToJson();
     return r;
   });
 }

@@ -22,12 +22,14 @@
 /// sends, clamped receive timeouts).
 ///
 /// RegisterObsEndpoints() wires the standard endpoint set:
-///   GET /metrics      Prometheus exposition of the stats snapshot
-///   GET /stats.json   JSON snapshot (obs::ToJson)
-///   GET /healthz      "ok\n" liveness probe
-///   GET /traces.json  Chrome Trace Event JSON of the span ring
-/// All four serve clean payloads in an -DAB_DISABLE_STATS=ON build (zeroed
-/// metrics with an "off" build-info label, an empty disabled trace).
+///   GET /metrics          Prometheus exposition of the stats snapshot
+///   GET /stats.json       JSON snapshot (obs::ToJson)
+///   GET /healthz          "ok\n" liveness probe
+///   GET /traces.json      Chrome Trace Event JSON of the span ring
+///   GET /slow.json        retained slow-query records (obs/slowlog.h)
+///   GET /timeseries.json  periodic metric samples (obs/timeseries.h)
+/// All serve clean payloads in an -DAB_DISABLE_STATS=ON build (zeroed
+/// metrics with an "off" build-info label, empty disabled rings).
 
 namespace abitmap {
 namespace obs {
@@ -92,7 +94,8 @@ class HttpServer {
   std::thread serve_thread_;
 };
 
-/// Registers /metrics, /stats.json, /healthz, and /traces.json.
+/// Registers /metrics, /stats.json, /healthz, /traces.json, /slow.json,
+/// and /timeseries.json.
 void RegisterObsEndpoints(HttpServer* server);
 
 }  // namespace obs

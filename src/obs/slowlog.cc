@@ -1,0 +1,190 @@
+#include "obs/slowlog.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <type_traits>
+
+#include "obs/span.h"
+
+namespace abitmap {
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> g_threshold_ns{100ull * 1000 * 1000};  // 100 ms
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                                  ? static_cast<size_t>(n)
+                                  : sizeof(buf) - 1);
+}
+
+}  // namespace
+
+void SetSlowLogThresholdNs(uint64_t ns) {
+  g_threshold_ns.store(ns, std::memory_order_relaxed);
+}
+
+uint64_t SlowLogThresholdNs() {
+  return g_threshold_ns.load(std::memory_order_relaxed);
+}
+
+#if !defined(AB_DISABLE_STATS)
+
+namespace {
+
+static_assert(std::is_trivially_copyable<SlowQueryRecord>::value,
+              "ring slots copy records through word-sized atomic stores");
+static_assert(sizeof(SlowQueryRecord) % 8 == 0,
+              "record must pack into whole 64-bit words");
+
+constexpr size_t kRecordWords = sizeof(SlowQueryRecord) / 8;
+
+/// Seqlock slot, same protocol as the span ring (span.cc): seq holds
+/// 2*ticket+1 while the claiming writer stores the payload words and
+/// 2*ticket+2 once complete; a reader accepts only a stable even seq
+/// observed before and after its relaxed payload reads.
+struct alignas(64) Slot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> words[kRecordWords] = {};
+};
+
+struct Ring {
+  std::atomic<uint64_t> head{0};  ///< total records ever published
+  Slot slots[kSlowLogCapacity];
+
+  static Ring& Instance() {
+    // Leaked singleton, as in span.cc: completions can land from
+    // threads torn down after main() returns.
+    static Ring* r = new Ring();
+    return *r;
+  }
+};
+
+/// Mirrors the stage breakdown into the span ring as one
+/// serve/slow_request parent with child spans per nonzero stage, so
+/// /traces.json renders the subtree of every retained slow request.
+void PublishStageSpans(const SlowQueryRecord& rec) {
+  uint32_t tid = internal::SpanTid();
+  uint64_t parent = internal::NextSpanId();
+  uint64_t start = rec.mono_ns - rec.total_ns;
+  internal::PublishSpan("serve/slow_request", tid, parent, 0, start,
+                        rec.total_ns);
+  struct Stage {
+    const char* name;
+    uint64_t dur;
+  };
+  const Stage stages[] = {
+      {"slow/queue", rec.queue_ns},
+      {"slow/batch", rec.batch_ns},
+      {"slow/engine", rec.engine_ns},
+      {"slow/verify", rec.verify_ns},
+  };
+  uint64_t cursor = start;
+  for (const Stage& s : stages) {
+    if (s.dur == 0) continue;
+    internal::PublishSpan(s.name, tid, internal::NextSpanId(), parent,
+                          cursor, s.dur);
+    // queue+batch tile the request window; engine/verify are
+    // attributions inside the batch window and just start where the
+    // batch does.
+    if (s.name[5] == 'q' || s.name[5] == 'b') cursor += s.dur;
+  }
+}
+
+}  // namespace
+
+void RecordSlowQuery(const SlowQueryRecord& record) {
+  Ring& ring = Ring::Instance();
+  uint64_t words[kRecordWords];
+  std::memcpy(words, &record, sizeof(record));
+  uint64_t ticket = ring.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = ring.slots[ticket % kSlowLogCapacity];
+  s.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (size_t w = 0; w < kRecordWords; ++w) {
+    s.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  s.seq.store(2 * ticket + 2, std::memory_order_release);
+  PublishStageSpans(record);
+}
+
+std::vector<SlowQueryRecord> SnapshotSlowLog() {
+  Ring& ring = Ring::Instance();
+  uint64_t head = ring.head.load(std::memory_order_acquire);
+  uint64_t count = std::min<uint64_t>(head, kSlowLogCapacity);
+  std::vector<SlowQueryRecord> out;
+  out.reserve(count);
+  for (uint64_t t = head - count; t < head; ++t) {
+    Slot& s = ring.slots[t % kSlowLogCapacity];
+    uint64_t seq = s.seq.load(std::memory_order_acquire);
+    if (seq == 0 || (seq & 1) != 0) continue;
+    uint64_t words[kRecordWords];
+    for (size_t w = 0; w < kRecordWords; ++w) {
+      words[w] = s.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != seq) continue;
+    SlowQueryRecord rec;
+    std::memcpy(&rec, words, sizeof(rec));
+    if (rec.path == nullptr) rec.path = "";
+    if (rec.backend == nullptr) rec.backend = "";
+    out.push_back(rec);
+  }
+  return out;
+}
+
+void ClearSlowLog() {
+  Ring& ring = Ring::Instance();
+  ring.head.store(0, std::memory_order_relaxed);
+  for (Slot& s : ring.slots) {
+    s.seq.store(0, std::memory_order_relaxed);
+  }
+}
+
+#endif  // !AB_DISABLE_STATS
+
+std::string SlowLogToJson() {
+  std::string out = "{\n";
+  Appendf(&out, "  \"enabled\": %s,\n", kStatsEnabled ? "true" : "false");
+  Appendf(&out, "  \"threshold_ns\": %" PRIu64 ",\n", SlowLogThresholdNs());
+  Appendf(&out, "  \"capacity\": %zu,\n", kSlowLogCapacity);
+  out += "  \"records\": [";
+  std::vector<SlowQueryRecord> records = SnapshotSlowLog();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SlowQueryRecord& r = records[i];
+    Appendf(&out,
+            "%s\n    {\"trace_id\": %" PRIu64 ", \"id\": %" PRIu64
+            ", \"status\": %u, \"batch_size\": %u, \"mono_ns\": %" PRIu64
+            ", \"total_ns\": %" PRIu64 ", \"decode_ns\": %" PRIu64
+            ", \"queue_ns\": %" PRIu64 ", \"batch_ns\": %" PRIu64
+            ", \"engine_ns\": %" PRIu64 ", \"verify_ns\": %" PRIu64
+            ", \"serialize_ns\": %" PRIu64,
+            i == 0 ? "" : ",", r.trace_id, r.request_id, r.status,
+            r.batch_size, r.mono_ns, r.total_ns, r.decode_ns, r.queue_ns,
+            r.batch_ns, r.engine_ns, r.verify_ns, r.serialize_ns);
+    Appendf(&out,
+            ", \"path\": \"%s\", \"backend\": \"%s\", \"candidates\": %" PRIu64
+            ", \"verified_matches\": %" PRIu64
+            ", \"observed_precision\": %.6f}",
+            r.path, r.backend, r.candidates, r.verified_matches,
+            r.observed_precision);
+  }
+  out += records.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace abitmap

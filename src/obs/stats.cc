@@ -79,6 +79,9 @@ const char* const kHistogramNames[kNumHistograms] = {
     "serve_queue_wait_ns",
     "serve_batch_size",
     "mutable_rebuild_ns",
+    "serve_decode_ns",
+    "serve_serialize_ns",
+    "serve_flush_ns",
 };
 
 }  // namespace

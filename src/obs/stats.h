@@ -127,6 +127,9 @@ enum class Histogram : uint32_t {
   kServeQueueWaitNs,     ///< serve: time a request sat in the batch queue
   kServeBatchSize,       ///< serve: queries per dispatched batch
   kMutableRebuildNs,     ///< mutable index: generation rebuild wall time
+  kServeDecodeNs,        ///< serve: frame/JSON decode time on the worker
+  kServeSerializeNs,     ///< serve: response rendering time
+  kServeFlushNs,         ///< serve: response socket-flush time
   kNumHistograms,
 };
 

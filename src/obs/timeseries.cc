@@ -1,0 +1,167 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <type_traits>
+
+namespace abitmap {
+namespace obs {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                                  ? static_cast<size_t>(n)
+                                  : sizeof(buf) - 1);
+}
+
+}  // namespace
+
+TsSample TsSampleFromStats(const StatsSnapshot& snapshot) {
+  TsSample s;
+  s.serve_requests = snapshot.counter(Counter::kServeRequests);
+  s.serve_bad_requests = snapshot.counter(Counter::kServeBadRequests);
+  s.serve_overload_rejected =
+      snapshot.counter(Counter::kServeOverloadRejected);
+  s.serve_deadline_expired =
+      snapshot.counter(Counter::kServeDeadlineExpired);
+  s.serve_batches = snapshot.counter(Counter::kServeBatches);
+  s.engine_queries = snapshot.counter(Counter::kEngineQueries);
+  s.engine_ingest_rows = snapshot.counter(Counter::kEngineIngestRows);
+  s.engine_ingest_deletes = snapshot.counter(Counter::kEngineIngestDeletes);
+  s.engine_rebuilds = snapshot.counter(Counter::kEngineRebuilds);
+  const HistogramSnapshot& lat =
+      snapshot.histogram(Histogram::kServeRequestLatencyNs);
+  s.request_p50_us =
+      static_cast<double>(lat.PercentileUpperBound(0.50)) / 1000.0;
+  s.request_p99_us =
+      static_cast<double>(lat.PercentileUpperBound(0.99)) / 1000.0;
+  return s;
+}
+
+#if !defined(AB_DISABLE_STATS)
+
+namespace {
+
+static_assert(std::is_trivially_copyable<TsSample>::value,
+              "ring slots copy samples through word-sized atomic stores");
+static_assert(sizeof(TsSample) % 8 == 0,
+              "sample must pack into whole 64-bit words");
+
+constexpr size_t kSampleWords = sizeof(TsSample) / 8;
+
+/// Seqlock slot; identical protocol to span.cc and slowlog.cc.
+struct alignas(64) Slot {
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> words[kSampleWords] = {};
+};
+
+struct Ring {
+  std::atomic<uint64_t> head{0};  ///< total samples ever published
+  Slot slots[kTimeSeriesCapacity];
+
+  static Ring& Instance() {
+    static Ring* r = new Ring();  // leaked, as in span.cc
+    return *r;
+  }
+};
+
+}  // namespace
+
+void RecordTimeSeriesSample(const TsSample& sample) {
+  Ring& ring = Ring::Instance();
+  uint64_t words[kSampleWords];
+  std::memcpy(words, &sample, sizeof(sample));
+  uint64_t ticket = ring.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = ring.slots[ticket % kTimeSeriesCapacity];
+  s.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (size_t w = 0; w < kSampleWords; ++w) {
+    s.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  s.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<TsSample> SnapshotTimeSeries() {
+  Ring& ring = Ring::Instance();
+  uint64_t head = ring.head.load(std::memory_order_acquire);
+  uint64_t count = std::min<uint64_t>(head, kTimeSeriesCapacity);
+  std::vector<TsSample> out;
+  out.reserve(count);
+  for (uint64_t t = head - count; t < head; ++t) {
+    Slot& s = ring.slots[t % kTimeSeriesCapacity];
+    uint64_t seq = s.seq.load(std::memory_order_acquire);
+    if (seq == 0 || (seq & 1) != 0) continue;
+    uint64_t words[kSampleWords];
+    for (size_t w = 0; w < kSampleWords; ++w) {
+      words[w] = s.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != seq) continue;
+    TsSample sample;
+    std::memcpy(&sample, words, sizeof(sample));
+    out.push_back(sample);
+  }
+  return out;
+}
+
+void ClearTimeSeries() {
+  Ring& ring = Ring::Instance();
+  ring.head.store(0, std::memory_order_relaxed);
+  for (Slot& s : ring.slots) {
+    s.seq.store(0, std::memory_order_relaxed);
+  }
+}
+
+#endif  // !AB_DISABLE_STATS
+
+std::string TimeSeriesToJson() {
+  std::string out = "{\n";
+  Appendf(&out, "  \"enabled\": %s,\n", kStatsEnabled ? "true" : "false");
+  Appendf(&out, "  \"capacity\": %zu,\n", kTimeSeriesCapacity);
+  out += "  \"samples\": [";
+  std::vector<TsSample> samples = SnapshotTimeSeries();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const TsSample& s = samples[i];
+    Appendf(&out,
+            "%s\n    {\"wall_ms\": %" PRIu64 ", \"mono_ns\": %" PRIu64
+            ", \"serve_requests\": %" PRIu64
+            ", \"serve_bad_requests\": %" PRIu64
+            ", \"serve_overload_rejected\": %" PRIu64
+            ", \"serve_deadline_expired\": %" PRIu64
+            ", \"serve_batches\": %" PRIu64 ", \"engine_queries\": %" PRIu64
+            ", \"engine_ingest_rows\": %" PRIu64
+            ", \"engine_ingest_deletes\": %" PRIu64
+            ", \"engine_rebuilds\": %" PRIu64,
+            i == 0 ? "" : ",", s.wall_ms, s.mono_ns, s.serve_requests,
+            s.serve_bad_requests, s.serve_overload_rejected,
+            s.serve_deadline_expired, s.serve_batches, s.engine_queries,
+            s.engine_ingest_rows, s.engine_ingest_deletes,
+            s.engine_rebuilds);
+    Appendf(&out,
+            ", \"request_p50_us\": %.1f, \"request_p99_us\": %.1f"
+            ", \"delta_live\": %" PRIu64 ", \"delta_generations\": %" PRIu64
+            ", \"delta_worst_fp\": %.8f, \"delta_fp_budget\": %.8f"
+            ", \"base_fp_if_merged\": %.8f, \"rebuild_running\": %u}",
+            s.request_p50_us, s.request_p99_us, s.delta_live,
+            s.delta_generations, s.delta_worst_fp, s.delta_fp_budget,
+            s.base_fp_if_merged, s.rebuild_running);
+  }
+  out += samples.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace abitmap

@@ -1,12 +1,22 @@
 #ifndef ABITMAP_OBS_TRACE_H_
 #define ABITMAP_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <string>
 
 namespace abitmap {
 namespace obs {
+
+/// Process-unique, nonzero request trace ids. Minted by the serve layer
+/// for requests that arrive without a client-supplied `trace_id`; part of
+/// the wire protocol (request identity), so it exists in both stats
+/// configurations — identity is protocol, telemetry is optional.
+inline uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 /// Per-query trace record (the PerfContext to stats.h's Statistics): one
 /// query's execution profile, filled by the AbIndex evaluation kernels
@@ -41,6 +51,10 @@ struct QueryTrace {
   /// AB-routed queries. Empty outside the engine.
   const char* backend = "";
   double latency_ms = 0.0;
+  /// Wall time spent verifying candidates against raw values, in
+  /// nanoseconds. Filled by the engine's collect path in both stats
+  /// configurations (it is a per-result timing, not a global counter).
+  uint64_t verify_ns = 0;
 
   /// Single-line JSON rendering (diagnostics, ab_stats --trace).
   std::string ToJson() const {
@@ -53,6 +67,7 @@ struct QueryTrace {
         "\"probe_windows\": %llu, \"rows_matched\": %llu, "
         "\"rows_short_circuited\": %llu, \"attrs_in_plan\": %llu, "
         "\"candidates\": %llu, \"verified_matches\": %llu, "
+        "\"verify_ns\": %llu, "
         "\"predicted_precision\": %.6f, \"observed_precision\": %.6f}",
         path, backend, simd_level, latency_ms,
         static_cast<unsigned long long>(rows_evaluated),
@@ -63,6 +78,7 @@ struct QueryTrace {
         static_cast<unsigned long long>(attrs_in_plan),
         static_cast<unsigned long long>(candidates),
         static_cast<unsigned long long>(verified_matches),
+        static_cast<unsigned long long>(verify_ns),
         predicted_precision, observed_precision);
     return std::string(buf);
   }

@@ -26,11 +26,16 @@ inline uint64_t MonotonicNowNs() {
 
 /// A query admitted to the service but not yet executed: the parsed
 /// request, its timing envelope, and the completion that delivers the
-/// response back to the owning connection.
+/// response back to the owning connection. decode_ns/validate_ns are
+/// pre-admission stage durations (frame/JSON decode on the worker,
+/// schema validation in Submit) carried along so the dispatcher can echo
+/// a complete stage breakdown.
 struct PendingQuery {
   QueryRequest request;
   uint64_t enqueue_ns = 0;
   uint64_t deadline_ns = 0;  ///< 0 = none; absolute MonotonicNowNs time
+  uint64_t decode_ns = 0;    ///< wire decode duration (transport-stamped)
+  uint64_t validate_ns = 0;  ///< schema validation duration (Submit)
   std::function<void(QueryResponse)> done;
 };
 

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <string>
@@ -18,8 +19,14 @@ namespace serve {
 
 namespace {
 
+/// Stage order in the per-sample arrays (StageBreakdown field order).
+constexpr size_t kNumStages = 7;
+
 struct ThreadStats {
   std::vector<double> latencies_us;
+  /// One row per response that carried a timing breakdown:
+  /// decode, validate, queue, batch, engine, verify, total (µs).
+  std::vector<std::array<double, kNumStages>> stages_us;
   uint64_t ok = 0;
   uint64_t rejected = 0;
   uint64_t errors = 0;
@@ -102,6 +109,7 @@ void DriveConnection(const std::vector<QueryRequest>& templates,
     QueryRequest request = templates[sampler.Next()];
     request.id = next_id++;
     request.deadline_ms = options.deadline_ms;
+    request.want_timings = options.want_timings;
 
     QueryResponse response;
     if (!RoundTrip(fd.value(), request, &buffer, &response)) {
@@ -115,6 +123,17 @@ void DriveConnection(const std::vector<QueryRequest>& templates,
     uint64_t done = MonotonicNowNs();
     stats->latencies_us.push_back(
         static_cast<double>(done - scheduled_ns) / 1000.0);
+    if (response.timings.has) {
+      const StageTimings& t = response.timings;
+      stats->stages_us.push_back(
+          {static_cast<double>(t.decode_ns) / 1000.0,
+           static_cast<double>(t.validate_ns) / 1000.0,
+           static_cast<double>(t.queue_ns) / 1000.0,
+           static_cast<double>(t.batch_ns) / 1000.0,
+           static_cast<double>(t.engine_ns) / 1000.0,
+           static_cast<double>(t.verify_ns) / 1000.0,
+           static_cast<double>(t.total_ns) / 1000.0});
+    }
     if (response.status == StatusCode::kOk) {
       ++stats->ok;
     } else if (response.status == StatusCode::kOverloaded ||
@@ -179,6 +198,29 @@ util::StatusOr<LoadgenResult> RunLoadgen(
     result.p99_us = Percentile(all, 0.99);
     result.p999_us = Percentile(all, 0.999);
     result.max_us = all.back();
+  }
+
+  // Server-side latency attribution: aggregate each stage independently
+  // across every response that carried a breakdown.
+  StageAggregate* aggs[kNumStages] = {
+      &result.stages.decode, &result.stages.validate, &result.stages.queue,
+      &result.stages.batch,  &result.stages.engine,   &result.stages.verify,
+      &result.stages.total};
+  std::vector<double> column;
+  for (size_t stage = 0; stage < kNumStages; ++stage) {
+    column.clear();
+    for (const ThreadStats& s : stats) {
+      for (const std::array<double, kNumStages>& row : s.stages_us) {
+        column.push_back(row[stage]);
+      }
+    }
+    if (column.empty()) continue;
+    result.stages.samples = column.size();
+    double sum = 0;
+    for (double v : column) sum += v;
+    aggs[stage]->mean_us = sum / static_cast<double>(column.size());
+    std::sort(column.begin(), column.end());
+    aggs[stage]->p99_us = Percentile(column, 0.99);
   }
   return result;
 }

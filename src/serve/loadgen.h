@@ -33,6 +33,30 @@ struct LoadgenOptions {
   uint32_t deadline_ms = 0;  ///< attached to every request; 0 = none
   uint64_t seed = 1;
   int recv_timeout_ms = 5000;  ///< per-response safety net
+  /// Ask the server for a per-stage timing breakdown on every request
+  /// and aggregate the echoes (LoadgenResult::stages). Adds 72 bytes to
+  /// each response frame.
+  bool want_timings = false;
+};
+
+/// Aggregate of one server-reported stage across the run.
+struct StageAggregate {
+  double mean_us = 0;
+  double p99_us = 0;
+};
+
+/// Server-side latency attribution, aggregated from the per-response
+/// stage breakdowns (see serve::StageTimings for stage semantics;
+/// serialize/flush are server-histogram-only and never echoed).
+struct StageBreakdown {
+  uint64_t samples = 0;  ///< responses that carried a breakdown
+  StageAggregate decode;
+  StageAggregate validate;
+  StageAggregate queue;
+  StageAggregate batch;
+  StageAggregate engine;
+  StageAggregate verify;
+  StageAggregate total;
 };
 
 struct LoadgenResult {
@@ -48,6 +72,7 @@ struct LoadgenResult {
   double p99_us = 0;
   double p999_us = 0;
   double max_us = 0;
+  StageBreakdown stages;  ///< filled when options.want_timings
 };
 
 /// Runs the load. Fails only when no connection could be established;

@@ -16,9 +16,10 @@ namespace {
 /// Fixed per-message byte counts of the binary payload layout (see the
 /// encode functions); used to validate declared element counts against
 /// the declared payload length before any allocation.
-constexpr size_t kQueryFixedBytes = 16;      // id+flags+reserved+preds+deadline+rows
+constexpr size_t kQueryFixedBytes = 24;      // id+flags+reserved+preds+deadline+rows+trace_id
 constexpr size_t kPredicateBytes = 20;       // attr + lo + hi
-constexpr size_t kResponseFixedBytes = 20;   // id+status+flags+reserved+count+err_len
+constexpr size_t kResponseFixedBytes = 28;   // id+status+flags+reserved+trace_id+count+err_len
+constexpr size_t kTimingsBytes = 72;         // 9 x u64 stage breakdown
 
 std::string AssembleFrame(uint32_t magic, const util::ByteWriter& payload) {
   util::ByteWriter header;
@@ -236,6 +237,16 @@ bool ParseU32Field(JsonCursor* c, uint32_t* out) {
   return true;
 }
 
+/// JSON numbers travel as doubles, so ids are exact up to 2^53 — the
+/// binary framing carries the full 64 bits for clients that need them.
+bool ParseU64Field(JsonCursor* c, uint64_t* out) {
+  double v;
+  if (!c->ParseNumber(&v)) return false;
+  if (!(v >= 0) || v > 9007199254740992.0 || v != std::floor(v)) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
 bool ParsePredicateObject(JsonCursor* c, engine::ValuePredicate* out,
                           std::string* error) {
   if (!c->Consume('{')) {
@@ -303,12 +314,14 @@ std::string EncodeQueryFrame(const QueryRequest& request) {
   uint8_t flags = 0;
   if (request.exact) flags |= 1;
   if (request.count_only) flags |= 2;
+  if (request.want_timings) flags |= 4;
   payload.WriteU8(flags);
   payload.WriteU8(0);  // reserved
   payload.WriteU8(static_cast<uint8_t>(request.predicates.size() & 0xff));
   payload.WriteU8(static_cast<uint8_t>((request.predicates.size() >> 8) & 0xff));
   payload.WriteU32(request.deadline_ms);
   payload.WriteU32(static_cast<uint32_t>(request.rows.size()));
+  payload.WriteU64(request.trace_id);
   for (const engine::ValuePredicate& p : request.predicates) {
     payload.WriteU32(p.attr);
     payload.WriteDouble(p.lo);
@@ -324,12 +337,28 @@ std::string EncodeResponseFrame(const QueryResponse& response) {
   payload.WriteU8(static_cast<uint8_t>(response.status));
   bool has_rows =
       response.status == StatusCode::kOk && !response.row_ids.empty();
-  payload.WriteU8(has_rows ? 1 : 0);
+  uint8_t flags = 0;
+  if (has_rows) flags |= 1;
+  if (response.timings.has) flags |= 2;
+  payload.WriteU8(flags);
   payload.WriteU8(0);
   payload.WriteU8(0);
+  payload.WriteU64(response.trace_id);
   payload.WriteU64(response.count);
   payload.WriteU32(static_cast<uint32_t>(response.error.size()));
   payload.WriteBytes(response.error.data(), response.error.size());
+  if (response.timings.has) {
+    const StageTimings& t = response.timings;
+    payload.WriteU64(t.decode_ns);
+    payload.WriteU64(t.validate_ns);
+    payload.WriteU64(t.queue_ns);
+    payload.WriteU64(t.batch_ns);
+    payload.WriteU64(t.engine_ns);
+    payload.WriteU64(t.verify_ns);
+    payload.WriteU64(t.serialize_ns);
+    payload.WriteU64(t.flush_ns);
+    payload.WriteU64(t.total_ns);
+  }
   payload.WriteU32(has_rows ? static_cast<uint32_t>(response.row_ids.size())
                             : 0);
   if (has_rows) {
@@ -353,16 +382,18 @@ DecodeStatus DecodeQueryFrame(const uint8_t* data, size_t len,
   *out = QueryRequest();
   if (!r.ReadU32(&out->id) || !r.ReadU8(&flags) || !r.ReadU8(&reserved) ||
       !r.ReadU8(&preds_lo) || !r.ReadU8(&preds_hi) ||
-      !r.ReadU32(&out->deadline_ms) || !r.ReadU32(&num_rows)) {
+      !r.ReadU32(&out->deadline_ms) || !r.ReadU32(&num_rows) ||
+      !r.ReadU64(&out->trace_id)) {
     *error = "truncated query payload";
     return DecodeStatus::kMalformed;
   }
-  if (reserved != 0 || (flags & ~0x3u) != 0) {
+  if (reserved != 0 || (flags & ~0x7u) != 0) {
     *error = "unknown query flags";
     return DecodeStatus::kMalformed;
   }
   out->exact = (flags & 1) != 0;
   out->count_only = (flags & 2) != 0;
+  out->want_timings = (flags & 4) != 0;
   size_t num_predicates = preds_lo | (static_cast<size_t>(preds_hi) << 8);
   if (num_predicates > kMaxPredicates) {
     *error = "too many predicates";
@@ -407,8 +438,8 @@ DecodeStatus DecodeResponseFrame(const uint8_t* data, size_t len,
   uint32_t error_len;
   *out = QueryResponse();
   if (!r.ReadU32(&out->id) || !r.ReadU8(&status) || !r.ReadU8(&flags) ||
-      !r.ReadU8(&r0) || !r.ReadU8(&r1) || !r.ReadU64(&out->count) ||
-      !r.ReadU32(&error_len)) {
+      !r.ReadU8(&r0) || !r.ReadU8(&r1) || !r.ReadU64(&out->trace_id) ||
+      !r.ReadU64(&out->count) || !r.ReadU32(&error_len)) {
     return DecodeStatus::kMalformed;
   }
   if (status > static_cast<uint8_t>(StatusCode::kInternal)) {
@@ -419,6 +450,17 @@ DecodeStatus DecodeResponseFrame(const uint8_t* data, size_t len,
   out->error.resize(error_len);
   if (error_len > 0 && !r.ReadBytes(&out->error[0], error_len)) {
     return DecodeStatus::kMalformed;
+  }
+  if ((flags & 2) != 0) {
+    StageTimings& t = out->timings;
+    if (r.remaining() < kTimingsBytes || !r.ReadU64(&t.decode_ns) ||
+        !r.ReadU64(&t.validate_ns) || !r.ReadU64(&t.queue_ns) ||
+        !r.ReadU64(&t.batch_ns) || !r.ReadU64(&t.engine_ns) ||
+        !r.ReadU64(&t.verify_ns) || !r.ReadU64(&t.serialize_ns) ||
+        !r.ReadU64(&t.flush_ns) || !r.ReadU64(&t.total_ns)) {
+      return DecodeStatus::kMalformed;
+    }
+    t.has = true;
   }
   uint32_t num_rows;
   if (!r.ReadU32(&num_rows)) return DecodeStatus::kMalformed;
@@ -497,6 +539,10 @@ bool ParseJsonQuery(std::string_view body, QueryRequest* out,
         ok = ParseU32Field(&c, &out->deadline_ms);
       } else if (key == "id") {
         ok = ParseU32Field(&c, &out->id);
+      } else if (key == "trace_id") {
+        ok = ParseU64Field(&c, &out->trace_id);
+      } else if (key == "timings") {
+        ok = c.ParseBool(&out->want_timings);
       } else {
         ok = c.SkipValue(0);
       }
@@ -634,6 +680,8 @@ std::string ResponseToJson(const QueryResponse& response) {
   out.reserve(128 + response.row_ids.size() * 8);
   out.append("{\"id\":");
   out.append(std::to_string(response.id));
+  out.append(",\"trace_id\":");
+  out.append(std::to_string(response.trace_id));
   out.append(",\"status\":\"");
   out.append(StatusCodeName(response.status));
   out.push_back('"');
@@ -665,6 +713,26 @@ std::string ResponseToJson(const QueryResponse& response) {
     char buf[48];
     std::snprintf(buf, sizeof(buf), ",\"latency_us\":%.1f",
                   response.latency_us);
+    out.append(buf);
+  }
+  if (response.timings.has) {
+    const StageTimings& t = response.timings;
+    char buf[384];
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"timings\":{\"decode_us\":%.1f,\"validate_us\":%.1f,"
+        "\"queue_us\":%.1f,\"batch_us\":%.1f,\"engine_us\":%.1f,"
+        "\"verify_us\":%.1f,\"serialize_us\":%.1f,\"flush_us\":%.1f,"
+        "\"total_us\":%.1f}",
+        static_cast<double>(t.decode_ns) / 1000.0,
+        static_cast<double>(t.validate_ns) / 1000.0,
+        static_cast<double>(t.queue_ns) / 1000.0,
+        static_cast<double>(t.batch_ns) / 1000.0,
+        static_cast<double>(t.engine_ns) / 1000.0,
+        static_cast<double>(t.verify_ns) / 1000.0,
+        static_cast<double>(t.serialize_ns) / 1000.0,
+        static_cast<double>(t.flush_ns) / 1000.0,
+        static_cast<double>(t.total_ns) / 1000.0);
     out.append(buf);
   }
   out.push_back('}');

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "engine/hybrid_engine.h"
+#include "obs/trace.h"
 
 /// Wire protocols of the concurrent query frontend (serve/server.h). Two
 /// encodings of the same request/response model share one port:
@@ -62,21 +63,55 @@ struct QueryRequest {
   std::vector<uint64_t> rows;  ///< empty = whole relation
   bool exact = true;
   bool count_only = false;     ///< response carries count, not row ids
+  bool want_timings = false;   ///< echo a per-stage timing breakdown
   uint32_t deadline_ms = 0;    ///< 0 = no deadline; measured from admission
+  /// Request trace id. 0 (the default) asks the server to mint one;
+  /// clients propagating a distributed trace send their own nonzero id.
+  /// Echoed in the response and retained in /slow.json. Note the JSON
+  /// surface parses numbers as doubles, so JSON-supplied ids are exact
+  /// only up to 2^53; the binary framing carries the full 64 bits.
+  uint64_t trace_id = 0;
+};
+
+/// Per-request stage timing breakdown (DESIGN.md §11), echoed when the
+/// request set want_timings. queue_ns + batch_ns tile the server-side
+/// request window exactly (admission to results done); engine_ns and
+/// verify_ns are attributions inside the batch window; decode_ns and
+/// validate_ns happen before admission; serialize_ns and flush_ns are
+/// echoed as 0 (a response cannot carry the cost of its own rendering
+/// and flush — those land in the serve_serialize_ns/serve_flush_ns
+/// histograms and the slow-query log instead).
+struct StageTimings {
+  bool has = false;  ///< present on the wire (response flags bit 1)
+  uint64_t decode_ns = 0;
+  uint64_t validate_ns = 0;
+  uint64_t queue_ns = 0;
+  uint64_t batch_ns = 0;
+  uint64_t engine_ns = 0;
+  uint64_t verify_ns = 0;
+  uint64_t serialize_ns = 0;
+  uint64_t flush_ns = 0;
+  uint64_t total_ns = 0;  ///< admission to results done (queue + batch)
 };
 
 /// The served answer.
 struct QueryResponse {
   uint32_t id = 0;
+  uint64_t trace_id = 0;        ///< echoed (client-supplied or minted)
   StatusCode status = StatusCode::kOk;
   std::string error;            ///< human-readable cause when status != kOk
   uint64_t count = 0;           ///< matching rows (even when count_only)
   std::vector<uint64_t> row_ids;
+  StageTimings timings;         ///< filled when the request asked for it
   // Serving annotations (JSON only; diagnostics, not results).
   const char* path = "";        ///< "ab" / "exact"
   const char* backend = "";     ///< exact-arm backend label
   uint32_t batch_size = 0;      ///< queries in the dispatch batch
   double latency_us = 0.0;      ///< server-side queue + execution time
+  /// Engine trace of the executed query (server-side only, never
+  /// serialized): the slow-query log extracts path/verification detail
+  /// from it at completion.
+  obs::QueryTrace trace;
 };
 
 /// Streaming decode outcome.
@@ -111,7 +146,9 @@ DecodeStatus DecodeResponseFrame(const uint8_t* data, size_t len,
 ///    "exact": true,               // optional
 ///    "count_only": false,         // optional
 ///    "deadline_ms": 50,           // optional
-///    "id": 7}                     // optional
+///    "id": 7,                     // optional
+///    "trace_id": 123456,          // optional (0/absent = server mints)
+///    "timings": true}             // optional: echo stage breakdown
 /// Unknown keys are skipped. Returns false with *error on malformed
 /// input. Purely syntactic — semantic checks (attribute range, row
 /// bounds) happen in QueryService against the engine's table.

@@ -7,6 +7,7 @@
 
 #include "obs/span.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace abitmap {
 namespace serve {
@@ -77,15 +78,22 @@ bool QueryService::Validate(const QueryRequest& request,
 }
 
 void QueryService::Submit(QueryRequest request,
-                          std::function<void(QueryResponse)> done) {
+                          std::function<void(QueryResponse)> done,
+                          uint64_t decode_ns) {
+  // Identity first: every response (including rejections) echoes a
+  // nonzero trace id, client-supplied or minted here. This is protocol,
+  // not telemetry, so it works in an AB_DISABLE_STATS build too.
+  if (request.trace_id == 0) request.trace_id = obs::NextTraceId();
   QueryResponse reject;
   reject.id = request.id;
+  reject.trace_id = request.trace_id;
   if (stopped_.load(std::memory_order_acquire) || !started_.load()) {
     reject.status = StatusCode::kShuttingDown;
     reject.error = "server is shutting down";
     done(std::move(reject));
     return;
   }
+  uint64_t validate_start = MonotonicNowNs();
   std::string verr;
   if (!Validate(request, &verr)) {
     AB_STATS_INC(obs::Counter::kServeBadRequests);
@@ -97,6 +105,8 @@ void QueryService::Submit(QueryRequest request,
 
   PendingQuery pending;
   pending.enqueue_ns = MonotonicNowNs();
+  pending.decode_ns = decode_ns;
+  pending.validate_ns = pending.enqueue_ns - validate_start;
   uint32_t deadline_ms = request.deadline_ms != 0
                              ? request.deadline_ms
                              : options_.default_deadline_ms;
@@ -165,9 +175,15 @@ void QueryService::DispatchLoop() {
         AB_STATS_INC(obs::Counter::kServeDeadlineExpired);
         QueryResponse resp;
         resp.id = p.request.id;
+        resp.trace_id = p.request.trace_id;
         resp.status = StatusCode::kDeadlineExceeded;
         resp.error = "deadline expired before execution";
         resp.latency_us = static_cast<double>(now - p.enqueue_ns) / 1000.0;
+        resp.timings.decode_ns = p.decode_ns;
+        resp.timings.validate_ns = p.validate_ns;
+        resp.timings.queue_ns = now - p.enqueue_ns;
+        resp.timings.total_ns = now - p.enqueue_ns;
+        resp.timings.has = p.request.want_timings;
         p.done(std::move(resp));
       } else {
         live.push_back(&p);
@@ -196,6 +212,7 @@ void QueryService::DispatchLoop() {
       engine::EngineResult& r = results[i];
       QueryResponse resp;
       resp.id = p->request.id;
+      resp.trace_id = p->request.trace_id;
       resp.status = StatusCode::kOk;
       resp.count = r.row_ids.size();
       if (!p->request.count_only) resp.row_ids = std::move(r.row_ids);
@@ -203,6 +220,22 @@ void QueryService::DispatchLoop() {
       resp.backend = r.trace.backend;
       resp.batch_size = static_cast<uint32_t>(live.size());
       resp.latency_us = static_cast<double>(done_ns - p->enqueue_ns) / 1000.0;
+      // Stage breakdown: queue + batch tile the server-side request
+      // window exactly; engine/verify are attributions inside the batch
+      // window (ExecuteBatch blocks for the whole batch, so a query's
+      // own engine time overlaps its batchmates'). The numeric fields
+      // are always filled — the transport's slow-query log reads them —
+      // but only ride the wire when the client asked (timings.has).
+      resp.timings.decode_ns = p->decode_ns;
+      resp.timings.validate_ns = p->validate_ns;
+      resp.timings.queue_ns = now - p->enqueue_ns;
+      resp.timings.batch_ns = done_ns - now;
+      resp.timings.engine_ns =
+          static_cast<uint64_t>(r.trace.latency_ms * 1e6);
+      resp.timings.verify_ns = r.trace.verify_ns;
+      resp.timings.total_ns = done_ns - p->enqueue_ns;
+      resp.timings.has = p->request.want_timings;
+      resp.trace = r.trace;
       AB_STATS_HIST(obs::Histogram::kServeQueueWaitNs, now - p->enqueue_ns);
       AB_STATS_HIST(obs::Histogram::kServeRequestLatencyNs,
                     done_ns - p->enqueue_ns);

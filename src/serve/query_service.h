@@ -58,7 +58,12 @@ class QueryService {
   void Stop();
 
   /// Validates and admits one request. See the lifecycle note above.
-  void Submit(QueryRequest request, std::function<void(QueryResponse)> done);
+  /// Mints a trace id when request.trace_id is 0; every response —
+  /// including synchronous rejections — echoes it. `decode_ns` is the
+  /// transport's wire-decode duration for this request (0 when the
+  /// transport does not measure it), threaded into the stage breakdown.
+  void Submit(QueryRequest request, std::function<void(QueryResponse)> done,
+              uint64_t decode_ns = 0);
 
   /// Streaming ingest: validates the rows against the engine's schema and
   /// appends them, returning their engine row ids. Runs synchronously on

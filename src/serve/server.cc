@@ -8,6 +8,8 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -16,8 +18,11 @@
 #include <utility>
 #include <vector>
 
+#include "core/mutable_index.h"
 #include "obs/export.h"
+#include "obs/slowlog.h"
 #include "obs/stats.h"
+#include "obs/timeseries.h"
 #include "serve/protocol.h"
 #include "util/logging.h"
 #include "util/net.h"
@@ -126,6 +131,60 @@ DecodeStatus ParseHttpRequest(const std::string& in, size_t max_bytes,
   out->body = in.substr(header_end + 4, content_length);
   *consumed = total;
   return DecodeStatus::kOk;
+}
+
+void AppendGauge(std::string* out, const char* name, const char* help,
+                 double value) {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "# HELP %s %s\n# TYPE %s gauge\n%s %.9g\n", name, help, name,
+                name, value);
+  *out += buf;
+}
+
+/// Live engine/serve gauges appended to the /metrics body. These are
+/// point-in-time reads of live state (not obs counters), so they exist in
+/// both stats configurations — the ingest health surface must not go dark
+/// in a stats-off build.
+std::string IngestGaugesPrometheus(engine::HybridEngine* engine,
+                                   QueryService* service,
+                                   uint64_t slow_threshold_ns) {
+  std::string out;
+  engine::HybridEngine::IngestStats ing = engine->GetIngestStats();
+  AppendGauge(&out, "abitmap_engine_total_rows",
+              "Committed rows, base plus ingested (dead rows included)",
+              static_cast<double>(engine->TotalRows()));
+  AppendGauge(&out, "abitmap_engine_delta_live",
+              "Ingested rows still live in the delta index",
+              static_cast<double>(ing.delta_live));
+  AppendGauge(&out, "abitmap_engine_delta_generations",
+              "Completed delta-index rebuild generations",
+              static_cast<double>(ing.delta_generations));
+  AppendGauge(&out, "abitmap_engine_delta_worst_fp",
+              "Worst expected false-positive rate across the delta "
+              "generation's filters at live cell counts",
+              ing.delta_worst_fp);
+  AppendGauge(&out, "abitmap_engine_base_fp_if_merged",
+              "Expected base-AB false-positive rate if the live delta "
+              "were folded into a rebuilt base index",
+              ing.base_fp_if_merged);
+  const ab::MutableAbIndex* delta = engine->delta_index();
+  AppendGauge(&out, "abitmap_engine_delta_fp_budget",
+              "Delta rebuild trigger: as-designed FP times the budget "
+              "factor",
+              delta != nullptr
+                  ? delta->DesignFp() * delta->options().fp_budget_factor
+                  : 0.0);
+  AppendGauge(&out, "abitmap_engine_delta_rebuild_running",
+              "1 while a background delta rebuild is in flight",
+              delta != nullptr && delta->rebuild_running() ? 1.0 : 0.0);
+  AppendGauge(&out, "abitmap_serve_queue_depth",
+              "Queries waiting in the batch-admission queue",
+              static_cast<double>(service->queue_depth()));
+  AppendGauge(&out, "abitmap_serve_slow_threshold_ns",
+              "Slow-query log retention threshold in nanoseconds",
+              static_cast<double>(slow_threshold_ns));
+  return out;
 }
 
 }  // namespace
@@ -351,9 +410,11 @@ class QueryServer::Worker {
       QueryRequest request;
       size_t consumed = 0;
       std::string derr;
+      uint64_t decode_start = MonotonicNowNs();
       DecodeStatus st = DecodeQueryFrame(
           data + off, conn.in.size() - off, server_->options_.max_request_bytes,
           &request, &consumed, &derr);
+      uint64_t decode_ns = MonotonicNowNs() - decode_start;
       if (st == DecodeStatus::kNeedMore) break;
       if (st == DecodeStatus::kMalformed) {
         AB_STATS_INC(obs::Counter::kServeBadRequests);
@@ -369,7 +430,8 @@ class QueryServer::Worker {
         return conns_.count(token) > 0;
       }
       off += consumed;
-      SubmitQuery(conn.token, std::move(request), Proto::kBinary);
+      AB_STATS_HIST(obs::Histogram::kServeDecodeNs, decode_ns);
+      SubmitQuery(conn.token, std::move(request), Proto::kBinary, decode_ns);
     }
     conn.in.erase(0, off);
     return true;
@@ -400,7 +462,10 @@ class QueryServer::Worker {
     if (request.method == "POST" && request.path == "/query") {
       QueryRequest query;
       std::string perr;
-      if (!ParseJsonQuery(request.body, &query, &perr)) {
+      uint64_t decode_start = MonotonicNowNs();
+      bool parsed = ParseJsonQuery(request.body, &query, &perr);
+      uint64_t decode_ns = MonotonicNowNs() - decode_start;
+      if (!parsed) {
         AB_STATS_INC(obs::Counter::kServeBadRequests);
         QueryResponse resp;
         resp.id = query.id;
@@ -410,7 +475,8 @@ class QueryServer::Worker {
         QueueBytes(conn, RenderHttpQueryResponse(resp), /*close_after=*/true);
         return conns_.count(token) > 0;
       }
-      SubmitQuery(conn.token, std::move(query), Proto::kHttp);
+      AB_STATS_HIST(obs::Histogram::kServeDecodeNs, decode_ns);
+      SubmitQuery(conn.token, std::move(query), Proto::kHttp, decode_ns);
       return true;
     }
     if (request.method == "POST" && request.path == "/insert") {
@@ -443,9 +509,17 @@ class QueryServer::Worker {
       } else if (request.path == "/metrics") {
         content_type = "text/plain; version=0.0.4; charset=utf-8";
         body = obs::ToPrometheus(obs::SnapshotStats());
+        body += IngestGaugesPrometheus(server_->engine_, server_->service_.get(),
+                                       server_->options_.slow_threshold_ns);
       } else if (request.path == "/stats.json") {
         content_type = "application/json";
         body = obs::ToJson(obs::SnapshotStats());
+      } else if (request.path == "/slow.json") {
+        content_type = "application/json";
+        body = obs::SlowLogToJson();
+      } else if (request.path == "/timeseries.json") {
+        content_type = "application/json";
+        body = obs::TimeSeriesToJson();
       } else {
         status = 404;
         body = "not found\n";
@@ -463,17 +537,49 @@ class QueryServer::Worker {
     return conns_.count(token) > 0;
   }
 
-  void SubmitQuery(uint64_t token, QueryRequest request, Proto proto) {
+  void SubmitQuery(uint64_t token, QueryRequest request, Proto proto,
+                   uint64_t decode_ns = 0) {
     // The completion may run synchronously (rejections) on this thread or
     // later on the dispatcher; both go through the mailbox, keeping all
     // connection state loop-confined.
     server_->service_->Submit(
-        std::move(request), [this, token, proto](QueryResponse resp) {
+        std::move(request),
+        [this, token, proto](QueryResponse resp) {
+          uint64_t serialize_start = MonotonicNowNs();
           std::string bytes = proto == Proto::kHttp
                                   ? RenderHttpQueryResponse(resp)
                                   : EncodeResponseFrame(resp);
+          uint64_t serialize_ns = MonotonicNowNs() - serialize_start;
+          AB_STATS_HIST(obs::Histogram::kServeSerializeNs, serialize_ns);
+          // Slow-query retention: the dispatcher always fills the numeric
+          // timing fields, so the threshold check works whether or not
+          // the client asked for a wire echo. serialize_ns lands only
+          // here — a response cannot carry its own rendering cost.
+          if (obs::kStatsEnabled &&
+              resp.timings.total_ns >= obs::SlowLogThresholdNs()) {
+            obs::SlowQueryRecord rec;
+            rec.trace_id = resp.trace_id;
+            rec.request_id = resp.id;
+            rec.status = static_cast<uint32_t>(resp.status);
+            rec.batch_size = resp.batch_size;
+            rec.mono_ns = serialize_start + serialize_ns;
+            rec.total_ns = resp.timings.total_ns;
+            rec.decode_ns = resp.timings.decode_ns;
+            rec.queue_ns = resp.timings.queue_ns;
+            rec.batch_ns = resp.timings.batch_ns;
+            rec.engine_ns = resp.timings.engine_ns;
+            rec.verify_ns = resp.timings.verify_ns;
+            rec.serialize_ns = serialize_ns;
+            rec.path = resp.trace.path;
+            rec.backend = resp.trace.backend;
+            rec.candidates = resp.trace.candidates;
+            rec.verified_matches = resp.trace.verified_matches;
+            rec.observed_precision = resp.trace.observed_precision;
+            obs::RecordSlowQuery(rec);
+          }
           PostCompletion(token, std::move(bytes), proto == Proto::kHttp);
-        });
+        },
+        decode_ns);
   }
 
   /// Appends bytes and attempts an immediate non-blocking flush; closes
@@ -506,6 +612,12 @@ class QueryServer::Worker {
 
   /// Non-blocking sends until EAGAIN or drained. False = peer gone.
   bool FlushPending(Conn& conn) {
+    if (conn.out_off == conn.out.size()) return true;
+    // Histogram the wall time of this write pass; the loop never blocks
+    // (EAGAIN exits), so this prices syscall + copy cost, not waiting.
+    [[maybe_unused]] uint64_t flush_start =
+        obs::kStatsEnabled ? MonotonicNowNs() : 0;
+    bool alive = true;
     while (conn.out_off < conn.out.size()) {
       ssize_t n = util::net::SendSome(conn.fd, conn.out.data() + conn.out_off,
                                       conn.out.size() - conn.out_off);
@@ -513,10 +625,14 @@ class QueryServer::Worker {
         conn.out_off += static_cast<size_t>(n);
         continue;
       }
-      if (n == 0) return true;  // EAGAIN: wait for EPOLLOUT
-      return false;
+      if (n < 0) alive = false;  // peer gone
+      break;                     // n == 0: EAGAIN, wait for EPOLLOUT
     }
-    return true;
+    if (obs::kStatsEnabled) {
+      AB_STATS_HIST(obs::Histogram::kServeFlushNs,
+                    MonotonicNowNs() - flush_start);
+    }
+    return alive;
   }
 
   QueryServer* server_;
@@ -547,6 +663,7 @@ util::Status QueryServer::Start() {
   stop_.store(false, std::memory_order_release);
   live_connections_.store(0, std::memory_order_relaxed);
   next_worker_ = 0;
+  obs::SetSlowLogThresholdNs(options_.slow_threshold_ns);
 
   service_ = std::make_unique<QueryService>(engine_, options_.service);
   util::Status st = service_->Start();
@@ -584,12 +701,18 @@ util::Status QueryServer::Start() {
   }
 
   acceptor_ = std::thread([this]() { AcceptLoop(); });
+  // The telemetry ticker feeds the /timeseries.json ring; without stats
+  // the ring is a no-op, so don't spend a thread on it.
+  if (obs::kStatsEnabled && options_.telemetry_interval_ms != 0) {
+    telemetry_ = std::thread([this]() { TelemetryLoop(); });
+  }
   return util::Status::Ok();
 }
 
 void QueryServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stop_.store(true, std::memory_order_release);
+  if (telemetry_.joinable()) telemetry_.join();
   if (acceptor_.joinable()) acceptor_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -602,6 +725,37 @@ void QueryServer::Stop() {
   for (auto& w : workers_) w->Join();
   workers_.clear();
   service_.reset();
+}
+
+void QueryServer::TelemetryLoop() {
+  const uint64_t interval_ns =
+      static_cast<uint64_t>(options_.telemetry_interval_ms) * 1000000ull;
+  uint64_t next_ns = MonotonicNowNs() + interval_ns;
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Short sleep chunks so Stop() never waits a full interval.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    uint64_t now = MonotonicNowNs();
+    if (now < next_ns) continue;
+    next_ns = now + interval_ns;
+
+    obs::TsSample s = obs::TsSampleFromStats(obs::SnapshotStats());
+    s.mono_ns = now;
+    s.wall_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    engine::HybridEngine::IngestStats ing = engine_->GetIngestStats();
+    s.delta_live = ing.delta_live;
+    s.delta_generations = ing.delta_generations;
+    s.delta_worst_fp = ing.delta_worst_fp;
+    s.base_fp_if_merged = ing.base_fp_if_merged;
+    if (const ab::MutableAbIndex* delta = engine_->delta_index()) {
+      s.delta_fp_budget =
+          delta->DesignFp() * delta->options().fp_budget_factor;
+      s.rebuild_running = delta->rebuild_running() ? 1 : 0;
+    }
+    obs::RecordTimeSeriesSample(s);
+  }
 }
 
 void QueryServer::AcceptLoop() {

@@ -41,6 +41,16 @@ class QueryServer {
     int num_workers = 2;          ///< epoll event-loop threads
     size_t max_connections = 256;  ///< across all workers
     size_t max_request_bytes = 1 << 20;
+    /// Requests whose end-to-end latency (admission to results) reaches
+    /// this land in the slow-query log at /slow.json. 0 retains every
+    /// request (tests, smoke checks). Installed into the obs layer at
+    /// Start.
+    uint64_t slow_threshold_ns = 100ull * 1000 * 1000;
+    /// Telemetry ticker cadence: every interval one TsSample (counters,
+    /// latency percentiles, ingest/rebuild gauges) is pushed into the
+    /// /timeseries.json ring. 0 disables the ticker. The thread only
+    /// runs in a stats-enabled build.
+    uint32_t telemetry_interval_ms = 1000;
     QueryService::Options service;
   };
 
@@ -68,12 +78,15 @@ class QueryServer {
   class Worker;
 
   void AcceptLoop();
+  /// Periodic sampler feeding the /timeseries.json ring (see Options).
+  void TelemetryLoop();
 
   engine::HybridEngine* engine_;
   Options options_;
   std::unique_ptr<QueryService> service_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread acceptor_;
+  std::thread telemetry_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<size_t> live_connections_{0};

@@ -5,7 +5,11 @@
 // zero-overhead half — macro arguments unevaluated, empty timer, zeroed
 // snapshots — while the default build verifies the recording half.
 
+#include <cstdlib>
+#include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -158,6 +162,108 @@ TEST(StatsExportTest, PrometheusShapeIsCumulative) {
     EXPECT_NE(prom.find("abitmap_query_latency_ns_count 2"),
               std::string::npos)
         << prom;
+  }
+}
+
+TEST(StatsExportTest, PrometheusHistogramsAreFormatCompliant) {
+  // Locks in the exposition-format contract scrapers depend on: bucket
+  // series are *cumulative* counts over increasing `le` bounds, the +Inf
+  // bucket equals _count, and every histogram carries _sum plus one
+  // HELP/TYPE pair. A regression to per-bucket (non-cumulative) counts
+  // would silently corrupt every histogram_quantile() downstream.
+  ResetStats();
+  AB_STATS_HIST(Histogram::kQueryLatencyNs, 3);
+  AB_STATS_HIST(Histogram::kQueryLatencyNs, 300);
+  AB_STATS_HIST(Histogram::kQueryLatencyNs, 30000);
+  AB_STATS_HIST(Histogram::kServeRequestLatencyNs, 1);
+  std::string prom = ToPrometheus(SnapshotStats());
+
+  struct Series {
+    std::vector<double> les;      // le bound per bucket line, in file order
+    std::vector<uint64_t> counts;
+    bool has_inf = false;
+    uint64_t inf_count = 0;
+    uint64_t count_line = 0;
+    bool has_sum = false;
+    bool has_count = false;
+    bool has_help = false;
+    bool has_type_histogram = false;
+  };
+  std::map<std::string, Series> series;
+
+  std::istringstream lines(prom);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      size_t name_start = 7;
+      size_t name_end = line.find(' ', name_start);
+      ASSERT_NE(name_end, std::string::npos) << line;
+      std::string name = line.substr(name_start, name_end - name_start);
+      if (line.rfind("# HELP ", 0) == 0) {
+        series[name].has_help = true;
+      } else if (line.compare(name_end, std::string::npos, " histogram") ==
+                 0) {
+        series[name].has_type_histogram = true;
+      }
+      continue;
+    }
+    size_t bucket_pos = line.find("_bucket{le=\"");
+    if (bucket_pos != std::string::npos) {
+      std::string name = line.substr(0, bucket_pos);
+      size_t le_start = bucket_pos + 12;
+      size_t le_end = line.find('"', le_start);
+      ASSERT_NE(le_end, std::string::npos) << line;
+      std::string le = line.substr(le_start, le_end - le_start);
+      size_t value_pos = line.find("} ");
+      ASSERT_NE(value_pos, std::string::npos) << line;
+      uint64_t value = std::strtoull(line.c_str() + value_pos + 2, nullptr, 10);
+      Series& s = series[name];
+      if (le == "+Inf") {
+        s.has_inf = true;
+        s.inf_count = value;
+      } else {
+        s.les.push_back(std::strtod(le.c_str(), nullptr));
+        s.counts.push_back(value);
+      }
+      continue;
+    }
+    size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    std::string name = line.substr(0, space);
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, "_sum") == 0) {
+      series[name.substr(0, name.size() - 4)].has_sum = true;
+    } else if (name.size() > 6 &&
+               name.compare(name.size() - 6, 6, "_count") == 0) {
+      Series& s = series[name.substr(0, name.size() - 6)];
+      s.has_count = true;
+      s.count_line = std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    }
+  }
+
+  size_t histograms_checked = 0;
+  for (const auto& [name, s] : series) {
+    if (s.les.empty() && !s.has_inf) continue;  // a counter, not a histogram
+    SCOPED_TRACE(name);
+    ++histograms_checked;
+    EXPECT_TRUE(s.has_help);
+    EXPECT_TRUE(s.has_type_histogram);
+    EXPECT_TRUE(s.has_sum);
+    EXPECT_TRUE(s.has_count);
+    EXPECT_TRUE(s.has_inf);
+    // +Inf bucket == _count: the exposition format's closing invariant.
+    EXPECT_EQ(s.inf_count, s.count_line);
+    for (size_t i = 1; i < s.les.size(); ++i) {
+      // Strictly increasing bounds, cumulative (non-decreasing) counts.
+      EXPECT_LT(s.les[i - 1], s.les[i]);
+      EXPECT_LE(s.counts[i - 1], s.counts[i]);
+    }
+    if (!s.counts.empty()) {
+      EXPECT_LE(s.counts.back(), s.inf_count);
+    }
+  }
+  EXPECT_EQ(histograms_checked, kNumHistograms);
+  if (kStatsEnabled) {
+    EXPECT_EQ(series["abitmap_query_latency_ns"].count_line, 3u);
   }
 }
 

@@ -40,7 +40,8 @@ void Usage(const char* prog) {
       stderr,
       "usage: %s --port=N [--connections=N] [--duration=SECS]\n"
       "          [--templates=N] [--theta=F] [--qps=N] [--deadline-ms=N]\n"
-      "          [--rows=N] [--row-fraction=F] [--seed=N] [--json]\n",
+      "          [--rows=N] [--row-fraction=F] [--seed=N] [--timings]\n"
+      "          [--json]\n",
       prog);
 }
 
@@ -75,6 +76,8 @@ int main(int argc, char** argv) {
       template_options.row_fraction = std::atof(v);
     } else if (FlagValue(argv[i], "--seed", &v)) {
       options.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--timings") == 0) {
+      options.want_timings = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else {
@@ -99,17 +102,35 @@ int main(int argc, char** argv) {
     return 1;
   }
   const serve::LoadgenResult& r = run.value();
+  const serve::StageBreakdown& st = r.stages;
   if (json) {
     std::printf(
         "{\"qps\": %.1f, \"requests\": %llu, \"ok\": %llu, "
         "\"rejected\": %llu, \"errors\": %llu, \"duration_s\": %.3f, "
         "\"mean_us\": %.1f, \"p50_us\": %.1f, \"p90_us\": %.1f, "
-        "\"p99_us\": %.1f, \"p999_us\": %.1f, \"max_us\": %.1f}\n",
+        "\"p99_us\": %.1f, \"p999_us\": %.1f, \"max_us\": %.1f",
         r.qps, static_cast<unsigned long long>(r.requests),
         static_cast<unsigned long long>(r.ok),
         static_cast<unsigned long long>(r.rejected),
         static_cast<unsigned long long>(r.errors), r.duration_s, r.mean_us,
         r.p50_us, r.p90_us, r.p99_us, r.p999_us, r.max_us);
+    if (st.samples > 0) {
+      std::printf(
+          ", \"stage_us\": {\"samples\": %llu, "
+          "\"decode\": {\"mean\": %.1f, \"p99\": %.1f}, "
+          "\"validate\": {\"mean\": %.1f, \"p99\": %.1f}, "
+          "\"queue\": {\"mean\": %.1f, \"p99\": %.1f}, "
+          "\"batch\": {\"mean\": %.1f, \"p99\": %.1f}, "
+          "\"engine\": {\"mean\": %.1f, \"p99\": %.1f}, "
+          "\"verify\": {\"mean\": %.1f, \"p99\": %.1f}, "
+          "\"total\": {\"mean\": %.1f, \"p99\": %.1f}}",
+          static_cast<unsigned long long>(st.samples), st.decode.mean_us,
+          st.decode.p99_us, st.validate.mean_us, st.validate.p99_us,
+          st.queue.mean_us, st.queue.p99_us, st.batch.mean_us, st.batch.p99_us,
+          st.engine.mean_us, st.engine.p99_us, st.verify.mean_us,
+          st.verify.p99_us, st.total.mean_us, st.total.p99_us);
+    }
+    std::printf("}\n");
   } else {
     std::printf("qps=%.1f requests=%llu ok=%llu rejected=%llu errors=%llu "
                 "duration=%.2fs\n",
@@ -120,6 +141,17 @@ int main(int argc, char** argv) {
     std::printf("latency_us: mean=%.1f p50=%.1f p90=%.1f p99=%.1f "
                 "p999=%.1f max=%.1f\n",
                 r.mean_us, r.p50_us, r.p90_us, r.p99_us, r.p999_us, r.max_us);
+    if (st.samples > 0) {
+      std::printf(
+          "stage_us (mean/p99, %llu samples): decode=%.1f/%.1f "
+          "validate=%.1f/%.1f queue=%.1f/%.1f batch=%.1f/%.1f "
+          "engine=%.1f/%.1f verify=%.1f/%.1f total=%.1f/%.1f\n",
+          static_cast<unsigned long long>(st.samples), st.decode.mean_us,
+          st.decode.p99_us, st.validate.mean_us, st.validate.p99_us,
+          st.queue.mean_us, st.queue.p99_us, st.batch.mean_us, st.batch.p99_us,
+          st.engine.mean_us, st.engine.p99_us, st.verify.mean_us,
+          st.verify.p99_us, st.total.mean_us, st.total.p99_us);
+    }
   }
   // A run where nothing succeeded is a failure for scripts even though
   // the harness itself ran.

@@ -47,7 +47,12 @@ void Usage(const char* prog) {
       "usage: %s [--port=N] [--rows=N] [--seed=N] [--workers=N]\n"
       "          [--engine-threads=N] [--max-batch=N] [--max-delay-us=N]\n"
       "          [--queue-cap=N] [--no-batching] [--deadline-ms=N]\n"
-      "          [--max-connections=N]\n",
+      "          [--max-connections=N] [--slow-ms=N] [--telemetry-ms=N]\n"
+      "\n"
+      "  --slow-ms=N       slow-query log threshold (/slow.json); 0 retains\n"
+      "                    every request (default 100)\n"
+      "  --telemetry-ms=N  /timeseries.json sample cadence; 0 disables\n"
+      "                    (default 1000)\n",
       prog);
 }
 
@@ -88,6 +93,12 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (FlagValue(argv[i], "--max-connections", &v)) {
       options.max_connections = std::strtoull(v, nullptr, 10);
+    } else if (FlagValue(argv[i], "--slow-ms", &v)) {
+      options.slow_threshold_ns =
+          std::strtoull(v, nullptr, 10) * 1000ull * 1000ull;
+    } else if (FlagValue(argv[i], "--telemetry-ms", &v)) {
+      options.telemetry_interval_ms =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (std::strcmp(argv[i], "--no-batching") == 0) {
       options.service.batching = false;
     } else {

@@ -39,6 +39,7 @@
 #include "obs/export.h"
 #include "obs/http.h"
 #include "obs/stats.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -209,6 +210,19 @@ int main(int argc, char** argv) {
       if (g_stop.load()) break;
       if (watch_secs > 0) {
         run_queries();
+        // Each tick also lands one sample in the /timeseries.json ring,
+        // so a scraper of the --serve port gets history, not just the
+        // latest snapshot.
+        obs::TsSample sample = obs::TsSampleFromStats(obs::SnapshotStats());
+        sample.mono_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+        sample.wall_ms = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        obs::RecordTimeSeriesSample(sample);
         std::printf("--- watch tick ---\n");
         print_snapshot();
       }

@@ -49,6 +49,15 @@
 # the server cleanly. Advisory by default; AB_CHECK_MUTABLE=strict makes
 # a failure fatal, AB_CHECK_MUTABLE=0 skips.
 #
+# An observability smoke boots ab_serve with --slow-ms=0 (retain every
+# request) and --telemetry-ms=200, drives an ab_loadgen --timings burst,
+# and checks the request-tracing surface end to end: the loadgen JSON
+# must carry the per-stage "stage_us" aggregates, /slow.json must show
+# retained records with trace ids, /timeseries.json must have collected
+# at least two ticker samples, and after a POST /insert the /metrics
+# gauge abitmap_engine_delta_live must be nonzero. Advisory by default;
+# AB_CHECK_OBS_SERVE=strict makes a failure fatal, =0 skips.
+#
 # Usage: tools/check.sh [build-dir]   (default: build/check)
 set -euo pipefail
 
@@ -444,6 +453,116 @@ if [ "${AB_CHECK_MUTABLE:-advisory}" != "0" ]; then
   else
     echo "mutable smoke: $mut_inserts inserts + loadgen + clean shutdown" \
       "ok on port $mut_port"
+  fi
+fi
+
+if [ "${AB_CHECK_OBS_SERVE:-advisory}" != "0" ]; then
+  echo "== observability smoke (tracing + slow log + time series) =="
+  # The request-tracing surface end to end on a live server: stage
+  # timings echoed to the loadgen, every request retained in /slow.json
+  # (threshold 0), ticker samples accumulating in /timeseries.json, and
+  # the ingest gauges moving on /metrics after an insert.
+  obs_ok=1
+  obs_log="$build_dir/ab_serve_obs_smoke.log"
+  obs_rows=20000
+  "$build_dir/tools/ab_serve" --port=0 --rows="$obs_rows" --workers=2 \
+    --slow-ms=0 --telemetry-ms=200 >/dev/null 2>"$obs_log" &
+  obs_pid=$!
+  obs_port=""
+  for _ in $(seq 1 100); do
+    obs_port="$(sed -n \
+      's#.*listening on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' \
+      "$obs_log" | head -1)"
+    [ -n "$obs_port" ] && break
+    if ! kill -0 "$obs_pid" 2>/dev/null; then
+      echo "obs smoke: ab_serve exited early; log:" >&2
+      cat "$obs_log" >&2
+      obs_ok=0
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$obs_ok" = "1" ] && [ -z "$obs_port" ]; then
+    echo "obs smoke: ab_serve never announced a port" >&2
+    kill "$obs_pid" 2>/dev/null || true
+    obs_ok=0
+  fi
+  if [ "$obs_ok" = "1" ]; then
+    obs_json="$build_dir/ab_loadgen_obs_smoke.json"
+    if ! "$build_dir/tools/ab_loadgen" --port="$obs_port" \
+      --rows="$obs_rows" --connections=2 --duration=1 --timings --json \
+      >"$obs_json" 2>>"$obs_log"; then
+      echo "obs smoke: ab_loadgen failed; see $obs_log" >&2
+      obs_ok=0
+    elif ! grep -q '"stage_us"' "$obs_json"; then
+      echo "obs smoke: loadgen JSON lacks stage_us aggregates:" >&2
+      cat "$obs_json" >&2
+      obs_ok=0
+    fi
+  fi
+  if [ "$obs_ok" = "1" ]; then
+    obs_slow="$(http_get "$obs_port" /slow.json)"
+    case "$obs_slow" in
+      *'"trace_id"'*) ;;
+      *'"enabled": false'*)
+        echo "obs smoke: /slow.json disabled (stats-off tool build?)" ;;
+      *)
+        echo "obs smoke: /slow.json retained no records at threshold 0:" >&2
+        printf '%s\n' "$obs_slow" | head -5 >&2
+        obs_ok=0
+        ;;
+    esac
+  fi
+  if [ "$obs_ok" = "1" ]; then
+    # One extra ticker period so at least two samples have landed.
+    sleep 0.5
+    obs_ts_samples="$(http_get "$obs_port" /timeseries.json |
+      grep -o '"mono_ns"' | wc -l)"
+    if [ "$obs_ts_samples" -lt 2 ]; then
+      echo "obs smoke: /timeseries.json has $obs_ts_samples samples," \
+        "expected >= 2 at a 200 ms cadence" >&2
+      obs_ok=0
+    fi
+  fi
+  if [ "$obs_ok" = "1" ]; then
+    obs_resp="$(http_post "$obs_port" /insert '{"values":[45.5,17,3.2]}' ||
+      true)"
+    case "$obs_resp" in
+      *'"status":"ok"'*) ;;
+      *)
+        echo "obs smoke: insert rejected; response:" >&2
+        echo "$obs_resp" >&2
+        obs_ok=0
+        ;;
+    esac
+    if [ "$obs_ok" = "1" ]; then
+      obs_live="$(http_get "$obs_port" /metrics |
+        sed -n 's/^abitmap_engine_delta_live \([0-9]*\).*/\1/p' | head -1)"
+      if [ -z "$obs_live" ] || [ "$obs_live" -lt 1 ]; then
+        echo "obs smoke: abitmap_engine_delta_live gauge is '$obs_live'" \
+          "after an insert" >&2
+        obs_ok=0
+      fi
+    fi
+  fi
+  if kill -0 "$obs_pid" 2>/dev/null; then
+    kill -INT "$obs_pid" 2>/dev/null || true
+    obs_status=0
+    wait "$obs_pid" || obs_status=$?
+    if [ "$obs_status" -ne 0 ]; then
+      echo "obs smoke: ab_serve exited with status $obs_status" >&2
+      obs_ok=0
+    fi
+  fi
+  if [ "$obs_ok" != "1" ]; then
+    if [ "${AB_CHECK_OBS_SERVE:-advisory}" = "strict" ]; then
+      echo "error: AB_CHECK_OBS_SERVE=strict and the smoke failed" >&2
+      exit 1
+    fi
+    echo "obs smoke: ADVISORY failure (AB_CHECK_OBS_SERVE=strict to enforce)" >&2
+  else
+    echo "obs smoke: timings + slow log ($obs_ts_samples ts samples) +" \
+      "ingest gauges ok on port $obs_port"
   fi
 fi
 
